@@ -1,0 +1,528 @@
+//! Concrete chip specifications: peak rates, latencies, capacities.
+
+use crate::{ArchError, Buffer, ComputeUnit, Precision, TransferPath};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which product line a [`ChipSpec`] models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChipKind {
+    /// The training chip (higher compute and bandwidth; the paper's
+    /// Atlas 300T-class part).
+    Training,
+    /// The inference chip (lower compute capacity; Atlas 300I-class).
+    Inference,
+}
+
+impl fmt::Display for ChipKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChipKind::Training => f.write_str("training"),
+            ChipKind::Inference => f.write_str("inference"),
+        }
+    }
+}
+
+/// Peak arithmetic throughput of one precision on one compute unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComputePeak {
+    /// The unit.
+    pub unit: ComputeUnit,
+    /// The precision.
+    pub precision: Precision,
+    /// Peak operations per cycle at this precision.
+    pub ops_per_cycle: f64,
+}
+
+/// Timing model of one transfer path.
+///
+/// The effective time of a transfer of `b` bytes is
+/// `latency_cycles + (b + overhead_bytes) / bytes_per_cycle`, i.e. the
+/// path behaves as if every transfer carried `overhead_bytes` of dead
+/// payload. Small transfers therefore waste bandwidth — the root cause the
+/// paper's *Increasing Transfer Granularity* optimization addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferSpec {
+    /// The path this spec describes.
+    pub path: TransferPath,
+    /// Peak bandwidth in bytes per cycle.
+    pub bytes_per_cycle: f64,
+    /// Fixed start-up latency in cycles.
+    pub latency_cycles: f64,
+    /// Equivalent dead payload per transfer; at `b == overhead_bytes` the
+    /// path reaches 50% of peak bandwidth.
+    pub overhead_bytes: f64,
+}
+
+impl TransferSpec {
+    /// Cycles to move `bytes` over this path.
+    #[must_use]
+    pub fn cycles(&self, bytes: u64) -> f64 {
+        self.latency_cycles + (bytes as f64 + self.overhead_bytes) / self.bytes_per_cycle
+    }
+
+    /// Achieved fraction of peak bandwidth for a transfer of `bytes`.
+    #[must_use]
+    pub fn efficiency(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        let b = bytes as f64;
+        b / self.bytes_per_cycle / self.cycles(bytes)
+    }
+}
+
+/// Per-buffer capacity in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferCapacity {
+    /// The buffer.
+    pub buffer: Buffer,
+    /// Capacity in bytes (`u64::MAX` for global memory).
+    pub bytes: u64,
+}
+
+/// A complete chip specification: everything the simulator and the roofline
+/// model need to know about the hardware.
+///
+/// Two built-in specs model the paper's parts: [`ChipSpec::training`] and
+/// [`ChipSpec::inference`]. All rates are per-AICore; the reproduction
+/// simulates a single core (the paper's analysis is per-operator and
+/// per-core as well).
+///
+/// # Examples
+///
+/// ```
+/// use ascend_arch::{ChipSpec, TransferPath};
+/// let chip = ChipSpec::training();
+/// let spec = chip.transfer(TransferPath::L1ToL0A)?;
+/// // The left-matrix feed is faster than the right-matrix feed (Section 2.1).
+/// let l0b = chip.transfer(TransferPath::L1ToL0B)?;
+/// assert!(spec.bytes_per_cycle > l0b.bytes_per_cycle);
+/// # Ok::<(), ascend_arch::ArchError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipSpec {
+    name: String,
+    kind: ChipKind,
+    /// Core clock in hertz.
+    pub frequency_hz: f64,
+    compute: Vec<ComputePeak>,
+    transfers: Vec<TransferSpec>,
+    capacities: Vec<BufferCapacity>,
+    /// Cycles the in-order dispatcher spends per instruction before it
+    /// reaches its component queue.
+    pub dispatch_cycles: f64,
+    /// Cycles to execute a `set_flag`/`wait_flag` instruction.
+    pub flag_cycles: f64,
+    /// Cycles a `pipe_barrier(ALL)` costs on top of draining the queues.
+    pub barrier_cycles: f64,
+    /// Fixed issue cost of every compute instruction, in cycles. A low
+    /// `repeat` parameter multiplies this cost (the paper's AvgPool case).
+    pub compute_issue_cycles: f64,
+}
+
+impl ChipSpec {
+    /// The training chip model (1.5 GHz class).
+    #[must_use]
+    pub fn training() -> Self {
+        ChipSpec {
+            name: "ascend-training".to_owned(),
+            kind: ChipKind::Training,
+            frequency_hz: 1.5e9,
+            compute: vec![
+                ComputePeak { unit: ComputeUnit::Cube, precision: Precision::Int8, ops_per_cycle: 16384.0 },
+                ComputePeak { unit: ComputeUnit::Cube, precision: Precision::Fp16, ops_per_cycle: 8192.0 },
+                ComputePeak { unit: ComputeUnit::Vector, precision: Precision::Fp16, ops_per_cycle: 256.0 },
+                ComputePeak { unit: ComputeUnit::Vector, precision: Precision::Fp32, ops_per_cycle: 128.0 },
+                ComputePeak { unit: ComputeUnit::Vector, precision: Precision::Int32, ops_per_cycle: 128.0 },
+                ComputePeak { unit: ComputeUnit::Scalar, precision: Precision::Int32, ops_per_cycle: 4.0 },
+                ComputePeak { unit: ComputeUnit::Scalar, precision: Precision::Fp16, ops_per_cycle: 2.0 },
+                ComputePeak { unit: ComputeUnit::Scalar, precision: Precision::Fp32, ops_per_cycle: 2.0 },
+                ComputePeak { unit: ComputeUnit::Scalar, precision: Precision::Fp64, ops_per_cycle: 1.0 },
+            ],
+            transfers: Self::transfer_table(1.0),
+            capacities: Self::capacity_table(),
+            dispatch_cycles: 8.0,
+            flag_cycles: 4.0,
+            barrier_cycles: 64.0,
+            compute_issue_cycles: 32.0,
+        }
+    }
+
+    /// The inference chip model (1.0 GHz class; roughly half the compute
+    /// and bandwidth of the training part).
+    #[must_use]
+    pub fn inference() -> Self {
+        ChipSpec {
+            name: "ascend-inference".to_owned(),
+            kind: ChipKind::Inference,
+            frequency_hz: 1.0e9,
+            compute: vec![
+                ComputePeak { unit: ComputeUnit::Cube, precision: Precision::Int8, ops_per_cycle: 8192.0 },
+                ComputePeak { unit: ComputeUnit::Cube, precision: Precision::Fp16, ops_per_cycle: 4096.0 },
+                ComputePeak { unit: ComputeUnit::Vector, precision: Precision::Fp16, ops_per_cycle: 128.0 },
+                ComputePeak { unit: ComputeUnit::Vector, precision: Precision::Fp32, ops_per_cycle: 64.0 },
+                ComputePeak { unit: ComputeUnit::Vector, precision: Precision::Int32, ops_per_cycle: 64.0 },
+                ComputePeak { unit: ComputeUnit::Scalar, precision: Precision::Int32, ops_per_cycle: 4.0 },
+                ComputePeak { unit: ComputeUnit::Scalar, precision: Precision::Fp16, ops_per_cycle: 2.0 },
+                ComputePeak { unit: ComputeUnit::Scalar, precision: Precision::Fp32, ops_per_cycle: 2.0 },
+                ComputePeak { unit: ComputeUnit::Scalar, precision: Precision::Fp64, ops_per_cycle: 1.0 },
+            ],
+            transfers: Self::transfer_table(0.5),
+            capacities: Self::capacity_table(),
+            dispatch_cycles: 8.0,
+            flag_cycles: 4.0,
+            barrier_cycles: 64.0,
+            compute_issue_cycles: 32.0,
+        }
+    }
+
+    fn transfer_table(scale: f64) -> Vec<TransferSpec> {
+        use TransferPath as P;
+        // Bandwidth scales with the part; the per-transfer protocol
+        // overhead (descriptor setup, alignment padding) does not.
+        let spec = |path, bw: f64, lat: f64, ovh: f64| TransferSpec {
+            path,
+            bytes_per_cycle: bw * scale,
+            latency_cycles: lat,
+            overhead_bytes: ovh,
+        };
+        vec![
+            // MTE-GM: global-memory reads share the GM port.
+            spec(P::GmToL1, 64.0, 30.0, 2048.0),
+            spec(P::GmToL0A, 48.0, 30.0, 2048.0),
+            spec(P::GmToL0B, 32.0, 30.0, 2048.0),
+            spec(P::GmToUb, 44.0, 30.0, 2048.0),
+            // MTE-L1: asymmetric feeds (L0A twice the L0B bandwidth).
+            spec(P::L1ToL0A, 128.0, 20.0, 2048.0),
+            spec(P::L1ToL0B, 64.0, 20.0, 2048.0),
+            spec(P::L1ToUb, 64.0, 20.0, 2048.0),
+            // MTE-UB: write-out paths. GM writes are slower than reads and
+            // markedly granularity-sensitive (the ITG optimization's target).
+            spec(P::UbToGm, 48.0, 50.0, 6144.0),
+            spec(P::UbToL1, 64.0, 20.0, 2048.0),
+            // Direct fixed-function ports (pruned from analysis, but the
+            // simulator still needs sane numbers if a kernel names them).
+            spec(P::L0AToCube, 1024.0, 2.0, 128.0),
+            spec(P::L0BToCube, 1024.0, 2.0, 128.0),
+            spec(P::CubeToL0C, 1024.0, 2.0, 128.0),
+            spec(P::L0CToVector, 512.0, 2.0, 128.0),
+            spec(P::VectorToL0C, 512.0, 2.0, 128.0),
+            spec(P::UbToVector, 512.0, 2.0, 128.0),
+            spec(P::VectorToUb, 512.0, 2.0, 128.0),
+            spec(P::UbToScalar, 64.0, 2.0, 64.0),
+            spec(P::ScalarToUb, 64.0, 2.0, 64.0),
+            spec(P::L0CToUb, 512.0, 2.0, 128.0),
+            spec(P::UbToL0C, 512.0, 2.0, 128.0),
+        ]
+    }
+
+    fn capacity_table() -> Vec<BufferCapacity> {
+        vec![
+            BufferCapacity { buffer: Buffer::Gm, bytes: u64::MAX / 2 },
+            BufferCapacity { buffer: Buffer::L1, bytes: 1 << 20 },
+            BufferCapacity { buffer: Buffer::Ub, bytes: 256 << 10 },
+            BufferCapacity { buffer: Buffer::L0A, bytes: 64 << 10 },
+            BufferCapacity { buffer: Buffer::L0B, bytes: 64 << 10 },
+            BufferCapacity { buffer: Buffer::L0C, bytes: 256 << 10 },
+        ]
+    }
+
+    /// The chip's display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Training vs. inference part.
+    #[must_use]
+    pub fn kind(&self) -> ChipKind {
+        self.kind
+    }
+
+    /// Peak operations per cycle of `precision` on `unit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::UnsupportedPrecision`] when the unit cannot
+    /// execute the precision.
+    pub fn peak_ops_per_cycle(
+        &self,
+        unit: ComputeUnit,
+        precision: Precision,
+    ) -> Result<f64, ArchError> {
+        self.compute
+            .iter()
+            .find(|c| c.unit == unit && c.precision == precision)
+            .map(|c| c.ops_per_cycle)
+            .ok_or(ArchError::UnsupportedPrecision { unit, precision })
+    }
+
+    /// Peak operations per *second* of `precision` on `unit`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ChipSpec::peak_ops_per_cycle`].
+    pub fn peak_ops_per_sec(
+        &self,
+        unit: ComputeUnit,
+        precision: Precision,
+    ) -> Result<f64, ArchError> {
+        Ok(self.peak_ops_per_cycle(unit, precision)? * self.frequency_hz)
+    }
+
+    /// The timing model of a transfer path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::UnknownPath`] when the path is absent from the
+    /// spec (cannot happen for the built-in chips).
+    pub fn transfer(&self, path: TransferPath) -> Result<&TransferSpec, ArchError> {
+        self.transfers
+            .iter()
+            .find(|t| t.path == path)
+            .ok_or(ArchError::UnknownPath { path })
+    }
+
+    /// Capacity of a buffer in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::UnknownBuffer`] when the buffer is absent from
+    /// the spec (cannot happen for the built-in chips).
+    pub fn capacity(&self, buffer: Buffer) -> Result<u64, ArchError> {
+        self.capacities
+            .iter()
+            .find(|c| c.buffer == buffer)
+            .map(|c| c.bytes)
+            .ok_or(ArchError::UnknownBuffer { buffer })
+    }
+
+    /// All compute peaks (for building roofline ceilings).
+    #[must_use]
+    pub fn compute_peaks(&self) -> &[ComputePeak] {
+        &self.compute
+    }
+
+    /// All transfer specs (for building roofline ceilings).
+    #[must_use]
+    pub fn transfer_specs(&self) -> &[TransferSpec] {
+        &self.transfers
+    }
+
+    /// Returns a copy with every path of `engine` scaled by `factor` in
+    /// bandwidth — the lever behind the paper's closing insight that LLM
+    /// training "emphasizes the need of next-generation chips" with more
+    /// GM bandwidth (Section 6.2.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive.
+    #[must_use]
+    pub fn with_mte_bandwidth_scale(mut self, engine: crate::MteEngine, factor: f64) -> Self {
+        assert!(factor > 0.0, "bandwidth scale must be positive");
+        for spec in &mut self.transfers {
+            if spec.path.mte() == Some(engine) {
+                spec.bytes_per_cycle *= factor;
+            }
+        }
+        self.name = format!("{}+{}x{factor:.2}", self.name, engine);
+        self
+    }
+
+    /// Returns a copy with `unit`'s peak throughput scaled by `factor`
+    /// across all precisions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive.
+    #[must_use]
+    pub fn with_compute_scale(mut self, unit: ComputeUnit, factor: f64) -> Self {
+        assert!(factor > 0.0, "compute scale must be positive");
+        for peak in &mut self.compute {
+            if peak.unit == unit {
+                peak.ops_per_cycle *= factor;
+            }
+        }
+        self.name = format!("{}+{}x{factor:.2}", self.name, unit);
+        self
+    }
+
+    /// Returns a copy with a different core clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frequency_hz` is not strictly positive.
+    #[must_use]
+    pub fn with_frequency(mut self, frequency_hz: f64) -> Self {
+        assert!(frequency_hz > 0.0, "frequency must be positive");
+        self.frequency_hz = frequency_hz;
+        self
+    }
+
+    /// Convert a cycle count into seconds at this chip's clock.
+    #[must_use]
+    pub fn cycles_to_secs(&self, cycles: f64) -> f64 {
+        cycles / self.frequency_hz
+    }
+
+    /// Convert a cycle count into microseconds at this chip's clock.
+    #[must_use]
+    pub fn cycles_to_micros(&self, cycles: f64) -> f64 {
+        self.cycles_to_secs(cycles) * 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_chips_cover_all_nine_precision_units() {
+        for chip in [ChipSpec::training(), ChipSpec::inference()] {
+            for unit in ComputeUnit::ALL {
+                for &p in unit.precisions() {
+                    assert!(
+                        chip.peak_ops_per_cycle(unit, p).is_ok(),
+                        "{} must define {unit}/{p}",
+                        chip.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn both_chips_cover_all_paths_and_buffers() {
+        for chip in [ChipSpec::training(), ChipSpec::inference()] {
+            for path in TransferPath::ALL {
+                assert!(chip.transfer(path).is_ok());
+            }
+            for buffer in Buffer::ALL {
+                assert!(chip.capacity(buffer).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn int8_cube_is_twice_fp16_cube() {
+        for chip in [ChipSpec::training(), ChipSpec::inference()] {
+            let int8 = chip.peak_ops_per_cycle(ComputeUnit::Cube, Precision::Int8).unwrap();
+            let fp16 = chip.peak_ops_per_cycle(ComputeUnit::Cube, Precision::Fp16).unwrap();
+            assert_eq!(int8, 2.0 * fp16);
+        }
+    }
+
+    #[test]
+    fn l1_feeds_are_asymmetric() {
+        let chip = ChipSpec::training();
+        let a = chip.transfer(TransferPath::L1ToL0A).unwrap().bytes_per_cycle;
+        let b = chip.transfer(TransferPath::L1ToL0B).unwrap().bytes_per_cycle;
+        assert!(a > b, "L1->L0A must be faster than L1->L0B");
+    }
+
+    #[test]
+    fn inference_chip_is_strictly_slower_on_cube_and_gm() {
+        let t = ChipSpec::training();
+        let i = ChipSpec::inference();
+        assert!(
+            i.peak_ops_per_sec(ComputeUnit::Cube, Precision::Fp16).unwrap()
+                < t.peak_ops_per_sec(ComputeUnit::Cube, Precision::Fp16).unwrap()
+        );
+        let tb = t.transfer(TransferPath::GmToUb).unwrap().bytes_per_cycle * t.frequency_hz;
+        let ib = i.transfer(TransferPath::GmToUb).unwrap().bytes_per_cycle * i.frequency_hz;
+        assert!(ib < tb);
+    }
+
+    #[test]
+    fn unsupported_precision_is_an_error() {
+        let chip = ChipSpec::training();
+        assert_eq!(
+            chip.peak_ops_per_cycle(ComputeUnit::Cube, Precision::Fp64),
+            Err(ArchError::UnsupportedPrecision {
+                unit: ComputeUnit::Cube,
+                precision: Precision::Fp64
+            })
+        );
+    }
+
+    #[test]
+    fn transfer_efficiency_saturates_with_granularity() {
+        let chip = ChipSpec::training();
+        let spec = chip.transfer(TransferPath::UbToGm).unwrap();
+        let small = spec.efficiency(1 << 10);
+        let medium = spec.efficiency(30 << 10);
+        let large = spec.efficiency(1 << 20);
+        assert!(small < medium && medium < large);
+        assert!(large > 0.9, "1 MiB transfers should run near peak, got {large}");
+        assert!(medium < 0.82, "30 KiB is 'far below the threshold' (Section 5.2)");
+    }
+
+    #[test]
+    fn transfer_cycles_are_monotone_in_bytes() {
+        let chip = ChipSpec::training();
+        for path in TransferPath::ALL {
+            let spec = chip.transfer(path).unwrap();
+            assert!(spec.cycles(0) < spec.cycles(1024));
+            assert!(spec.cycles(1024) < spec.cycles(4096));
+        }
+    }
+
+    #[test]
+    fn time_conversions() {
+        let chip = ChipSpec::training();
+        let secs = chip.cycles_to_secs(chip.frequency_hz);
+        assert!((secs - 1.0).abs() < 1e-12);
+        assert!((chip.cycles_to_micros(1500.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let chip = ChipSpec::training();
+        let json = serde_json::to_string(&chip).unwrap();
+        let back: ChipSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(chip, back);
+    }
+
+    #[test]
+    fn mte_bandwidth_scaling_targets_one_engine() {
+        use crate::MteEngine;
+        let base = ChipSpec::training();
+        let scaled = base.clone().with_mte_bandwidth_scale(MteEngine::Gm, 2.0);
+        let before = base.transfer(TransferPath::GmToUb).unwrap().bytes_per_cycle;
+        let after = scaled.transfer(TransferPath::GmToUb).unwrap().bytes_per_cycle;
+        assert_eq!(after, 2.0 * before);
+        // Other engines untouched.
+        assert_eq!(
+            base.transfer(TransferPath::UbToGm).unwrap().bytes_per_cycle,
+            scaled.transfer(TransferPath::UbToGm).unwrap().bytes_per_cycle
+        );
+        assert_ne!(base.name(), scaled.name());
+    }
+
+    #[test]
+    fn compute_scaling_targets_one_unit() {
+        let base = ChipSpec::training();
+        let scaled = base.clone().with_compute_scale(ComputeUnit::Vector, 4.0);
+        assert_eq!(
+            scaled.peak_ops_per_cycle(ComputeUnit::Vector, Precision::Fp16).unwrap(),
+            4.0 * base.peak_ops_per_cycle(ComputeUnit::Vector, Precision::Fp16).unwrap()
+        );
+        assert_eq!(
+            scaled.peak_ops_per_cycle(ComputeUnit::Cube, Precision::Fp16).unwrap(),
+            base.peak_ops_per_cycle(ComputeUnit::Cube, Precision::Fp16).unwrap()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth scale must be positive")]
+    fn zero_bandwidth_scale_panics() {
+        let _ = ChipSpec::training().with_mte_bandwidth_scale(crate::MteEngine::Gm, 0.0);
+    }
+
+    #[test]
+    fn frequency_override() {
+        let chip = ChipSpec::training().with_frequency(3.0e9);
+        assert!((chip.cycles_to_secs(3.0e9) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,210 @@
+//! The paper's central abstraction: the *component*.
+
+use crate::{ComputeUnit, MteEngine};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether a component computes or moves data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ComponentKind {
+    /// A compute unit (Scalar, Vector, Cube).
+    Compute,
+    /// A memory transfer engine (MTE-GM, MTE-L1, MTE-UB).
+    Memory,
+}
+
+/// A *component*: a hardware unit with its own instruction queue.
+///
+/// Instructions within one component execute **serially**; instructions on
+/// different components execute **in parallel** (paper, Section 3.1). Each
+/// component corresponds to a physical instruction queue: the three compute
+/// units and the three MTE engines.
+///
+/// # Examples
+///
+/// ```
+/// use ascend_arch::{Component, ComponentKind};
+/// assert_eq!(Component::ALL.len(), 6);
+/// assert_eq!(Component::Cube.kind(), ComponentKind::Compute);
+/// assert_eq!(Component::MteGm.kind(), ComponentKind::Memory);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Component {
+    /// The Scalar compute unit's queue.
+    Scalar,
+    /// The Vector compute unit's queue.
+    Vector,
+    /// The Cube compute unit's queue.
+    Cube,
+    /// The MTE scheduling transfers out of global memory.
+    MteGm,
+    /// The MTE scheduling transfers out of the L1 Buffer.
+    MteL1,
+    /// The MTE scheduling transfers out of the Unified Buffer.
+    MteUb,
+}
+
+impl Component {
+    /// All six components.
+    pub const ALL: [Component; 6] = [
+        Component::Scalar,
+        Component::Vector,
+        Component::Cube,
+        Component::MteGm,
+        Component::MteL1,
+        Component::MteUb,
+    ];
+
+    /// The compute components.
+    pub const COMPUTE: [Component; 3] = [Component::Scalar, Component::Vector, Component::Cube];
+
+    /// The memory (MTE) components.
+    pub const MEMORY: [Component; 3] = [Component::MteGm, Component::MteL1, Component::MteUb];
+
+    /// Maps a compute unit to its component.
+    #[must_use]
+    pub const fn from_unit(unit: ComputeUnit) -> Component {
+        match unit {
+            ComputeUnit::Scalar => Component::Scalar,
+            ComputeUnit::Vector => Component::Vector,
+            ComputeUnit::Cube => Component::Cube,
+        }
+    }
+
+    /// Maps an MTE engine to its component.
+    #[must_use]
+    pub const fn from_mte(engine: MteEngine) -> Component {
+        engine.component()
+    }
+
+    /// The compute unit behind this component, if it is a compute component.
+    #[must_use]
+    pub const fn as_unit(self) -> Option<ComputeUnit> {
+        match self {
+            Component::Scalar => Some(ComputeUnit::Scalar),
+            Component::Vector => Some(ComputeUnit::Vector),
+            Component::Cube => Some(ComputeUnit::Cube),
+            _ => None,
+        }
+    }
+
+    /// The MTE engine behind this component, if it is a memory component.
+    #[must_use]
+    pub const fn as_mte(self) -> Option<MteEngine> {
+        match self {
+            Component::MteGm => Some(MteEngine::Gm),
+            Component::MteL1 => Some(MteEngine::L1),
+            Component::MteUb => Some(MteEngine::Ub),
+            _ => None,
+        }
+    }
+
+    /// Compute vs. memory.
+    #[must_use]
+    pub const fn kind(self) -> ComponentKind {
+        match self {
+            Component::Scalar | Component::Vector | Component::Cube => ComponentKind::Compute,
+            Component::MteGm | Component::MteL1 | Component::MteUb => ComponentKind::Memory,
+        }
+    }
+
+    /// Stable index in `0..6`, usable for dense per-component tables.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            Component::Scalar => 0,
+            Component::Vector => 1,
+            Component::Cube => 2,
+            Component::MteGm => 3,
+            Component::MteL1 => 4,
+            Component::MteUb => 5,
+        }
+    }
+
+    /// Short lowercase name, e.g. `"mte-gm"`.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Component::Scalar => "scalar",
+            Component::Vector => "vector",
+            Component::Cube => "cube",
+            Component::MteGm => "mte-gm",
+            Component::MteL1 => "mte-l1",
+            Component::MteUb => "mte-ub",
+        }
+    }
+
+    /// Whether a compute unit can meaningfully be paired with a memory
+    /// component in the roofline analysis (paper, Section 4.3).
+    ///
+    /// `(MTE-L1, Vector)` and `(MTE-L1, Scalar)` are impossible: the L1
+    /// Buffer only feeds the Cube's L0 buffers on this chip.
+    #[must_use]
+    pub const fn pairs_with(self, unit: ComputeUnit) -> bool {
+        match self {
+            Component::MteL1 => matches!(unit, ComputeUnit::Cube),
+            Component::MteGm | Component::MteUb => true,
+            // A compute component does not pair with compute units.
+            Component::Scalar | Component::Vector | Component::Cube => false,
+        }
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_components_three_and_three() {
+        assert_eq!(Component::ALL.len(), 6);
+        assert_eq!(Component::COMPUTE.len(), 3);
+        assert_eq!(Component::MEMORY.len(), 3);
+        for c in Component::COMPUTE {
+            assert_eq!(c.kind(), ComponentKind::Compute);
+            assert!(c.as_unit().is_some());
+            assert!(c.as_mte().is_none());
+        }
+        for c in Component::MEMORY {
+            assert_eq!(c.kind(), ComponentKind::Memory);
+            assert!(c.as_mte().is_some());
+            assert!(c.as_unit().is_none());
+        }
+    }
+
+    #[test]
+    fn indices_are_a_permutation() {
+        let mut idx: Vec<usize> = Component::ALL.iter().map(|c| c.index()).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn pruned_pairs_match_section_4_3() {
+        // 3 MTEs x 3 units = 9 candidate pairs; 2 are impossible -> 7.
+        let valid: usize = Component::MEMORY
+            .iter()
+            .flat_map(|m| ComputeUnit::ALL.iter().map(move |u| (m, u)))
+            .filter(|(m, u)| m.pairs_with(**u))
+            .count();
+        assert_eq!(valid, 7, "Section 4.3 prunes 180 combinations down to 7");
+        assert!(!Component::MteL1.pairs_with(ComputeUnit::Vector));
+        assert!(!Component::MteL1.pairs_with(ComputeUnit::Scalar));
+        assert!(Component::MteL1.pairs_with(ComputeUnit::Cube));
+    }
+
+    #[test]
+    fn unit_round_trip() {
+        for unit in ComputeUnit::ALL {
+            assert_eq!(Component::from_unit(unit).as_unit(), Some(unit));
+        }
+        for engine in MteEngine::ALL {
+            assert_eq!(Component::from_mte(engine).as_mte(), Some(engine));
+        }
+    }
+}

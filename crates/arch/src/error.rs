@@ -1,0 +1,61 @@
+//! Error type for architectural queries.
+
+use crate::{Buffer, ComputeUnit, Precision, TransferPath};
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`ChipSpec`](crate::ChipSpec) queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchError {
+    /// The compute unit does not support the requested precision.
+    UnsupportedPrecision {
+        /// The unit queried.
+        unit: ComputeUnit,
+        /// The precision that is not available on `unit`.
+        precision: Precision,
+    },
+    /// The chip specification has no entry for the transfer path.
+    UnknownPath {
+        /// The path queried.
+        path: TransferPath,
+    },
+    /// The chip specification has no capacity entry for the buffer.
+    UnknownBuffer {
+        /// The buffer queried.
+        buffer: Buffer,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::UnsupportedPrecision { unit, precision } => {
+                write!(f, "compute unit {unit} does not support precision {precision}")
+            }
+            ArchError::UnknownPath { path } => {
+                write!(f, "chip specification has no entry for transfer path {path}")
+            }
+            ArchError::UnknownBuffer { buffer } => {
+                write!(f, "chip specification has no capacity entry for buffer {buffer}")
+            }
+        }
+    }
+}
+
+impl Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let err = ArchError::UnsupportedPrecision {
+            unit: ComputeUnit::Cube,
+            precision: Precision::Fp64,
+        };
+        let msg = err.to_string();
+        assert!(msg.starts_with("compute unit"));
+        assert!(!msg.ends_with('.'));
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! Architectural model of the Huawei Ascend AICore.
+//!
+//! This crate describes the *static* hardware structure used throughout the
+//! reproduction of "Squeezing Operator Performance Potential for the Ascend
+//! Architecture" (ASPLOS 2025):
+//!
+//! - [`Precision`] — numeric precisions supported by the compute units;
+//! - [`ComputeUnit`] — the Scalar, Vector, and Cube units;
+//! - [`Buffer`] — the on-chip memory buffers (GM, L1, UB, L0A/B/C);
+//! - [`TransferPath`] — the 20 data-transfer paths between buffers;
+//! - [`Component`] — the paper's component abstraction (3 compute units +
+//!   3 memory-transfer engines), the granularity at which instructions
+//!   execute serially;
+//! - [`ChipSpec`] — concrete peak rates for a training and an inference
+//!   chip.
+//!
+//! # Examples
+//!
+//! ```
+//! use ascend_arch::{ChipSpec, Component, ComputeUnit, Precision};
+//!
+//! let chip = ChipSpec::training();
+//! // Cube INT8 peak throughput is twice the FP16 peak (paper, Section 2.3).
+//! let int8 = chip.peak_ops_per_cycle(ComputeUnit::Cube, Precision::Int8).unwrap();
+//! let fp16 = chip.peak_ops_per_cycle(ComputeUnit::Cube, Precision::Fp16).unwrap();
+//! assert_eq!(int8, 2.0 * fp16);
+//! assert_eq!(Component::ALL.len(), 6);
+//! ```
+
+mod chip;
+mod component;
+mod error;
+mod memory;
+mod precision;
+mod transfer;
+mod unit;
+
+pub use chip::{ChipKind, ChipSpec, TransferSpec};
+pub use component::{Component, ComponentKind};
+pub use error::ArchError;
+pub use memory::{Buffer, MemLevel};
+pub use precision::Precision;
+pub use transfer::{MteEngine, TransferClass, TransferPath};
+pub use unit::ComputeUnit;

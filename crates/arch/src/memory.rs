@@ -1,0 +1,121 @@
+//! On-chip memory buffers and the memory hierarchy.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A level of the Ascend memory hierarchy (paper, Section 2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MemLevel {
+    /// Global memory — off-core HBM/DDR.
+    Global,
+    /// The L1 level: the L1 Buffer (Cube side) and the Unified Buffer.
+    L1,
+    /// The L0 level: L0A/L0B/L0C feeding the Cube directly.
+    L0,
+}
+
+/// One of the AICore's memory buffers.
+///
+/// Unlike a GPU's cache hierarchy, these buffers are explicitly managed by
+/// the kernel author: the L1 Buffer stages Cube inputs, the Unified Buffer
+/// (UB) is shared scratch for Vector/Scalar, and L0A/L0B/L0C hold the two
+/// inputs and the output of a Cube matrix multiply.
+///
+/// # Examples
+///
+/// ```
+/// use ascend_arch::{Buffer, MemLevel};
+/// assert_eq!(Buffer::L0A.level(), MemLevel::L0);
+/// assert!(Buffer::Gm.is_global());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Buffer {
+    /// Global memory.
+    Gm,
+    /// L1 Buffer (stages Cube inputs).
+    L1,
+    /// Unified Buffer (Vector/Scalar scratch).
+    Ub,
+    /// L0A Buffer (left matrix input of the Cube).
+    L0A,
+    /// L0B Buffer (right matrix input of the Cube).
+    L0B,
+    /// L0C Buffer (Cube output accumulator).
+    L0C,
+}
+
+impl Buffer {
+    /// All buffers.
+    pub const ALL: [Buffer; 6] = [
+        Buffer::Gm,
+        Buffer::L1,
+        Buffer::Ub,
+        Buffer::L0A,
+        Buffer::L0B,
+        Buffer::L0C,
+    ];
+
+    /// The hierarchy level this buffer belongs to.
+    #[must_use]
+    pub const fn level(self) -> MemLevel {
+        match self {
+            Buffer::Gm => MemLevel::Global,
+            Buffer::L1 | Buffer::Ub => MemLevel::L1,
+            Buffer::L0A | Buffer::L0B | Buffer::L0C => MemLevel::L0,
+        }
+    }
+
+    /// Whether this is global memory (practically unbounded for kernels).
+    #[must_use]
+    pub const fn is_global(self) -> bool {
+        matches!(self, Buffer::Gm)
+    }
+
+    /// Short lowercase name, e.g. `"l0a"`.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Buffer::Gm => "gm",
+            Buffer::L1 => "l1",
+            Buffer::Ub => "ub",
+            Buffer::L0A => "l0a",
+            Buffer::L0B => "l0b",
+            Buffer::L0C => "l0c",
+        }
+    }
+}
+
+impl fmt::Display for Buffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_assignment_matches_figure_1() {
+        assert_eq!(Buffer::Gm.level(), MemLevel::Global);
+        assert_eq!(Buffer::L1.level(), MemLevel::L1);
+        assert_eq!(Buffer::Ub.level(), MemLevel::L1);
+        for b in [Buffer::L0A, Buffer::L0B, Buffer::L0C] {
+            assert_eq!(b.level(), MemLevel::L0);
+        }
+    }
+
+    #[test]
+    fn only_gm_is_global() {
+        let globals: Vec<Buffer> = Buffer::ALL.into_iter().filter(|b| b.is_global()).collect();
+        assert_eq!(globals, vec![Buffer::Gm]);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Buffer::ALL.iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Buffer::ALL.len());
+    }
+}

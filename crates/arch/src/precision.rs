@@ -1,0 +1,120 @@
+//! Numeric precisions supported by the Ascend compute units.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A numeric precision of a compute instruction.
+///
+/// The paper's training chip exposes INT8/FP16 on the Cube unit,
+/// INT32/FP16/FP32 on the Vector unit, and INT32/FP16/FP32/FP64 on the
+/// Scalar unit, for a total of nine precision-compute units (Section 2.1).
+///
+/// # Examples
+///
+/// ```
+/// use ascend_arch::Precision;
+/// assert_eq!(Precision::Fp16.bytes(), 2);
+/// assert!(Precision::Int8 < Precision::Fp64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// 8-bit signed integer (Cube only).
+    Int8,
+    /// 16-bit IEEE floating point.
+    Fp16,
+    /// 32-bit signed integer (Vector and Scalar).
+    Int32,
+    /// 32-bit IEEE floating point.
+    Fp32,
+    /// 64-bit IEEE floating point (Scalar only).
+    Fp64,
+}
+
+impl Precision {
+    /// All precisions, ordered by element width.
+    pub const ALL: [Precision; 5] = [
+        Precision::Int8,
+        Precision::Fp16,
+        Precision::Int32,
+        Precision::Fp32,
+        Precision::Fp64,
+    ];
+
+    /// Size of one element in bytes.
+    ///
+    /// ```
+    /// # use ascend_arch::Precision;
+    /// assert_eq!(Precision::Fp64.bytes(), 8);
+    /// ```
+    #[must_use]
+    pub const fn bytes(self) -> u64 {
+        match self {
+            Precision::Int8 => 1,
+            Precision::Fp16 => 2,
+            Precision::Int32 | Precision::Fp32 => 4,
+            Precision::Fp64 => 8,
+        }
+    }
+
+    /// Whether this is an integer precision.
+    #[must_use]
+    pub const fn is_integer(self) -> bool {
+        matches!(self, Precision::Int8 | Precision::Int32)
+    }
+
+    /// Short lowercase mnemonic, e.g. `"fp16"`.
+    #[must_use]
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            Precision::Int8 => "int8",
+            Precision::Fp16 => "fp16",
+            Precision::Int32 => "int32",
+            Precision::Fp32 => "fp32",
+            Precision::Fp64 => "fp64",
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_are_monotone_in_declared_order_except_int32_fp32_tie() {
+        let widths: Vec<u64> = Precision::ALL.iter().map(|p| p.bytes()).collect();
+        for pair in widths.windows(2) {
+            assert!(pair[0] <= pair[1], "widths must be non-decreasing: {widths:?}");
+        }
+    }
+
+    #[test]
+    fn display_matches_mnemonic() {
+        for p in Precision::ALL {
+            assert_eq!(p.to_string(), p.mnemonic());
+        }
+    }
+
+    #[test]
+    fn integer_classification() {
+        assert!(Precision::Int8.is_integer());
+        assert!(Precision::Int32.is_integer());
+        assert!(!Precision::Fp16.is_integer());
+        assert!(!Precision::Fp32.is_integer());
+        assert!(!Precision::Fp64.is_integer());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for p in Precision::ALL {
+            let json = serde_json::to_string(&p).unwrap();
+            let back: Precision = serde_json::from_str(&json).unwrap();
+            assert_eq!(p, back);
+        }
+    }
+}

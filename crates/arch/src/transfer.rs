@@ -1,0 +1,361 @@
+//! Data-transfer paths between buffers and the memory transfer engines.
+
+use crate::{Buffer, Component, ComputeUnit};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the three Memory Transfer Engines (paper, Section 2.1).
+///
+/// Transfers controlled by the same MTE execute *serially*; transfers on
+/// different MTEs run in parallel. Each MTE owns the outbound transfers of
+/// one buffer: MTE-GM moves data out of global memory, MTE-L1 out of the
+/// L1 Buffer, and MTE-UB out of the Unified Buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MteEngine {
+    /// Controls `GM -> {L1, L0A, L0B, UB}`.
+    Gm,
+    /// Controls `L1 -> {L0A, L0B, UB}`.
+    L1,
+    /// Controls `UB -> {GM, L1}`.
+    Ub,
+}
+
+impl MteEngine {
+    /// All MTE engines.
+    pub const ALL: [MteEngine; 3] = [MteEngine::Gm, MteEngine::L1, MteEngine::Ub];
+
+    /// The buffer whose outbound transfers this engine schedules.
+    #[must_use]
+    pub const fn source_buffer(self) -> Buffer {
+        match self {
+            MteEngine::Gm => Buffer::Gm,
+            MteEngine::L1 => Buffer::L1,
+            MteEngine::Ub => Buffer::Ub,
+        }
+    }
+
+    /// The [`Component`] this engine corresponds to.
+    #[must_use]
+    pub const fn component(self) -> Component {
+        match self {
+            MteEngine::Gm => Component::MteGm,
+            MteEngine::L1 => Component::MteL1,
+            MteEngine::Ub => Component::MteUb,
+        }
+    }
+
+    /// Short lowercase name, e.g. `"mte-gm"`.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            MteEngine::Gm => "mte-gm",
+            MteEngine::L1 => "mte-l1",
+            MteEngine::Ub => "mte-ub",
+        }
+    }
+}
+
+impl fmt::Display for MteEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a transfer path is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransferClass {
+    /// Scheduled by an MTE engine; contends with sibling transfers.
+    Mte(MteEngine),
+    /// A fixed-function path directly feeding or draining a compute unit
+    /// (e.g. `L0A -> Cube`). These are inevitable and pruned from the
+    /// roofline analysis (paper, Section 4.3).
+    Direct(ComputeUnit),
+}
+
+/// A directed data-transfer path between two locations of the AICore.
+///
+/// The paper counts 20 transfers on the chip of Figure 1: nine scheduled by
+/// the three MTE engines, plus eleven fixed-function paths that connect the
+/// L0 buffers and the UB to the compute units.
+///
+/// # Examples
+///
+/// ```
+/// use ascend_arch::{MteEngine, TransferClass, TransferPath};
+/// assert_eq!(TransferPath::ALL.len(), 20);
+/// assert_eq!(TransferPath::mte_paths().count(), 9);
+/// assert_eq!(
+///     TransferPath::GmToL1.class(),
+///     TransferClass::Mte(MteEngine::Gm)
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TransferPath {
+    // --- MTE-GM ---------------------------------------------------------
+    /// `GM -> L1` (staging Cube inputs).
+    GmToL1,
+    /// `GM -> L0A` (cross-layer: bypasses L1 for the left matrix).
+    GmToL0A,
+    /// `GM -> L0B` (cross-layer: bypasses L1 for the right matrix).
+    GmToL0B,
+    /// `GM -> UB` (feeding Vector/Scalar data).
+    GmToUb,
+    // --- MTE-L1 ---------------------------------------------------------
+    /// `L1 -> L0A` (high-bandwidth left-matrix feed).
+    L1ToL0A,
+    /// `L1 -> L0B` (lower-bandwidth right-matrix feed).
+    L1ToL0B,
+    /// `L1 -> UB`.
+    L1ToUb,
+    // --- MTE-UB ---------------------------------------------------------
+    /// `UB -> GM` (writing results out).
+    UbToGm,
+    /// `UB -> L1`.
+    UbToL1,
+    // --- direct, fixed-function paths ------------------------------------
+    /// `L0A -> Cube` input port.
+    L0AToCube,
+    /// `L0B -> Cube` input port.
+    L0BToCube,
+    /// `Cube -> L0C` accumulator write.
+    CubeToL0C,
+    /// `L0C -> Vector` (e.g. fused activation after MatMul).
+    L0CToVector,
+    /// `Vector -> L0C`.
+    VectorToL0C,
+    /// `UB -> Vector` operand read.
+    UbToVector,
+    /// `Vector -> UB` result write.
+    VectorToUb,
+    /// `UB -> Scalar` operand read.
+    UbToScalar,
+    /// `Scalar -> UB` result write.
+    ScalarToUb,
+    /// `L0C -> UB` drain implemented through the Vector unit.
+    L0CToUb,
+    /// `UB -> L0C` fill implemented through the Vector unit.
+    UbToL0C,
+}
+
+impl TransferPath {
+    /// All 20 transfer paths of the modelled chip.
+    pub const ALL: [TransferPath; 20] = [
+        TransferPath::GmToL1,
+        TransferPath::GmToL0A,
+        TransferPath::GmToL0B,
+        TransferPath::GmToUb,
+        TransferPath::L1ToL0A,
+        TransferPath::L1ToL0B,
+        TransferPath::L1ToUb,
+        TransferPath::UbToGm,
+        TransferPath::UbToL1,
+        TransferPath::L0AToCube,
+        TransferPath::L0BToCube,
+        TransferPath::CubeToL0C,
+        TransferPath::L0CToVector,
+        TransferPath::VectorToL0C,
+        TransferPath::UbToVector,
+        TransferPath::VectorToUb,
+        TransferPath::UbToScalar,
+        TransferPath::ScalarToUb,
+        TransferPath::L0CToUb,
+        TransferPath::UbToL0C,
+    ];
+
+    /// The source buffer of the transfer (compute-unit endpoints map to the
+    /// buffer they read from or write to).
+    #[must_use]
+    pub const fn src(self) -> Buffer {
+        match self {
+            TransferPath::GmToL1
+            | TransferPath::GmToL0A
+            | TransferPath::GmToL0B
+            | TransferPath::GmToUb => Buffer::Gm,
+            TransferPath::L1ToL0A | TransferPath::L1ToL0B | TransferPath::L1ToUb => Buffer::L1,
+            TransferPath::UbToGm
+            | TransferPath::UbToL1
+            | TransferPath::UbToVector
+            | TransferPath::UbToScalar
+            | TransferPath::UbToL0C => Buffer::Ub,
+            TransferPath::L0AToCube => Buffer::L0A,
+            TransferPath::L0BToCube => Buffer::L0B,
+            TransferPath::CubeToL0C => Buffer::L0C,
+            TransferPath::L0CToVector | TransferPath::L0CToUb => Buffer::L0C,
+            TransferPath::VectorToL0C | TransferPath::VectorToUb | TransferPath::ScalarToUb => {
+                Buffer::Ub
+            }
+        }
+    }
+
+    /// The destination buffer of the transfer.
+    #[must_use]
+    pub const fn dst(self) -> Buffer {
+        match self {
+            TransferPath::GmToL1 | TransferPath::UbToL1 => Buffer::L1,
+            TransferPath::GmToL0A | TransferPath::L1ToL0A => Buffer::L0A,
+            TransferPath::GmToL0B | TransferPath::L1ToL0B => Buffer::L0B,
+            TransferPath::GmToUb
+            | TransferPath::L1ToUb
+            | TransferPath::VectorToUb
+            | TransferPath::ScalarToUb
+            | TransferPath::L0CToUb => Buffer::Ub,
+            TransferPath::UbToGm => Buffer::Gm,
+            TransferPath::L0AToCube | TransferPath::L0BToCube => Buffer::L0C,
+            TransferPath::CubeToL0C | TransferPath::VectorToL0C | TransferPath::UbToL0C => {
+                Buffer::L0C
+            }
+            TransferPath::L0CToVector | TransferPath::UbToVector | TransferPath::UbToScalar => {
+                Buffer::Ub
+            }
+        }
+    }
+
+    /// How this path is scheduled: by an MTE engine, or as a fixed-function
+    /// port of a compute unit.
+    #[must_use]
+    pub const fn class(self) -> TransferClass {
+        match self {
+            TransferPath::GmToL1
+            | TransferPath::GmToL0A
+            | TransferPath::GmToL0B
+            | TransferPath::GmToUb => TransferClass::Mte(MteEngine::Gm),
+            TransferPath::L1ToL0A | TransferPath::L1ToL0B | TransferPath::L1ToUb => {
+                TransferClass::Mte(MteEngine::L1)
+            }
+            TransferPath::UbToGm | TransferPath::UbToL1 => TransferClass::Mte(MteEngine::Ub),
+            TransferPath::L0AToCube | TransferPath::L0BToCube | TransferPath::CubeToL0C => {
+                TransferClass::Direct(ComputeUnit::Cube)
+            }
+            TransferPath::L0CToVector
+            | TransferPath::VectorToL0C
+            | TransferPath::UbToVector
+            | TransferPath::VectorToUb
+            | TransferPath::L0CToUb
+            | TransferPath::UbToL0C => TransferClass::Direct(ComputeUnit::Vector),
+            TransferPath::UbToScalar | TransferPath::ScalarToUb => {
+                TransferClass::Direct(ComputeUnit::Scalar)
+            }
+        }
+    }
+
+    /// The MTE engine scheduling this path, if any.
+    #[must_use]
+    pub const fn mte(self) -> Option<MteEngine> {
+        match self.class() {
+            TransferClass::Mte(engine) => Some(engine),
+            TransferClass::Direct(_) => None,
+        }
+    }
+
+    /// The [`Component`] whose instruction queue executes this transfer.
+    ///
+    /// MTE paths execute on their engine's queue; direct paths are folded
+    /// into the attached compute unit.
+    #[must_use]
+    pub const fn component(self) -> Component {
+        match self.class() {
+            TransferClass::Mte(engine) => engine.component(),
+            TransferClass::Direct(unit) => Component::from_unit(unit),
+        }
+    }
+
+    /// Iterator over the nine MTE-scheduled paths.
+    pub fn mte_paths() -> impl Iterator<Item = TransferPath> {
+        TransferPath::ALL.into_iter().filter(|p| p.mte().is_some())
+    }
+
+    /// Iterator over the MTE paths of one engine.
+    pub fn paths_of(engine: MteEngine) -> impl Iterator<Item = TransferPath> {
+        TransferPath::ALL
+            .into_iter()
+            .filter(move |p| p.mte() == Some(engine))
+    }
+
+    /// Short lowercase name, e.g. `"gm->l1"`.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            TransferPath::GmToL1 => "gm->l1",
+            TransferPath::GmToL0A => "gm->l0a",
+            TransferPath::GmToL0B => "gm->l0b",
+            TransferPath::GmToUb => "gm->ub",
+            TransferPath::L1ToL0A => "l1->l0a",
+            TransferPath::L1ToL0B => "l1->l0b",
+            TransferPath::L1ToUb => "l1->ub",
+            TransferPath::UbToGm => "ub->gm",
+            TransferPath::UbToL1 => "ub->l1",
+            TransferPath::L0AToCube => "l0a->cube",
+            TransferPath::L0BToCube => "l0b->cube",
+            TransferPath::CubeToL0C => "cube->l0c",
+            TransferPath::L0CToVector => "l0c->vector",
+            TransferPath::VectorToL0C => "vector->l0c",
+            TransferPath::UbToVector => "ub->vector",
+            TransferPath::VectorToUb => "vector->ub",
+            TransferPath::UbToScalar => "ub->scalar",
+            TransferPath::ScalarToUb => "scalar->ub",
+            TransferPath::L0CToUb => "l0c->ub",
+            TransferPath::UbToL0C => "ub->l0c",
+        }
+    }
+}
+
+impl fmt::Display for TransferPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_paths_total() {
+        assert_eq!(TransferPath::ALL.len(), 20);
+    }
+
+    #[test]
+    fn nine_mte_paths_split_4_3_2() {
+        assert_eq!(TransferPath::paths_of(MteEngine::Gm).count(), 4);
+        assert_eq!(TransferPath::paths_of(MteEngine::L1).count(), 3);
+        assert_eq!(TransferPath::paths_of(MteEngine::Ub).count(), 2);
+        assert_eq!(TransferPath::mte_paths().count(), 9);
+    }
+
+    #[test]
+    fn mte_paths_originate_from_engine_source_buffer() {
+        for engine in MteEngine::ALL {
+            for path in TransferPath::paths_of(engine) {
+                assert_eq!(
+                    path.src(),
+                    engine.source_buffer(),
+                    "{path} must read from {engine}'s source buffer"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn direct_paths_are_eleven() {
+        let direct = TransferPath::ALL
+            .into_iter()
+            .filter(|p| p.mte().is_none())
+            .count();
+        assert_eq!(direct, 11);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = TransferPath::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), TransferPath::ALL.len());
+    }
+
+    #[test]
+    fn cross_layer_paths_exist() {
+        // Section 2.1: data can bypass L1 and go straight into L0A/L0B.
+        assert_eq!(TransferPath::GmToL0A.mte(), Some(MteEngine::Gm));
+        assert_eq!(TransferPath::GmToL0B.mte(), Some(MteEngine::Gm));
+    }
+}

@@ -1,0 +1,112 @@
+//! The three dedicated compute units of the AICore.
+
+use crate::Precision;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the AICore's three compute units (paper, Section 2.1).
+///
+/// - [`ComputeUnit::Scalar`] behaves like a small CPU core and handles
+///   control flow and logic;
+/// - [`ComputeUnit::Vector`] is a SIMD engine for element-wise math
+///   (normalisation, softmax, pooling, activations);
+/// - [`ComputeUnit::Cube`] accelerates matrix multiply-accumulate.
+///
+/// # Examples
+///
+/// ```
+/// use ascend_arch::{ComputeUnit, Precision};
+/// assert!(ComputeUnit::Cube.supports(Precision::Int8));
+/// assert!(!ComputeUnit::Vector.supports(Precision::Int8));
+/// // 4 + 3 + 2 = 9 precision-compute units in total.
+/// let total: usize = ComputeUnit::ALL.iter().map(|u| u.precisions().len()).sum();
+/// assert_eq!(total, 9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ComputeUnit {
+    /// Control and logic unit (INT32/FP16/FP32/FP64).
+    Scalar,
+    /// SIMD vector unit (INT32/FP16/FP32).
+    Vector,
+    /// Matrix multiply-accumulate unit (INT8/FP16).
+    Cube,
+}
+
+impl ComputeUnit {
+    /// All compute units, from least to most arithmetic throughput.
+    pub const ALL: [ComputeUnit; 3] = [ComputeUnit::Scalar, ComputeUnit::Vector, ComputeUnit::Cube];
+
+    /// The precisions this unit can execute, per the paper's training chip.
+    #[must_use]
+    pub const fn precisions(self) -> &'static [Precision] {
+        match self {
+            ComputeUnit::Scalar => &[
+                Precision::Int32,
+                Precision::Fp16,
+                Precision::Fp32,
+                Precision::Fp64,
+            ],
+            ComputeUnit::Vector => &[Precision::Int32, Precision::Fp16, Precision::Fp32],
+            ComputeUnit::Cube => &[Precision::Int8, Precision::Fp16],
+        }
+    }
+
+    /// Whether `precision` can execute on this unit.
+    #[must_use]
+    pub fn supports(self, precision: Precision) -> bool {
+        self.precisions().contains(&precision)
+    }
+
+    /// Short lowercase name, e.g. `"cube"`.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            ComputeUnit::Scalar => "scalar",
+            ComputeUnit::Vector => "vector",
+            ComputeUnit::Cube => "cube",
+        }
+    }
+}
+
+impl fmt::Display for ComputeUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_precision_compute_units() {
+        let total: usize = ComputeUnit::ALL.iter().map(|u| u.precisions().len()).sum();
+        assert_eq!(total, 9, "the paper counts 9 precision-compute units");
+    }
+
+    #[test]
+    fn cube_is_low_precision_only() {
+        assert!(ComputeUnit::Cube.supports(Precision::Int8));
+        assert!(ComputeUnit::Cube.supports(Precision::Fp16));
+        assert!(!ComputeUnit::Cube.supports(Precision::Fp32));
+        assert!(!ComputeUnit::Cube.supports(Precision::Fp64));
+    }
+
+    #[test]
+    fn scalar_supports_fp64_exclusively() {
+        assert!(ComputeUnit::Scalar.supports(Precision::Fp64));
+        assert!(!ComputeUnit::Vector.supports(Precision::Fp64));
+        assert!(!ComputeUnit::Cube.supports(Precision::Fp64));
+    }
+
+    #[test]
+    fn precision_lists_have_no_duplicates() {
+        for unit in ComputeUnit::ALL {
+            let mut seen = Vec::new();
+            for &p in unit.precisions() {
+                assert!(!seen.contains(&p), "{unit} lists {p} twice");
+                seen.push(p);
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests over the architectural model.
+
+use ascend_arch::{ChipSpec, Component, ComputeUnit, MteEngine, TransferPath};
+use proptest::prelude::*;
+
+fn any_path() -> impl Strategy<Value = TransferPath> {
+    prop::sample::select(TransferPath::ALL.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn transfer_cycles_are_monotone_and_positive(
+        path in any_path(), a in 0u64..1_000_000, b in 0u64..1_000_000,
+    ) {
+        let chip = ChipSpec::training();
+        let spec = chip.transfer(path).unwrap();
+        prop_assert!(spec.cycles(a) > 0.0);
+        if a <= b {
+            prop_assert!(spec.cycles(a) <= spec.cycles(b));
+        }
+    }
+
+    #[test]
+    fn efficiency_is_a_fraction_and_monotone(path in any_path(), kib in 1u64..4096) {
+        let chip = ChipSpec::training();
+        let spec = chip.transfer(path).unwrap();
+        let e1 = spec.efficiency(kib * 1024);
+        let e2 = spec.efficiency(kib * 2048);
+        prop_assert!((0.0..=1.0).contains(&e1));
+        prop_assert!(e2 >= e1, "efficiency must grow with granularity");
+    }
+
+    #[test]
+    fn bandwidth_scaling_scales_cycles_inversely(factor in 1.1f64..8.0, kib in 8u64..512) {
+        let base = ChipSpec::training();
+        let scaled = base.clone().with_mte_bandwidth_scale(MteEngine::Gm, factor);
+        let bytes = kib * 1024;
+        let t0 = base.transfer(TransferPath::GmToUb).unwrap().cycles(bytes);
+        let t1 = scaled.transfer(TransferPath::GmToUb).unwrap().cycles(bytes);
+        // Latency is unscaled, so the gain is bounded by the factor.
+        prop_assert!(t1 < t0);
+        prop_assert!(t0 / t1 <= factor + 1e-9);
+    }
+
+    #[test]
+    fn every_mte_path_maps_back_to_its_component(path in any_path()) {
+        if let Some(engine) = path.mte() {
+            prop_assert_eq!(path.component(), Component::from_mte(engine));
+            prop_assert_eq!(path.src(), engine.source_buffer());
+        } else {
+            prop_assert!(path.component().as_unit().is_some());
+        }
+    }
+
+    #[test]
+    fn peak_rates_are_positive_for_supported_precisions(
+        unit in prop::sample::select(ComputeUnit::ALL.to_vec()),
+    ) {
+        for chip in [ChipSpec::training(), ChipSpec::inference()] {
+            for &p in unit.precisions() {
+                prop_assert!(chip.peak_ops_per_cycle(unit, p).unwrap() > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Criterion benches over the operator library: simulated cycle counts of
+//! baseline vs. optimized variants (wall time here measures the harness;
+//! the simulated cycles are printed by the figure binaries).
+
+use ascend_arch::ChipSpec;
+use ascend_ops::{AvgPool, Conv2d, Depthwise, Gelu, Operator, OptFlags};
+use ascend_sim::Simulator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+type Case = (&'static str, Box<dyn Operator>, Box<dyn Operator>);
+
+fn bench_variants(c: &mut Criterion) {
+    let chip = ChipSpec::training();
+    let sim = Simulator::new(chip.clone());
+    let cases: Vec<Case> = vec![
+        (
+            "depthwise",
+            Box::new(Depthwise::new(1 << 18)),
+            Box::new(Depthwise::new(1 << 18).with_flags(
+                OptFlags::new().ais(true).rus(true).pp(true).itg(true).mrt(true),
+            )),
+        ),
+        (
+            "conv2d",
+            Box::new(Conv2d::new(1 << 17, 288)),
+            Box::new(Conv2d::new(1 << 17, 288).with_flags(OptFlags::new().rsd(true).mrt(true).pp(true))),
+        ),
+        (
+            "avgpool",
+            Box::new(AvgPool::new(1 << 14)),
+            Box::new(AvgPool::new(1 << 14).with_flags(OptFlags::new().aip(true))),
+        ),
+        (
+            "gelu",
+            Box::new(Gelu::new(1 << 18)),
+            Box::new(Gelu::new(1 << 18).with_flags(OptFlags::new().ea(true))),
+        ),
+    ];
+    let mut group = c.benchmark_group("operator_simulation");
+    for (name, base, tuned) in &cases {
+        let base_kernel = base.build(&chip).unwrap();
+        let tuned_kernel = tuned.build(&chip).unwrap();
+        group.bench_with_input(BenchmarkId::new(*name, "baseline"), &base_kernel, |b, k| {
+            b.iter(|| sim.simulate(black_box(k)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new(*name, "optimized"), &tuned_kernel, |b, k| {
+            b.iter(|| sim.simulate(black_box(k)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion microbenches of the harness itself: simulator throughput,
+//! profiling, and roofline-analysis cost.
+
+use ascend_arch::ChipSpec;
+use ascend_ops::{AddRelu, MatMul, Operator, OptFlags};
+use ascend_profile::{Profile, Profiler};
+use ascend_roofline::{analyze, Thresholds};
+use ascend_sim::Simulator;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let chip = ChipSpec::training();
+    let sim = Simulator::new(chip.clone());
+    let small = AddRelu::new(1 << 16).build(&chip).unwrap();
+    let large = MatMul::new(512, 512, 512).with_flags(OptFlags::new().pp(true)).build(&chip).unwrap();
+
+    let mut group = c.benchmark_group("simulator");
+    group.bench_function("add_relu_64k_elements", |b| {
+        b.iter(|| sim.simulate(black_box(&small)).unwrap());
+    });
+    group.bench_function("matmul_512_cubed", |b| {
+        b.iter(|| sim.simulate(black_box(&large)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let chip = ChipSpec::training();
+    let kernel = AddRelu::new(1 << 18).build(&chip).unwrap();
+    let (profile, trace) = Profiler::new(chip.clone()).run(&kernel).unwrap();
+    let thresholds = Thresholds::default();
+
+    let mut group = c.benchmark_group("analysis");
+    group.bench_function("profile_collect", |b| {
+        b.iter(|| Profile::collect(black_box(&kernel), black_box(&trace)));
+    });
+    group.bench_function("roofline_analyze", |b| {
+        b.iter(|| analyze(black_box(&profile), &chip, &thresholds));
+    });
+    group.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let chip = ChipSpec::training();
+    let mut group = c.benchmark_group("kernel_generation");
+    group.bench_function("add_relu_1m_elements", |b| {
+        b.iter(|| AddRelu::new(1 << 20).build(black_box(&chip)).unwrap());
+    });
+    group.bench_function("matmul_512_cubed", |b| {
+        b.iter(|| MatMul::new(512, 512, 512).build(black_box(&chip)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_analysis, bench_generation);
+criterion_main!(benches);

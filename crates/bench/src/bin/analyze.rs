@@ -1,0 +1,185 @@
+//! Command-line operator analyzer: build any library operator with any
+//! flag combination, simulate it, and print (or save) the roofline report.
+//!
+//! ```text
+//! cargo run -p ascend-bench --bin analyze -- add_relu --rsd --mrt
+//! cargo run -p ascend-bench --bin analyze -- depthwise --chip inference
+//! cargo run -p ascend-bench --bin analyze -- matmul --tt --report out.md
+//! cargo run -p ascend-bench --bin analyze -- --kernel my_kernel.txt
+//! cargo run -p ascend-bench --bin analyze -- --list
+//! ```
+
+use ascend_arch::ChipSpec;
+use ascend_bench::write_text;
+use ascend_ops::{
+    AddRelu, Attention, AvgPool, Cast, Conv2d, Depthwise, Dropout, Elementwise, EltwiseKind,
+    Embedding, FullyConnection, Gelu, LayerNorm, MatMul, MatMulAdd, Operator, OptFlags, ReduceSum,
+    Softmax, TransData,
+};
+use ascend_optimize::advise;
+use ascend_profile::Profiler;
+use ascend_roofline::{analyze, report, Thresholds};
+
+const OPERATORS: &[&str] = &[
+    "add_relu", "attention", "avgpool", "cast", "conv2d", "depthwise", "dropout", "embedding",
+    "fully_connection", "gelu", "layernorm", "matmul", "matmul_add", "mul", "add", "realdiv",
+    "reduce_sum", "softmax", "transdata",
+];
+
+fn make_operator(name: &str) -> Option<Box<dyn Operator>> {
+    const E: u64 = 1 << 19;
+    Some(match name {
+        "add_relu" => Box::new(AddRelu::new(E)),
+        "attention" => Box::new(Attention::new(1024, 64)),
+        "avgpool" => Box::new(AvgPool::new(E / 8)),
+        "cast" => Box::new(Cast::new(E)),
+        "conv2d" => Box::new(Conv2d::new(E / 2, 288)),
+        "depthwise" => Box::new(Depthwise::new(E)),
+        "dropout" => Box::new(Dropout::new(E)),
+        "embedding" => Box::new(Embedding::new(1 << 16, 64, 4096)),
+        "fully_connection" => Box::new(FullyConnection::new(32, 256, 1024)),
+        "gelu" => Box::new(Gelu::new(E)),
+        "layernorm" => Box::new(LayerNorm::new(E)),
+        "matmul" => Box::new(MatMul::new(512, 512, 512)),
+        "matmul_add" => Box::new(MatMulAdd::new(512, 512, 512)),
+        "mul" => Box::new(Elementwise::new(EltwiseKind::Mul, E)),
+        "add" => Box::new(Elementwise::new(EltwiseKind::Add, E)),
+        "realdiv" => Box::new(Elementwise::new(EltwiseKind::RealDiv, E)),
+        "reduce_sum" => Box::new(ReduceSum::new(E, 1024)),
+        "softmax" => Box::new(Softmax::new(E)),
+        "transdata" => Box::new(TransData::new(E)),
+        _ => return None,
+    })
+}
+
+fn apply_flag(flags: OptFlags, name: &str) -> Option<OptFlags> {
+    Some(match name {
+        "rsd" => flags.rsd(true),
+        "mrt" => flags.mrt(true),
+        "ais" => flags.ais(true),
+        "rus" => flags.rus(true),
+        "pp" => flags.pp(true),
+        "itg" => flags.itg(true),
+        "aip" => flags.aip(true),
+        "fused" | "op" => flags.fused(true),
+        "tt" => flags.tt(true),
+        "ea" => flags.ea(true),
+        "lc" => flags.lc(true),
+        "ct" => flags.ct(true),
+        "all" => OptFlags::all(),
+        _ => return None,
+    })
+}
+
+fn usage() -> ! {
+    eprintln!("usage: analyze <operator> [--<flag>...] [--chip training|inference] [--report <file>]");
+    eprintln!("       analyze --kernel <file> [--chip ...] [--report <file>]");
+    eprintln!("       analyze --list");
+    eprintln!("flags: rsd mrt ais rus pp itg aip fused tt ea lc ct all");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for op in OPERATORS {
+            println!("{op}");
+        }
+        return;
+    }
+    // Textual kernel mode: analyze a hand-written kernel file.
+    let mut kernel_file: Option<String> = None;
+    let (base, mut i): (Option<Box<dyn Operator>>, usize) =
+        if args.first().map(String::as_str) == Some("--kernel") {
+            kernel_file = args.get(1).cloned();
+            if kernel_file.is_none() {
+                usage();
+            }
+            (None, 2)
+        } else {
+            let Some(op_name) = args.first() else { usage() };
+            let Some(op) = make_operator(op_name) else {
+                eprintln!("unknown operator `{op_name}` (try --list)");
+                std::process::exit(2);
+            };
+            (Some(op), 1)
+        };
+    let mut flags = OptFlags::new();
+    let mut chip = ChipSpec::training();
+    let mut report_file: Option<String> = None;
+    while i < args.len() {
+        let arg = args[i].trim_start_matches("--");
+        match arg {
+            "chip" => {
+                i += 1;
+                chip = match args.get(i).map(String::as_str) {
+                    Some("training") => ChipSpec::training(),
+                    Some("inference") => ChipSpec::inference(),
+                    other => {
+                        eprintln!("unknown chip {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "report" => {
+                i += 1;
+                report_file = args.get(i).cloned();
+                if report_file.is_none() {
+                    usage();
+                }
+            }
+            flag => match apply_flag(flags, flag) {
+                Some(updated) => flags = updated,
+                None => {
+                    eprintln!("unknown flag `--{flag}`");
+                    usage();
+                }
+            },
+        }
+        i += 1;
+    }
+
+    let kernel = match (&base, &kernel_file) {
+        (Some(op), _) => op
+            .with_flags_dyn(flags)
+            .build(&chip)
+            .expect("operator must build for this chip"),
+        (None, Some(file)) => {
+            let source = std::fs::read_to_string(file).unwrap_or_else(|e| {
+                eprintln!("cannot read {file}: {e}");
+                std::process::exit(2);
+            });
+            let kernel = ascend_isa::parse_kernel(&source).unwrap_or_else(|e| {
+                eprintln!("{file}: {e}");
+                std::process::exit(2);
+            });
+            ascend_isa::validate(&kernel, &chip).unwrap_or_else(|e| {
+                eprintln!("{file}: {e}");
+                std::process::exit(2);
+            });
+            kernel
+        }
+        (None, None) => usage(),
+    };
+    let (profile, trace) = Profiler::new(chip.clone()).run(&kernel).expect("kernel must run");
+    let analysis = analyze(&profile, &chip, &Thresholds::default());
+    println!(
+        "{}: {:.0} cycles = {:.3} us on {}",
+        kernel.name(),
+        trace.total_cycles(),
+        chip.cycles_to_micros(trace.total_cycles()),
+        chip.name()
+    );
+    println!("{}", analysis.summary());
+    let suggestions = advise(&analysis);
+    if suggestions.is_empty() {
+        println!("advisor: nothing to suggest");
+    } else {
+        let names: Vec<&str> = suggestions.iter().map(|s| s.abbrev()).collect();
+        println!("advisor suggests: {}", names.join(", "));
+    }
+    if let Some(file) = report_file {
+        let md = report::to_markdown(&analysis, &profile, &chip);
+        write_text(&file, &md);
+    }
+}

@@ -1,0 +1,36 @@
+//! ERT-style calibration table: achieved vs. specified ceilings for every
+//! MTE path and precision-compute unit, on both chips — the empirical
+//! ceilings a roofline practitioner would measure before analysis
+//! (cf. the Empirical Roofline Toolkit, the paper's Section 2.3).
+
+use ascend_arch::ChipSpec;
+use ascend_bench::{header, write_json};
+use ascend_profile::calibration::calibrate;
+use serde_json::json;
+
+fn main() {
+    header("ERT calibration", "achieved vs. specified ceilings");
+    let mut rows = Vec::new();
+    for chip in [ChipSpec::training(), ChipSpec::inference()] {
+        println!("\n{}:", chip.name());
+        println!("{:<16} {:>12} {:>12} {:>10} {:>8}", "target", "granularity", "achieved", "peak", "frac");
+        for point in calibrate(&chip).unwrap() {
+            println!(
+                "{:<16} {:>12} {:>12.2} {:>10.2} {:>7.1}%",
+                point.target,
+                point.granularity,
+                point.achieved,
+                point.peak,
+                point.fraction() * 100.0
+            );
+            rows.push(json!({
+                "chip": chip.name(),
+                "target": point.target,
+                "granularity": point.granularity,
+                "achieved": point.achieved,
+                "peak": point.peak,
+            }));
+        }
+    }
+    write_json("ert_calibration", &rows);
+}

@@ -1,0 +1,54 @@
+//! Figure 2 (background): the classic DRAM and hierarchical rooflines the
+//! paper builds on, evaluated on the modeled chip's numbers, and the case
+//! where they stop being informative for Ascend.
+
+use ascend_arch::{ChipSpec, ComputeUnit, Precision, TransferPath};
+use ascend_bench::{header, write_json};
+use ascend_roofline::classic::{DramRoofline, HierarchicalRoofline, HierarchyLevel, RooflineRegion};
+use serde_json::json;
+
+fn main() {
+    let chip = ChipSpec::training();
+    header("Figure 2", "classic roofline models (background)");
+
+    // DRAM roofline from the chip's Cube FP16 peak and GM bandwidth.
+    let peak_flops = chip.peak_ops_per_sec(ComputeUnit::Cube, Precision::Fp16).unwrap();
+    let gm_bw = chip.transfer(TransferPath::GmToL1).unwrap().bytes_per_cycle * chip.frequency_hz;
+    let dram = DramRoofline::new(peak_flops, gm_bw);
+    println!("\nDRAM roofline: peak {:.2} Tops/s, GM {:.1} GB/s, ridge at {:.1} ops/byte", peak_flops / 1e12, gm_bw / 1e9, dram.ridge_intensity());
+    let mut points = Vec::new();
+    for ai in [0.5, 2.0, 8.0, 32.0, 128.0, 512.0] {
+        let attainable = dram.attainable(ai);
+        let region = match dram.classify(ai) {
+            RooflineRegion::MemoryBound => "memory bound",
+            RooflineRegion::ComputeBound => "compute bound",
+        };
+        println!("  AI {ai:>6.1}: attainable {:.2} Tops/s — {region}", attainable / 1e12);
+        points.push(json!({"ai": ai, "attainable": attainable, "region": region}));
+    }
+
+    // Hierarchical roofline with the chip's memory levels.
+    let l1_bw = chip.transfer(TransferPath::L1ToL0A).unwrap().bytes_per_cycle * chip.frequency_hz;
+    let ub_bw = chip.transfer(TransferPath::UbToGm).unwrap().bytes_per_cycle * chip.frequency_hz;
+    let hier = HierarchicalRoofline::new(vec![
+        HierarchyLevel { name: "GM".into(), rate: gm_bw, arithmetic: false },
+        HierarchyLevel { name: "L1".into(), rate: l1_bw, arithmetic: false },
+        HierarchyLevel { name: "UB".into(), rate: ub_bw, arithmetic: false },
+        HierarchyLevel { name: "Cube FP16".into(), rate: peak_flops, arithmetic: true },
+        HierarchyLevel {
+            name: "Cube INT8".into(),
+            rate: chip.peak_ops_per_sec(ComputeUnit::Cube, Precision::Int8).unwrap(),
+            arithmetic: true,
+        },
+    ]);
+    println!("\nhierarchical roofline binding level by intensity:");
+    for ai in [0.5, 8.0, 128.0, 4096.0] {
+        let level = hier.binding_level(ai).unwrap();
+        println!("  AI {ai:>7.1}: bound by {}", level.name);
+    }
+    println!("\nWhat neither model can express (Section 2.3): the serial MTE");
+    println!("contention of Figure 3a and the mixed-precision serialization of");
+    println!("Figure 3b — run fig03_naive_vs_component for the component model's fix.");
+
+    write_json("fig02", &json!({"dram_points": points, "ridge": dram.ridge_intensity()}));
+}

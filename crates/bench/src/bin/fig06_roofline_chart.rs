@@ -1,0 +1,33 @@
+//! Figure 6: the component-based roofline chart for a mixed operator.
+//!
+//! Builds the pruned chart (≤ 7 performance points) for a MatMul+Add-like
+//! kernel, renders it as ASCII, and writes an SVG artifact.
+
+use ascend_arch::ChipSpec;
+use ascend_bench::{header, run_op, write_text};
+use ascend_ops::{MatMulAdd, OptFlags};
+use ascend_roofline::{pruning, RooflineChart};
+
+fn main() {
+    let chip = ChipSpec::training();
+    header("Figure 6", "component-based roofline (pruned to at most 7 points)");
+    println!(
+        "pruning chain: {} naive -> {} component pairs -> {} after pruning\n",
+        pruning::naive_combinations(),
+        pruning::component_combinations(),
+        pruning::pruned_pairs().len()
+    );
+    let op = MatMulAdd::new(512, 512, 512).with_flags(OptFlags::new().fused(true).pp(true));
+    let (_, _, analysis) = run_op(&chip, &op);
+    println!("{}", analysis.summary());
+    let chart = RooflineChart::from_analysis(&analysis);
+    println!("{}", chart.to_ascii(96, 24));
+    for point in chart.points() {
+        println!(
+            "point ({}, {}): AI {:.3} ops/byte, {:.1} ops/cy, utilization {:.1}%",
+            point.compute, point.memory, point.intensity, point.performance,
+            point.utilization * 100.0
+        );
+    }
+    write_text("fig06_roofline.svg", &chart.to_svg(900, 600));
+}

@@ -1,0 +1,48 @@
+//! Figure 7: the Add_ReLU roofline across the optimization iterations of
+//! Section 5.1 (baseline -> +RSD -> +RSD+MRT).
+
+use ascend_arch::{ChipSpec, Component};
+use ascend_bench::{header, micros, run_op, write_json, write_text};
+use ascend_ops::{AddRelu, OptFlags};
+use ascend_roofline::RooflineChart;
+use serde_json::json;
+
+fn main() {
+    let chip = ChipSpec::training();
+    header("Figure 7", "Add_ReLU roofline across optimization iterations");
+    let variants = [
+        ("(a) baseline", OptFlags::new()),
+        ("(b) +RSD", OptFlags::new().rsd(true)),
+        ("(c) +RSD+MRT", OptFlags::new().rsd(true).mrt(true)),
+    ];
+    let mut rows = Vec::new();
+    let mut base_cycles = 0.0;
+    for (label, flags) in variants {
+        let op = AddRelu::new(1 << 20).with_flags(flags);
+        let (_, trace, analysis) = run_op(&chip, &op);
+        if base_cycles == 0.0 {
+            base_cycles = trace.total_cycles();
+        }
+        let busiest = analysis.busiest_component().unwrap();
+        println!("\n--- {label}: {:.3} us ---", micros(&chip, trace.total_cycles()));
+        println!("{}", analysis.summary());
+        let chart = RooflineChart::from_analysis(&analysis);
+        println!("{}", chart.to_ascii(84, 18));
+        write_text(&format!("fig07{}.svg", &label[1..2]), &chart.to_svg(800, 500));
+        rows.push(json!({
+            "iteration": label,
+            "micros": micros(&chip, trace.total_cycles()),
+            "peak_utilization": analysis.peak_utilization(),
+            "bottleneck": format!("{}", analysis.bottleneck()),
+            "busiest_component": busiest.component.name(),
+            "busiest_time_ratio": busiest.time_ratio,
+            "mte_ub_time_ratio": analysis.metrics_of(Component::MteUb).map(|m| m.time_ratio),
+        }));
+    }
+    let last = rows.last().unwrap();
+    println!(
+        "\noverall speedup {:.2}x (paper: 98.673 us -> 57.157 us = 1.72x)",
+        base_cycles / (last["micros"].as_f64().unwrap() * chip.frequency_hz / 1e6)
+    );
+    write_json("fig07", &rows);
+}

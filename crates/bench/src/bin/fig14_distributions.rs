@@ -1,0 +1,54 @@
+//! Figure 14: bottleneck-cause distributions (a) across the trained
+//! models, (b) across programming frameworks, and (c) training vs.
+//! inference deployments.
+
+use ascend_arch::ChipSpec;
+use ascend_bench::{header, write_json};
+use ascend_models::{convert_for_framework, zoo, Framework, ModelRunner, Phase};
+use serde_json::json;
+
+fn main() {
+    header("Figure 14", "distribution of performance impediments");
+    let training_runner = ModelRunner::new(ChipSpec::training());
+    let inference_runner = ModelRunner::new(ChipSpec::inference());
+
+    println!("\nFigure 14a — training bottleneck causes across models (time-weighted):");
+    let mut fig_a = Vec::new();
+    for model in zoo::all_training() {
+        let report = training_runner.analyze(&model).unwrap();
+        let distribution = report.distribution();
+        println!("  {:<16} {}", model.name(), distribution.summary());
+        fig_a.push(json!({"model": model.name(), "distribution": distribution}));
+    }
+    println!("  (paper: small models dominated by IP; Llama2/PanGu prone to MTE-GM bound)");
+
+    println!("\nFigure 14b — MobileNetV3 inference across framework frontends:");
+    let mut fig_b = Vec::new();
+    let m3 = zoo::mobilenet_v3(Phase::Inference);
+    for framework in Framework::ALL {
+        let converted = convert_for_framework(&m3, framework);
+        let report = inference_runner.analyze(&converted).unwrap();
+        let distribution = report.distribution_by_count();
+        println!("  {:<12} {}", framework.name(), distribution.summary());
+        fig_b.push(json!({"framework": framework.name(), "distribution": distribution}));
+    }
+    println!("  (paper: the frontend barely matters — same operator library underneath)");
+
+    println!("\nFigure 14c — training vs. inference (GPT2, MobileNetV3, ResNet50, VGG16):");
+    let mut fig_c = Vec::new();
+    let pairs = [
+        (zoo::gpt2(Phase::Training), zoo::gpt2(Phase::Inference)),
+        (zoo::mobilenet_v3(Phase::Training), zoo::mobilenet_v3(Phase::Inference)),
+        (zoo::resnet50(Phase::Training), zoo::resnet50(Phase::Inference)),
+        (zoo::vgg16(Phase::Training), zoo::vgg16(Phase::Inference)),
+    ];
+    for (train, infer) in pairs {
+        let t = training_runner.analyze(&train).unwrap().distribution();
+        let i = inference_runner.analyze(&infer).unwrap().distribution();
+        println!("  {:<16} train: {}", train.name(), t.summary());
+        println!("  {:<16} infer: {}", "", i.summary());
+        fig_c.push(json!({"model": train.name(), "training": t, "inference": i}));
+    }
+
+    write_json("fig14", &json!({"a": fig_a, "b": fig_b, "c": fig_c}));
+}

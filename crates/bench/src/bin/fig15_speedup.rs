@@ -1,0 +1,34 @@
+//! Figure 15: computation and overall speedups from the optimization
+//! campaign across all eleven training workloads.
+
+use ascend_arch::ChipSpec;
+use ascend_bench::{header, write_json};
+use ascend_models::{zoo, ModelRunner};
+use serde_json::json;
+
+fn main() {
+    header("Figure 15", "time speedup with optimization (paper: computation 1.08-2.70x, overall 1.07-2.15x)");
+    let runner = ModelRunner::new(ChipSpec::training());
+    println!("{:<16} {:>12} {:>10}", "model", "computation", "overall");
+    let mut rows = Vec::new();
+    let mut comp_range = (f64::INFINITY, 0.0f64);
+    let mut overall_range = (f64::INFINITY, 0.0f64);
+    for model in zoo::all_training() {
+        let result = runner.optimize(&model).unwrap();
+        let comp = result.computation_speedup();
+        let overall = result.overall_speedup();
+        comp_range = (comp_range.0.min(comp), comp_range.1.max(comp));
+        overall_range = (overall_range.0.min(overall), overall_range.1.max(overall));
+        println!("{:<16} {:>11.2}x {:>9.2}x", model.name(), comp, overall);
+        rows.push(json!({
+            "model": model.name(),
+            "computation_speedup": comp,
+            "overall_speedup": overall,
+        }));
+    }
+    println!(
+        "\nmeasured ranges: computation {:.2}-{:.2}x, overall {:.2}-{:.2}x",
+        comp_range.0, comp_range.1, overall_range.0, overall_range.1
+    );
+    write_json("fig15", &rows);
+}

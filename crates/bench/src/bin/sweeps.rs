@@ -1,0 +1,46 @@
+//! Ablation sweeps backing the case studies: transfer granularity vs.
+//! achieved bandwidth (ITG) and vector instruction size vs. efficiency
+//! (AIP), plus the dispatch-distance effect behind AIS.
+
+use ascend_arch::{ChipSpec, ComputeUnit, Precision, TransferPath};
+use ascend_bench::{header, write_json};
+use serde_json::json;
+
+fn main() {
+    let chip = ChipSpec::training();
+    header("Ablations", "granularity, repeat, and dispatch sweeps");
+
+    println!("\nUB->GM bandwidth efficiency vs. transfer granularity (ITG):");
+    let spec = chip.transfer(TransferPath::UbToGm).unwrap();
+    let mut granularity = Vec::new();
+    for kib in [1u64, 2, 4, 8, 15, 30, 60, 120, 256, 1024] {
+        let eff = spec.efficiency(kib * 1024);
+        println!("  {kib:>5} KiB: {:>5.1}% of peak", eff * 100.0);
+        granularity.push(json!({"kib": kib, "efficiency": eff}));
+    }
+    println!("  (the paper's 30 KiB stores sit 'far below the threshold for full bandwidth')");
+
+    println!("\nVector efficiency vs. operations per instruction (AIP):");
+    let peak = chip.peak_ops_per_cycle(ComputeUnit::Vector, Precision::Fp16).unwrap();
+    let mut repeat = Vec::new();
+    for ops in [64u64, 256, 1024, 4096, 16384, 65536, 262144] {
+        let cycles = chip.compute_issue_cycles + ops as f64 / peak;
+        let eff = ops as f64 / peak / cycles;
+        println!("  {ops:>7} ops/instruction: {:>5.1}% of peak", eff * 100.0);
+        repeat.push(json!({"ops": ops, "efficiency": eff}));
+    }
+
+    println!("\nDispatch distance between two same-queue transfers (AIS):");
+    let mut dispatch = Vec::new();
+    for intervening in [0u64, 2, 8, 32, 128] {
+        let delay = (intervening + 1) as f64 * chip.dispatch_cycles;
+        println!("  {intervening:>4} intervening instructions: {delay:>6.0} cycles of dispatch delay");
+        dispatch.push(json!({"intervening": intervening, "delay_cycles": delay}));
+    }
+
+    write_json("sweeps", &json!({
+        "granularity": granularity,
+        "repeat": repeat,
+        "dispatch": dispatch,
+    }));
+}

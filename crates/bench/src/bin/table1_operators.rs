@@ -1,0 +1,57 @@
+//! Table 1: per-operator bottleneck classes, the optimizations the
+//! advisor-driven loop applies, and the resulting speedups, for the
+//! MobileNetV3 operators.
+
+use ascend_arch::ChipSpec;
+use ascend_bench::{header, write_json};
+use ascend_ops::{AddRelu, AvgPool, Conv2d, Depthwise, Elementwise, EltwiseKind, FullyConnection, Gelu, MatMulAdd, Operator};
+use ascend_optimize::Optimizer;
+use serde_json::json;
+
+fn main() {
+    let chip = ChipSpec::inference();
+    header("Table 1", "optimization and speedup of MobileNetV3 operators");
+    const E: u64 = 1 << 17;
+    let paper: &[(&str, f64)] = &[
+        ("add_relu", 1.72), ("depthwise", 1.26), ("avgpool", 4.31), ("mul", 1.34),
+        ("conv2d", 2.65), ("fully_connection", 1.22), ("matmul", 1.10), ("gelu", 1.06),
+    ];
+    let ops: Vec<Box<dyn Operator>> = vec![
+        Box::new(AddRelu::new(E)),
+        Box::new(Depthwise::new(E)),
+        Box::new(AvgPool::new(E / 8)),
+        Box::new(Elementwise::new(EltwiseKind::Mul, E)),
+        Box::new(Conv2d::new(E, 288)),
+        Box::new(FullyConnection::new(32, 256, 1024)),
+        Box::new(MatMulAdd::new(256, 256, 256)),
+        Box::new(Gelu::new(E)),
+    ];
+    let optimizer = Optimizer::new(chip);
+    println!(
+        "{:<22} {:<28} {:<22} {:>8} {:>8}",
+        "operator", "initial bottleneck", "applied", "speedup", "paper"
+    );
+    let mut rows = Vec::new();
+    for (op, (paper_name, paper_speedup)) in ops.iter().zip(paper) {
+        let report = optimizer.run(op.as_ref()).unwrap();
+        let applied: Vec<String> =
+            report.applied_strategies().iter().map(|s| s.abbrev().to_owned()).collect();
+        let initial = format!("{}", report.iterations[0].bottleneck);
+        println!(
+            "{:<22} {:<28} {:<22} {:>7.2}x {:>7.2}x",
+            paper_name,
+            initial,
+            applied.join(","),
+            report.speedup(),
+            paper_speedup
+        );
+        rows.push(json!({
+            "operator": paper_name,
+            "initial_bottleneck": initial,
+            "applied": applied,
+            "speedup": report.speedup(),
+            "paper_speedup": paper_speedup,
+        }));
+    }
+    write_json("table1", &rows);
+}

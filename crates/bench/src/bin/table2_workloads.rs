@@ -1,0 +1,37 @@
+//! Table 2: the workload specification of the model zoo.
+
+use ascend_bench::{header, write_json};
+use ascend_models::zoo;
+use serde_json::json;
+
+fn main() {
+    header("Table 2", "workload specification");
+    println!(
+        "{:<16} {:>12} {:<24} {:>6} {:>10}",
+        "model", "parameters", "dataset", "#NPUs", "ops/iter"
+    );
+    let mut rows = Vec::new();
+    for model in zoo::all_training() {
+        let params = if model.parameters_millions() >= 1000.0 {
+            format!("{:.0}B", model.parameters_millions() / 1000.0)
+        } else {
+            format!("{}M", model.parameters_millions())
+        };
+        println!(
+            "{:<16} {:>12} {:<24} {:>6} {:>10}",
+            model.name(),
+            params,
+            model.dataset(),
+            model.npus(),
+            model.total_invocations()
+        );
+        rows.push(json!({
+            "model": model.name(),
+            "parameters_millions": model.parameters_millions(),
+            "dataset": model.dataset(),
+            "npus": model.npus(),
+            "invocations_per_iteration": model.total_invocations(),
+        }));
+    }
+    write_json("table2", &rows);
+}

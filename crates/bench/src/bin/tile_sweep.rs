@@ -1,0 +1,42 @@
+//! Tile-size ablation: the parameter-configuration sweep behind the
+//! paper's "suboptimal parameter configurations" impediment, run with the
+//! autotuner over representative operators.
+
+use ascend_arch::ChipSpec;
+use ascend_bench::{header, write_json};
+use ascend_ops::{AddRelu, AvgPool, Elementwise, EltwiseKind, Gelu, Operator, OptFlags};
+use ascend_optimize::autotune::tune;
+use serde_json::json;
+
+type MakeOp = Box<dyn Fn(u64) -> Box<dyn Operator>>;
+
+fn main() {
+    let chip = ChipSpec::training();
+    header("Tile sweep", "tile-size autotuning across operators");
+    let candidates: Vec<u64> = (8..=17).map(|p| 1u64 << p).collect();
+    let cases: Vec<(&str, MakeOp)> = vec![
+        ("add_relu+rsd+mrt", Box::new(|tile| {
+            Box::new(AddRelu::new(1 << 19).with_flags(OptFlags::new().rsd(true).mrt(true)).with_tile(tile))
+        })),
+        ("mul", Box::new(|tile| {
+            Box::new(Elementwise::new(EltwiseKind::Mul, 1 << 19).with_tile(tile))
+        })),
+        ("avgpool+aip", Box::new(|tile| {
+            Box::new(AvgPool::new(1 << 15).with_flags(OptFlags::new().aip(true)).with_tile(tile))
+        })),
+        ("gelu", Box::new(|_tile| Box::new(Gelu::new(1 << 19)))),
+    ];
+    let mut rows = Vec::new();
+    for (name, make) in &cases {
+        let result = tune(&chip, &candidates, make).unwrap();
+        println!("\n{name}: best tile {} at {:.0} cycles (spread {:.2}x)", result.best_value, result.best_cycles, result.spread());
+        for trial in &result.trials {
+            match trial.cycles {
+                Some(cycles) => println!("  tile {:>7}: {:>10.0} cycles", trial.value, cycles),
+                None => println!("  tile {:>7}: infeasible", trial.value),
+            }
+        }
+        rows.push(json!({"operator": name, "best": result.best_value, "trials": result.trials}));
+    }
+    write_json("tile_sweep", &rows);
+}

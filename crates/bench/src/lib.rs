@@ -1,0 +1,110 @@
+#![warn(missing_docs)]
+
+//! Shared helpers for the figure/table regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation; see `DESIGN.md` for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured numbers. Binaries print their
+//! rows to stdout and, when [`write_json`] is used, also drop a JSON
+//! artifact under `target/experiments/`.
+
+use ascend_arch::ChipSpec;
+use ascend_ops::Operator;
+use ascend_profile::{Profile, Profiler};
+use ascend_roofline::{analyze, RooflineAnalysis, Thresholds};
+use ascend_sim::Trace;
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Simulates `op` on `chip` and returns its profile, trace, and analysis.
+///
+/// # Panics
+///
+/// Panics when the kernel fails to build or simulate — the experiment
+/// binaries treat that as a fatal configuration error.
+#[must_use]
+pub fn run_op(chip: &ChipSpec, op: &dyn Operator) -> (Profile, Trace, RooflineAnalysis) {
+    let kernel = op.build(chip).expect("operator must build");
+    let (profile, trace) = Profiler::new(chip.clone()).run(&kernel).expect("kernel must run");
+    let analysis = analyze(&profile, chip, &Thresholds::default());
+    (profile, trace, analysis)
+}
+
+/// Cycles → microseconds on `chip`, for paper-style reporting.
+#[must_use]
+pub fn micros(chip: &ChipSpec, cycles: f64) -> f64 {
+    chip.cycles_to_micros(cycles)
+}
+
+/// Writes `value` as pretty JSON to `target/experiments/<name>.json` and
+/// returns the path. Errors are reported but not fatal (the printed rows
+/// are the primary artifact).
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> Option<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+    if let Err(err) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {err}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(err) = fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {err}", path.display());
+                return None;
+            }
+            println!("[artifact] {}", path.display());
+            Some(path)
+        }
+        Err(err) => {
+            eprintln!("warning: cannot serialize {name}: {err}");
+            None
+        }
+    }
+}
+
+/// Writes raw text (e.g. an SVG) to `target/experiments/<name>` and
+/// returns the path.
+pub fn write_text(name: &str, contents: &str) -> Option<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+    if let Err(err) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {err}", dir.display());
+        return None;
+    }
+    let path = dir.join(name);
+    if let Err(err) = fs::write(&path, contents) {
+        eprintln!("warning: cannot write {}: {err}", path.display());
+        return None;
+    }
+    println!("[artifact] {}", path.display());
+    Some(path)
+}
+
+/// Prints a section header for an experiment binary.
+pub fn header(id: &str, title: &str) {
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascend_ops::AddRelu;
+
+    #[test]
+    fn run_op_produces_consistent_artifacts() {
+        let chip = ChipSpec::training();
+        let (profile, trace, analysis) = run_op(&chip, &AddRelu::new(1 << 14));
+        assert!((profile.total_cycles - trace.total_cycles()).abs() < 1e-9);
+        assert!(!analysis.metrics().is_empty());
+        assert!(micros(&chip, trace.total_cycles()) > 0.0);
+    }
+
+    #[test]
+    fn write_json_emits_a_file() {
+        let path = write_json("selftest", &serde_json::json!({"ok": true})).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains("ok"));
+    }
+}

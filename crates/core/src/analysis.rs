@@ -1,0 +1,368 @@
+//! Bottleneck classification (paper, Sections 4.1–4.2).
+
+use crate::ComponentMetrics;
+use ascend_arch::{ChipSpec, Component, ComponentKind, ComputeUnit};
+use ascend_profile::Profile;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Classification thresholds.
+///
+/// A component whose utilization reaches its *bound threshold* is declared
+/// the bottleneck. The thresholds are per-component because achievable
+/// utilization differs by unit: "vector operations often run on smaller
+/// data blocks with frequent transfer requirements, which limits their
+/// utilization" (Section 5.1) — the Vector unit and its write-out engine
+/// MTE-UB therefore use lower practical ceilings than the Cube and the
+/// bulk-read engines.
+///
+/// `parallelism_ratio` is `R_threshold` from Section 4.2: if every
+/// component's active-time ratio stays below it, the operator suffers
+/// *insufficient parallelism*.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Thresholds {
+    /// Bound thresholds indexed by [`Component::index`].
+    pub bound: [f64; 6],
+    /// `R_threshold`: minimum time ratio that counts as "fully parallel".
+    pub parallelism_ratio: f64,
+}
+
+impl Thresholds {
+    /// The thresholds used throughout the reproduction.
+    #[must_use]
+    pub const fn paper_defaults() -> Self {
+        let mut bound = [0.0; 6];
+        bound[Component::Scalar.index()] = 0.55;
+        bound[Component::Vector.index()] = 0.55;
+        bound[Component::Cube.index()] = 0.80;
+        bound[Component::MteGm.index()] = 0.80;
+        bound[Component::MteL1.index()] = 0.80;
+        bound[Component::MteUb.index()] = 0.65;
+        Thresholds { bound, parallelism_ratio: 0.80 }
+    }
+
+    /// The bound threshold of `component`.
+    #[must_use]
+    pub fn bound_for(&self, component: Component) -> f64 {
+        self.bound[component.index()]
+    }
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds::paper_defaults()
+    }
+}
+
+/// The diagnosed cause of an operator's performance (Sections 4.1–4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Bottleneck {
+    /// A compute unit's utilization reached its bound threshold.
+    ComputeBound(ComputeUnit),
+    /// An MTE's utilization reached its bound threshold.
+    MteBound(Component),
+    /// All components underutilized and no time ratio is high: the queues
+    /// barely overlap.
+    InsufficientParallelism,
+    /// A memory component is busy most of the time but transfers
+    /// inefficiently (e.g. too-small granularity).
+    InefficientMte(Component),
+    /// A compute unit is busy most of the time but executes inefficiently
+    /// (e.g. bad `repeat`/`mask` parameters).
+    InefficientCompute(ComputeUnit),
+    /// The operator did no measurable work.
+    Idle,
+}
+
+impl Bottleneck {
+    /// Short label used in the paper's figures: CB, MB, IP, IM, IC.
+    #[must_use]
+    pub const fn label(&self) -> &'static str {
+        match self {
+            Bottleneck::ComputeBound(_) => "CB",
+            Bottleneck::MteBound(_) => "MB",
+            Bottleneck::InsufficientParallelism => "IP",
+            Bottleneck::InefficientMte(_) => "IM",
+            Bottleneck::InefficientCompute(_) => "IC",
+            Bottleneck::Idle => "--",
+        }
+    }
+
+    /// Whether the operator is *bound* (as opposed to underutilized).
+    #[must_use]
+    pub const fn is_bound(&self) -> bool {
+        matches!(self, Bottleneck::ComputeBound(_) | Bottleneck::MteBound(_))
+    }
+}
+
+impl fmt::Display for Bottleneck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bottleneck::ComputeBound(unit) => write!(f, "compute bound ({unit})"),
+            Bottleneck::MteBound(component) => write!(f, "MTE bound ({component})"),
+            Bottleneck::InsufficientParallelism => write!(f, "insufficient parallelism"),
+            Bottleneck::InefficientMte(component) => write!(f, "inefficient MTE ({component})"),
+            Bottleneck::InefficientCompute(unit) => write!(f, "inefficient compute ({unit})"),
+            Bottleneck::Idle => write!(f, "idle"),
+        }
+    }
+}
+
+/// The result of a component-based roofline analysis of one operator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RooflineAnalysis {
+    /// Name of the analyzed operator (from the profile).
+    pub operator: String,
+    metrics: Vec<ComponentMetrics>,
+    bottleneck: Bottleneck,
+    thresholds: Thresholds,
+    /// Total operator cycles.
+    pub total_cycles: f64,
+}
+
+impl RooflineAnalysis {
+    /// Per-component metrics for every component that did work.
+    #[must_use]
+    pub fn metrics(&self) -> &[ComponentMetrics] {
+        &self.metrics
+    }
+
+    /// The metrics of one component, if it did work.
+    #[must_use]
+    pub fn metrics_of(&self, component: Component) -> Option<&ComponentMetrics> {
+        self.metrics.iter().find(|m| m.component == component)
+    }
+
+    /// The diagnosed bottleneck.
+    #[must_use]
+    pub fn bottleneck(&self) -> Bottleneck {
+        self.bottleneck
+    }
+
+    /// The thresholds used.
+    #[must_use]
+    pub fn thresholds(&self) -> &Thresholds {
+        &self.thresholds
+    }
+
+    /// The highest utilization over all components (the paper's headline
+    /// `MTE_utilization` figure), or 0 for an idle operator.
+    #[must_use]
+    pub fn peak_utilization(&self) -> f64 {
+        self.metrics.iter().map(|m| m.utilization).fold(0.0, f64::max)
+    }
+
+    /// The component with the largest active-time ratio, if any.
+    #[must_use]
+    pub fn busiest_component(&self) -> Option<&ComponentMetrics> {
+        self.metrics
+            .iter()
+            .max_by(|a, b| a.time_ratio.total_cmp(&b.time_ratio))
+    }
+
+    /// A human-readable multi-line summary (mirrors the walkthrough of
+    /// Section 4.3).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "operator {}: {:.0} cycles — {}",
+            self.operator, self.total_cycles, self.bottleneck
+        );
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>12} {:>12} {:>8} {:>8} {:>8}",
+            "component", "ideal/cy", "actual/cy", "U", "E", "R"
+        );
+        for m in &self.metrics {
+            let _ = writeln!(
+                out,
+                "  {:<8} {:>12.2} {:>12.2} {:>7.2}% {:>7.2}% {:>7.2}%",
+                m.component.name(),
+                m.ideal_rate,
+                m.actual_rate,
+                m.utilization * 100.0,
+                m.efficiency * 100.0,
+                m.time_ratio * 100.0
+            );
+        }
+        out
+    }
+}
+
+/// Runs the component-based roofline analysis of Sections 4.1–4.2.
+///
+/// Classification order:
+///
+/// 1. **Bound**: some component's utilization `U` reaches its bound
+///    threshold → [`Bottleneck::ComputeBound`] / [`Bottleneck::MteBound`]
+///    for the highest-utilization such component.
+/// 2. **Insufficient parallelism**: otherwise, if every component's time
+///    ratio `R` is below `R_threshold`.
+/// 3. **Inefficient component**: otherwise the component with the highest
+///    `R` is busy but inefficient → [`Bottleneck::InefficientMte`] /
+///    [`Bottleneck::InefficientCompute`].
+#[must_use]
+pub fn analyze(profile: &Profile, chip: &ChipSpec, thresholds: &Thresholds) -> RooflineAnalysis {
+    let metrics: Vec<ComponentMetrics> = Component::ALL
+        .into_iter()
+        .filter_map(|c| ComponentMetrics::from_profile(profile, chip, c))
+        .collect();
+
+    let bottleneck = classify(&metrics, thresholds);
+    RooflineAnalysis {
+        operator: profile.name.clone(),
+        metrics,
+        bottleneck,
+        thresholds: *thresholds,
+        total_cycles: profile.total_cycles,
+    }
+}
+
+fn classify(metrics: &[ComponentMetrics], thresholds: &Thresholds) -> Bottleneck {
+    if metrics.is_empty() {
+        return Bottleneck::Idle;
+    }
+    // 1. Bound components, ranked by how far past their own threshold
+    // they are (so a 72%-utilized Vector outranks a 72%-utilized MTE-UB
+    // whose practical ceiling is higher).
+    let bound = metrics
+        .iter()
+        .filter(|m| m.utilization >= thresholds.bound_for(m.component))
+        .max_by(|a, b| {
+            let ma = a.utilization / thresholds.bound_for(a.component);
+            let mb = b.utilization / thresholds.bound_for(b.component);
+            ma.total_cmp(&mb)
+        });
+    if let Some(m) = bound {
+        return match m.component.kind() {
+            ComponentKind::Compute => {
+                Bottleneck::ComputeBound(m.component.as_unit().expect("compute"))
+            }
+            ComponentKind::Memory => Bottleneck::MteBound(m.component),
+        };
+    }
+    // 2. Insufficient parallelism.
+    let busiest = metrics
+        .iter()
+        .max_by(|a, b| a.time_ratio.total_cmp(&b.time_ratio))
+        .expect("non-empty");
+    if busiest.time_ratio < thresholds.parallelism_ratio {
+        return Bottleneck::InsufficientParallelism;
+    }
+    // 3. Inefficient component.
+    match busiest.component.kind() {
+        ComponentKind::Memory => Bottleneck::InefficientMte(busiest.component),
+        ComponentKind::Compute => {
+            Bottleneck::InefficientCompute(busiest.component.as_unit().expect("compute"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metric(component: Component, utilization: f64, time_ratio: f64) -> ComponentMetrics {
+        let efficiency = if time_ratio > 0.0 { utilization / time_ratio } else { 0.0 };
+        ComponentMetrics {
+            component,
+            work: 1.0,
+            ideal_rate: 1.0,
+            actual_rate: utilization,
+            utilization,
+            active_cycles: time_ratio,
+            time_ratio,
+            efficiency,
+        }
+    }
+
+    fn thresholds() -> Thresholds {
+        Thresholds::default()
+    }
+
+    #[test]
+    fn empty_metrics_are_idle() {
+        assert_eq!(classify(&[], &thresholds()), Bottleneck::Idle);
+    }
+
+    #[test]
+    fn high_utilization_is_bound() {
+        let metrics = vec![
+            metric(Component::MteGm, 0.93, 0.95),
+            metric(Component::Cube, 0.40, 0.45),
+        ];
+        assert_eq!(classify(&metrics, &thresholds()), Bottleneck::MteBound(Component::MteGm));
+    }
+
+    #[test]
+    fn compute_bound_names_the_unit() {
+        let metrics = vec![metric(Component::Cube, 0.9, 0.95)];
+        assert_eq!(
+            classify(&metrics, &thresholds()),
+            Bottleneck::ComputeBound(ComputeUnit::Cube)
+        );
+    }
+
+    #[test]
+    fn mte_ub_uses_its_lower_threshold() {
+        // 66% would not bind MTE-GM, but binds MTE-UB (Add_ReLU iter 2).
+        let metrics = vec![metric(Component::MteUb, 0.6624, 0.8514)];
+        assert_eq!(classify(&metrics, &thresholds()), Bottleneck::MteBound(Component::MteUb));
+        let metrics = vec![metric(Component::MteGm, 0.6624, 0.8514)];
+        assert_eq!(
+            classify(&metrics, &thresholds()),
+            Bottleneck::InefficientMte(Component::MteGm)
+        );
+    }
+
+    #[test]
+    fn low_ratios_mean_insufficient_parallelism() {
+        // Add_ReLU iteration 1: peak U 38.42%, max R 58.68% (MTE-GM).
+        let metrics = vec![
+            metric(Component::MteGm, 0.30, 0.5868),
+            metric(Component::Vector, 0.3842, 0.40),
+            metric(Component::MteUb, 0.3842, 0.45),
+        ];
+        assert_eq!(classify(&metrics, &thresholds()), Bottleneck::InsufficientParallelism);
+    }
+
+    #[test]
+    fn busy_inefficient_compute_is_flagged() {
+        // AvgPool: utilization 13.54%, Vector R 83.98%.
+        let metrics = vec![
+            metric(Component::Vector, 0.1354, 0.8398),
+            metric(Component::MteGm, 0.10, 0.30),
+        ];
+        assert_eq!(
+            classify(&metrics, &thresholds()),
+            Bottleneck::InefficientCompute(ComputeUnit::Vector)
+        );
+    }
+
+    #[test]
+    fn busy_inefficient_mte_is_flagged() {
+        // Depthwise iteration 2: MTE-GM R 94.18%, U 71.56%.
+        let metrics = vec![
+            metric(Component::MteGm, 0.7156, 0.9418),
+            metric(Component::Cube, 0.30, 0.50),
+        ];
+        assert_eq!(
+            classify(&metrics, &thresholds()),
+            Bottleneck::InefficientMte(Component::MteGm)
+        );
+    }
+
+    #[test]
+    fn labels_match_figures() {
+        assert_eq!(Bottleneck::ComputeBound(ComputeUnit::Cube).label(), "CB");
+        assert_eq!(Bottleneck::MteBound(Component::MteGm).label(), "MB");
+        assert_eq!(Bottleneck::InsufficientParallelism.label(), "IP");
+        assert_eq!(Bottleneck::InefficientMte(Component::MteUb).label(), "IM");
+        assert_eq!(Bottleneck::InefficientCompute(ComputeUnit::Vector).label(), "IC");
+        assert!(Bottleneck::MteBound(Component::MteGm).is_bound());
+        assert!(!Bottleneck::InsufficientParallelism.is_bound());
+    }
+}

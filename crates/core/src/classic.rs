@@ -1,0 +1,216 @@
+//! Classic roofline models (paper, Section 2.3 / Figure 2): the original
+//! DRAM roofline and the hierarchical roofline, provided as baselines.
+
+use serde::{Deserialize, Serialize};
+
+/// Which side of the ridge point a kernel falls on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RooflineRegion {
+    /// Left of the ridge: performance limited by memory bandwidth.
+    MemoryBound,
+    /// Right of the ridge: performance limited by arithmetic throughput.
+    ComputeBound,
+}
+
+/// The original DRAM roofline model (Williams et al., CACM 2009).
+///
+/// # Examples
+///
+/// ```
+/// use ascend_roofline::classic::{DramRoofline, RooflineRegion};
+///
+/// // 1 TFLOP/s peak, 100 GB/s DRAM.
+/// let model = DramRoofline::new(1e12, 1e11);
+/// assert_eq!(model.ridge_intensity(), 10.0);
+/// assert_eq!(model.classify(2.0), RooflineRegion::MemoryBound);
+/// assert_eq!(model.classify(50.0), RooflineRegion::ComputeBound);
+/// assert_eq!(model.attainable(2.0), 2e11);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramRoofline {
+    peak_flops: f64,
+    peak_bandwidth: f64,
+}
+
+impl DramRoofline {
+    /// Creates a roofline from a peak arithmetic rate (ops/s) and a peak
+    /// DRAM bandwidth (bytes/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is not strictly positive.
+    #[must_use]
+    pub fn new(peak_flops: f64, peak_bandwidth: f64) -> Self {
+        assert!(peak_flops > 0.0 && peak_bandwidth > 0.0, "peaks must be positive");
+        DramRoofline { peak_flops, peak_bandwidth }
+    }
+
+    /// Peak arithmetic rate (the horizontal ceiling).
+    #[must_use]
+    pub fn peak_flops(&self) -> f64 {
+        self.peak_flops
+    }
+
+    /// Peak bandwidth (the slope of the diagonal ceiling).
+    #[must_use]
+    pub fn peak_bandwidth(&self) -> f64 {
+        self.peak_bandwidth
+    }
+
+    /// Arithmetic intensity of the ridge point.
+    #[must_use]
+    pub fn ridge_intensity(&self) -> f64 {
+        self.peak_flops / self.peak_bandwidth
+    }
+
+    /// Attainable performance at arithmetic intensity `ai`:
+    /// `min(peak, ai × bandwidth)`.
+    #[must_use]
+    pub fn attainable(&self, ai: f64) -> f64 {
+        (ai * self.peak_bandwidth).min(self.peak_flops)
+    }
+
+    /// Memory- vs. compute-bound classification of intensity `ai`.
+    #[must_use]
+    pub fn classify(&self, ai: f64) -> RooflineRegion {
+        if ai < self.ridge_intensity() {
+            RooflineRegion::MemoryBound
+        } else {
+            RooflineRegion::ComputeBound
+        }
+    }
+
+    /// The performance point of a kernel that executed `ops` operations
+    /// over `bytes` DRAM bytes in `seconds`: `(ai, ops_per_sec)`.
+    #[must_use]
+    pub fn point(&self, ops: f64, bytes: f64, seconds: f64) -> (f64, f64) {
+        (ops / bytes, ops / seconds)
+    }
+}
+
+/// One ceiling of a hierarchical roofline: a memory level or an
+/// arithmetic peak.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HierarchyLevel {
+    /// Display name, e.g. `"L2"` or `"HBM"` or `"TensorCore FP16"`.
+    pub name: String,
+    /// Bandwidth in bytes/s for memory levels, ops/s for arithmetic
+    /// ceilings.
+    pub rate: f64,
+    /// Whether this is an arithmetic ceiling (`true`) or a bandwidth
+    /// ceiling (`false`).
+    pub arithmetic: bool,
+}
+
+/// The hierarchical roofline model (Yang et al.): one bandwidth ceiling
+/// per memory level, one arithmetic ceiling per precision/unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HierarchicalRoofline {
+    levels: Vec<HierarchyLevel>,
+}
+
+impl HierarchicalRoofline {
+    /// Creates a model from its ceilings.
+    #[must_use]
+    pub fn new(levels: Vec<HierarchyLevel>) -> Self {
+        HierarchicalRoofline { levels }
+    }
+
+    /// All ceilings.
+    #[must_use]
+    pub fn levels(&self) -> &[HierarchyLevel] {
+        &self.levels
+    }
+
+    /// Attainable performance at intensity `ai` measured against the
+    /// memory level `name`, bounded by the *lowest* arithmetic ceiling at
+    /// or above it. Returns `None` for an unknown level.
+    #[must_use]
+    pub fn attainable(&self, name: &str, ai: f64) -> Option<f64> {
+        let level = self.levels.iter().find(|l| l.name == name && !l.arithmetic)?;
+        let arithmetic_peak = self
+            .levels
+            .iter()
+            .filter(|l| l.arithmetic)
+            .map(|l| l.rate)
+            .fold(f64::INFINITY, f64::min);
+        Some((ai * level.rate).min(arithmetic_peak))
+    }
+
+    /// The binding level (lowest attainable ceiling) for intensity `ai`.
+    #[must_use]
+    pub fn binding_level(&self, ai: f64) -> Option<&HierarchyLevel> {
+        self.levels
+            .iter()
+            .min_by(|a, b| {
+                let ra = if a.arithmetic { a.rate } else { ai * a.rate };
+                let rb = if b.arithmetic { b.rate } else { ai * b.rate };
+                ra.total_cmp(&rb)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ridge_point_separates_regions() {
+        let model = DramRoofline::new(2e12, 4e11);
+        let ridge = model.ridge_intensity();
+        assert_eq!(model.classify(ridge * 0.5), RooflineRegion::MemoryBound);
+        assert_eq!(model.classify(ridge * 2.0), RooflineRegion::ComputeBound);
+        // At the ridge itself both limits coincide.
+        assert!((model.attainable(ridge) - model.peak_flops()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn attainable_is_monotone_and_saturates() {
+        let model = DramRoofline::new(1e12, 1e11);
+        assert!(model.attainable(1.0) < model.attainable(5.0));
+        assert_eq!(model.attainable(100.0), model.attainable(1000.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "peaks must be positive")]
+    fn zero_peak_panics() {
+        let _ = DramRoofline::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn point_computes_intensity_and_rate() {
+        let model = DramRoofline::new(1e12, 1e11);
+        let (ai, perf) = model.point(1e9, 1e8, 1e-3);
+        assert!((ai - 10.0).abs() < 1e-9);
+        assert!((perf - 1e12).abs() < 1.0);
+    }
+
+    fn gpu_like() -> HierarchicalRoofline {
+        HierarchicalRoofline::new(vec![
+            HierarchyLevel { name: "HBM".into(), rate: 1.5e12, arithmetic: false },
+            HierarchyLevel { name: "L2".into(), rate: 4e12, arithmetic: false },
+            HierarchyLevel { name: "L1".into(), rate: 1.2e13, arithmetic: false },
+            HierarchyLevel { name: "FP32".into(), rate: 2e13, arithmetic: true },
+            HierarchyLevel { name: "TensorCore".into(), rate: 3e14, arithmetic: true },
+        ])
+    }
+
+    #[test]
+    fn hierarchical_attainable_per_level() {
+        let model = gpu_like();
+        // Low intensity: bandwidth-limited at every level, HBM lowest.
+        let hbm = model.attainable("HBM", 1.0).unwrap();
+        let l1 = model.attainable("L1", 1.0).unwrap();
+        assert!(hbm < l1);
+        // Very high intensity: both clip at the lowest arithmetic ceiling.
+        assert_eq!(model.attainable("HBM", 1e9), model.attainable("L1", 1e9));
+        assert_eq!(model.attainable("missing", 1.0), None);
+    }
+
+    #[test]
+    fn binding_level_shifts_with_intensity() {
+        let model = gpu_like();
+        assert_eq!(model.binding_level(0.1).unwrap().name, "HBM");
+        assert_eq!(model.binding_level(1e9).unwrap().name, "FP32");
+    }
+}

@@ -1,0 +1,209 @@
+//! Operator-aware ideal performance (paper, Definition 1 / Eq. 4).
+
+use ascend_arch::{ChipSpec, ComputeUnit, MteEngine, TransferPath};
+use ascend_profile::Profile;
+
+/// Operator-aware ideal performance of a compute unit, in operations per
+/// cycle: the weighted harmonic mean of the unit's precision peaks, with
+/// the operator's per-precision operation counts as weights (Eq. 4).
+///
+/// Returns `None` when the operator executed no operations on `unit`, or
+/// when a precision present in the profile is unsupported by the chip.
+///
+/// The harmonic mean is the right aggregate because each precision is a
+/// task whose time is `O_prec / P_prec`: slow precisions weigh more, and
+/// a 100%-INT8 operator's ideal equals the INT8 peak exactly.
+///
+/// # Examples
+///
+/// ```
+/// use ascend_arch::{ChipSpec, ComputeUnit, Precision};
+/// use ascend_profile::Profile;
+/// use ascend_roofline::ideal_compute_rate;
+///
+/// let chip = ChipSpec::training();
+/// let mut profile = Profile::empty("quantized_matmul");
+/// // Equal op counts in FP16 and INT8 (the paper's Figure 3b example).
+/// profile.ops.insert((ComputeUnit::Cube, Precision::Fp16), 1_000_000);
+/// profile.ops.insert((ComputeUnit::Cube, Precision::Int8), 1_000_000);
+/// let ideal = ideal_compute_rate(&chip, &profile, ComputeUnit::Cube).unwrap();
+/// let int8 = chip.peak_ops_per_cycle(ComputeUnit::Cube, Precision::Int8).unwrap();
+/// // Harmonic mean of P and 2P with equal weights = 4/3 P = 2/3 of INT8 peak.
+/// assert!((ideal - int8 * 2.0 / 3.0).abs() < 1e-6);
+/// ```
+#[must_use]
+pub fn ideal_compute_rate(chip: &ChipSpec, profile: &Profile, unit: ComputeUnit) -> Option<f64> {
+    let mut total_ops = 0.0;
+    let mut ideal_time = 0.0;
+    for (&(u, precision), &ops) in &profile.ops {
+        if u != unit || ops == 0 {
+            continue;
+        }
+        let peak = chip.peak_ops_per_cycle(unit, precision).ok()?;
+        total_ops += ops as f64;
+        ideal_time += ops as f64 / peak;
+    }
+    if total_ops == 0.0 || ideal_time == 0.0 {
+        return None;
+    }
+    Some(total_ops / ideal_time)
+}
+
+/// The *maximum* precision peak among those the operator used on `unit` —
+/// the naive alternative the paper rejects (it assumes everything could
+/// run at the fastest precision).
+#[must_use]
+pub fn max_compute_rate(chip: &ChipSpec, profile: &Profile, unit: ComputeUnit) -> Option<f64> {
+    profile
+        .ops
+        .iter()
+        .filter(|(&(u, _), &ops)| u == unit && ops > 0)
+        .filter_map(|(&(_, p), _)| chip.peak_ops_per_cycle(unit, p).ok())
+        .fold(None, |acc, peak| Some(acc.map_or(peak, |a: f64| a.max(peak))))
+}
+
+/// The unweighted *arithmetic mean* of the precision peaks the operator
+/// used on `unit` — the second naive alternative the paper rejects (an
+/// all-INT8 operator would appear to exceed 100% utilization).
+#[must_use]
+pub fn average_compute_rate(chip: &ChipSpec, profile: &Profile, unit: ComputeUnit) -> Option<f64> {
+    let peaks: Vec<f64> = profile
+        .ops
+        .iter()
+        .filter(|(&(u, _), &ops)| u == unit && ops > 0)
+        .filter_map(|(&(_, p), _)| chip.peak_ops_per_cycle(unit, p).ok())
+        .collect();
+    if peaks.is_empty() {
+        return None;
+    }
+    Some(peaks.iter().sum::<f64>() / peaks.len() as f64)
+}
+
+/// Operator-aware ideal bandwidth of an MTE engine, in bytes per cycle:
+/// the weighted harmonic mean of the engine's path bandwidths, with the
+/// operator's per-path byte counts as weights.
+///
+/// This is the transfer-side analogue of [`ideal_compute_rate`]: transfers
+/// within one MTE run serially (Section 2.1), so the engine's ideal time
+/// is the sum of per-path ideal times, and the Figure 3a example — a 2:1
+/// byte split across `GM→L0A`/`GM→L0B` saturating the engine — comes out
+/// at exactly 100% utilization instead of the naive 67%/33% split.
+///
+/// Returns `None` when the engine moved no bytes.
+#[must_use]
+pub fn ideal_mte_rate(chip: &ChipSpec, profile: &Profile, engine: MteEngine) -> Option<f64> {
+    let mut total_bytes = 0.0;
+    let mut ideal_time = 0.0;
+    for path in TransferPath::paths_of(engine) {
+        let bytes = profile.bytes_on_path(path);
+        if bytes == 0 {
+            continue;
+        }
+        let spec = chip.transfer(path).ok()?;
+        total_bytes += bytes as f64;
+        ideal_time += bytes as f64 / spec.bytes_per_cycle;
+    }
+    if total_bytes == 0.0 || ideal_time == 0.0 {
+        return None;
+    }
+    Some(total_bytes / ideal_time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascend_arch::Precision;
+
+    fn chip() -> ChipSpec {
+        ChipSpec::training()
+    }
+
+    fn cube_profile(fp16: u64, int8: u64) -> Profile {
+        let mut p = Profile::empty("cube");
+        if fp16 > 0 {
+            p.ops.insert((ComputeUnit::Cube, Precision::Fp16), fp16);
+        }
+        if int8 > 0 {
+            p.ops.insert((ComputeUnit::Cube, Precision::Int8), int8);
+        }
+        p
+    }
+
+    #[test]
+    fn pure_precision_ideal_equals_that_peak() {
+        let chip = chip();
+        let fp16 = chip.peak_ops_per_cycle(ComputeUnit::Cube, Precision::Fp16).unwrap();
+        let int8 = chip.peak_ops_per_cycle(ComputeUnit::Cube, Precision::Int8).unwrap();
+        let p = cube_profile(1000, 0);
+        assert!((ideal_compute_rate(&chip, &p, ComputeUnit::Cube).unwrap() - fp16).abs() < 1e-9);
+        let p = cube_profile(0, 1000);
+        assert!((ideal_compute_rate(&chip, &p, ComputeUnit::Cube).unwrap() - int8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure_3b_revisit_ideal_is_two_thirds_int8_peak() {
+        // Equal operand counts in FP16 (peak P) and INT8 (peak 2P):
+        // operator-aware ideal = 2/(1/P + 1/2P) ... per-op weighting gives
+        // 2W / (W/P + W/2P) = 4P/3 = (2/3) * 2P.
+        let chip = chip();
+        let int8 = chip.peak_ops_per_cycle(ComputeUnit::Cube, Precision::Int8).unwrap();
+        let p = cube_profile(1 << 20, 1 << 20);
+        let ideal = ideal_compute_rate(&chip, &p, ComputeUnit::Cube).unwrap();
+        assert!((ideal - int8 * 2.0 / 3.0).abs() < 1e-6);
+        // The naive alternatives disagree, as the paper notes:
+        let max = max_compute_rate(&chip, &p, ComputeUnit::Cube).unwrap();
+        let avg = average_compute_rate(&chip, &p, ComputeUnit::Cube).unwrap();
+        assert!((max - int8).abs() < 1e-9, "max = INT8 peak");
+        assert!((avg - int8 * 0.75).abs() < 1e-9, "avg = 3/4 of INT8 peak");
+    }
+
+    #[test]
+    fn ideal_lies_between_slowest_and_fastest_peak() {
+        let chip = chip();
+        for (fp16, int8) in [(1u64, 9u64), (5, 5), (1000, 1), (7, 3)] {
+            let p = cube_profile(fp16 << 10, int8 << 10);
+            let ideal = ideal_compute_rate(&chip, &p, ComputeUnit::Cube).unwrap();
+            let lo = chip.peak_ops_per_cycle(ComputeUnit::Cube, Precision::Fp16).unwrap();
+            let hi = chip.peak_ops_per_cycle(ComputeUnit::Cube, Precision::Int8).unwrap();
+            assert!(ideal >= lo - 1e-9 && ideal <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn no_work_means_no_ideal() {
+        let chip = chip();
+        let p = Profile::empty("idle");
+        assert_eq!(ideal_compute_rate(&chip, &p, ComputeUnit::Cube), None);
+        assert_eq!(ideal_mte_rate(&chip, &p, MteEngine::Gm), None);
+        assert_eq!(max_compute_rate(&chip, &p, ComputeUnit::Cube), None);
+        assert_eq!(average_compute_rate(&chip, &p, ComputeUnit::Cube), None);
+    }
+
+    #[test]
+    fn figure_3a_revisit_mte_ideal_is_byte_weighted() {
+        // Matrix A (2/3 of bytes) via GM->L0A, matrix B (1/3) via GM->L0B.
+        let chip = chip();
+        let mut p = Profile::empty("matmul");
+        p.bytes.insert(TransferPath::GmToL0A, 2 << 20);
+        p.bytes.insert(TransferPath::GmToL0B, 1 << 20);
+        let ideal = ideal_mte_rate(&chip, &p, MteEngine::Gm).unwrap();
+        let bw_a = chip.transfer(TransferPath::GmToL0A).unwrap().bytes_per_cycle;
+        let bw_b = chip.transfer(TransferPath::GmToL0B).unwrap().bytes_per_cycle;
+        let expected = 3.0 / (2.0 / bw_a + 1.0 / bw_b);
+        assert!((ideal - expected).abs() < 1e-9);
+        assert!(ideal > bw_b && ideal < bw_a);
+    }
+
+    #[test]
+    fn mte_ideal_ignores_other_engines_paths() {
+        let chip = chip();
+        let mut p = Profile::empty("mixed");
+        p.bytes.insert(TransferPath::GmToUb, 1 << 20);
+        p.bytes.insert(TransferPath::UbToGm, 1 << 20);
+        let gm = ideal_mte_rate(&chip, &p, MteEngine::Gm).unwrap();
+        let ub = ideal_mte_rate(&chip, &p, MteEngine::Ub).unwrap();
+        assert!((gm - chip.transfer(TransferPath::GmToUb).unwrap().bytes_per_cycle).abs() < 1e-9);
+        assert!((ub - chip.transfer(TransferPath::UbToGm).unwrap().bytes_per_cycle).abs() < 1e-9);
+        assert_eq!(ideal_mte_rate(&chip, &p, MteEngine::L1), None);
+    }
+}

@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+
+//! The component-based roofline model for the Ascend architecture — the
+//! primary contribution of "Squeezing Operator Performance Potential for
+//! the Ascend Architecture" (ASPLOS 2025), Section 4.
+//!
+//! The model treats each *component* (Scalar, Vector, Cube, MTE-GM,
+//! MTE-L1, MTE-UB) as a single entity:
+//!
+//! 1. **Operator-aware ideal performance** ([`ideal_compute_rate`] /
+//!    [`ideal_mte_rate`]): the ideal rate of a component is the *weighted
+//!    harmonic mean* of its constituent precision peaks (or path
+//!    bandwidths), weighted by the operator's own operation (byte)
+//!    counts — Definition 1 / Eq. 4 of the paper.
+//! 2. **Utilization** ([`ComponentMetrics`]): actual rate over ideal rate
+//!    (Eq. 5), decomposed into execution efficiency `E` and active-time
+//!    ratio `R` with `U = E · R` (Eq. 6).
+//! 3. **Bottleneck classification** ([`analyze`]): a component whose
+//!    utilization exceeds its bound threshold is the bottleneck
+//!    (*compute bound* / *MTE bound*); otherwise low time ratios across
+//!    the board mean *insufficient parallelism*, and a high time ratio
+//!    with low efficiency pins an *inefficient* compute or MTE component.
+//! 4. **Pruning and visualization** ([`pruning`], [`RooflineChart`]): the naive
+//!    9 × 20 = 180 precision-transfer rooflines collapse to at most 7
+//!    component pairs; [`RooflineChart`] renders them as ASCII or SVG.
+//!
+//! The baseline models the paper compares against are also provided:
+//! [`classic::DramRoofline`], [`classic::HierarchicalRoofline`], and the
+//! misdiagnosing [`naive`] extension (Figure 3).
+//!
+//! # Examples
+//!
+//! ```
+//! use ascend_arch::{Buffer, ChipSpec, Component, ComputeUnit, Precision, TransferPath};
+//! use ascend_isa::{KernelBuilder, Region};
+//! use ascend_profile::Profiler;
+//! use ascend_roofline::{analyze, Thresholds};
+//!
+//! let chip = ChipSpec::training();
+//! let mut b = KernelBuilder::new("add");
+//! let gm = Region::new(Buffer::Gm, 0, 65536);
+//! let ub = Region::new(Buffer::Ub, 0, 65536);
+//! b.transfer(TransferPath::GmToUb, gm, ub)?;
+//! b.sync(Component::MteGm, Component::Vector);
+//! b.compute(ComputeUnit::Vector, Precision::Fp16, 32768, vec![ub], vec![ub]);
+//!
+//! let (profile, _) = Profiler::new(chip.clone()).run(&b.build())?;
+//! let analysis = analyze(&profile, &chip, &Thresholds::default());
+//! println!("{}", analysis.summary());
+//! assert!(!analysis.metrics().is_empty());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod analysis;
+pub mod classic;
+mod ideal;
+mod metrics;
+pub mod naive;
+mod plot;
+pub mod pruning;
+pub mod report;
+
+pub use analysis::{analyze, Bottleneck, RooflineAnalysis, Thresholds};
+pub use ideal::{average_compute_rate, ideal_compute_rate, ideal_mte_rate, max_compute_rate};
+pub use metrics::ComponentMetrics;
+pub use plot::{Ceiling, CeilingKind, PerfPoint, RooflineChart};

@@ -1,0 +1,144 @@
+//! Per-component utilization metrics and the E × R decomposition.
+
+use crate::{ideal_compute_rate, ideal_mte_rate};
+use ascend_arch::{ChipSpec, Component, ComponentKind};
+use ascend_profile::Profile;
+use serde::{Deserialize, Serialize};
+
+/// The roofline metrics of one component for one operator.
+///
+/// All rates are per-cycle (operations per cycle for compute components,
+/// bytes per cycle for MTEs). The identity `U = E · R` (paper, Eq. 6)
+/// holds by construction:
+///
+/// - `utilization  U = actual_rate / ideal_rate`
+/// - `efficiency   E = work / (active_cycles · ideal_rate)`
+/// - `time_ratio   R = active_cycles / total_cycles`
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComponentMetrics {
+    /// The component measured.
+    pub component: Component,
+    /// Work done: operations (compute) or bytes (MTE).
+    pub work: f64,
+    /// Operator-aware ideal rate (Eq. 4), per cycle.
+    pub ideal_rate: f64,
+    /// Achieved rate over the whole operator time (Eq. 1), per cycle.
+    pub actual_rate: f64,
+    /// Utilization `U` (Eq. 5).
+    pub utilization: f64,
+    /// Active (executing) cycles of the component.
+    pub active_cycles: f64,
+    /// Time ratio `R` (Eq. 6).
+    pub time_ratio: f64,
+    /// Execution efficiency `E` (Eq. 6).
+    pub efficiency: f64,
+}
+
+impl ComponentMetrics {
+    /// Computes the metrics of `component` from an operator profile, or
+    /// `None` when the component did no work.
+    #[must_use]
+    pub fn from_profile(profile: &Profile, chip: &ChipSpec, component: Component) -> Option<Self> {
+        let total = profile.total_cycles;
+        if total <= 0.0 {
+            return None;
+        }
+        let (work, ideal_rate) = match component.kind() {
+            ComponentKind::Compute => {
+                let unit = component.as_unit().expect("compute component");
+                let work = profile.total_ops(unit) as f64;
+                (work, ideal_compute_rate(chip, profile, unit)?)
+            }
+            ComponentKind::Memory => {
+                let engine = component.as_mte().expect("memory component");
+                let work = profile.bytes_of_component(component) as f64;
+                (work, ideal_mte_rate(chip, profile, engine)?)
+            }
+        };
+        if work <= 0.0 {
+            return None;
+        }
+        let active_cycles = profile.active_cycles(component);
+        let actual_rate = work / total;
+        let utilization = actual_rate / ideal_rate;
+        let time_ratio = active_cycles / total;
+        let efficiency = if active_cycles > 0.0 {
+            work / (active_cycles * ideal_rate)
+        } else {
+            0.0
+        };
+        Some(ComponentMetrics {
+            component,
+            work,
+            ideal_rate,
+            actual_rate,
+            utilization,
+            active_cycles,
+            time_ratio,
+            efficiency,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascend_arch::{Buffer, ComputeUnit, Precision, TransferPath};
+    use ascend_isa::{KernelBuilder, Region};
+    use ascend_profile::Profiler;
+
+    fn profiled() -> (Profile, ChipSpec) {
+        let chip = ChipSpec::training();
+        let mut b = KernelBuilder::new("m");
+        let gm = Region::new(Buffer::Gm, 0, 32768);
+        let ub = Region::new(Buffer::Ub, 0, 32768);
+        b.transfer(TransferPath::GmToUb, gm, ub).unwrap();
+        b.sync(Component::MteGm, Component::Vector);
+        b.compute(ComputeUnit::Vector, Precision::Fp16, 16384, vec![ub], vec![ub]);
+        let (p, _) = Profiler::new(chip.clone()).run(&b.build()).unwrap();
+        (p, chip)
+    }
+
+    #[test]
+    fn decomposition_identity_holds() {
+        let (p, chip) = profiled();
+        for component in [Component::MteGm, Component::Vector] {
+            let m = ComponentMetrics::from_profile(&p, &chip, component).unwrap();
+            assert!(
+                (m.utilization - m.efficiency * m.time_ratio).abs() < 1e-9,
+                "{component}: U={} E={} R={}",
+                m.utilization,
+                m.efficiency,
+                m.time_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn idle_components_yield_none() {
+        let (p, chip) = profiled();
+        assert!(ComponentMetrics::from_profile(&p, &chip, Component::Cube).is_none());
+        assert!(ComponentMetrics::from_profile(&p, &chip, Component::MteL1).is_none());
+    }
+
+    #[test]
+    fn utilization_and_ratio_are_within_bounds() {
+        let (p, chip) = profiled();
+        for component in Component::ALL {
+            if let Some(m) = ComponentMetrics::from_profile(&p, &chip, component) {
+                assert!(m.utilization > 0.0 && m.utilization <= 1.0 + 1e-9);
+                assert!(m.time_ratio > 0.0 && m.time_ratio <= 1.0 + 1e-9);
+                assert!(m.efficiency > 0.0 && m.efficiency <= 1.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_profile_yields_none() {
+        let chip = ChipSpec::training();
+        let p = Profile::empty("nothing");
+        for component in Component::ALL {
+            assert!(ComponentMetrics::from_profile(&p, &chip, component).is_none());
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Roofline chart construction and rendering (paper, Figure 6).
+//!
+//! The chart is log-log: the x-axis is arithmetic intensity (operations
+//! per byte moved by the paired MTE), the y-axis is performance
+//! (operations per cycle). Compute components contribute horizontal
+//! *arithmetic ceilings* at their operator-aware ideal rate; MTEs
+//! contribute diagonal *bandwidth ceilings* with their operator-aware
+//! ideal bandwidth as slope. One performance point is drawn per surviving
+//! (MTE, compute) pair — at most 7 after pruning.
+
+use crate::{pruning, RooflineAnalysis};
+use ascend_arch::Component;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Whether a ceiling is an arithmetic peak or a bandwidth slope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CeilingKind {
+    /// Horizontal line: ideal operations per cycle.
+    Arithmetic,
+    /// Diagonal line: ideal bytes per cycle (slope in ops/cycle per
+    /// ops/byte).
+    Bandwidth,
+}
+
+/// One roofline ceiling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ceiling {
+    /// The component whose ideal rate this ceiling shows.
+    pub component: Component,
+    /// Arithmetic or bandwidth.
+    pub kind: CeilingKind,
+    /// Ideal rate: ops/cycle (arithmetic) or bytes/cycle (bandwidth).
+    pub rate: f64,
+}
+
+/// One performance point: a surviving (MTE, compute) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfPoint {
+    /// The compute component of the pair.
+    pub compute: Component,
+    /// The memory component of the pair.
+    pub memory: Component,
+    /// Arithmetic intensity: compute ops / MTE bytes.
+    pub intensity: f64,
+    /// Achieved performance in ops/cycle.
+    pub performance: f64,
+    /// The pair's utilization: how close the point is to its nearest
+    /// ceiling (max of the compute and memory utilizations).
+    pub utilization: f64,
+}
+
+/// A renderable component-based roofline chart.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RooflineChart {
+    title: String,
+    ceilings: Vec<Ceiling>,
+    points: Vec<PerfPoint>,
+}
+
+impl RooflineChart {
+    /// Builds the chart of an analysis: ceilings for every active
+    /// component, one point per surviving pair with work on both sides.
+    #[must_use]
+    pub fn from_analysis(analysis: &RooflineAnalysis) -> Self {
+        let mut ceilings = Vec::new();
+        for m in analysis.metrics() {
+            let kind = match m.component.as_unit() {
+                Some(_) => CeilingKind::Arithmetic,
+                None => CeilingKind::Bandwidth,
+            };
+            ceilings.push(Ceiling { component: m.component, kind, rate: m.ideal_rate });
+        }
+        let mut points = Vec::new();
+        for pair in pruning::pruned_pairs() {
+            let compute_component = Component::from_unit(pair.compute);
+            let (Some(c), Some(m)) = (
+                analysis.metrics_of(compute_component),
+                analysis.metrics_of(pair.memory),
+            ) else {
+                continue;
+            };
+            points.push(PerfPoint {
+                compute: compute_component,
+                memory: pair.memory,
+                intensity: c.work / m.work,
+                performance: c.actual_rate,
+                utilization: c.utilization.max(m.utilization),
+            });
+        }
+        RooflineChart { title: analysis.operator.clone(), ceilings, points }
+    }
+
+    /// Chart title (the operator name).
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The ceilings of the chart.
+    #[must_use]
+    pub fn ceilings(&self) -> &[Ceiling] {
+        &self.ceilings
+    }
+
+    /// The performance points of the chart (≤ 7).
+    #[must_use]
+    pub fn points(&self) -> &[PerfPoint] {
+        &self.points
+    }
+
+    fn bounds(&self) -> (f64, f64, f64, f64) {
+        let mut x_min = f64::INFINITY;
+        let mut x_max = f64::NEG_INFINITY;
+        let mut y_min = f64::INFINITY;
+        let mut y_max = f64::NEG_INFINITY;
+        for p in &self.points {
+            x_min = x_min.min(p.intensity);
+            x_max = x_max.max(p.intensity);
+            y_min = y_min.min(p.performance);
+            y_max = y_max.max(p.performance);
+        }
+        for c in &self.ceilings {
+            if c.kind == CeilingKind::Arithmetic {
+                y_max = y_max.max(c.rate);
+            }
+        }
+        if !x_min.is_finite() {
+            (0.1, 10.0, 0.1, 10.0)
+        } else {
+            (x_min / 4.0, x_max * 4.0, y_min / 4.0, y_max * 2.0)
+        }
+    }
+
+    /// Renders the chart as ASCII art (`width`×`height` characters).
+    ///
+    /// `*` marks performance points, `-` arithmetic ceilings, `/`
+    /// bandwidth ceilings.
+    #[must_use]
+    pub fn to_ascii(&self, width: usize, height: usize) -> String {
+        let (width, height) = (width.max(20), height.max(8));
+        let (x_min, x_max, y_min, y_max) = self.bounds();
+        let (lx_min, lx_max) = (x_min.log10(), x_max.log10());
+        let (ly_min, ly_max) = (y_min.log10(), y_max.log10());
+        let mut grid = vec![vec![' '; width]; height];
+        let x_of = |col: usize| 10f64.powf(lx_min + (lx_max - lx_min) * col as f64 / (width - 1) as f64);
+        let row_of = |y: f64| {
+            let t = (y.log10() - ly_min) / (ly_max - ly_min);
+            let r = ((1.0 - t) * (height - 1) as f64).round();
+            if r.is_finite() {
+                Some((r.max(0.0) as usize).min(height - 1))
+            } else {
+                None
+            }
+        };
+        for ceiling in &self.ceilings {
+            for (col, x) in (0..width).map(|c| (c, x_of(c))) {
+                let (y, mark) = match ceiling.kind {
+                    CeilingKind::Arithmetic => (ceiling.rate, '-'),
+                    CeilingKind::Bandwidth => (ceiling.rate * x, '/'),
+                };
+                if y > y_max || y < y_min {
+                    continue;
+                }
+                if let Some(row) = row_of(y) {
+                    if grid[row][col] == ' ' {
+                        grid[row][col] = mark;
+                    }
+                }
+            }
+        }
+        for point in &self.points {
+            let t = (point.intensity.log10() - lx_min) / (lx_max - lx_min);
+            let col = ((t * (width - 1) as f64).round().max(0.0) as usize).min(width - 1);
+            if let Some(row) = row_of(point.performance) {
+                grid[row][col] = '*';
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{} (log-log; - arithmetic, / bandwidth, * point)", self.title);
+        for row in grid {
+            let _ = writeln!(out, "|{}|", row.iter().collect::<String>());
+        }
+        let _ = writeln!(out, " x: {x_min:.3e} .. {x_max:.3e} ops/byte, y: {y_min:.3e} .. {y_max:.3e} ops/cycle");
+        out
+    }
+
+    /// Renders the chart as a standalone SVG document.
+    #[must_use]
+    pub fn to_svg(&self, width: u32, height: u32) -> String {
+        let (w, h) = (f64::from(width.max(200)), f64::from(height.max(150)));
+        let margin = 50.0;
+        let (x_min, x_max, y_min, y_max) = self.bounds();
+        let (lx_min, lx_max) = (x_min.log10(), x_max.log10());
+        let (ly_min, ly_max) = (y_min.log10(), y_max.log10());
+        let sx = |x: f64| margin + (x.log10() - lx_min) / (lx_max - lx_min) * (w - 2.0 * margin);
+        let sy = |y: f64| h - margin - (y.log10() - ly_min) / (ly_max - ly_min) * (h - 2.0 * margin);
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" viewBox=\"0 0 {w} {h}\">"
+        );
+        let _ = write!(
+            svg,
+            "<rect width=\"{w}\" height=\"{h}\" fill=\"white\"/><text x=\"{}\" y=\"20\" font-size=\"14\">{} — component-based roofline</text>",
+            margin, self.title
+        );
+        for ceiling in &self.ceilings {
+            let (x1, y1, x2, y2) = match ceiling.kind {
+                CeilingKind::Arithmetic => (x_min, ceiling.rate, x_max, ceiling.rate),
+                CeilingKind::Bandwidth => {
+                    // Clip the diagonal to the chart's y-range.
+                    let x_at = |y: f64| y / ceiling.rate;
+                    let x1 = x_at(y_min).max(x_min);
+                    let x2 = x_at(y_max).min(x_max);
+                    (x1, ceiling.rate * x1, x2, ceiling.rate * x2)
+                }
+            };
+            if x2 <= x1 || y1 <= 0.0 {
+                continue;
+            }
+            let _ = write!(
+                svg,
+                "<line x1=\"{:.1}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" stroke=\"#888\" stroke-width=\"1.5\"/><text x=\"{:.1}\" y=\"{:.1}\" font-size=\"10\" fill=\"#555\">{}</text>",
+                sx(x1), sy(y1.max(y_min)), sx(x2), sy(y2.min(y_max)),
+                sx(x2) - 40.0, sy(y2.min(y_max)) - 4.0, ceiling.component
+            );
+        }
+        for point in &self.points {
+            let _ = write!(
+                svg,
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"4\" fill=\"#c33\"/><text x=\"{:.1}\" y=\"{:.1}\" font-size=\"10\">{}+{} ({:.1}%)</text>",
+                sx(point.intensity), sy(point.performance),
+                sx(point.intensity) + 6.0, sy(point.performance) - 4.0,
+                point.compute, point.memory, point.utilization * 100.0
+            );
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, Thresholds};
+    use ascend_arch::{Buffer, ChipSpec, ComputeUnit, Precision, TransferPath};
+    use ascend_isa::{KernelBuilder, Region};
+    use ascend_profile::Profiler;
+
+    fn analysis() -> RooflineAnalysis {
+        let chip = ChipSpec::training();
+        let mut b = KernelBuilder::new("add_relu_like");
+        let gm = Region::new(Buffer::Gm, 0, 65536);
+        let ub = Region::new(Buffer::Ub, 0, 65536);
+        let out = Region::new(Buffer::Gm, 1 << 20, 65536);
+        b.transfer(TransferPath::GmToUb, gm, ub).unwrap();
+        b.sync(ascend_arch::Component::MteGm, ascend_arch::Component::Vector);
+        b.compute(ComputeUnit::Vector, Precision::Fp16, 32768, vec![ub], vec![ub]);
+        b.compute(ComputeUnit::Scalar, Precision::Int32, 64, vec![], vec![]);
+        b.sync(ascend_arch::Component::Vector, ascend_arch::Component::MteUb);
+        b.transfer(TransferPath::UbToGm, ub, out).unwrap();
+        let (p, _) = Profiler::new(chip.clone()).run(&b.build()).unwrap();
+        analyze(&p, &chip, &Thresholds::default())
+    }
+
+    #[test]
+    fn chart_has_points_for_surviving_pairs_only() {
+        let chart = RooflineChart::from_analysis(&analysis());
+        assert!(!chart.points().is_empty());
+        assert!(chart.points().len() <= 7);
+        // MTE-L1 did no work: no pair may reference it.
+        assert!(chart.points().iter().all(|p| p.memory != Component::MteL1));
+        // Scalar pairs exist with GM and UB engines.
+        assert!(chart
+            .points()
+            .iter()
+            .any(|p| p.compute == Component::Scalar && p.memory == Component::MteGm));
+    }
+
+    #[test]
+    fn intensities_are_consistent_with_work() {
+        let analysis = analysis();
+        let chart = RooflineChart::from_analysis(&analysis);
+        for point in chart.points() {
+            let c = analysis.metrics_of(point.compute).unwrap();
+            let m = analysis.metrics_of(point.memory).unwrap();
+            assert!((point.intensity - c.work / m.work).abs() < 1e-12);
+            assert!((point.performance - c.actual_rate).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ascii_render_contains_points_and_ceilings() {
+        let chart = RooflineChart::from_analysis(&analysis());
+        let text = chart.to_ascii(72, 20);
+        assert!(text.contains('*'), "no points drawn:\n{text}");
+        assert!(text.contains('-') || text.contains('/'), "no ceilings drawn:\n{text}");
+    }
+
+    #[test]
+    fn svg_render_is_well_formed_enough() {
+        let chart = RooflineChart::from_analysis(&analysis());
+        let svg = chart.to_svg(640, 480);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("<circle"));
+        assert!(svg.contains("<line"));
+    }
+
+    #[test]
+    fn empty_analysis_renders_without_panicking() {
+        let chip = ChipSpec::training();
+        let p = ascend_profile::Profile::empty("idle");
+        let a = analyze(&p, &chip, &Thresholds::default());
+        let chart = RooflineChart::from_analysis(&a);
+        assert!(chart.points().is_empty());
+        let _ = chart.to_ascii(60, 15);
+        let _ = chart.to_svg(400, 300);
+    }
+}

@@ -1,0 +1,87 @@
+//! Combination pruning (paper, Section 4.3): from 180 naive rooflines to
+//! at most 7 component pairs.
+//!
+//! The chain on the modelled chip:
+//!
+//! 1. **Naive**: 9 precision-compute units × 20 transfer paths = 180.
+//! 2. **Component abstraction**: precisions merge into their unit,
+//!    MTE-scheduled paths merge into their engine → 3 compute components ×
+//!    (3 MTEs + 11 direct paths) = 42 memory-compute pairs. (The paper's
+//!    Figure 1 counts 12 direct paths, giving 45; the one-path difference
+//!    is an artifact of the topology reconstruction and does not affect
+//!    the pruned result.)
+//! 3. **Prune direct paths**: fixed-function ports (`L0A→Cube`, …) are
+//!    inevitable and leave no room for optimization → 3 × 3 = 9.
+//! 4. **Prune impossible pairs**: `(MTE-L1, Vector)` and
+//!    `(MTE-L1, Scalar)` cannot occur → **7**.
+
+use ascend_arch::{Component, ComputeUnit, TransferPath};
+
+/// A memory-compute component pair retained by the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ComponentPair {
+    /// The memory (MTE) component.
+    pub memory: Component,
+    /// The compute unit.
+    pub compute: ComputeUnit,
+}
+
+/// Count of naive (precision-unit × transfer) combinations: 180.
+#[must_use]
+pub fn naive_combinations() -> usize {
+    crate::naive::combination_count()
+}
+
+/// Count of pairs after the component abstraction but before pruning.
+#[must_use]
+pub fn component_combinations() -> usize {
+    let direct = TransferPath::ALL.iter().filter(|p| p.mte().is_none()).count();
+    let memory_components = Component::MEMORY.len() + direct;
+    Component::COMPUTE.len() * memory_components
+}
+
+/// The surviving (MTE, compute-unit) pairs — at most 7.
+#[must_use]
+pub fn pruned_pairs() -> Vec<ComponentPair> {
+    let mut pairs = Vec::new();
+    for memory in Component::MEMORY {
+        for compute in ComputeUnit::ALL {
+            if memory.pairs_with(compute) {
+                pairs.push(ComponentPair { memory, compute });
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_pruning_chain() {
+        assert_eq!(naive_combinations(), 180);
+        assert_eq!(component_combinations(), 42);
+        assert_eq!(pruned_pairs().len(), 7);
+    }
+
+    #[test]
+    fn mte_l1_only_pairs_with_cube() {
+        let pairs = pruned_pairs();
+        let l1_partners: Vec<ComputeUnit> = pairs
+            .iter()
+            .filter(|p| p.memory == Component::MteL1)
+            .map(|p| p.compute)
+            .collect();
+        assert_eq!(l1_partners, vec![ComputeUnit::Cube]);
+    }
+
+    #[test]
+    fn gm_and_ub_pair_with_everything() {
+        let pairs = pruned_pairs();
+        for memory in [Component::MteGm, Component::MteUb] {
+            let partners = pairs.iter().filter(|p| p.memory == memory).count();
+            assert_eq!(partners, 3);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Markdown report generation: one self-contained document per analyzed
+//! operator, combining the metric table, the classification, and the
+//! chart — the artifact an engineer would attach to an optimization
+//! ticket.
+
+use crate::{naive, RooflineAnalysis, RooflineChart};
+use ascend_arch::ChipSpec;
+use ascend_profile::Profile;
+use std::fmt::Write as _;
+
+/// Renders a self-contained markdown report for one analysis.
+///
+/// Sections: header with the verdict, the per-component metric table
+/// (ideal/actual rates, `U`, `E`, `R`), the per-path and per-precision
+/// breakdown used to localize inefficiencies (Section 4.2's "largest
+/// number of bytes transferred" heuristic), and the ASCII roofline.
+///
+/// # Examples
+///
+/// ```
+/// use ascend_arch::{Buffer, ChipSpec, Component, ComputeUnit, Precision, TransferPath};
+/// use ascend_isa::{KernelBuilder, Region};
+/// use ascend_profile::Profiler;
+/// use ascend_roofline::{analyze, report, Thresholds};
+///
+/// let chip = ChipSpec::training();
+/// let mut b = KernelBuilder::new("scale");
+/// let gm = Region::new(Buffer::Gm, 0, 4096);
+/// let ub = Region::new(Buffer::Ub, 0, 4096);
+/// b.transfer(TransferPath::GmToUb, gm, ub)?;
+/// b.sync(Component::MteGm, Component::Vector);
+/// b.compute(ComputeUnit::Vector, Precision::Fp16, 2048, vec![ub], vec![ub]);
+/// let (profile, _) = Profiler::new(chip.clone()).run(&b.build())?;
+/// let analysis = analyze(&profile, &chip, &Thresholds::default());
+/// let md = report::to_markdown(&analysis, &profile, &chip);
+/// assert!(md.contains("## Components"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn to_markdown(analysis: &RooflineAnalysis, profile: &Profile, chip: &ChipSpec) -> String {
+    let mut md = String::new();
+    let _ = writeln!(md, "# Roofline report: `{}`", analysis.operator);
+    let _ = writeln!(
+        md,
+        "\n- chip: `{}` at {:.2} GHz",
+        chip.name(),
+        chip.frequency_hz / 1e9
+    );
+    let _ = writeln!(
+        md,
+        "- total: {:.0} cycles = {:.3} µs",
+        analysis.total_cycles,
+        chip.cycles_to_micros(analysis.total_cycles)
+    );
+    let _ = writeln!(md, "- **diagnosis: {}**", analysis.bottleneck());
+    let _ = writeln!(
+        md,
+        "- peak component utilization: {:.1}%",
+        analysis.peak_utilization() * 100.0
+    );
+
+    let _ = writeln!(md, "\n## Components\n");
+    let _ = writeln!(md, "| component | ideal/cy | actual/cy | U | E | R |");
+    let _ = writeln!(md, "|---|---|---|---|---|---|");
+    for m in analysis.metrics() {
+        let _ = writeln!(
+            md,
+            "| {} | {:.2} | {:.2} | {:.1}% | {:.1}% | {:.1}% |",
+            m.component,
+            m.ideal_rate,
+            m.actual_rate,
+            m.utilization * 100.0,
+            m.efficiency * 100.0,
+            m.time_ratio * 100.0
+        );
+    }
+
+    let _ = writeln!(md, "\n## Transfer breakdown (bytes per path)\n");
+    let _ = writeln!(md, "| path | engine | bytes |");
+    let _ = writeln!(md, "|---|---|---|");
+    let mut paths: Vec<_> = profile.bytes.iter().collect();
+    paths.sort_by_key(|(_, &b)| std::cmp::Reverse(b));
+    for (path, bytes) in paths {
+        let engine = path.mte().map_or_else(|| "direct".to_owned(), |e| e.to_string());
+        let _ = writeln!(md, "| {path} | {engine} | {bytes} |");
+    }
+
+    let _ = writeln!(md, "\n## Compute breakdown (ops per precision)\n");
+    let _ = writeln!(md, "| unit | precision | operations |");
+    let _ = writeln!(md, "|---|---|---|");
+    let mut ops: Vec<_> = profile.ops.iter().collect();
+    ops.sort_by_key(|(_, &n)| std::cmp::Reverse(n));
+    for (&(unit, precision), count) in ops {
+        let _ = writeln!(md, "| {unit} | {precision} | {count} |");
+    }
+
+    let naive_points = naive::naive_points(profile, chip).len();
+    let _ = writeln!(
+        md,
+        "\nThe naive roofline would draw {naive_points} points for this operator; \
+         the component model draws {} after pruning.",
+        RooflineChart::from_analysis(analysis).points().len()
+    );
+
+    let _ = writeln!(md, "\n## Roofline\n\n```text");
+    let _ = write!(md, "{}", RooflineChart::from_analysis(analysis).to_ascii(84, 20));
+    let _ = writeln!(md, "```");
+    md
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, Thresholds};
+    use ascend_arch::{Buffer, Component, ComputeUnit, Precision, TransferPath};
+    use ascend_isa::{KernelBuilder, Region};
+    use ascend_profile::Profiler;
+
+    fn sample() -> (ChipSpec, Profile, RooflineAnalysis) {
+        let chip = ChipSpec::training();
+        let mut b = KernelBuilder::new("report_sample");
+        let gm = Region::new(Buffer::Gm, 0, 32768);
+        let ub = Region::new(Buffer::Ub, 0, 32768);
+        b.transfer(TransferPath::GmToUb, gm, ub).unwrap();
+        b.sync(Component::MteGm, Component::Vector);
+        b.compute(ComputeUnit::Vector, Precision::Fp16, 16384, vec![ub], vec![ub]);
+        let (profile, _) = Profiler::new(chip.clone()).run(&b.build()).unwrap();
+        let analysis = analyze(&profile, &chip, &Thresholds::default());
+        (chip, profile, analysis)
+    }
+
+    #[test]
+    fn report_contains_all_sections() {
+        let (chip, profile, analysis) = sample();
+        let md = to_markdown(&analysis, &profile, &chip);
+        for needle in [
+            "# Roofline report: `report_sample`",
+            "## Components",
+            "## Transfer breakdown",
+            "## Compute breakdown",
+            "## Roofline",
+            "diagnosis:",
+            "gm->ub",
+            "fp16",
+        ] {
+            assert!(md.contains(needle), "missing `{needle}` in:\n{md}");
+        }
+    }
+
+    #[test]
+    fn report_tables_are_markdown_shaped() {
+        let (chip, profile, analysis) = sample();
+        let md = to_markdown(&analysis, &profile, &chip);
+        // Every table row has matching pipes.
+        for line in md.lines().filter(|l| l.starts_with('|')) {
+            assert!(line.ends_with('|'), "unterminated row: {line}");
+        }
+    }
+}

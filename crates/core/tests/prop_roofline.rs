@@ -1,0 +1,127 @@
+//! Property tests over the roofline math.
+
+use ascend_arch::{ChipSpec, Component, ComputeUnit, MteEngine, Precision, TransferPath};
+use ascend_profile::Profile;
+use ascend_roofline::{
+    analyze, average_compute_rate, ideal_compute_rate, ideal_mte_rate, max_compute_rate,
+    Bottleneck, Thresholds,
+};
+use proptest::prelude::*;
+
+fn synthetic_profile(
+    cube_fp16: u64,
+    cube_int8: u64,
+    gm_bytes: u64,
+    ub_bytes: u64,
+    active_frac: f64,
+) -> Profile {
+    let mut p = Profile::empty("prop");
+    p.total_cycles = 1_000_000.0;
+    if cube_fp16 > 0 {
+        p.ops.insert((ComputeUnit::Cube, Precision::Fp16), cube_fp16);
+    }
+    if cube_int8 > 0 {
+        p.ops.insert((ComputeUnit::Cube, Precision::Int8), cube_int8);
+    }
+    if gm_bytes > 0 {
+        p.bytes.insert(TransferPath::GmToL1, gm_bytes);
+        p.active_cycles.insert(Component::MteGm, p.total_cycles * active_frac);
+    }
+    if ub_bytes > 0 {
+        p.bytes.insert(TransferPath::UbToGm, ub_bytes);
+        p.active_cycles.insert(Component::MteUb, p.total_cycles * active_frac);
+    }
+    if cube_fp16 + cube_int8 > 0 {
+        p.active_cycles.insert(Component::Cube, p.total_cycles * active_frac);
+    }
+    p
+}
+
+proptest! {
+    #[test]
+    fn harmonic_mean_is_bounded_and_can_beat_the_average(
+        fp16 in 1u64..10_000_000, int8 in 1u64..10_000_000,
+    ) {
+        let chip = ChipSpec::training();
+        let p = synthetic_profile(fp16, int8, 0, 0, 0.5);
+        let ideal = ideal_compute_rate(&chip, &p, ComputeUnit::Cube).unwrap();
+        let max = max_compute_rate(&chip, &p, ComputeUnit::Cube).unwrap();
+        prop_assert!(ideal <= max + 1e-9, "never above the fastest precision peak");
+        // With equal op counts the weighted harmonic mean sits below the
+        // unweighted arithmetic mean — but with INT8-heavy mixes it can
+        // exceed it, which is exactly why the paper rejects the average
+        // as the ideal (Section 4.1).
+        if fp16 == int8 {
+            let avg = average_compute_rate(&chip, &p, ComputeUnit::Cube).unwrap();
+            prop_assert!(ideal <= avg + 1e-9);
+        }
+        let int8_heavy = synthetic_profile(1, 10_000_000, 0, 0, 0.5);
+        let ideal_heavy = ideal_compute_rate(&chip, &int8_heavy, ComputeUnit::Cube).unwrap();
+        let avg_heavy = average_compute_rate(&chip, &int8_heavy, ComputeUnit::Cube).unwrap();
+        prop_assert!(ideal_heavy > avg_heavy, "INT8-heavy mixes beat the naive average");
+    }
+
+    #[test]
+    fn ideal_mte_rate_is_weighted_between_path_peaks(
+        a in 1u64..100_000_000, b in 1u64..100_000_000,
+    ) {
+        let chip = ChipSpec::training();
+        let mut p = Profile::empty("two_paths");
+        p.bytes.insert(TransferPath::GmToL0A, a);
+        p.bytes.insert(TransferPath::GmToL0B, b);
+        let ideal = ideal_mte_rate(&chip, &p, MteEngine::Gm).unwrap();
+        let fast = chip.transfer(TransferPath::GmToL0A).unwrap().bytes_per_cycle;
+        let slow = chip.transfer(TransferPath::GmToL0B).unwrap().bytes_per_cycle;
+        prop_assert!(ideal >= slow - 1e-9 && ideal <= fast + 1e-9);
+    }
+
+    #[test]
+    fn classification_is_total_and_consistent(
+        fp16 in 0u64..50_000_000, int8 in 0u64..50_000_000,
+        gm in 0u64..50_000_000, ub in 0u64..50_000_000,
+        active in 0.05f64..1.0,
+    ) {
+        let chip = ChipSpec::training();
+        let p = synthetic_profile(fp16, int8, gm, ub, active);
+        let analysis = analyze(&p, &chip, &Thresholds::default());
+        match analysis.bottleneck() {
+            Bottleneck::Idle => prop_assert!(analysis.metrics().is_empty()),
+            Bottleneck::ComputeBound(_) | Bottleneck::MteBound(_) => {
+                let thresholds = Thresholds::default();
+                let any_bound = analysis
+                    .metrics()
+                    .iter()
+                    .any(|m| m.utilization >= thresholds.bound_for(m.component) - 1e-12);
+                prop_assert!(any_bound);
+            }
+            Bottleneck::InsufficientParallelism => {
+                let r = Thresholds::default().parallelism_ratio;
+                for m in analysis.metrics() {
+                    prop_assert!(m.time_ratio < r);
+                }
+            }
+            Bottleneck::InefficientMte(c) => {
+                let busiest = analysis.busiest_component().unwrap();
+                prop_assert_eq!(busiest.component, c);
+            }
+            Bottleneck::InefficientCompute(u) => {
+                let busiest = analysis.busiest_component().unwrap();
+                prop_assert_eq!(busiest.component.as_unit(), Some(u));
+            }
+        }
+    }
+
+    #[test]
+    fn more_active_time_never_reduces_time_ratio(
+        gm in 1u64..50_000_000, a in 0.1f64..0.5, delta in 0.01f64..0.4,
+    ) {
+        let chip = ChipSpec::training();
+        let p1 = synthetic_profile(0, 0, gm, 0, a);
+        let p2 = synthetic_profile(0, 0, gm, 0, a + delta);
+        let m1 = analyze(&p1, &chip, &Thresholds::default());
+        let m2 = analyze(&p2, &chip, &Thresholds::default());
+        let r1 = m1.metrics_of(Component::MteGm).unwrap().time_ratio;
+        let r2 = m2.metrics_of(Component::MteGm).unwrap().time_ratio;
+        prop_assert!(r2 > r1);
+    }
+}

@@ -1,0 +1,149 @@
+//! Error type for kernel construction and validation.
+
+use ascend_arch::{Buffer, Component, ComputeUnit, Precision, TransferPath};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// A buffer cannot satisfy an allocation request.
+    OutOfBufferSpace {
+        /// The buffer that overflowed.
+        buffer: Buffer,
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes still available.
+        available: u64,
+    },
+    /// A transfer's source region does not live in the path's source buffer.
+    PathSourceMismatch {
+        /// The transfer path.
+        path: TransferPath,
+        /// The buffer the source region actually lives in.
+        found: Buffer,
+    },
+    /// A transfer's destination region does not live in the path's
+    /// destination buffer.
+    PathDestinationMismatch {
+        /// The transfer path.
+        path: TransferPath,
+        /// The buffer the destination region actually lives in.
+        found: Buffer,
+    },
+    /// Source and destination lengths differ.
+    TransferLengthMismatch {
+        /// Source length in bytes.
+        src_len: u64,
+        /// Destination length in bytes.
+        dst_len: u64,
+    },
+    /// A transfer names a fixed-function (direct) path; kernels may only
+    /// issue MTE-scheduled transfers.
+    DirectPathInKernel {
+        /// The offending path.
+        path: TransferPath,
+    },
+    /// A compute instruction uses a precision its unit does not support.
+    UnsupportedPrecision {
+        /// The compute unit.
+        unit: ComputeUnit,
+        /// The unsupported precision.
+        precision: Precision,
+    },
+    /// A region exceeds the capacity of its buffer on the target chip.
+    RegionOutOfBounds {
+        /// The buffer.
+        buffer: Buffer,
+        /// One-past-the-end offset of the region.
+        end: u64,
+        /// The buffer's capacity.
+        capacity: u64,
+    },
+    /// A `wait_flag` has no matching `set_flag` (or waits outnumber sets).
+    UnmatchedWait {
+        /// The flag's numeric id.
+        flag: u32,
+        /// Number of `set_flag`s in the kernel.
+        sets: usize,
+        /// Number of `wait_flag`s in the kernel.
+        waits: usize,
+    },
+    /// A `set_flag` and its matching `wait_flag` live on the same queue,
+    /// which serializes trivially and indicates a authoring bug.
+    SelfSync {
+        /// The queue that both sides run on.
+        queue: Component,
+        /// The flag's numeric id.
+        flag: u32,
+    },
+    /// The synchronization graph contains a cycle: the kernel would
+    /// deadlock under in-order per-queue execution.
+    SyncCycle {
+        /// Index of an instruction on the cycle.
+        at: usize,
+    },
+    /// The kernel is empty.
+    EmptyKernel,
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::OutOfBufferSpace { buffer, requested, available } => write!(
+                f,
+                "buffer {buffer} cannot allocate {requested} bytes ({available} available)"
+            ),
+            IsaError::PathSourceMismatch { path, found } => {
+                write!(f, "transfer {path} sources from {found}, not the path's source buffer")
+            }
+            IsaError::PathDestinationMismatch { path, found } => write!(
+                f,
+                "transfer {path} writes into {found}, not the path's destination buffer"
+            ),
+            IsaError::TransferLengthMismatch { src_len, dst_len } => {
+                write!(f, "transfer source is {src_len} bytes but destination is {dst_len} bytes")
+            }
+            IsaError::DirectPathInKernel { path } => {
+                write!(f, "path {path} is fixed-function and cannot be issued from a kernel")
+            }
+            IsaError::UnsupportedPrecision { unit, precision } => {
+                write!(f, "compute unit {unit} does not support precision {precision}")
+            }
+            IsaError::RegionOutOfBounds { buffer, end, capacity } => {
+                write!(f, "region ends at byte {end} but buffer {buffer} holds {capacity} bytes")
+            }
+            IsaError::UnmatchedWait { flag, sets, waits } => {
+                write!(f, "flag {flag} has {waits} waits but only {sets} sets")
+            }
+            IsaError::SelfSync { queue, flag } => {
+                write!(f, "flag {flag} is both set and awaited on queue {queue}")
+            }
+            IsaError::SyncCycle { at } => {
+                write!(f, "synchronization cycle detected through instruction {at}")
+            }
+            IsaError::EmptyKernel => write!(f, "kernel contains no instructions"),
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_without_trailing_period() {
+        let errors = [
+            IsaError::EmptyKernel,
+            IsaError::TransferLengthMismatch { src_len: 1, dst_len: 2 },
+            IsaError::SyncCycle { at: 3 },
+        ];
+        for err in errors {
+            let msg = err.to_string();
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+            assert!(!msg.ends_with('.'), "{msg}");
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Static kernel statistics: instruction, operation, and byte counts.
+
+use crate::{Instruction, Kernel};
+use ascend_arch::{Component, ComputeUnit, Precision, TransferPath};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Static (pre-execution) counts over a kernel.
+///
+/// These are exactly the per-queue instruction counts the paper derives
+/// from profiling the component instruction queues (Section 3.1): the
+/// number of operations per precision per unit and the number of bytes per
+/// transfer path.
+///
+/// # Examples
+///
+/// ```
+/// use ascend_arch::{Buffer, Component, ComputeUnit, Precision, TransferPath};
+/// use ascend_isa::{KernelBuilder, KernelStats, Region};
+///
+/// let gm = Region::new(Buffer::Gm, 0, 512);
+/// let ub = Region::new(Buffer::Ub, 0, 512);
+/// let mut b = KernelBuilder::new("k");
+/// b.transfer(TransferPath::GmToUb, gm, ub)?;
+/// b.compute(ComputeUnit::Vector, Precision::Fp16, 256, vec![ub], vec![ub]);
+/// let stats = KernelStats::of(&b.build());
+/// assert_eq!(stats.bytes_on_path(TransferPath::GmToUb), 512);
+/// assert_eq!(stats.ops_of(ComputeUnit::Vector, Precision::Fp16), 256);
+/// # Ok::<(), ascend_isa::IsaError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Instructions per component queue.
+    pub instructions_per_queue: BTreeMap<Component, u64>,
+    /// Operations per (unit, precision).
+    #[serde(with = "ops_map_serde")]
+    pub ops: BTreeMap<(ComputeUnit, Precision), u64>,
+    /// Bytes per transfer path.
+    pub bytes: BTreeMap<TransferPath, u64>,
+    /// Number of `set_flag`/`wait_flag` instructions.
+    pub sync_count: u64,
+    /// Number of full pipe barriers.
+    pub barrier_count: u64,
+}
+
+impl KernelStats {
+    /// Computes the statistics of `kernel`.
+    #[must_use]
+    pub fn of(kernel: &Kernel) -> Self {
+        let mut stats = KernelStats::default();
+        for instr in kernel {
+            if let Some(queue) = instr.queue() {
+                *stats.instructions_per_queue.entry(queue).or_default() += 1;
+            }
+            match instr {
+                Instruction::Compute(c) => {
+                    *stats.ops.entry((c.unit, c.precision)).or_default() += c.ops;
+                }
+                Instruction::Transfer(t) => {
+                    *stats.bytes.entry(t.path).or_default() += t.bytes();
+                }
+                Instruction::SetFlag { .. } | Instruction::WaitFlag { .. } => {
+                    stats.sync_count += 1;
+                }
+                Instruction::Barrier => stats.barrier_count += 1,
+            }
+        }
+        stats
+    }
+
+    /// Total operations executed on `unit` at `precision`.
+    #[must_use]
+    pub fn ops_of(&self, unit: ComputeUnit, precision: Precision) -> u64 {
+        self.ops.get(&(unit, precision)).copied().unwrap_or(0)
+    }
+
+    /// Total operations executed on `unit`, all precisions.
+    #[must_use]
+    pub fn total_ops(&self, unit: ComputeUnit) -> u64 {
+        self.ops
+            .iter()
+            .filter(|((u, _), _)| *u == unit)
+            .map(|(_, &n)| n)
+            .sum()
+    }
+
+    /// Bytes moved along `path`.
+    #[must_use]
+    pub fn bytes_on_path(&self, path: TransferPath) -> u64 {
+        self.bytes.get(&path).copied().unwrap_or(0)
+    }
+
+    /// Bytes moved by the MTE engine behind `component` (0 for compute
+    /// components).
+    #[must_use]
+    pub fn bytes_of_component(&self, component: Component) -> u64 {
+        self.bytes
+            .iter()
+            .filter(|(path, _)| path.component() == component)
+            .map(|(_, &b)| b)
+            .sum()
+    }
+
+    /// Arithmetic intensity of the kernel w.r.t. one memory component:
+    /// total compute operations divided by that component's bytes.
+    ///
+    /// Returns `None` when the component moved no bytes.
+    #[must_use]
+    pub fn arithmetic_intensity(&self, memory: Component) -> Option<f64> {
+        let bytes = self.bytes_of_component(memory);
+        if bytes == 0 {
+            return None;
+        }
+        let ops: u64 = self.ops.values().sum();
+        Some(ops as f64 / bytes as f64)
+    }
+}
+
+/// Serde adapter for maps keyed by `(ComputeUnit, Precision)` tuples.
+///
+/// JSON requires string map keys, so the map is (de)serialized as a
+/// sequence of `(unit, precision, count)` triples. Usable via
+/// `#[serde(with = "ascend_isa::ops_map_serde")]`.
+pub mod ops_map_serde {
+    use ascend_arch::{ComputeUnit, Precision};
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::collections::BTreeMap;
+
+    /// Serializes the map as `(unit, precision, count)` triples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    pub fn serialize<S: Serializer>(
+        map: &BTreeMap<(ComputeUnit, Precision), u64>,
+        serializer: S,
+    ) -> Result<S::Ok, S::Error> {
+        let entries: Vec<(ComputeUnit, Precision, u64)> =
+            map.iter().map(|(&(u, p), &n)| (u, p, n)).collect();
+        entries.serialize(serializer)
+    }
+
+    /// Deserializes `(unit, precision, count)` triples back into a map.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deserializer errors.
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        deserializer: D,
+    ) -> Result<BTreeMap<(ComputeUnit, Precision), u64>, D::Error> {
+        let entries = Vec::<(ComputeUnit, Precision, u64)>::deserialize(deserializer)?;
+        Ok(entries.into_iter().map(|(u, p, n)| ((u, p), n)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KernelBuilder, Region};
+    use ascend_arch::Buffer;
+
+    fn sample() -> Kernel {
+        let gm_a = Region::new(Buffer::Gm, 0, 2048);
+        let gm_b = Region::new(Buffer::Gm, 8192, 1024);
+        let l0a = Region::new(Buffer::L0A, 0, 2048);
+        let l0b = Region::new(Buffer::L0B, 0, 1024);
+        let l0c = Region::new(Buffer::L0C, 0, 4096);
+        let mut b = KernelBuilder::new("mm");
+        b.transfer(TransferPath::GmToL0A, gm_a, l0a).unwrap();
+        b.transfer(TransferPath::GmToL0B, gm_b, l0b).unwrap();
+        b.sync(Component::MteGm, Component::Cube);
+        b.compute(ComputeUnit::Cube, Precision::Fp16, 1 << 20, vec![l0a, l0b], vec![l0c]);
+        b.barrier_all();
+        b.build()
+    }
+
+    #[test]
+    fn counts_match_construction() {
+        let stats = KernelStats::of(&sample());
+        assert_eq!(stats.bytes_on_path(TransferPath::GmToL0A), 2048);
+        assert_eq!(stats.bytes_on_path(TransferPath::GmToL0B), 1024);
+        assert_eq!(stats.bytes_of_component(Component::MteGm), 3072);
+        assert_eq!(stats.ops_of(ComputeUnit::Cube, Precision::Fp16), 1 << 20);
+        assert_eq!(stats.total_ops(ComputeUnit::Cube), 1 << 20);
+        assert_eq!(stats.sync_count, 2);
+        assert_eq!(stats.barrier_count, 1);
+    }
+
+    #[test]
+    fn queue_counts_include_sync() {
+        let stats = KernelStats::of(&sample());
+        // MTE-GM: two transfers + one set_flag.
+        assert_eq!(stats.instructions_per_queue[&Component::MteGm], 3);
+        // Cube: one wait_flag + one compute.
+        assert_eq!(stats.instructions_per_queue[&Component::Cube], 2);
+    }
+
+    #[test]
+    fn arithmetic_intensity_over_mte_gm() {
+        let stats = KernelStats::of(&sample());
+        let ai = stats.arithmetic_intensity(Component::MteGm).unwrap();
+        assert!((ai - (1u64 << 20) as f64 / 3072.0).abs() < 1e-9);
+        assert_eq!(stats.arithmetic_intensity(Component::MteUb), None);
+    }
+
+    #[test]
+    fn serde_round_trip_through_json() {
+        let stats = KernelStats::of(&sample());
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: KernelStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(stats, back);
+    }
+
+    #[test]
+    fn empty_kernel_has_zero_stats() {
+        let stats = KernelStats::of(&KernelBuilder::new("nil").build());
+        assert_eq!(stats, KernelStats::default());
+    }
+}

@@ -1,0 +1,308 @@
+//! Static kernel validation: capacities, paths, precisions, and the
+//! synchronization graph.
+
+use crate::{Instruction, IsaError, Kernel};
+use ascend_arch::ChipSpec;
+use std::collections::HashMap;
+
+/// Validates `kernel` against `chip`.
+///
+/// Checks, in order:
+///
+/// 1. the kernel is non-empty;
+/// 2. every region fits its buffer's capacity;
+/// 3. every compute instruction's precision is supported by its unit;
+/// 4. every flag has at least as many `set_flag`s as `wait_flag`s, and no
+///    flag is set and awaited on the same queue;
+/// 5. the synchronization graph (per-queue program order ∪ matched
+///    set→wait edges ∪ barrier edges) is acyclic, i.e. the kernel cannot
+///    deadlock under in-order per-queue execution.
+///
+/// # Errors
+///
+/// Returns the first violated rule as an [`IsaError`].
+pub fn validate(kernel: &Kernel, chip: &ChipSpec) -> Result<(), IsaError> {
+    if kernel.is_empty() {
+        return Err(IsaError::EmptyKernel);
+    }
+    check_regions(kernel, chip)?;
+    check_precisions(kernel)?;
+    check_flags(kernel)?;
+    check_sync_graph(kernel)
+}
+
+fn check_regions(kernel: &Kernel, chip: &ChipSpec) -> Result<(), IsaError> {
+    for instr in kernel {
+        for region in instr.reads().iter().chain(instr.writes()) {
+            let capacity = chip
+                .capacity(region.buffer())
+                .map_err(|_| IsaError::RegionOutOfBounds {
+                    buffer: region.buffer(),
+                    end: region.end(),
+                    capacity: 0,
+                })?;
+            if region.end() > capacity {
+                return Err(IsaError::RegionOutOfBounds {
+                    buffer: region.buffer(),
+                    end: region.end(),
+                    capacity,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_precisions(kernel: &Kernel) -> Result<(), IsaError> {
+    for instr in kernel {
+        if let Instruction::Compute(c) = instr {
+            if !c.unit.supports(c.precision) {
+                return Err(IsaError::UnsupportedPrecision {
+                    unit: c.unit,
+                    precision: c.precision,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_flags(kernel: &Kernel) -> Result<(), IsaError> {
+    let mut sets: HashMap<u32, usize> = HashMap::new();
+    let mut waits: HashMap<u32, usize> = HashMap::new();
+    let mut set_queues: HashMap<u32, Vec<ascend_arch::Component>> = HashMap::new();
+    for instr in kernel {
+        match instr {
+            Instruction::SetFlag { queue, flag } => {
+                *sets.entry(flag.raw()).or_default() += 1;
+                set_queues.entry(flag.raw()).or_default().push(*queue);
+            }
+            Instruction::WaitFlag { queue, flag } => {
+                *waits.entry(flag.raw()).or_default() += 1;
+                if set_queues.get(&flag.raw()).is_some_and(|qs| qs.contains(queue)) {
+                    return Err(IsaError::SelfSync { queue: *queue, flag: flag.raw() });
+                }
+            }
+            _ => {}
+        }
+    }
+    for (&flag, &wait_count) in &waits {
+        let set_count = sets.get(&flag).copied().unwrap_or(0);
+        if set_count < wait_count {
+            return Err(IsaError::UnmatchedWait { flag, sets: set_count, waits: wait_count });
+        }
+    }
+    Ok(())
+}
+
+/// Builds the happens-before graph and rejects cycles.
+///
+/// Nodes are instruction indices. Edges:
+/// - consecutive instructions on the same queue (program order per queue);
+/// - the *k*-th `set_flag(f)` → the *k*-th `wait_flag(f)` (counting
+///   semantics match sets to waits in program order);
+/// - everything dispatched before a `Barrier` → the barrier, and the
+///   barrier → everything after it.
+fn check_sync_graph(kernel: &Kernel) -> Result<(), IsaError> {
+    let n = kernel.len();
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+    // Per-queue program order.
+    let mut last_on_queue: HashMap<ascend_arch::Component, usize> = HashMap::new();
+    // Barrier edges.
+    let mut last_barrier: Option<usize> = None;
+    let mut since_last_barrier: Vec<usize> = Vec::new();
+    // Flag matching.
+    let mut set_positions: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut wait_positions: HashMap<u32, Vec<usize>> = HashMap::new();
+
+    for (i, instr) in kernel.iter().enumerate() {
+        match instr.queue() {
+            Some(queue) => {
+                if let Some(&prev) = last_on_queue.get(&queue) {
+                    edges[prev].push(i);
+                }
+                last_on_queue.insert(queue, i);
+                if let Some(b) = last_barrier {
+                    edges[b].push(i);
+                }
+                since_last_barrier.push(i);
+            }
+            None => {
+                // Barrier: everything in the current segment must finish
+                // first (earlier segments are ordered transitively through
+                // the previous barrier).
+                for &j in &since_last_barrier {
+                    edges[j].push(i);
+                }
+                if let Some(b) = last_barrier {
+                    edges[b].push(i);
+                }
+                since_last_barrier.clear();
+                last_barrier = Some(i);
+                last_on_queue.clear();
+            }
+        }
+        match instr {
+            Instruction::SetFlag { flag, .. } => {
+                set_positions.entry(flag.raw()).or_default().push(i);
+            }
+            Instruction::WaitFlag { flag, .. } => {
+                wait_positions.entry(flag.raw()).or_default().push(i);
+            }
+            _ => {}
+        }
+    }
+
+    for (flag, waits) in &wait_positions {
+        if let Some(sets) = set_positions.get(flag) {
+            for (k, &wait_idx) in waits.iter().enumerate() {
+                if let Some(&set_idx) = sets.get(k) {
+                    edges[set_idx].push(wait_idx);
+                }
+            }
+        }
+    }
+
+    // Kahn's algorithm; a leftover node means a cycle.
+    let mut indegree = vec![0usize; n];
+    for targets in &edges {
+        for &t in targets {
+            indegree[t] += 1;
+        }
+    }
+    let mut stack: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut visited = 0usize;
+    while let Some(node) = stack.pop() {
+        visited += 1;
+        for &t in &edges[node] {
+            indegree[t] -= 1;
+            if indegree[t] == 0 {
+                stack.push(t);
+            }
+        }
+    }
+    if visited != n {
+        let at = indegree.iter().position(|&d| d > 0).unwrap_or(0);
+        return Err(IsaError::SyncCycle { at });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KernelBuilder, Region};
+    use ascend_arch::{Buffer, Component, ComputeUnit, Precision, TransferPath};
+
+    fn chip() -> ChipSpec {
+        ChipSpec::training()
+    }
+
+    #[test]
+    fn empty_kernel_is_rejected() {
+        let k = KernelBuilder::new("empty").build();
+        assert_eq!(validate(&k, &chip()), Err(IsaError::EmptyKernel));
+    }
+
+    #[test]
+    fn valid_pipeline_passes() {
+        let gm = Region::new(Buffer::Gm, 0, 1024);
+        let ub = Region::new(Buffer::Ub, 0, 1024);
+        let out = Region::new(Buffer::Gm, 4096, 1024);
+        let mut b = KernelBuilder::new("ok");
+        let loaded = b.new_flag();
+        let done = b.new_flag();
+        b.transfer(TransferPath::GmToUb, gm, ub).unwrap();
+        b.set_flag(Component::MteGm, loaded);
+        b.wait_flag(Component::Vector, loaded);
+        b.compute(ComputeUnit::Vector, Precision::Fp16, 512, vec![ub], vec![ub]);
+        b.set_flag(Component::Vector, done);
+        b.wait_flag(Component::MteUb, done);
+        b.transfer(TransferPath::UbToGm, ub, out).unwrap();
+        assert_eq!(validate(&b.build(), &chip()), Ok(()));
+    }
+
+    #[test]
+    fn oversized_region_is_rejected() {
+        let huge = Region::new(Buffer::L0A, 0, 1 << 30);
+        let gm = Region::new(Buffer::Gm, 0, 1 << 30);
+        let mut b = KernelBuilder::new("big");
+        b.transfer(TransferPath::GmToL0A, gm, huge).unwrap();
+        assert!(matches!(
+            validate(&b.build(), &chip()),
+            Err(IsaError::RegionOutOfBounds { buffer: Buffer::L0A, .. })
+        ));
+    }
+
+    #[test]
+    fn cube_fp32_is_rejected() {
+        let l0c = Region::new(Buffer::L0C, 0, 64);
+        let mut b = KernelBuilder::new("badprec");
+        b.compute(ComputeUnit::Cube, Precision::Fp32, 64, vec![], vec![l0c]);
+        assert_eq!(
+            validate(&b.build(), &chip()),
+            Err(IsaError::UnsupportedPrecision {
+                unit: ComputeUnit::Cube,
+                precision: Precision::Fp32
+            })
+        );
+    }
+
+    #[test]
+    fn unmatched_wait_is_rejected() {
+        let mut b = KernelBuilder::new("hang");
+        let f = b.new_flag();
+        b.wait_flag(Component::Vector, f);
+        assert_eq!(
+            validate(&b.build(), &chip()),
+            Err(IsaError::UnmatchedWait { flag: 0, sets: 0, waits: 1 })
+        );
+    }
+
+    #[test]
+    fn self_sync_is_rejected() {
+        let mut b = KernelBuilder::new("self");
+        let f = b.new_flag();
+        b.set_flag(Component::Vector, f);
+        b.wait_flag(Component::Vector, f);
+        assert_eq!(
+            validate(&b.build(), &chip()),
+            Err(IsaError::SelfSync { queue: Component::Vector, flag: 0 })
+        );
+    }
+
+    #[test]
+    fn cross_wait_deadlock_is_rejected() {
+        // Queue A waits for a flag set behind queue B's wait for a flag set
+        // behind queue A's wait: a 2-cycle.
+        let mut b = KernelBuilder::new("deadlock");
+        let fa = b.new_flag();
+        let fb = b.new_flag();
+        b.wait_flag(Component::Vector, fa); // Vector blocks on fa
+        b.set_flag(Component::Vector, fb); // ... then would set fb
+        b.wait_flag(Component::MteGm, fb); // MteGm blocks on fb
+        b.set_flag(Component::MteGm, fa); // ... then would set fa
+        assert!(matches!(validate(&b.build(), &chip()), Err(IsaError::SyncCycle { .. })));
+    }
+
+    #[test]
+    fn forward_only_flags_are_fine_even_when_wait_precedes_set() {
+        // wait dispatched before set, but on different queues: legal.
+        let mut b = KernelBuilder::new("forward");
+        let f = b.new_flag();
+        b.wait_flag(Component::Vector, f);
+        b.set_flag(Component::MteGm, f);
+        assert_eq!(validate(&b.build(), &chip()), Ok(()));
+    }
+
+    #[test]
+    fn barrier_orders_everything() {
+        let mut b = KernelBuilder::new("barrier");
+        let f = b.new_flag();
+        b.set_flag(Component::MteGm, f);
+        b.barrier_all();
+        b.wait_flag(Component::Vector, f);
+        assert_eq!(validate(&b.build(), &chip()), Ok(()));
+    }
+}

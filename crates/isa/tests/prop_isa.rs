@@ -1,0 +1,91 @@
+//! Property tests over regions, allocation, and kernel validation.
+
+use ascend_arch::{Buffer, ChipSpec, Component, ComputeUnit, Precision, TransferPath};
+use ascend_isa::{validate, BufferAllocator, KernelBuilder, KernelStats, Region};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn allocations_never_overlap_and_respect_capacity(sizes in prop::collection::vec(1u64..8192, 1..24)) {
+        let chip = ChipSpec::training();
+        let mut alloc = BufferAllocator::new(&chip);
+        let mut regions: Vec<Region> = Vec::new();
+        for size in sizes {
+            match alloc.alloc(Buffer::Ub, size) {
+                Ok(region) => {
+                    prop_assert_eq!(region.len(), size);
+                    prop_assert!(region.end() <= chip.capacity(Buffer::Ub).unwrap());
+                    for earlier in &regions {
+                        prop_assert!(!region.overlaps(earlier));
+                    }
+                    regions.push(region);
+                }
+                Err(_) => {
+                    prop_assert!(alloc.remaining(Buffer::Ub) < size);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slice_is_always_contained(offset in 0u64..10_000, len in 1u64..10_000, d in 0u64..100) {
+        let region = Region::new(Buffer::L1, offset, len);
+        let delta = d % len;
+        let sub_len = (len - delta).max(1).min(len - delta);
+        if sub_len > 0 {
+            let sub = region.slice(delta, sub_len);
+            prop_assert!(sub.offset() >= region.offset());
+            prop_assert!(sub.end() <= region.end());
+            prop_assert!(sub.overlaps(&region));
+        }
+    }
+
+    #[test]
+    fn stats_bytes_equal_sum_of_transfers(tile_kib in 1u64..16, tiles in 1usize..32) {
+        let mut b = KernelBuilder::new("prop");
+        let tile = tile_kib * 1024;
+        for i in 0..tiles as u64 {
+            let gm = Region::new(Buffer::Gm, i * tile, tile);
+            let ub = Region::new(Buffer::Ub, 0, tile);
+            b.transfer(TransferPath::GmToUb, gm, ub).unwrap();
+        }
+        let stats = KernelStats::of(&b.build());
+        prop_assert_eq!(stats.bytes_on_path(TransferPath::GmToUb), tile * tiles as u64);
+        prop_assert_eq!(stats.bytes_of_component(Component::MteGm), tile * tiles as u64);
+    }
+
+    #[test]
+    fn balanced_sync_chains_always_validate(pairs in 1usize..64) {
+        let chip = ChipSpec::training();
+        let mut b = KernelBuilder::new("chain");
+        let ub = Region::new(Buffer::Ub, 0, 64);
+        for _ in 0..pairs {
+            b.compute(ComputeUnit::Vector, Precision::Fp16, 8, vec![], vec![ub]);
+            b.sync(Component::Vector, Component::MteUb);
+            b.transfer(TransferPath::UbToGm, ub, Region::new(Buffer::Gm, 0, 64)).unwrap();
+            b.sync(Component::MteUb, Component::Vector);
+        }
+        // The final wait has a set before it in program order: valid.
+        prop_assert!(validate(&b.build(), &chip).is_ok());
+    }
+
+    #[test]
+    fn reversed_sync_pairs_are_deadlocks(n in 1usize..8) {
+        // wait(A) ... set issued by the same queue that waits on B, and
+        // vice versa: a guaranteed cycle regardless of n.
+        let chip = ChipSpec::training();
+        let mut b = KernelBuilder::new("cycle");
+        let fa = b.new_flag();
+        let fb = b.new_flag();
+        for _ in 0..n {
+            b.wait_flag(Component::Vector, fa);
+        }
+        b.set_flag(Component::Vector, fb);
+        for _ in 0..n {
+            b.wait_flag(Component::MteGm, fb);
+        }
+        b.set_flag(Component::MteGm, fa);
+        // Waits may outnumber sets, or a cycle exists; either way invalid.
+        prop_assert!(validate(&b.build(), &chip).is_err());
+    }
+}

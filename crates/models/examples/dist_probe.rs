@@ -1,0 +1,21 @@
+use ascend_arch::ChipSpec;
+use ascend_models::{zoo, ModelRunner, Phase};
+
+fn main() {
+    let runner = ModelRunner::new(ChipSpec::training());
+    for model in zoo::all_training() {
+        let r = runner.analyze(&model).unwrap();
+        println!("{:<16} {}", model.name(), r.distribution().summary());
+    }
+    println!("--- PanGu optimize ---");
+    let opt = runner.optimize(&zoo::pangu_alpha()).unwrap();
+    println!("before: {}", opt.before.distribution().summary());
+    println!("after : {}", opt.after.distribution().summary());
+    println!("comp speedup {:.2}, overall {:.2}", opt.computation_speedup(), opt.overall_speedup());
+    println!("--- M3 inference ---");
+    let irunner = ModelRunner::new(ChipSpec::inference());
+    let opt = irunner.optimize(&zoo::mobilenet_v3(Phase::Inference)).unwrap();
+    println!("before: {}", opt.before.distribution_by_count().summary());
+    println!("after : {}", opt.after.distribution_by_count().summary());
+    println!("comp speedup {:.2}, overall {:.2}", opt.computation_speedup(), opt.overall_speedup());
+}

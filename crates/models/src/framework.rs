@@ -1,0 +1,126 @@
+//! Programming-framework frontends (paper, Figure 14b).
+//!
+//! The Ascend inference chip converts models from TensorFlow, PyTorch,
+//! Caffe, or MindSpore into its executable format; all frontends lower
+//! onto the *same* operator library, so the bottleneck distribution is
+//! essentially framework-independent. [`convert_for_framework`] models
+//! the conversion: the operator set and counts are preserved, only the
+//! lowering order (and therefore nothing the component analysis sees)
+//! differs.
+
+use crate::ModelWorkload;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A deep-learning framework frontend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Framework {
+    /// MindSpore (the native frontend).
+    MindSpore,
+    /// TensorFlow.
+    TensorFlow,
+    /// PyTorch.
+    PyTorch,
+    /// Caffe.
+    Caffe,
+}
+
+impl Framework {
+    /// All supported frontends.
+    pub const ALL: [Framework; 4] = [
+        Framework::MindSpore,
+        Framework::TensorFlow,
+        Framework::PyTorch,
+        Framework::Caffe,
+    ];
+
+    /// Display name.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Framework::MindSpore => "MindSpore",
+            Framework::TensorFlow => "TensorFlow",
+            Framework::PyTorch => "PyTorch",
+            Framework::Caffe => "Caffe",
+        }
+    }
+
+    fn lowering_offset(self) -> usize {
+        match self {
+            Framework::MindSpore => 0,
+            Framework::TensorFlow => 1,
+            Framework::PyTorch => 2,
+            Framework::Caffe => 3,
+        }
+    }
+}
+
+impl fmt::Display for Framework {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Converts a model for execution through `framework`'s frontend: the
+/// operator stream is rotated by the frontend's lowering order, leaving
+/// the operator set, shapes, and counts untouched.
+#[must_use]
+pub fn convert_for_framework(model: &ModelWorkload, framework: Framework) -> ModelWorkload {
+    let mut ops: Vec<crate::OpInvocation> = model.ops().to_vec();
+    if !ops.is_empty() {
+        let offset = framework.lowering_offset() % ops.len();
+        ops.rotate_left(offset);
+    }
+    ModelWorkload::new(
+        format!("{} [{framework}]", model.name()),
+        model.parameters_millions(),
+        model.dataset(),
+        model.npus(),
+        model.phase(),
+        model.overhead_fraction(),
+        ops,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{zoo, ModelRunner, Phase};
+    use ascend_arch::ChipSpec;
+
+    #[test]
+    fn conversion_preserves_the_operator_multiset() {
+        let model = zoo::mobilenet_v3(Phase::Inference);
+        for framework in Framework::ALL {
+            let converted = convert_for_framework(&model, framework);
+            assert_eq!(converted.total_invocations(), model.total_invocations());
+            let mut original: Vec<String> =
+                model.ops().iter().map(|o| o.operator().name()).collect();
+            let mut rotated: Vec<String> =
+                converted.ops().iter().map(|o| o.operator().name()).collect();
+            original.sort();
+            rotated.sort();
+            assert_eq!(original, rotated, "{framework}");
+        }
+    }
+
+    #[test]
+    fn distributions_are_framework_independent() {
+        // Figure 14b: the same operator library underneath means the
+        // bottleneck distribution does not depend on the frontend.
+        let chip = ChipSpec::inference();
+        let runner = ModelRunner::new(chip);
+        let model = zoo::mobilenet_v3(Phase::Inference);
+        let reference = runner.analyze(&model).unwrap().distribution();
+        for framework in [Framework::TensorFlow, Framework::PyTorch, Framework::Caffe] {
+            let converted = convert_for_framework(&model, framework);
+            let distribution = runner.analyze(&converted).unwrap().distribution();
+            for (label, share) in reference.entries() {
+                assert!(
+                    (distribution.share(&label) - share).abs() < 1e-9,
+                    "{framework}: {label} differs"
+                );
+            }
+        }
+    }
+}

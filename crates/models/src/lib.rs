@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Workload models (paper, Table 2): per-iteration operator streams for
+//! the eleven evaluated networks, plus the analysis/optimization runner
+//! behind the end-to-end experiments of Section 6.
+//!
+//! Shapes are scaled-down but proportioned like the originals; operator
+//! *counts* per iteration carry the model-size differences. Per the
+//! paper's scope, communication and I/O appear only as a fixed
+//! per-iteration overhead used when computing *overall* speedups
+//! (Figure 15).
+//!
+//! # Examples
+//!
+//! ```
+//! use ascend_arch::ChipSpec;
+//! use ascend_models::{zoo, ModelRunner};
+//!
+//! let chip = ChipSpec::inference();
+//! let model = zoo::mobilenet_v3(ascend_models::Phase::Inference);
+//! let report = ModelRunner::new(chip).analyze(&model)?;
+//! assert!(report.total_cycles > 0.0);
+//! println!("{}", report.distribution().summary());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod framework;
+mod runner;
+pub mod synthetic;
+mod workload;
+pub mod zoo;
+
+pub use framework::{convert_for_framework, Framework};
+pub use runner::{
+    BottleneckDistribution, ModelOptimization, ModelReport, ModelRunner, OpReport,
+};
+pub use workload::{ModelWorkload, OpInvocation, Phase};

@@ -1,0 +1,222 @@
+//! Workload representation: operator invocations and model streams.
+
+use ascend_ops::Operator;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Training vs. inference deployment (Table 2 vs. the inference studies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Training on the training chip.
+    Training,
+    /// Inference on the inference chip.
+    Inference,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Training => f.write_str("training"),
+            Phase::Inference => f.write_str("inference"),
+        }
+    }
+}
+
+/// One operator instance invoked `count` times per iteration.
+pub struct OpInvocation {
+    operator: Box<dyn Operator>,
+    count: u64,
+    fusable_elements: Option<u64>,
+}
+
+impl OpInvocation {
+    /// An operator invoked `count` times per iteration.
+    #[must_use]
+    pub fn new(operator: Box<dyn Operator>, count: u64) -> Self {
+        OpInvocation { operator, count, fusable_elements: None }
+    }
+
+    /// Marks this invocation as part of a fusable element-wise chain over
+    /// `elements` values (consecutive fusable invocations are replaced by
+    /// one LayerNorm of that size — the PanGu-α optimization).
+    #[must_use]
+    pub fn fusable(mut self, elements: u64) -> Self {
+        self.fusable_elements = Some(elements);
+        self
+    }
+
+    /// The operator.
+    #[must_use]
+    pub fn operator(&self) -> &dyn Operator {
+        self.operator.as_ref()
+    }
+
+    /// Invocations per iteration.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether this invocation participates in chain fusion, and over how
+    /// many elements.
+    #[must_use]
+    pub fn fusable_elements(&self) -> Option<u64> {
+        self.fusable_elements
+    }
+}
+
+impl Clone for OpInvocation {
+    fn clone(&self) -> Self {
+        OpInvocation {
+            operator: self.operator.with_flags_dyn(self.operator.flags()),
+            count: self.count,
+            fusable_elements: self.fusable_elements,
+        }
+    }
+}
+
+impl fmt::Debug for OpInvocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OpInvocation")
+            .field("operator", &self.operator.name())
+            .field("count", &self.count)
+            .field("fusable_elements", &self.fusable_elements)
+            .finish()
+    }
+}
+
+/// A model workload: name, metadata from Table 2, and its per-iteration
+/// operator stream.
+#[derive(Debug, Clone)]
+pub struct ModelWorkload {
+    name: String,
+    parameters_millions: f64,
+    dataset: &'static str,
+    npus: u32,
+    phase: Phase,
+    /// Fraction of an iteration spent outside operator computation
+    /// (communication, I/O, preprocessing) — used for overall speedups.
+    overhead_fraction: f64,
+    ops: Vec<OpInvocation>,
+}
+
+impl ModelWorkload {
+    /// Assembles a workload.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        parameters_millions: f64,
+        dataset: &'static str,
+        npus: u32,
+        phase: Phase,
+        overhead_fraction: f64,
+        ops: Vec<OpInvocation>,
+    ) -> Self {
+        ModelWorkload {
+            name: name.into(),
+            parameters_millions,
+            dataset,
+            npus,
+            phase,
+            overhead_fraction: overhead_fraction.clamp(0.0, 0.95),
+            ops,
+        }
+    }
+
+    /// Model name, e.g. `"MobileNetV3"`.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Parameter count in millions (Table 2).
+    #[must_use]
+    pub fn parameters_millions(&self) -> f64 {
+        self.parameters_millions
+    }
+
+    /// Dataset name (Table 2).
+    #[must_use]
+    pub fn dataset(&self) -> &'static str {
+        self.dataset
+    }
+
+    /// NPUs used in the paper's deployment (Table 2).
+    #[must_use]
+    pub fn npus(&self) -> u32 {
+        self.npus
+    }
+
+    /// Training or inference.
+    #[must_use]
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Non-computation fraction of the iteration.
+    #[must_use]
+    pub fn overhead_fraction(&self) -> f64 {
+        self.overhead_fraction
+    }
+
+    /// The operator stream.
+    #[must_use]
+    pub fn ops(&self) -> &[OpInvocation] {
+        &self.ops
+    }
+
+    /// Total operator invocations per iteration.
+    #[must_use]
+    pub fn total_invocations(&self) -> u64 {
+        self.ops.iter().map(OpInvocation::count).sum()
+    }
+
+    /// Returns a copy with a different operator stream (used by the
+    /// graph-level optimizer).
+    #[must_use]
+    pub fn with_ops(&self, ops: Vec<OpInvocation>) -> Self {
+        ModelWorkload { ops, ..self.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascend_ops::{AddRelu, OptFlags};
+
+    #[test]
+    fn invocation_clone_preserves_flags() {
+        let inv = OpInvocation::new(
+            Box::new(AddRelu::new(1024).with_flags(OptFlags::new().rsd(true))),
+            7,
+        )
+        .fusable(1024);
+        let copy = inv.clone();
+        assert_eq!(copy.count(), 7);
+        assert_eq!(copy.fusable_elements(), Some(1024));
+        assert!(copy.operator().flags().has_rsd());
+        assert_eq!(copy.operator().name(), inv.operator().name());
+    }
+
+    #[test]
+    fn workload_accessors() {
+        let model = ModelWorkload::new(
+            "Toy",
+            1.0,
+            "None",
+            8,
+            Phase::Training,
+            0.25,
+            vec![OpInvocation::new(Box::new(AddRelu::new(256)), 3)],
+        );
+        assert_eq!(model.total_invocations(), 3);
+        assert_eq!(model.phase(), Phase::Training);
+        assert!((model.overhead_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_fraction_is_clamped() {
+        let model = ModelWorkload::new("T", 1.0, "d", 1, Phase::Inference, 2.0, vec![]);
+        assert!(model.overhead_fraction() <= 0.95);
+    }
+}

@@ -1,0 +1,171 @@
+//! Optimization flags shared by all operator generators.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which of the paper's optimizations an operator instance applies.
+///
+/// Each flag corresponds to one named strategy from Section 5; see the
+/// [crate-level table](crate) for the mapping. Flags irrelevant to a
+/// given operator are ignored by its generator.
+///
+/// # Examples
+///
+/// ```
+/// use ascend_ops::OptFlags;
+/// let flags = OptFlags::new().rsd(true).mrt(true);
+/// assert!(flags.has_rsd() && flags.has_mrt() && !flags.has_pp());
+/// assert_eq!(flags.suffix(), "+rsd+mrt");
+/// assert_eq!(OptFlags::new().suffix(), "");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OptFlags {
+    rsd: bool,
+    mrt: bool,
+    ais: bool,
+    rus: bool,
+    pp: bool,
+    itg: bool,
+    aip: bool,
+    fused: bool,
+    tt: bool,
+    ea: bool,
+    lc: bool,
+    ct: bool,
+}
+
+macro_rules! flag_accessors {
+    ($($field:ident, $has:ident, $doc:literal;)*) => {
+        $(
+            #[doc = concat!("Sets the ", $doc, " flag.")]
+            #[must_use]
+            pub fn $field(mut self, on: bool) -> Self {
+                self.$field = on;
+                self
+            }
+
+            #[doc = concat!("Whether the ", $doc, " flag is set.")]
+            #[must_use]
+            pub fn $has(&self) -> bool {
+                self.$field
+            }
+        )*
+    };
+}
+
+impl OptFlags {
+    /// No optimizations: the baseline implementation.
+    #[must_use]
+    pub fn new() -> Self {
+        OptFlags::default()
+    }
+
+    /// Every optimization enabled (useful as a search upper bound).
+    #[must_use]
+    pub fn all() -> Self {
+        OptFlags {
+            rsd: true,
+            mrt: true,
+            ais: true,
+            rus: true,
+            pp: true,
+            itg: true,
+            aip: true,
+            fused: true,
+            tt: true,
+            ea: true,
+            lc: true,
+            ct: true,
+        }
+    }
+
+    flag_accessors! {
+        rsd, has_rsd, "Reducing Spatial Dependency";
+        mrt, has_mrt, "Minimizing Redundant Transfer";
+        ais, has_ais, "Adjusting Instruction Sequence";
+        rus, has_rus, "Removing Unnecessary Synchronization";
+        pp, has_pp, "Ping-pong Policy";
+        itg, has_itg, "Increasing Transfer Granularity";
+        aip, has_aip, "Adjusting Instruction Parameter";
+        fused, has_fused, "Operator Fusion";
+        tt, has_tt, "Transfer Transformation";
+        ea, has_ea, "Enhanced Algorithm";
+        lc, has_lc, "Low-precision Calculation";
+        ct, has_ct, "Computation Transformation";
+    }
+
+    /// A kernel-name suffix listing the enabled flags, e.g. `"+rsd+mrt"`.
+    #[must_use]
+    pub fn suffix(&self) -> String {
+        let mut s = String::new();
+        for (on, name) in [
+            (self.rsd, "rsd"),
+            (self.mrt, "mrt"),
+            (self.ais, "ais"),
+            (self.rus, "rus"),
+            (self.pp, "pp"),
+            (self.itg, "itg"),
+            (self.aip, "aip"),
+            (self.fused, "fused"),
+            (self.tt, "tt"),
+            (self.ea, "ea"),
+            (self.lc, "lc"),
+            (self.ct, "ct"),
+        ] {
+            if on {
+                s.push('+');
+                s.push_str(name);
+            }
+        }
+        s
+    }
+
+    /// Number of enabled flags.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        [
+            self.rsd, self.mrt, self.ais, self.rus, self.pp, self.itg, self.aip, self.fused,
+            self.tt, self.ea, self.lc, self.ct,
+        ]
+        .iter()
+        .filter(|&&b| b)
+        .count()
+    }
+}
+
+impl fmt::Display for OptFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count() == 0 {
+            f.write_str("baseline")
+        } else {
+            f.write_str(self.suffix().trim_start_matches('+'))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_style_setting() {
+        let f = OptFlags::new().rsd(true).itg(true).rsd(false);
+        assert!(!f.has_rsd());
+        assert!(f.has_itg());
+        assert_eq!(f.count(), 1);
+    }
+
+    #[test]
+    fn all_enables_everything() {
+        assert_eq!(OptFlags::all().count(), 12);
+        assert_eq!(OptFlags::new().count(), 0);
+    }
+
+    #[test]
+    fn suffix_orders_flags_stably() {
+        let f = OptFlags::new().mrt(true).rsd(true);
+        assert_eq!(f.suffix(), "+rsd+mrt");
+        assert_eq!(f.to_string(), "rsd+mrt");
+        assert_eq!(OptFlags::new().to_string(), "baseline");
+    }
+}

@@ -1,0 +1,99 @@
+#![warn(missing_docs)]
+
+//! Operator library: kernel generators for the paper's operators.
+//!
+//! Every operator of the case studies (Section 5) and the end-to-end
+//! evaluations (Section 6) is built here as a parameterized kernel
+//! generator. Each generator accepts an [`OptFlags`] describing which of
+//! the paper's optimizations are applied, so the *same* operator can be
+//! produced in its baseline and optimized forms:
+//!
+//! | Flag | Paper optimization | Mechanism in the generated kernel |
+//! |------|--------------------|-----------------------------------|
+//! | `rsd` | Reducing Spatial Dependency | separate result buffer, breaking the write-back/load conflict |
+//! | `mrt` | Minimizing Redundant Transfer | loop-invariant transfers hoisted out of the tile loop |
+//! | `ais` | Adjusting Instruction Sequence | next tile's GM load issued before the current tile's body |
+//! | `rus` | Removing Unnecessary Synchronization | drops the per-tile `pipe_barrier(ALL)` |
+//! | `pp`  | Ping-pong Policy | double-buffered staging regions |
+//! | `itg` | Increasing Transfer Granularity | merges several small stores into one large transfer |
+//! | `aip` | Adjusting Instruction Parameter | one high-`repeat` vector instruction instead of many |
+//! | `fused` | Operator Fusion | consumer computed in-kernel, skipping a GM round trip |
+//! | `tt`  | Transfer Transformation | the larger matrix takes the higher-bandwidth path |
+//! | `ea`  | Enhanced Algorithm | cheaper activation formula (FastGeLU) |
+//! | `lc`  | Low-precision Calculation | INT8 instead of FP16 on the Cube |
+//! | `ct`  | Computation Transformation | scalar work moved onto the Vector unit |
+//!
+//! # Examples
+//!
+//! ```
+//! use ascend_arch::ChipSpec;
+//! use ascend_ops::{AddRelu, Operator, OptFlags};
+//! use ascend_sim::Simulator;
+//!
+//! let chip = ChipSpec::inference();
+//! let base = AddRelu::new(1 << 20).build(&chip)?;
+//! let tuned = AddRelu::new(1 << 20)
+//!     .with_flags(OptFlags::new().rsd(true).mrt(true))
+//!     .build(&chip)?;
+//! let sim = Simulator::new(chip);
+//! let t0 = sim.simulate(&base)?.total_cycles();
+//! let t1 = sim.simulate(&tuned)?.total_cycles();
+//! assert!(t1 < t0, "optimizations must help: {t1} !< {t0}");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod add_relu;
+mod attention;
+mod avgpool;
+mod conv2d;
+mod depthwise;
+mod dropout;
+mod elementwise;
+mod embedding;
+mod flags;
+mod format;
+mod gelu;
+mod matmul;
+mod normalization;
+mod tiling;
+
+pub use add_relu::AddRelu;
+pub use attention::Attention;
+pub use avgpool::AvgPool;
+pub use conv2d::Conv2d;
+pub use depthwise::Depthwise;
+pub use dropout::Dropout;
+pub use elementwise::{Elementwise, EltwiseKind};
+pub use embedding::{Embedding, ReduceSum};
+pub use flags::OptFlags;
+pub use format::{Cast, TransData};
+pub use gelu::Gelu;
+pub use matmul::{BatchMatMul, FullyConnection, MatMul, MatMulAdd};
+pub use normalization::{LayerNorm, Softmax};
+pub use tiling::{ceil_div, tiles, Tile};
+
+use ascend_arch::ChipSpec;
+use ascend_isa::{IsaError, Kernel};
+
+/// A kernel generator for one operator instance.
+///
+/// Implementations are shape-and-flags value types: construct one, then
+/// [`build`](Operator::build) the kernel for a chip.
+pub trait Operator {
+    /// A descriptive kernel name (includes the applied optimizations).
+    fn name(&self) -> String;
+
+    /// The optimization flags this instance applies.
+    fn flags(&self) -> OptFlags;
+
+    /// Returns a copy with different flags (used by the optimizer loop).
+    fn with_flags_dyn(&self, flags: OptFlags) -> Box<dyn Operator>;
+
+    /// Generates the kernel for `chip`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`IsaError`] when the shape cannot be laid out on the
+    /// chip (e.g. a tile exceeding a buffer capacity).
+    fn build(&self, chip: &ChipSpec) -> Result<Kernel, IsaError>;
+}

@@ -1,0 +1,83 @@
+//! Tiling helpers shared by the operator generators.
+
+use serde::{Deserialize, Serialize};
+
+/// One tile of a 1-D iteration space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Tile {
+    /// Tile index.
+    pub index: u64,
+    /// Start offset in elements.
+    pub offset: u64,
+    /// Tile length in elements (the last tile may be short).
+    pub len: u64,
+}
+
+/// Ceiling division.
+///
+/// # Examples
+///
+/// ```
+/// use ascend_ops::ceil_div;
+/// assert_eq!(ceil_div(10, 4), 3);
+/// assert_eq!(ceil_div(8, 4), 2);
+/// assert_eq!(ceil_div(0, 4), 0);
+/// ```
+#[must_use]
+pub const fn ceil_div(a: u64, b: u64) -> u64 {
+    a.div_ceil(b)
+}
+
+/// Splits `total` elements into tiles of at most `tile` elements.
+///
+/// # Panics
+///
+/// Panics if `tile` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use ascend_ops::tiles;
+/// let ts: Vec<_> = tiles(10, 4).collect();
+/// assert_eq!(ts.len(), 3);
+/// assert_eq!(ts[2].len, 2);
+/// assert_eq!(ts.iter().map(|t| t.len).sum::<u64>(), 10);
+/// ```
+pub fn tiles(total: u64, tile: u64) -> impl Iterator<Item = Tile> {
+    assert!(tile > 0, "tile size must be positive");
+    (0..ceil_div(total, tile)).map(move |index| {
+        let offset = index * tile;
+        Tile { index, offset, len: tile.min(total - offset) }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiles_cover_exactly() {
+        for (total, tile) in [(1u64, 1u64), (100, 7), (64, 64), (65, 64), (0, 8)] {
+            let ts: Vec<Tile> = tiles(total, tile).collect();
+            assert_eq!(ts.iter().map(|t| t.len).sum::<u64>(), total);
+            for pair in ts.windows(2) {
+                assert_eq!(pair[0].offset + pair[0].len, pair[1].offset, "tiles must be contiguous");
+            }
+            assert!(ts.iter().all(|t| t.len <= tile && t.len > 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tile size must be positive")]
+    fn zero_tile_panics() {
+        let _ = tiles(10, 0).count();
+    }
+
+    #[test]
+    fn indices_are_sequential() {
+        let ts: Vec<Tile> = tiles(20, 6).collect();
+        for (i, t) in ts.iter().enumerate() {
+            assert_eq!(t.index, i as u64);
+        }
+    }
+}

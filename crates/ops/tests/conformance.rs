@@ -1,0 +1,109 @@
+//! Operator-trait conformance: every operator in the library obeys the
+//! same contract on both chips.
+
+use ascend_arch::{ChipSpec, Component};
+use ascend_isa::KernelStats;
+use ascend_ops::*;
+use ascend_sim::Simulator;
+
+fn registry() -> Vec<Box<dyn Operator>> {
+    const E: u64 = 1 << 15;
+    vec![
+        Box::new(AddRelu::new(E)),
+        Box::new(Attention::new(256, 64)),
+        Box::new(AvgPool::new(E / 8)),
+        Box::new(Cast::new(E)),
+        Box::new(Conv2d::new(E / 2, 288)),
+        Box::new(Depthwise::new(E)),
+        Box::new(Dropout::new(E)),
+        Box::new(Elementwise::new(EltwiseKind::Add, E)),
+        Box::new(Elementwise::new(EltwiseKind::Mul, E)),
+        Box::new(Elementwise::new(EltwiseKind::AddN(4), E)),
+        Box::new(Elementwise::new(EltwiseKind::RealDiv, E)),
+        Box::new(Embedding::new(1 << 14, 64, 1024)),
+        Box::new(FullyConnection::new(32, 256, 512)),
+        Box::new(Gelu::new(E)),
+        Box::new(LayerNorm::new(E)),
+        Box::new(MatMul::new(128, 256, 128)),
+        Box::new(MatMulAdd::new(128, 256, 128)),
+        Box::new(BatchMatMul::new(2, 128, 128, 128)),
+        Box::new(ReduceSum::new(E, 256)),
+        Box::new(Softmax::new(E)),
+        Box::new(TransData::new(E)),
+    ]
+}
+
+#[test]
+fn every_operator_builds_validates_and_simulates_on_both_chips() {
+    for chip in [ChipSpec::training(), ChipSpec::inference()] {
+        let sim = Simulator::new(chip.clone());
+        for op in registry() {
+            let kernel = op.build(&chip).unwrap_or_else(|e| panic!("{}: {e}", op.name()));
+            ascend_isa::validate(&kernel, &chip).unwrap_or_else(|e| panic!("{}: {e}", op.name()));
+            let trace = sim.simulate(&kernel).unwrap_or_else(|e| panic!("{}: {e}", op.name()));
+            assert!(trace.total_cycles() > 0.0, "{}", op.name());
+        }
+    }
+}
+
+#[test]
+fn names_are_stable_and_reflect_flags() {
+    for op in registry() {
+        let base_name = op.name();
+        assert!(!base_name.is_empty());
+        assert_eq!(op.flags(), OptFlags::new(), "{base_name} must default to baseline");
+        let flagged = op.with_flags_dyn(OptFlags::new().pp(true));
+        assert_eq!(flagged.flags(), OptFlags::new().pp(true), "{base_name}");
+        assert!(
+            flagged.name().contains("+pp"),
+            "{}: flagged name must carry the suffix",
+            flagged.name()
+        );
+        // Round-trip back to baseline.
+        let back = flagged.with_flags_dyn(OptFlags::new());
+        assert_eq!(back.name(), base_name);
+    }
+}
+
+#[test]
+fn rebuilding_yields_identical_kernels() {
+    let chip = ChipSpec::training();
+    for op in registry() {
+        let a = op.build(&chip).unwrap();
+        let b = op.build(&chip).unwrap();
+        assert_eq!(a, b, "{} must build deterministically", op.name());
+    }
+}
+
+#[test]
+fn every_operator_touches_global_memory() {
+    // All library operators are GM-to-GM computations: they must read or
+    // write GM through some MTE.
+    let chip = ChipSpec::training();
+    for op in registry() {
+        let kernel = op.build(&chip).unwrap();
+        let stats = KernelStats::of(&kernel);
+        let gm_traffic = stats.bytes_of_component(Component::MteGm)
+            + stats.bytes_of_component(Component::MteUb);
+        assert!(gm_traffic > 0, "{} moves no GM bytes", op.name());
+    }
+}
+
+#[test]
+fn all_flags_never_breaks_construction() {
+    // OptFlags::all() is the optimizer's upper bound: every operator must
+    // still build (flags it does not implement are ignored).
+    let chip = ChipSpec::training();
+    let sim = Simulator::new(chip.clone());
+    for op in registry() {
+        let maxed = op.with_flags_dyn(OptFlags::all());
+        let kernel = maxed.build(&chip).unwrap_or_else(|e| panic!("{}: {e}", maxed.name()));
+        let t_max = sim.simulate(&kernel).unwrap().total_cycles();
+        let t_base = sim.simulate(&op.build(&chip).unwrap()).unwrap().total_cycles();
+        assert!(
+            t_max <= t_base * 1.05,
+            "{}: all-flags should not regress materially ({t_max} vs {t_base})",
+            op.name()
+        );
+    }
+}

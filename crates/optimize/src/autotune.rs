@@ -1,0 +1,161 @@
+//! Tile-size auto-tuning: sweep a parameter over the simulator and keep
+//! the fastest configuration.
+//!
+//! The paper attributes inefficiencies to "suboptimal algorithms,
+//! parameter configurations, or task allocations" (Section 1); tile size
+//! is the parameter configuration the operator generators expose, and it
+//! trades transfer granularity (ITG's lever) against buffer pressure and
+//! pipeline depth. [`tune`] is the grid search an engineer would run.
+
+use ascend_arch::ChipSpec;
+use ascend_ops::Operator;
+use ascend_sim::{SimError, Simulator};
+use serde::{Deserialize, Serialize};
+
+/// One evaluated configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Trial {
+    /// The parameter value (e.g. tile elements).
+    pub value: u64,
+    /// Simulated cycles, or `None` when the configuration failed to
+    /// build (e.g. a tile larger than the staging buffer).
+    pub cycles: Option<f64>,
+}
+
+/// The outcome of a [`tune`] sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuneResult {
+    /// The winning parameter value.
+    pub best_value: u64,
+    /// Cycles at the winning value.
+    pub best_cycles: f64,
+    /// Every trial, in candidate order.
+    pub trials: Vec<Trial>,
+}
+
+impl TuneResult {
+    /// Speedup of the best configuration over the worst *feasible* one.
+    #[must_use]
+    pub fn spread(&self) -> f64 {
+        let worst = self
+            .trials
+            .iter()
+            .filter_map(|t| t.cycles)
+            .fold(0.0f64, f64::max);
+        if self.best_cycles > 0.0 {
+            worst / self.best_cycles
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Sweeps `candidates` through `make`, simulating each resulting operator
+/// on `chip`, and returns the fastest feasible configuration.
+///
+/// Infeasible candidates (kernel construction fails, e.g. buffer
+/// overflow) are recorded with `cycles: None` and skipped.
+///
+/// # Errors
+///
+/// Returns an error only when *no* candidate is feasible, or the
+/// simulator fails on a feasible kernel.
+///
+/// # Examples
+///
+/// ```
+/// use ascend_arch::ChipSpec;
+/// use ascend_ops::AddRelu;
+/// use ascend_optimize::autotune::tune;
+///
+/// let chip = ChipSpec::training();
+/// let result = tune(&chip, &[2048, 8192, 16384, 32768], |tile| {
+///     Box::new(AddRelu::new(1 << 18).with_tile(tile))
+/// })?;
+/// assert!(result.best_cycles > 0.0);
+/// # Ok::<(), ascend_sim::SimError>(())
+/// ```
+pub fn tune(
+    chip: &ChipSpec,
+    candidates: &[u64],
+    make: impl Fn(u64) -> Box<dyn Operator>,
+) -> Result<TuneResult, SimError> {
+    let sim = Simulator::new(chip.clone());
+    let mut trials = Vec::with_capacity(candidates.len());
+    let mut best: Option<(u64, f64)> = None;
+    for &value in candidates {
+        let op = make(value);
+        let cycles = match op.build(chip) {
+            Ok(kernel) => {
+                let t = sim.simulate(&kernel)?.total_cycles();
+                if best.is_none_or(|(_, b)| t < b) {
+                    best = Some((value, t));
+                }
+                Some(t)
+            }
+            Err(_) => None,
+        };
+        trials.push(Trial { value, cycles });
+    }
+    let (best_value, best_cycles) =
+        best.ok_or(SimError::Deadlock { remaining: candidates.len() })?;
+    Ok(TuneResult { best_value, best_cycles, trials })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascend_ops::{AddRelu, AvgPool, Elementwise, EltwiseKind, OptFlags};
+
+    const CANDIDATES: &[u64] = &[1024, 4096, 8192, 16384, 32768, 65536];
+
+    #[test]
+    fn tuned_tile_is_at_least_as_good_as_the_default() {
+        let chip = ChipSpec::training();
+        let result = tune(&chip, CANDIDATES, |tile| {
+            Box::new(AddRelu::new(1 << 19).with_flags(OptFlags::new().rsd(true)).with_tile(tile))
+        })
+        .unwrap();
+        let default_cycles = {
+            let op = AddRelu::new(1 << 19).with_flags(OptFlags::new().rsd(true));
+            let kernel = ascend_ops::Operator::build(&op, &chip).unwrap();
+            ascend_sim::Simulator::new(chip).simulate(&kernel).unwrap().total_cycles()
+        };
+        assert!(result.best_cycles <= default_cycles + 1e-6);
+        assert!(result.spread() >= 1.0);
+    }
+
+    #[test]
+    fn infeasible_candidates_are_skipped_not_fatal() {
+        let chip = ChipSpec::training();
+        // 1 GiB tiles cannot fit the UB: recorded as None, others win.
+        let result = tune(&chip, &[8192, 1 << 30], |tile| {
+            Box::new(Elementwise::new(EltwiseKind::Mul, 1 << 16).with_tile(tile))
+        })
+        .unwrap();
+        assert_eq!(result.best_value, 8192);
+        assert_eq!(result.trials[1].cycles, None);
+    }
+
+    #[test]
+    fn all_infeasible_is_an_error() {
+        let chip = ChipSpec::training();
+        let result = tune(&chip, &[1 << 30], |tile| {
+            Box::new(Elementwise::new(EltwiseKind::Mul, 1 << 16).with_tile(tile))
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn tiny_tiles_lose_to_reasonable_ones() {
+        // Tiny tiles multiply per-transfer overhead: the sweep must not
+        // pick them.
+        let chip = ChipSpec::training();
+        let result = tune(&chip, &[64, 256, 16384], |tile| {
+            Box::new(AvgPool::new(1 << 14).with_tile(tile))
+        })
+        .unwrap();
+        assert!(result.best_value >= 256, "picked {}", result.best_value);
+        assert!(result.spread() > 1.5, "tile size must matter, spread {:.2}", result.spread());
+    }
+}

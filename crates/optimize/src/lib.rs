@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Optimization framework (paper, Section 5): named strategies, the
+//! diagnosis→strategy advisor, IR-level transformation passes, and the
+//! iterative analyze-optimize loop.
+//!
+//! The paper's workflow is: profile → roofline analysis → identify the
+//! bottleneck class → apply the matching optimization → repeat, because
+//! "a single round of optimization might not eliminate bottlenecks, and
+//! they might even shift to other parts" (Section 5.1). [`Optimizer`]
+//! automates exactly that loop over an [`Operator`](ascend_ops::Operator).
+//!
+//! # Examples
+//!
+//! ```
+//! use ascend_arch::ChipSpec;
+//! use ascend_ops::Depthwise;
+//! use ascend_optimize::Optimizer;
+//!
+//! let chip = ChipSpec::training();
+//! let report = Optimizer::new(chip).run(&Depthwise::new(1 << 18))?;
+//! assert!(report.speedup() >= 1.0);
+//! println!("{}", report.summary());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod advisor;
+pub mod autotune;
+mod optimizer;
+pub mod passes;
+mod strategy;
+
+pub use advisor::advise;
+pub use optimizer::{IterationRecord, OptimizationReport, Optimizer};
+pub use strategy::Strategy;

@@ -1,0 +1,259 @@
+//! The iterative analyze→optimize loop of the paper's workflow (Fig. 5).
+
+use crate::{advise, Strategy};
+use ascend_arch::ChipSpec;
+use ascend_ops::{Operator, OptFlags};
+use ascend_profile::Profiler;
+use ascend_roofline::{analyze, Bottleneck, RooflineAnalysis, Thresholds};
+use ascend_sim::SimError;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One iteration of the optimization loop.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IterationRecord {
+    /// Flags in effect during this iteration.
+    pub flags: OptFlags,
+    /// Execution time in cycles.
+    pub cycles: f64,
+    /// Peak component utilization.
+    pub peak_utilization: f64,
+    /// The diagnosed bottleneck.
+    pub bottleneck: Bottleneck,
+    /// The strategy applied *after* this iteration (None when the loop
+    /// stopped here).
+    pub applied: Option<Strategy>,
+}
+
+/// The outcome of optimizing one operator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OptimizationReport {
+    /// The operator's baseline kernel name.
+    pub operator: String,
+    /// All iterations, baseline first.
+    pub iterations: Vec<IterationRecord>,
+}
+
+impl OptimizationReport {
+    /// Baseline execution time in cycles.
+    #[must_use]
+    pub fn base_cycles(&self) -> f64 {
+        self.iterations.first().map_or(0.0, |i| i.cycles)
+    }
+
+    /// Final (best) execution time in cycles.
+    #[must_use]
+    pub fn final_cycles(&self) -> f64 {
+        self.iterations.last().map_or(0.0, |i| i.cycles)
+    }
+
+    /// The flags of the final iteration.
+    #[must_use]
+    pub fn final_flags(&self) -> OptFlags {
+        self.iterations.last().map_or_else(OptFlags::new, |i| i.flags)
+    }
+
+    /// The final bottleneck classification.
+    #[must_use]
+    pub fn final_bottleneck(&self) -> Option<Bottleneck> {
+        self.iterations.last().map(|i| i.bottleneck)
+    }
+
+    /// End-to-end speedup of the loop (≥ 1; the loop never keeps a
+    /// regression).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        let base = self.base_cycles();
+        let fin = self.final_cycles();
+        if fin > 0.0 {
+            base / fin
+        } else {
+            1.0
+        }
+    }
+
+    /// The strategies that were kept, in application order.
+    #[must_use]
+    pub fn applied_strategies(&self) -> Vec<Strategy> {
+        self.iterations.iter().filter_map(|i| i.applied).collect()
+    }
+
+    /// A human-readable walkthrough of the loop.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "optimization of {} ({:.2}x):", self.operator, self.speedup());
+        for (i, record) in self.iterations.iter().enumerate() {
+            let applied = record
+                .applied
+                .map_or_else(|| "stop".to_owned(), |s| format!("apply {s}"));
+            let _ = writeln!(
+                out,
+                "  iter {i}: {:>10.0} cy, peak U {:>5.1}%, {} -> {}",
+                record.cycles,
+                record.peak_utilization * 100.0,
+                record.bottleneck,
+                applied
+            );
+        }
+        out
+    }
+}
+
+/// Drives the iterative roofline-guided optimization of an operator.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    profiler: Profiler,
+    thresholds: Thresholds,
+    max_iterations: usize,
+}
+
+impl Optimizer {
+    /// An optimizer for `chip` with the paper's default thresholds and at
+    /// most 8 optimization rounds.
+    #[must_use]
+    pub fn new(chip: ChipSpec) -> Self {
+        Optimizer { profiler: Profiler::new(chip), thresholds: Thresholds::default(), max_iterations: 8 }
+    }
+
+    /// Overrides the classification thresholds.
+    #[must_use]
+    pub fn with_thresholds(mut self, thresholds: Thresholds) -> Self {
+        self.thresholds = thresholds;
+        self
+    }
+
+    /// Overrides the iteration cap.
+    #[must_use]
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations.max(1);
+        self
+    }
+
+    fn measure(&self, op: &dyn Operator) -> Result<(f64, RooflineAnalysis), SimError> {
+        let kernel = op.build(self.profiler.chip())?;
+        let (profile, trace) = self.profiler.run(&kernel)?;
+        let analysis = analyze(&profile, self.profiler.chip(), &self.thresholds);
+        Ok((trace.total_cycles(), analysis))
+    }
+
+    /// Runs the analyze→advise→apply loop on `operator`.
+    ///
+    /// Each round the advisor proposes strategies for the current
+    /// bottleneck — bound states included, since Section 5.4 prescribes
+    /// remedies for those too. The first *new* strategy that actually
+    /// improves the simulated time is kept. The loop stops when no
+    /// proposed strategy helps or the iteration cap is reached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors from kernel construction or execution.
+    pub fn run(&self, operator: &dyn Operator) -> Result<OptimizationReport, SimError> {
+        let mut flags = operator.flags();
+        let (mut cycles, mut analysis) = self.measure(operator)?;
+        let mut iterations = Vec::new();
+
+        for _ in 0..self.max_iterations {
+            let candidates: Vec<Strategy> = advise(&analysis)
+                .into_iter()
+                .filter(|s| !s.is_applied(flags))
+                .collect();
+            let mut improved = None;
+            for strategy in candidates {
+                let trial_flags = strategy.apply_to(flags);
+                let trial = operator.with_flags_dyn(trial_flags);
+                let (trial_cycles, trial_analysis) = self.measure(trial.as_ref())?;
+                if trial_cycles < cycles * 0.995 {
+                    improved = Some((strategy, trial_flags, trial_cycles, trial_analysis));
+                    break;
+                }
+            }
+            let Some((strategy, new_flags, new_cycles, new_analysis)) = improved else {
+                break;
+            };
+            iterations.push(IterationRecord {
+                flags,
+                cycles,
+                peak_utilization: analysis.peak_utilization(),
+                bottleneck: analysis.bottleneck(),
+                applied: Some(strategy),
+            });
+            flags = new_flags;
+            cycles = new_cycles;
+            analysis = new_analysis;
+        }
+        iterations.push(IterationRecord {
+            flags,
+            cycles,
+            peak_utilization: analysis.peak_utilization(),
+            bottleneck: analysis.bottleneck(),
+            applied: None,
+        });
+        Ok(OptimizationReport { operator: operator.name(), iterations })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascend_ops::{AddRelu, AvgPool, Depthwise, Gelu};
+
+    #[test]
+    fn add_relu_loop_reaches_a_bound_state() {
+        let chip = ChipSpec::training();
+        let report = Optimizer::new(chip).run(&AddRelu::new(1 << 19)).unwrap();
+        assert!(report.speedup() > 1.3, "paper: 1.72x, got {:.2}", report.speedup());
+        assert!(report.applied_strategies().contains(&Strategy::Rsd));
+        assert!(
+            report.final_bottleneck().unwrap().is_bound(),
+            "\n{}",
+            report.summary()
+        );
+    }
+
+    #[test]
+    fn avgpool_loop_applies_aip() {
+        let chip = ChipSpec::inference();
+        let report = Optimizer::new(chip).run(&AvgPool::new(1 << 15)).unwrap();
+        assert!(report.applied_strategies().contains(&Strategy::Aip), "\n{}", report.summary());
+        assert!(report.speedup() > 2.0, "paper: 4.31x, got {:.2}", report.speedup());
+    }
+
+    #[test]
+    fn depthwise_loop_applies_multiple_strategies() {
+        let chip = ChipSpec::training();
+        let report = Optimizer::new(chip).run(&Depthwise::new(1 << 19)).unwrap();
+        assert!(
+            report.applied_strategies().len() >= 2,
+            "depthwise needs several rounds (paper applies 5): \n{}",
+            report.summary()
+        );
+        assert!(report.speedup() > 1.15);
+    }
+
+    #[test]
+    fn bound_gelu_gets_the_enhanced_algorithm() {
+        let chip = ChipSpec::training();
+        // Baseline GeLU is compute bound; the Section 5.4 remedy is EA.
+        let report = Optimizer::new(chip).run(&Gelu::new(1 << 19)).unwrap();
+        assert!(
+            report.applied_strategies().contains(&Strategy::Ea),
+            "\n{}",
+            report.summary()
+        );
+        assert!(report.speedup() > 1.02, "paper: 1.06x, got {:.2}", report.speedup());
+    }
+
+    #[test]
+    fn loop_never_regresses() {
+        let chip = ChipSpec::training();
+        for report in [
+            Optimizer::new(chip.clone()).run(&AddRelu::new(1 << 18)).unwrap(),
+            Optimizer::new(chip.clone()).run(&Depthwise::new(1 << 18)).unwrap(),
+        ] {
+            for pair in report.iterations.windows(2) {
+                assert!(pair[1].cycles <= pair[0].cycles, "\n{}", report.summary());
+            }
+        }
+    }
+}

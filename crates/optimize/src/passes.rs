@@ -1,0 +1,361 @@
+//! IR-level optimization passes over [`Kernel`]s.
+//!
+//! The [`Optimizer`](crate::Optimizer) works at the operator level by
+//! flipping generator flags; these passes instead transform an *existing*
+//! instruction stream, the way a kernel engineer would patch code they do
+//! not regenerate:
+//!
+//! - [`minimize_redundant_transfers`] — drop transfers that re-move bytes
+//!   that are provably still in place (MRT);
+//! - [`remove_unnecessary_barriers`] — drop `pipe_barrier(ALL)`s whose
+//!   surrounding segments share no memory and no queue (RUS);
+//! - [`hoist_transfers`] — move MTE transfers earlier in program order
+//!   past unrelated instructions so the dispatcher issues them sooner
+//!   (AIS).
+//!
+//! All passes are conservative: they only fire when the dependence
+//! analysis proves the reordering invisible to the memory model.
+
+use ascend_isa::{FlagId, Instruction, Kernel};
+
+fn writes_overlap(instr: &Instruction, other: &Instruction) -> bool {
+    instr.conflicts_with(other)
+}
+
+/// Fuses two kernels into one instruction stream (Operator Fusion at the
+/// IR level): `second` runs after `first` in the same kernel, so its
+/// loads can overlap `first`'s tail instead of waiting for a fresh launch
+/// — the same GM-round-trip saving the paper's OP strategy describes,
+/// applied to kernels that were authored separately.
+///
+/// `second`'s flags are renumbered past `first`'s so the two sync spaces
+/// cannot collide.
+#[must_use]
+pub fn fuse_kernels(first: &Kernel, second: &Kernel) -> Kernel {
+    let max_flag = first
+        .iter()
+        .filter_map(|i| match i {
+            Instruction::SetFlag { flag, .. } | Instruction::WaitFlag { flag, .. } => {
+                Some(flag.raw())
+            }
+            _ => None,
+        })
+        .max()
+        .map_or(0, |m| m + 1);
+    let mut instructions: Vec<Instruction> = first.instructions().to_vec();
+    for instr in second {
+        instructions.push(match instr {
+            Instruction::SetFlag { queue, flag } => Instruction::SetFlag {
+                queue: *queue,
+                flag: FlagId::new(flag.raw() + max_flag),
+            },
+            Instruction::WaitFlag { queue, flag } => Instruction::WaitFlag {
+                queue: *queue,
+                flag: FlagId::new(flag.raw() + max_flag),
+            },
+            other => other.clone(),
+        });
+    }
+    Kernel::from_parts(format!("{}+{}", first.name(), second.name()), instructions)
+}
+
+/// Removes transfers that are exact repeats of an earlier transfer whose
+/// source and destination have not been written in between — the
+/// loop-invariant constant reload of the Add_ReLU case study (Figure 10).
+///
+/// # Examples
+///
+/// ```
+/// use ascend_arch::{Buffer, ChipSpec, TransferPath};
+/// use ascend_isa::{KernelBuilder, Region};
+/// use ascend_optimize::passes::minimize_redundant_transfers;
+///
+/// let gm_c = Region::new(Buffer::Gm, 0, 64);
+/// let ub_c = Region::new(Buffer::Ub, 0, 64);
+/// let mut b = KernelBuilder::new("loop");
+/// for _ in 0..4 {
+///     b.transfer(TransferPath::GmToUb, gm_c, ub_c)?; // redundant reload
+/// }
+/// let hoisted = minimize_redundant_transfers(&b.build());
+/// assert_eq!(hoisted.len(), 1);
+/// # Ok::<(), ascend_isa::IsaError>(())
+/// ```
+#[must_use]
+pub fn minimize_redundant_transfers(kernel: &Kernel) -> Kernel {
+    let instructions = kernel.instructions();
+    let mut keep: Vec<bool> = vec![true; instructions.len()];
+    for (i, instr) in instructions.iter().enumerate() {
+        let Instruction::Transfer(t) = instr else { continue };
+        // Find an identical earlier transfer still marked kept.
+        let Some(prev) = instructions[..i]
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(j, earlier)| keep[*j] && *earlier == instr)
+            .map(|(j, _)| j)
+        else {
+            continue;
+        };
+        // Redundant only if no *surviving* instruction between them
+        // writes src or dst (already-removed repeats cannot clobber).
+        let clobbered = instructions[prev + 1..i].iter().enumerate().any(|(off, between)| {
+            keep[prev + 1 + off]
+                && between
+                    .writes()
+                    .iter()
+                    .any(|w| w.overlaps(&t.src) || w.overlaps(&t.dst))
+        });
+        if !clobbered {
+            keep[i] = false;
+        }
+    }
+    let kept: Vec<Instruction> = instructions
+        .iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(instr, _)| instr.clone())
+        .collect();
+    kernel.with_instructions(kept)
+}
+
+/// Removes `pipe_barrier(ALL)` instructions that order nothing: a barrier
+/// is dropped when no instruction before it (since the previous barrier)
+/// conflicts with any instruction after it (until the next barrier) on a
+/// *different* queue. Same-queue ordering is free, so such a barrier only
+/// costs parallelism (the Depthwise case study, Section 5.2).
+#[must_use]
+pub fn remove_unnecessary_barriers(kernel: &Kernel) -> Kernel {
+    let instructions = kernel.instructions();
+    let n = instructions.len();
+    let mut keep = vec![true; n];
+    // Precompute barrier positions.
+    let barriers: Vec<usize> = instructions
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| matches!(i, Instruction::Barrier))
+        .map(|(i, _)| i)
+        .collect();
+    for (bi, &b) in barriers.iter().enumerate() {
+        let seg_start = if bi == 0 { 0 } else { barriers[bi - 1] + 1 };
+        let seg_end = barriers.get(bi + 1).copied().unwrap_or(n);
+        let before = &instructions[seg_start..b];
+        let after = &instructions[b + 1..seg_end];
+        let needed = before.iter().any(|x| {
+            after.iter().any(|y| {
+                x.queue() != y.queue() && writes_overlap(x, y)
+            })
+        });
+        if !needed {
+            keep[b] = false;
+        }
+    }
+    let kept: Vec<Instruction> = instructions
+        .iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(instr, _)| instr.clone())
+        .collect();
+    kernel.with_instructions(kept)
+}
+
+/// Hoists each MTE transfer earlier in program order while the skipped
+/// instruction (a) is on a different queue, (b) does not conflict with it
+/// through memory, (c) is not a barrier or a sync instruction.
+///
+/// This shortens the dispatch distance between consecutive transfers of
+/// the same engine — the delay the Depthwise case study observes between
+/// MTE-GM transfers (Figure 12).
+#[must_use]
+pub fn hoist_transfers(kernel: &Kernel) -> Kernel {
+    let mut instructions: Vec<Instruction> = kernel.instructions().to_vec();
+    let n = instructions.len();
+    for i in 1..n {
+        if !matches!(instructions[i], Instruction::Transfer(_)) {
+            continue;
+        }
+        let mut pos = i;
+        while pos > 0 {
+            let prev = &instructions[pos - 1];
+            let movable = matches!(prev, Instruction::Compute(_))
+                && prev.queue() != instructions[pos].queue()
+                && !writes_overlap(prev, &instructions[pos]);
+            if !movable {
+                break;
+            }
+            instructions.swap(pos - 1, pos);
+            pos -= 1;
+        }
+    }
+    kernel.with_instructions(instructions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascend_arch::{Buffer, ChipSpec, Component, ComputeUnit, Precision, TransferPath};
+    use ascend_isa::{KernelBuilder, KernelStats, Region};
+    use ascend_sim::Simulator;
+
+    fn gm(offset: u64, len: u64) -> Region {
+        Region::new(Buffer::Gm, offset, len)
+    }
+
+    fn ub(offset: u64, len: u64) -> Region {
+        Region::new(Buffer::Ub, offset, len)
+    }
+
+    #[test]
+    fn mrt_keeps_non_redundant_transfers() {
+        let mut b = KernelBuilder::new("k");
+        // Two different transfers: both stay.
+        b.transfer(TransferPath::GmToUb, gm(0, 64), ub(0, 64)).unwrap();
+        b.transfer(TransferPath::GmToUb, gm(64, 64), ub(64, 64)).unwrap();
+        let out = minimize_redundant_transfers(&b.build());
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn mrt_respects_clobbers() {
+        let mut b = KernelBuilder::new("k");
+        b.transfer(TransferPath::GmToUb, gm(0, 64), ub(0, 64)).unwrap();
+        // The destination is overwritten in between...
+        b.compute(ComputeUnit::Vector, Precision::Fp16, 8, vec![], vec![ub(0, 64)]);
+        // ...so the reload is NOT redundant.
+        b.transfer(TransferPath::GmToUb, gm(0, 64), ub(0, 64)).unwrap();
+        let out = minimize_redundant_transfers(&b.build());
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn mrt_pass_speeds_up_a_redundant_loop() {
+        let chip = ChipSpec::training();
+        let mut b = KernelBuilder::new("loop");
+        let c_gm = gm(1 << 20, 2048);
+        let c_ub = ub(0, 2048);
+        for i in 0..16u64 {
+            b.transfer(TransferPath::GmToUb, c_gm, c_ub).unwrap();
+            b.transfer(TransferPath::GmToUb, gm(i * 8192, 8192), ub(4096 + (i % 2) * 8192, 8192))
+                .unwrap();
+        }
+        let kernel = b.build();
+        let optimized = minimize_redundant_transfers(&kernel);
+        assert_eq!(optimized.len(), kernel.len() - 15);
+        let sim = Simulator::new(chip);
+        let t0 = sim.simulate(&kernel).unwrap().total_cycles();
+        let t1 = sim.simulate(&optimized).unwrap().total_cycles();
+        assert!(t1 < t0);
+    }
+
+    #[test]
+    fn rus_drops_only_safe_barriers() {
+        let mut b = KernelBuilder::new("k");
+        // Segment A touches ub[0..64] from MTE-GM.
+        b.transfer(TransferPath::GmToUb, gm(0, 64), ub(0, 64)).unwrap();
+        b.barrier_all(); // needed: next segment reads ub[0..64] from MTE-UB
+        b.transfer(TransferPath::UbToGm, ub(0, 64), gm(4096, 64)).unwrap();
+        b.barrier_all(); // unnecessary: the next segment is unrelated
+        b.transfer(TransferPath::GmToUb, gm(8192, 64), ub(8192, 64)).unwrap();
+        let out = remove_unnecessary_barriers(&b.build());
+        let stats = KernelStats::of(&out);
+        assert_eq!(stats.barrier_count, 1, "exactly one barrier is load-bearing");
+    }
+
+    #[test]
+    fn rus_preserves_simulated_orderings() {
+        let chip = ChipSpec::training();
+        let mut b = KernelBuilder::new("k");
+        b.transfer(TransferPath::GmToUb, gm(0, 4096), ub(0, 4096)).unwrap();
+        b.barrier_all();
+        b.transfer(TransferPath::UbToGm, ub(0, 4096), gm(65536, 4096)).unwrap();
+        let kernel = b.build();
+        let out = remove_unnecessary_barriers(&kernel);
+        // The barrier is kept (conflict across queues), so behaviour is
+        // identical.
+        assert_eq!(out, kernel);
+        let sim = Simulator::new(chip);
+        assert_eq!(
+            sim.simulate(&out).unwrap().total_cycles(),
+            sim.simulate(&kernel).unwrap().total_cycles()
+        );
+    }
+
+    #[test]
+    fn hoist_moves_transfers_past_unrelated_compute() {
+        let chip = ChipSpec::training();
+        let mut b = KernelBuilder::new("k");
+        // A long, *slow* transfer stuck behind a chain of small compute
+        // instructions: dispatch delay puts it on the critical path.
+        for _ in 0..20 {
+            b.compute(ComputeUnit::Vector, Precision::Fp16, 64, vec![ub(0, 512)], vec![ub(0, 512)]);
+        }
+        b.transfer(TransferPath::GmToUb, gm(0, 120 << 10), ub(8192, 120 << 10)).unwrap();
+        let kernel = b.build();
+        let hoisted = hoist_transfers(&kernel);
+        assert!(matches!(hoisted.instructions()[0], ascend_isa::Instruction::Transfer(_)));
+        let sim = Simulator::new(chip);
+        let t0 = sim.simulate(&kernel).unwrap().total_cycles();
+        let t1 = sim.simulate(&hoisted).unwrap().total_cycles();
+        assert!(t1 < t0, "hoisting the transfer must shorten the critical path: {t1} !< {t0}");
+    }
+
+    #[test]
+    fn hoist_stops_at_conflicts_and_syncs() {
+        let mut b = KernelBuilder::new("k");
+        let f = b.new_flag();
+        b.set_flag(Component::Vector, f);
+        b.wait_flag(Component::MteGm, f);
+        b.compute(ComputeUnit::Vector, Precision::Fp16, 64, vec![], vec![ub(0, 64)]);
+        // Conflicts with the compute's write: must not move above it.
+        b.transfer(TransferPath::UbToGm, ub(0, 64), gm(0, 64)).unwrap();
+        let kernel = b.build();
+        let hoisted = hoist_transfers(&kernel);
+        assert_eq!(hoisted, kernel, "nothing may move");
+    }
+
+    #[test]
+    fn fuse_kernels_renumbers_flags_and_beats_back_to_back_launch() {
+        use ascend_ops::Operator as _;
+        let chip = ChipSpec::training();
+        let a = ascend_ops::Elementwise::new(ascend_ops::EltwiseKind::Mul, 1 << 16)
+            .build(&chip)
+            .unwrap();
+        let b = ascend_ops::Gelu::new(1 << 16).build(&chip).unwrap();
+        let fused = fuse_kernels(&a, &b);
+        assert_eq!(fused.len(), a.len() + b.len());
+        ascend_isa::validate(&fused, &chip).unwrap();
+        let sim = Simulator::new(chip);
+        let separate = sim.simulate(&a).unwrap().total_cycles()
+            + sim.simulate(&b).unwrap().total_cycles();
+        let together = sim.simulate(&fused).unwrap().total_cycles();
+        assert!(
+            together < separate,
+            "fusion overlaps the tails: {together} !< {separate}"
+        );
+    }
+
+    #[test]
+    fn passes_keep_kernels_valid() {
+        let chip = ChipSpec::training();
+        let op = ascend_ops::AddRelu::new(1 << 16);
+        let kernel = ascend_ops::Operator::build(&op, &chip).unwrap();
+        for pass in [minimize_redundant_transfers, remove_unnecessary_barriers, hoist_transfers] {
+            let out = pass(&kernel);
+            ascend_isa::validate(&out, &chip).unwrap();
+        }
+    }
+
+    #[test]
+    fn mrt_pass_matches_the_flag_variant_in_spirit() {
+        // The IR pass applied to the baseline Add_ReLU removes the same
+        // redundant constant loads the `mrt` flag avoids generating.
+        let chip = ChipSpec::training();
+        let base = ascend_ops::Operator::build(&ascend_ops::AddRelu::new(1 << 18), &chip).unwrap();
+        let passed = minimize_redundant_transfers(&base);
+        let base_stats = KernelStats::of(&base);
+        let passed_stats = KernelStats::of(&passed);
+        assert!(
+            passed_stats.bytes_of_component(Component::MteGm)
+                < base_stats.bytes_of_component(Component::MteGm)
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! The named optimization strategies of Section 5.
+
+use ascend_ops::OptFlags;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the paper's optimization strategies.
+///
+/// Each strategy maps onto one [`OptFlags`] bit; see
+/// [`Strategy::apply_to`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Reducing Spatial Dependency (Section 5.1).
+    Rsd,
+    /// Minimizing Redundant Transfer (Section 5.1).
+    Mrt,
+    /// Adjusting Instruction Sequence (Section 5.2).
+    Ais,
+    /// Removing Unnecessary Synchronization (Section 5.2).
+    Rus,
+    /// Ping-pong Policy (Section 5.2).
+    Pp,
+    /// Increasing Transfer Granularity (Section 5.2).
+    Itg,
+    /// Adjusting Instruction Parameter (Section 5.3).
+    Aip,
+    /// Operator Fusion (Section 5.4, MTE bound).
+    OpFusion,
+    /// Transfer Transformation (Section 5.4, MTE bound).
+    Tt,
+    /// Enhanced Algorithm (Section 5.4, compute bound).
+    Ea,
+    /// Low-precision Calculation (Section 5.4, compute bound).
+    Lc,
+    /// Computation Transformation (Section 5.4, compute bound).
+    Ct,
+}
+
+impl Strategy {
+    /// All strategies.
+    pub const ALL: [Strategy; 12] = [
+        Strategy::Rsd,
+        Strategy::Mrt,
+        Strategy::Ais,
+        Strategy::Rus,
+        Strategy::Pp,
+        Strategy::Itg,
+        Strategy::Aip,
+        Strategy::OpFusion,
+        Strategy::Tt,
+        Strategy::Ea,
+        Strategy::Lc,
+        Strategy::Ct,
+    ];
+
+    /// The paper's abbreviation, e.g. `"RSD"`.
+    #[must_use]
+    pub const fn abbrev(self) -> &'static str {
+        match self {
+            Strategy::Rsd => "RSD",
+            Strategy::Mrt => "MRT",
+            Strategy::Ais => "AIS",
+            Strategy::Rus => "RUS",
+            Strategy::Pp => "PP",
+            Strategy::Itg => "ITG",
+            Strategy::Aip => "AIP",
+            Strategy::OpFusion => "OP",
+            Strategy::Tt => "TT",
+            Strategy::Ea => "EA",
+            Strategy::Lc => "LC",
+            Strategy::Ct => "CT",
+        }
+    }
+
+    /// The full name as used in the paper.
+    #[must_use]
+    pub const fn full_name(self) -> &'static str {
+        match self {
+            Strategy::Rsd => "Reducing Spatial Dependency",
+            Strategy::Mrt => "Minimizing Redundant Transfer",
+            Strategy::Ais => "Adjusting Instruction Sequence",
+            Strategy::Rus => "Removing Unnecessary Synchronization",
+            Strategy::Pp => "Ping-pong Policy",
+            Strategy::Itg => "Increasing Transfer Granularity",
+            Strategy::Aip => "Adjusting Instruction Parameter",
+            Strategy::OpFusion => "Operator Fusion",
+            Strategy::Tt => "Transfer Transformation",
+            Strategy::Ea => "Enhanced Algorithm",
+            Strategy::Lc => "Low-precision Calculation",
+            Strategy::Ct => "Computation Transformation",
+        }
+    }
+
+    /// Returns `flags` with this strategy's bit set.
+    #[must_use]
+    pub fn apply_to(self, flags: OptFlags) -> OptFlags {
+        match self {
+            Strategy::Rsd => flags.rsd(true),
+            Strategy::Mrt => flags.mrt(true),
+            Strategy::Ais => flags.ais(true),
+            Strategy::Rus => flags.rus(true),
+            Strategy::Pp => flags.pp(true),
+            Strategy::Itg => flags.itg(true),
+            Strategy::Aip => flags.aip(true),
+            Strategy::OpFusion => flags.fused(true),
+            Strategy::Tt => flags.tt(true),
+            Strategy::Ea => flags.ea(true),
+            Strategy::Lc => flags.lc(true),
+            Strategy::Ct => flags.ct(true),
+        }
+    }
+
+    /// Whether `flags` already has this strategy applied.
+    #[must_use]
+    pub fn is_applied(self, flags: OptFlags) -> bool {
+        match self {
+            Strategy::Rsd => flags.has_rsd(),
+            Strategy::Mrt => flags.has_mrt(),
+            Strategy::Ais => flags.has_ais(),
+            Strategy::Rus => flags.has_rus(),
+            Strategy::Pp => flags.has_pp(),
+            Strategy::Itg => flags.has_itg(),
+            Strategy::Aip => flags.has_aip(),
+            Strategy::OpFusion => flags.has_fused(),
+            Strategy::Tt => flags.has_tt(),
+            Strategy::Ea => flags.has_ea(),
+            Strategy::Lc => flags.has_lc(),
+            Strategy::Ct => flags.has_ct(),
+        }
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_round_trips_through_is_applied() {
+        for strategy in Strategy::ALL {
+            let flags = strategy.apply_to(OptFlags::new());
+            assert!(strategy.is_applied(flags), "{strategy}");
+            assert_eq!(flags.count(), 1);
+            for other in Strategy::ALL {
+                if other != strategy {
+                    assert!(!other.is_applied(flags), "{other} leaked from {strategy}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn abbreviations_are_unique() {
+        let mut names: Vec<&str> = Strategy::ALL.iter().map(|s| s.abbrev()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Strategy::ALL.len());
+    }
+
+    #[test]
+    fn all_flags_is_all_strategies() {
+        let mut flags = OptFlags::new();
+        for strategy in Strategy::ALL {
+            flags = strategy.apply_to(flags);
+        }
+        assert_eq!(flags, OptFlags::all());
+    }
+}

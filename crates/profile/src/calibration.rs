@@ -1,0 +1,194 @@
+//! ERT-style empirical calibration (cf. the Empirical Roofline Toolkit
+//! the paper builds on, Section 2.3): saturation micro-kernels that
+//! measure the *achieved* ceilings of the simulated chip, path by path
+//! and precision by precision.
+//!
+//! On real hardware these micro-benchmarks discover the practical
+//! ceilings that nominal datasheets overstate; here they validate that
+//! the simulator's achieved rates converge to the chip specification as
+//! granularity grows — and quantify how far small granularities fall
+//! short, which is the roofline model's bandwidth-ceiling input.
+
+use crate::Profiler;
+use ascend_arch::{Buffer, ChipSpec, ComputeUnit, Precision, TransferPath};
+use ascend_isa::{BufferAllocator, KernelBuilder};
+use ascend_sim::SimError;
+use serde::{Deserialize, Serialize};
+
+/// Result of one calibration micro-kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationPoint {
+    /// What was measured, e.g. `"gm->ub"` or `"cube/fp16"`.
+    pub target: String,
+    /// Work granularity (bytes per transfer, or ops per instruction).
+    pub granularity: u64,
+    /// Achieved rate (bytes/cycle or ops/cycle).
+    pub achieved: f64,
+    /// The specification's peak rate.
+    pub peak: f64,
+}
+
+impl CalibrationPoint {
+    /// Achieved fraction of the specified peak.
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        if self.peak > 0.0 {
+            self.achieved / self.peak
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Measures the achieved bandwidth of one MTE transfer path with a
+/// back-to-back streaming kernel of `repeats` transfers of `bytes` each.
+///
+/// # Errors
+///
+/// Propagates simulator errors; fails if the staging tile does not fit
+/// the destination buffer.
+pub fn measure_bandwidth(
+    chip: &ChipSpec,
+    path: TransferPath,
+    bytes: u64,
+    repeats: u64,
+) -> Result<CalibrationPoint, SimError> {
+    let mut alloc = BufferAllocator::new(chip);
+    let mut b = KernelBuilder::new(format!("ert_{path}"));
+    // Stage in the path's endpoints; recycle the on-chip side, stride the
+    // GM side.
+    let (src_onchip, dst_onchip) = (path.src() != Buffer::Gm, path.dst() != Buffer::Gm);
+    let onchip_src = if src_onchip { Some(alloc.alloc(path.src(), bytes)?) } else { None };
+    let onchip_dst = if dst_onchip { Some(alloc.alloc(path.dst(), bytes)?) } else { None };
+    for i in 0..repeats {
+        let src = match onchip_src {
+            Some(region) => region,
+            None => alloc.alloc(Buffer::Gm, bytes)?,
+        };
+        let dst = match onchip_dst {
+            Some(region) => region,
+            None => alloc.alloc(Buffer::Gm, bytes)?,
+        };
+        let _ = i;
+        b.transfer(path, src, dst)?;
+    }
+    let (profile, trace) = Profiler::new(chip.clone()).run(&b.build())?;
+    let achieved = profile.bytes_on_path(path) as f64 / trace.total_cycles();
+    let peak = chip.transfer(path)?.bytes_per_cycle;
+    Ok(CalibrationPoint { target: path.to_string(), granularity: bytes, achieved, peak })
+}
+
+/// Measures the achieved arithmetic rate of one precision on one unit
+/// with `repeats` back-to-back compute instructions of `ops` each.
+///
+/// # Errors
+///
+/// Propagates simulator errors; fails for unsupported precisions.
+pub fn measure_compute(
+    chip: &ChipSpec,
+    unit: ComputeUnit,
+    precision: Precision,
+    ops: u64,
+    repeats: u64,
+) -> Result<CalibrationPoint, SimError> {
+    let mut b = KernelBuilder::new(format!("ert_{unit}_{precision}"));
+    for _ in 0..repeats {
+        b.compute(unit, precision, ops, vec![], vec![]);
+    }
+    let (profile, trace) = Profiler::new(chip.clone()).run(&b.build())?;
+    let achieved = profile.ops_of(unit, precision) as f64 / trace.total_cycles();
+    let peak = chip.peak_ops_per_cycle(unit, precision)?;
+    Ok(CalibrationPoint {
+        target: format!("{unit}/{precision}"),
+        granularity: ops,
+        achieved,
+        peak,
+    })
+}
+
+/// Runs the full calibration sweep: every MTE path at a large granularity
+/// and every precision-compute unit at a large instruction size.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn calibrate(chip: &ChipSpec) -> Result<Vec<CalibrationPoint>, SimError> {
+    let mut points = Vec::new();
+    for path in TransferPath::mte_paths() {
+        // Use a granularity that fits the destination buffer.
+        let cap = chip.capacity(path.dst()).unwrap_or(u64::MAX).min(
+            chip.capacity(path.src()).unwrap_or(u64::MAX),
+        );
+        let bytes = (cap / 2).clamp(1 << 10, 128 << 10);
+        points.push(measure_bandwidth(chip, path, bytes, 32)?);
+    }
+    for unit in ComputeUnit::ALL {
+        for &precision in unit.precisions() {
+            let peak = chip.peak_ops_per_cycle(unit, precision)?;
+            // Enough ops to amortize the issue cost far past 99%.
+            let ops = (peak * chip.compute_issue_cycles * 256.0) as u64;
+            points.push(measure_compute(chip, unit, precision, ops, 16)?);
+        }
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_transfers_approach_the_specified_peak() {
+        let chip = ChipSpec::training();
+        let point = measure_bandwidth(&chip, TransferPath::GmToUb, 100 << 10, 16).unwrap();
+        assert!(
+            point.fraction() > 0.9,
+            "100 KiB streaming should be near peak, got {:.1}%",
+            point.fraction() * 100.0
+        );
+        assert!(point.fraction() <= 1.0 + 1e-9, "never above spec");
+    }
+
+    #[test]
+    fn small_transfers_fall_well_short() {
+        let chip = ChipSpec::training();
+        let point = measure_bandwidth(&chip, TransferPath::UbToGm, 1 << 10, 64).unwrap();
+        assert!(
+            point.fraction() < 0.30,
+            "1 KiB transfers should waste most of the bandwidth, got {:.1}%",
+            point.fraction() * 100.0
+        );
+    }
+
+    #[test]
+    fn large_compute_instructions_approach_the_peak() {
+        let chip = ChipSpec::training();
+        let point =
+            measure_compute(&chip, ComputeUnit::Vector, Precision::Fp16, 1 << 20, 8).unwrap();
+        assert!(point.fraction() > 0.95, "got {:.3}", point.fraction());
+        assert!(point.fraction() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn full_sweep_covers_all_paths_and_precisions() {
+        let chip = ChipSpec::training();
+        let points = calibrate(&chip).unwrap();
+        // 9 MTE paths + 9 precision-compute units.
+        assert_eq!(points.len(), 18);
+        for point in &points {
+            assert!(
+                point.fraction() > 0.80 && point.fraction() <= 1.0 + 1e-9,
+                "{}: achieved {:.1}% of peak",
+                point.target,
+                point.fraction() * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn inference_chip_calibrates_too() {
+        let chip = ChipSpec::inference();
+        let points = calibrate(&chip).unwrap();
+        assert_eq!(points.len(), 18);
+    }
+}

@@ -1,0 +1,332 @@
+#![warn(missing_docs)]
+
+//! Profiling layer: turns simulator traces into the metric set the
+//! component-based roofline model consumes.
+//!
+//! The paper's workflow (Section 3.2) filters, from `msprof`-style
+//! profiling, exactly these per-operator metrics:
+//!
+//! - the number of **operations per precision** on each compute unit;
+//! - the number of **bytes per transfer path** on each MTE;
+//! - the **execution (active) time of each component**, estimated from the
+//!   non-empty time of its instruction queue;
+//! - the operator's **total time**.
+//!
+//! [`Profile`] is that record; [`Profiler`] produces it by running the
+//! simulator; [`Profile::accumulate`] folds many operator profiles into a
+//! model-level aggregate.
+//!
+//! # Examples
+//!
+//! ```
+//! use ascend_arch::{Buffer, ChipSpec, Component, ComputeUnit, Precision, TransferPath};
+//! use ascend_isa::{KernelBuilder, Region};
+//! use ascend_profile::Profiler;
+//!
+//! let chip = ChipSpec::training();
+//! let mut b = KernelBuilder::new("axpy");
+//! let gm = Region::new(Buffer::Gm, 0, 8192);
+//! let ub = Region::new(Buffer::Ub, 0, 8192);
+//! b.transfer(TransferPath::GmToUb, gm, ub)?;
+//! b.sync(Component::MteGm, Component::Vector);
+//! b.compute(ComputeUnit::Vector, Precision::Fp16, 4096, vec![ub], vec![ub]);
+//!
+//! let profiler = Profiler::new(chip);
+//! let (profile, _trace) = profiler.run(&b.build())?;
+//! assert_eq!(profile.ops_of(ComputeUnit::Vector, Precision::Fp16), 4096);
+//! assert!(profile.active_cycles(Component::MteGm) > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod calibration;
+
+use ascend_arch::{ChipSpec, Component, ComputeUnit, Precision, TransferPath};
+use ascend_isa::{Kernel, KernelStats};
+use ascend_sim::{SimError, Simulator, Trace};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The per-operator metric record of the paper's Section 3.1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    /// Name of the profiled kernel (or aggregate).
+    pub name: String,
+    /// Operations per (unit, precision) — from the instruction queues.
+    #[serde(with = "ascend_isa::ops_map_serde")]
+    pub ops: BTreeMap<(ComputeUnit, Precision), u64>,
+    /// Bytes per transfer path — from the instruction queues.
+    pub bytes: BTreeMap<TransferPath, u64>,
+    /// Active (executing) cycles per component.
+    pub active_cycles: BTreeMap<Component, f64>,
+    /// End-to-end cycles of the operator (sums under accumulation).
+    pub total_cycles: f64,
+    /// Number of instructions profiled.
+    pub instruction_count: u64,
+}
+
+impl Profile {
+    /// Builds a profile from a kernel's static stats and its trace.
+    #[must_use]
+    pub fn collect(kernel: &Kernel, trace: &Trace) -> Self {
+        let stats = KernelStats::of(kernel);
+        let mut active_cycles = BTreeMap::new();
+        for component in Component::ALL {
+            let busy = trace.busy_cycles(component);
+            if busy > 0.0 {
+                active_cycles.insert(component, busy);
+            }
+        }
+        Profile {
+            name: kernel.name().to_owned(),
+            ops: stats.ops,
+            bytes: stats.bytes,
+            active_cycles,
+            total_cycles: trace.total_cycles(),
+            instruction_count: kernel.len() as u64,
+        }
+    }
+
+    /// An empty aggregate to [`accumulate`](Profile::accumulate) into.
+    #[must_use]
+    pub fn empty(name: impl Into<String>) -> Self {
+        Profile {
+            name: name.into(),
+            ops: BTreeMap::new(),
+            bytes: BTreeMap::new(),
+            active_cycles: BTreeMap::new(),
+            total_cycles: 0.0,
+            instruction_count: 0,
+        }
+    }
+
+    /// Folds `other` into this profile, modelling back-to-back execution:
+    /// counts, active cycles, and total cycles all add.
+    pub fn accumulate(&mut self, other: &Profile) {
+        for (&key, &n) in &other.ops {
+            *self.ops.entry(key).or_default() += n;
+        }
+        for (&path, &b) in &other.bytes {
+            *self.bytes.entry(path).or_default() += b;
+        }
+        for (&component, &cycles) in &other.active_cycles {
+            *self.active_cycles.entry(component).or_default() += cycles;
+        }
+        self.total_cycles += other.total_cycles;
+        self.instruction_count += other.instruction_count;
+    }
+
+    /// Folds `other` in `count` times (for repeated operator invocations).
+    pub fn accumulate_scaled(&mut self, other: &Profile, count: u64) {
+        for (&key, &n) in &other.ops {
+            *self.ops.entry(key).or_default() += n * count;
+        }
+        for (&path, &b) in &other.bytes {
+            *self.bytes.entry(path).or_default() += b * count;
+        }
+        for (&component, &cycles) in &other.active_cycles {
+            *self.active_cycles.entry(component).or_default() += cycles * count as f64;
+        }
+        self.total_cycles += other.total_cycles * count as f64;
+        self.instruction_count += other.instruction_count * count;
+    }
+
+    /// Operations of `precision` executed on `unit`.
+    #[must_use]
+    pub fn ops_of(&self, unit: ComputeUnit, precision: Precision) -> u64 {
+        self.ops.get(&(unit, precision)).copied().unwrap_or(0)
+    }
+
+    /// All operations executed on `unit`.
+    #[must_use]
+    pub fn total_ops(&self, unit: ComputeUnit) -> u64 {
+        self.ops.iter().filter(|((u, _), _)| *u == unit).map(|(_, &n)| n).sum()
+    }
+
+    /// Bytes moved along `path`.
+    #[must_use]
+    pub fn bytes_on_path(&self, path: TransferPath) -> u64 {
+        self.bytes.get(&path).copied().unwrap_or(0)
+    }
+
+    /// Bytes moved by the MTE behind `component` (0 for compute components).
+    #[must_use]
+    pub fn bytes_of_component(&self, component: Component) -> u64 {
+        self.bytes
+            .iter()
+            .filter(|(path, _)| path.component() == component)
+            .map(|(_, &b)| b)
+            .sum()
+    }
+
+    /// Active cycles of `component` (0 when it never executed).
+    #[must_use]
+    pub fn active_cycles(&self, component: Component) -> f64 {
+        self.active_cycles.get(&component).copied().unwrap_or(0.0)
+    }
+
+    /// The component time ratio `R = T_component / T_total` (paper, Eq. 6).
+    #[must_use]
+    pub fn time_ratio(&self, component: Component) -> f64 {
+        if self.total_cycles <= 0.0 {
+            return 0.0;
+        }
+        self.active_cycles(component) / self.total_cycles
+    }
+
+    /// Components that did any work in this profile.
+    #[must_use]
+    pub fn active_components(&self) -> Vec<Component> {
+        Component::ALL
+            .into_iter()
+            .filter(|c| {
+                self.active_cycles(*c) > 0.0
+                    || self.total_ops_of_component(*c) > 0
+                    || self.bytes_of_component(*c) > 0
+            })
+            .collect()
+    }
+
+    fn total_ops_of_component(&self, component: Component) -> u64 {
+        component.as_unit().map_or(0, |u| self.total_ops(u))
+    }
+
+    /// Total operator time in microseconds at `chip`'s clock.
+    #[must_use]
+    pub fn total_micros(&self, chip: &ChipSpec) -> f64 {
+        chip.cycles_to_micros(self.total_cycles)
+    }
+}
+
+/// Convenience wrapper: simulate a kernel and collect its profile.
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    simulator: Simulator,
+}
+
+impl Profiler {
+    /// Creates a profiler for `chip`.
+    #[must_use]
+    pub fn new(chip: ChipSpec) -> Self {
+        Profiler { simulator: Simulator::new(chip) }
+    }
+
+    /// The chip being profiled.
+    #[must_use]
+    pub fn chip(&self) -> &ChipSpec {
+        self.simulator.chip()
+    }
+
+    /// Access the underlying simulator.
+    #[must_use]
+    pub fn simulator(&self) -> &Simulator {
+        &self.simulator
+    }
+
+    /// Simulates `kernel` and returns its profile together with the trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from the simulator.
+    pub fn run(&self, kernel: &Kernel) -> Result<(Profile, Trace), SimError> {
+        let trace = self.simulator.simulate(kernel)?;
+        Ok((Profile::collect(kernel, &trace), trace))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascend_arch::Buffer;
+    use ascend_isa::{KernelBuilder, Region};
+
+    fn sample_kernel(tag: u64) -> Kernel {
+        let gm = Region::new(Buffer::Gm, tag * 65536, 8192);
+        let ub = Region::new(Buffer::Ub, 0, 8192);
+        let out = Region::new(Buffer::Gm, tag * 65536 + 32768, 8192);
+        let mut b = KernelBuilder::new(format!("op{tag}"));
+        let loaded = b.new_flag();
+        let done = b.new_flag();
+        b.transfer(TransferPath::GmToUb, gm, ub).unwrap();
+        b.set_flag(Component::MteGm, loaded);
+        b.wait_flag(Component::Vector, loaded);
+        b.compute(ComputeUnit::Vector, Precision::Fp16, 4096, vec![ub], vec![ub]);
+        b.set_flag(Component::Vector, done);
+        b.wait_flag(Component::MteUb, done);
+        b.transfer(TransferPath::UbToGm, ub, out).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn collect_matches_static_counts() {
+        let profiler = Profiler::new(ChipSpec::training());
+        let kernel = sample_kernel(0);
+        let (profile, trace) = profiler.run(&kernel).unwrap();
+        assert_eq!(profile.ops_of(ComputeUnit::Vector, Precision::Fp16), 4096);
+        assert_eq!(profile.bytes_on_path(TransferPath::GmToUb), 8192);
+        assert_eq!(profile.bytes_on_path(TransferPath::UbToGm), 8192);
+        assert_eq!(profile.total_cycles, trace.total_cycles());
+        assert_eq!(profile.instruction_count, kernel.len() as u64);
+    }
+
+    #[test]
+    fn time_ratios_are_at_most_one() {
+        let profiler = Profiler::new(ChipSpec::training());
+        let (profile, _) = profiler.run(&sample_kernel(0)).unwrap();
+        for c in Component::ALL {
+            let r = profile.time_ratio(c);
+            assert!((0.0..=1.0 + 1e-9).contains(&r), "{c} ratio {r}");
+        }
+    }
+
+    #[test]
+    fn accumulate_adds_everything() {
+        let profiler = Profiler::new(ChipSpec::training());
+        let (p0, _) = profiler.run(&sample_kernel(0)).unwrap();
+        let (p1, _) = profiler.run(&sample_kernel(1)).unwrap();
+        let mut agg = Profile::empty("model");
+        agg.accumulate(&p0);
+        agg.accumulate(&p1);
+        assert_eq!(
+            agg.ops_of(ComputeUnit::Vector, Precision::Fp16),
+            p0.ops_of(ComputeUnit::Vector, Precision::Fp16)
+                + p1.ops_of(ComputeUnit::Vector, Precision::Fp16)
+        );
+        assert!((agg.total_cycles - (p0.total_cycles + p1.total_cycles)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulate_scaled_matches_repeated_accumulate() {
+        let profiler = Profiler::new(ChipSpec::training());
+        let (p, _) = profiler.run(&sample_kernel(0)).unwrap();
+        let mut by_loop = Profile::empty("loop");
+        for _ in 0..5 {
+            by_loop.accumulate(&p);
+        }
+        let mut by_scale = Profile::empty("loop");
+        by_scale.accumulate_scaled(&p, 5);
+        assert_eq!(by_loop.ops, by_scale.ops);
+        assert_eq!(by_loop.bytes, by_scale.bytes);
+        assert!((by_loop.total_cycles - by_scale.total_cycles).abs() < 1e-6);
+    }
+
+    #[test]
+    fn active_components_are_the_four_involved() {
+        let profiler = Profiler::new(ChipSpec::training());
+        let (p, _) = profiler.run(&sample_kernel(0)).unwrap();
+        let active = p.active_components();
+        assert!(active.contains(&Component::MteGm));
+        assert!(active.contains(&Component::MteUb));
+        assert!(active.contains(&Component::Vector));
+        assert!(!active.contains(&Component::Cube));
+        assert!(!active.contains(&Component::MteL1));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let profiler = Profiler::new(ChipSpec::training());
+        let (p, _) = profiler.run(&sample_kernel(0)).unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Profile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

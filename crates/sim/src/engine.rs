@@ -1,0 +1,481 @@
+//! The discrete-event execution engine.
+
+use crate::{InstrRecord, SimError, Trace};
+use crate::trace::StallCause;
+use ascend_arch::{ChipSpec, Component};
+use ascend_isa::{validate, Instruction, Kernel};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Simulates kernels on one chip.
+///
+/// See the [crate-level documentation](crate) for the execution semantics.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    chip: ChipSpec,
+}
+
+impl Simulator {
+    /// Creates a simulator for `chip`.
+    #[must_use]
+    pub fn new(chip: ChipSpec) -> Self {
+        Simulator { chip }
+    }
+
+    /// The chip this simulator models.
+    #[must_use]
+    pub fn chip(&self) -> &ChipSpec {
+        &self.chip
+    }
+
+    /// Executes `kernel` and returns its trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Validation`] when the kernel fails static
+    /// validation, [`SimError::Arch`] when it references rates missing
+    /// from the chip spec, and [`SimError::Deadlock`] if execution stalls
+    /// (defensive; validation rules this out).
+    pub fn simulate(&self, kernel: &Kernel) -> Result<Trace, SimError> {
+        validate(kernel, &self.chip)?;
+        Run::new(kernel, &self.chip).execute()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    /// Instruction `index` finishes executing.
+    Complete(usize),
+    /// Re-examine the queues (a dispatched instruction became available).
+    Wake,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time: f64,
+    kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then_with(|| match (self.kind, other.kind) {
+                (EventKind::Complete(a), EventKind::Complete(b)) => a.cmp(&b),
+                (EventKind::Complete(_), EventKind::Wake) => std::cmp::Ordering::Less,
+                (EventKind::Wake, EventKind::Complete(_)) => std::cmp::Ordering::Greater,
+                (EventKind::Wake, EventKind::Wake) => std::cmp::Ordering::Equal,
+            })
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Run<'a> {
+    kernel: &'a Kernel,
+    chip: &'a ChipSpec,
+    /// Dispatcher timeline: when the next instruction can be dispatched.
+    dispatch_free: f64,
+    next_dispatch: usize,
+    barrier_pending: bool,
+    last_completion: f64,
+    /// Per-component FIFO of dispatched instructions: (index, available-at).
+    pending: [VecDeque<(usize, f64)>; 6],
+    busy_until: [f64; 6],
+    /// Last wake time scheduled per component (deduplicates wake events).
+    wake_scheduled: [f64; 6],
+    /// Indices of currently executing instructions (for region conflicts).
+    executing: Vec<usize>,
+    /// Last observed blocking cause of each queue's front instruction.
+    block_reason: [Option<StallCause>; 6],
+    flags: HashMap<u32, u64>,
+    records: Vec<Option<InstrRecord>>,
+    outstanding: usize,
+    completed: usize,
+    events: BinaryHeap<Reverse<Event>>,
+}
+
+impl<'a> Run<'a> {
+    fn new(kernel: &'a Kernel, chip: &'a ChipSpec) -> Self {
+        Run {
+            kernel,
+            chip,
+            dispatch_free: 0.0,
+            next_dispatch: 0,
+            barrier_pending: false,
+            last_completion: 0.0,
+            pending: Default::default(),
+            busy_until: [0.0; 6],
+            wake_scheduled: [-1.0; 6],
+            executing: Vec::new(),
+            block_reason: [None; 6],
+            flags: HashMap::new(),
+            records: vec![None; kernel.len()],
+            outstanding: 0,
+            completed: 0,
+            events: BinaryHeap::new(),
+        }
+    }
+
+    fn execute(mut self) -> Result<Trace, SimError> {
+        self.dispatch();
+        self.try_start_all(0.0)?;
+        while let Some(Reverse(event)) = self.events.pop() {
+            let now = event.time;
+            if let EventKind::Complete(index) = event.kind {
+                self.finish(index, now);
+            }
+            self.try_start_all(now)?;
+        }
+        let n = self.kernel.len();
+        if self.completed != n {
+            return Err(SimError::Deadlock { remaining: n - self.completed });
+        }
+        let records: Vec<InstrRecord> =
+            self.records.into_iter().map(|r| r.expect("all instructions recorded")).collect();
+        let total = records.iter().map(|r| r.end).fold(0.0, f64::max);
+        Ok(Trace::from_parts(self.kernel.name(), records, total))
+    }
+
+    /// Dispatches instructions in program order until a barrier blocks or
+    /// the kernel is exhausted.
+    fn dispatch(&mut self) {
+        while !self.barrier_pending && self.next_dispatch < self.kernel.len() {
+            let index = self.next_dispatch;
+            let instr = &self.kernel.instructions()[index];
+            match instr.queue() {
+                None => {
+                    // pipe_barrier(ALL): wait for every dispatched
+                    // instruction to finish before dispatching further.
+                    if self.outstanding == 0 {
+                        let start = self.dispatch_free.max(self.last_completion);
+                        let end = start + self.chip.barrier_cycles;
+                        self.records[index] = Some(InstrRecord {
+                            index,
+                            queue: None,
+                            available_at: self.dispatch_free,
+                            start,
+                            end,
+                            stall: StallCause::None,
+                        });
+                        self.dispatch_free = end;
+                        self.completed += 1;
+                        self.next_dispatch += 1;
+                    } else {
+                        self.barrier_pending = true;
+                    }
+                }
+                Some(queue) => {
+                    self.dispatch_free += self.chip.dispatch_cycles;
+                    self.pending[queue.index()].push_back((index, self.dispatch_free));
+                    self.outstanding += 1;
+                    self.next_dispatch += 1;
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, index: usize, now: f64) {
+        self.executing.retain(|&i| i != index);
+        self.outstanding -= 1;
+        self.completed += 1;
+        self.last_completion = self.last_completion.max(now);
+        if let Instruction::SetFlag { flag, .. } = &self.kernel.instructions()[index] {
+            *self.flags.entry(flag.raw()).or_default() += 1;
+        }
+        if self.barrier_pending && self.outstanding == 0 {
+            self.barrier_pending = false;
+            self.dispatch();
+        }
+    }
+
+    fn try_start_all(&mut self, now: f64) -> Result<(), SimError> {
+        for component in Component::ALL {
+            self.try_start(component, now)?;
+        }
+        Ok(())
+    }
+
+    fn try_start(&mut self, component: Component, now: f64) -> Result<(), SimError> {
+        let q = component.index();
+        if self.busy_until[q] > now {
+            return Ok(());
+        }
+        let Some(&(index, available)) = self.pending[q].front() else {
+            return Ok(());
+        };
+        if available > now {
+            self.schedule_wake(q, available);
+            return Ok(());
+        }
+        let instr = &self.kernel.instructions()[index];
+        match instr {
+            Instruction::WaitFlag { flag, .. } => {
+                let count = self.flags.entry(flag.raw()).or_default();
+                if *count == 0 {
+                    // Blocked; a future SetFlag completion retries us.
+                    self.block_reason[q] = Some(StallCause::Flag);
+                    return Ok(());
+                }
+                *count -= 1;
+            }
+            Instruction::Compute(_) | Instruction::Transfer(_) => {
+                if self.has_region_conflict(index) {
+                    // Blocked on a spatial dependency; the conflicting
+                    // instruction's completion retries us.
+                    self.block_reason[q] = Some(StallCause::Region);
+                    return Ok(());
+                }
+            }
+            Instruction::SetFlag { .. } => {}
+            Instruction::Barrier => unreachable!("barriers are dispatcher-level"),
+        }
+        let stall = match self.block_reason[q].take() {
+            Some(cause) => cause,
+            None if now > available + 1e-9 => StallCause::QueueBusy,
+            None => StallCause::None,
+        };
+        let duration = self.duration(instr)?;
+        let end = now + duration;
+        self.records[index] = Some(InstrRecord {
+            index,
+            queue: Some(component),
+            available_at: available,
+            start: now,
+            end,
+            stall,
+        });
+        self.busy_until[q] = end;
+        self.pending[q].pop_front();
+        self.executing.push(index);
+        self.events.push(Reverse(Event { time: end, kind: EventKind::Complete(index) }));
+        Ok(())
+    }
+
+    fn has_region_conflict(&self, index: usize) -> bool {
+        let instr = &self.kernel.instructions()[index];
+        self.executing
+            .iter()
+            .any(|&other| instr.conflicts_with(&self.kernel.instructions()[other]))
+    }
+
+    fn schedule_wake(&mut self, q: usize, at: f64) {
+        if self.wake_scheduled[q] == at {
+            return;
+        }
+        self.wake_scheduled[q] = at;
+        self.events.push(Reverse(Event { time: at, kind: EventKind::Wake }));
+    }
+
+    fn duration(&self, instr: &Instruction) -> Result<f64, SimError> {
+        Ok(match instr {
+            Instruction::Compute(c) => {
+                let peak = self.chip.peak_ops_per_cycle(c.unit, c.precision)?;
+                self.chip.compute_issue_cycles + c.ops as f64 / peak
+            }
+            Instruction::Transfer(t) => self.chip.transfer(t.path)?.cycles(t.bytes()),
+            Instruction::SetFlag { .. } | Instruction::WaitFlag { .. } => self.chip.flag_cycles,
+            Instruction::Barrier => unreachable!("barriers are dispatcher-level"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascend_arch::{Buffer, ComputeUnit, Precision, TransferPath};
+    use ascend_isa::{KernelBuilder, Region};
+
+    fn sim() -> Simulator {
+        Simulator::new(ChipSpec::training())
+    }
+
+    fn gm(offset: u64, len: u64) -> Region {
+        Region::new(Buffer::Gm, offset, len)
+    }
+
+    fn ub(offset: u64, len: u64) -> Region {
+        Region::new(Buffer::Ub, offset, len)
+    }
+
+    #[test]
+    fn single_transfer_timing_matches_spec() {
+        let sim = sim();
+        let mut b = KernelBuilder::new("one");
+        b.transfer(TransferPath::GmToUb, gm(0, 4096), ub(0, 4096)).unwrap();
+        let trace = sim.simulate(&b.build()).unwrap();
+        let spec = sim.chip().transfer(TransferPath::GmToUb).unwrap();
+        let expected = sim.chip().dispatch_cycles + spec.cycles(4096);
+        assert!((trace.total_cycles() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_mte_serializes_different_mtes_parallelize() {
+        let sim = sim();
+        // Two GM loads: same MTE-GM queue -> serial.
+        let mut b = KernelBuilder::new("serial");
+        b.transfer(TransferPath::GmToUb, gm(0, 8192), ub(0, 8192)).unwrap();
+        b.transfer(TransferPath::GmToUb, gm(8192, 8192), ub(8192, 8192)).unwrap();
+        let serial = sim.simulate(&b.build()).unwrap().total_cycles();
+
+        // A GM load and a UB store: different MTEs -> parallel.
+        let mut b = KernelBuilder::new("parallel");
+        b.transfer(TransferPath::GmToUb, gm(0, 8192), ub(0, 8192)).unwrap();
+        b.transfer(TransferPath::UbToGm, ub(8192, 8192), gm(8192, 8192)).unwrap();
+        let parallel = sim.simulate(&b.build()).unwrap().total_cycles();
+
+        assert!(
+            parallel < serial * 0.7,
+            "cross-MTE transfers must overlap: parallel={parallel} serial={serial}"
+        );
+    }
+
+    #[test]
+    fn flags_enforce_order() {
+        let sim = sim();
+        let mut b = KernelBuilder::new("sync");
+        let f = b.new_flag();
+        // Vector waits for the load even though it is dispatched ready.
+        b.wait_flag(ascend_arch::Component::Vector, f);
+        b.compute(ComputeUnit::Vector, Precision::Fp16, 1024, vec![ub(0, 2048)], vec![ub(0, 2048)]);
+        b.transfer(TransferPath::GmToUb, gm(0, 2048), ub(0, 2048)).unwrap();
+        b.set_flag(ascend_arch::Component::MteGm, f);
+        let trace = sim.simulate(&b.build()).unwrap();
+        let records = trace.records();
+        // The compute (index 1) must start after the set_flag (index 3) ends.
+        assert!(records[1].start >= records[3].end);
+    }
+
+    #[test]
+    fn barrier_serializes_and_costs() {
+        let sim = sim();
+        let mut with_barrier = KernelBuilder::new("barrier");
+        with_barrier.transfer(TransferPath::GmToUb, gm(0, 4096), ub(0, 4096)).unwrap();
+        with_barrier.barrier_all();
+        with_barrier.transfer(TransferPath::UbToGm, ub(4096, 4096), gm(8192, 4096)).unwrap();
+        let barrier_time = sim.simulate(&with_barrier.build()).unwrap();
+
+        let mut without = KernelBuilder::new("free");
+        without.transfer(TransferPath::GmToUb, gm(0, 4096), ub(0, 4096)).unwrap();
+        without.transfer(TransferPath::UbToGm, ub(4096, 4096), gm(8192, 4096)).unwrap();
+        let free_time = sim.simulate(&without.build()).unwrap();
+
+        assert!(barrier_time.total_cycles() > free_time.total_cycles());
+        // With the barrier, the store starts after the load ends.
+        let records = barrier_time.records();
+        assert!(records[2].start >= records[0].end + sim.chip().barrier_cycles);
+    }
+
+    #[test]
+    fn spatial_dependency_serializes_across_queues() {
+        let sim = sim();
+        // Store from ub[0..n] while loading into ub[0..n]: W/R conflict.
+        let mut conflicted = KernelBuilder::new("conflict");
+        conflicted.transfer(TransferPath::UbToGm, ub(0, 8192), gm(0, 8192)).unwrap();
+        conflicted.transfer(TransferPath::GmToUb, gm(8192, 8192), ub(0, 8192)).unwrap();
+        let conflict_trace = sim.simulate(&conflicted.build()).unwrap();
+        let r = conflict_trace.records();
+        assert!(
+            r[1].start >= r[0].end,
+            "conflicting transfers must serialize: {:?}",
+            r
+        );
+
+        // Disjoint UB regions (RSD applied): they overlap in time.
+        let mut free = KernelBuilder::new("rsd");
+        free.transfer(TransferPath::UbToGm, ub(0, 8192), gm(0, 8192)).unwrap();
+        free.transfer(TransferPath::GmToUb, gm(8192, 8192), ub(8192, 8192)).unwrap();
+        let free_trace = sim.simulate(&free.build()).unwrap();
+        let r = free_trace.records();
+        assert!(r[1].start < r[0].end, "disjoint transfers should overlap");
+        assert!(free_trace.total_cycles() < conflict_trace.total_cycles());
+    }
+
+    #[test]
+    fn dispatch_cost_delays_later_instructions() {
+        let sim = sim();
+        let chip = sim.chip();
+        let mut b = KernelBuilder::new("dispatch");
+        for i in 0..10 {
+            b.compute(
+                ComputeUnit::Scalar,
+                Precision::Int32,
+                1,
+                vec![],
+                vec![ub(i * 64, 64)],
+            );
+        }
+        // A final transfer dispatched after 10 scalar instructions.
+        b.transfer(TransferPath::GmToUb, gm(0, 64), ub(4096, 64)).unwrap();
+        let trace = sim.simulate(&b.build()).unwrap();
+        let records = trace.records();
+        assert!(
+            records[10].start >= 11.0 * chip.dispatch_cycles - 1e-9,
+            "the transfer cannot start before the dispatcher reaches it"
+        );
+    }
+
+    #[test]
+    fn compute_issue_cost_penalizes_many_small_instructions() {
+        let sim = sim();
+        let total_ops: u64 = 98 * 1024;
+        // repeat=1 style: 98 instructions of 1024 ops.
+        let mut many = KernelBuilder::new("repeat1");
+        for _ in 0..98 {
+            many.compute(ComputeUnit::Vector, Precision::Fp16, 1024, vec![], vec![]);
+        }
+        // repeat=98 style: one instruction covering all ops.
+        let mut one = KernelBuilder::new("repeat98");
+        one.compute(ComputeUnit::Vector, Precision::Fp16, total_ops, vec![], vec![]);
+        let many_t = sim.simulate(&many.build()).unwrap().total_cycles();
+        let one_t = sim.simulate(&one.build()).unwrap().total_cycles();
+        assert!(
+            many_t > 2.0 * one_t,
+            "issue overhead must dominate for tiny instructions: {many_t} vs {one_t}"
+        );
+    }
+
+    #[test]
+    fn every_instruction_is_recorded_once() {
+        let sim = sim();
+        let mut b = KernelBuilder::new("all");
+        b.transfer(TransferPath::GmToUb, gm(0, 1024), ub(0, 1024)).unwrap();
+        b.sync(ascend_arch::Component::MteGm, ascend_arch::Component::Vector);
+        b.compute(ComputeUnit::Vector, Precision::Fp32, 256, vec![ub(0, 1024)], vec![ub(0, 1024)]);
+        b.barrier_all();
+        b.transfer(TransferPath::UbToGm, ub(0, 1024), gm(4096, 1024)).unwrap();
+        let kernel = b.build();
+        let trace = sim.simulate(&kernel).unwrap();
+        assert_eq!(trace.records().len(), kernel.len());
+        for (i, r) in trace.records().iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert!(r.end >= r.start);
+        }
+    }
+
+    #[test]
+    fn total_time_is_at_least_the_busiest_queue() {
+        let sim = sim();
+        let mut b = KernelBuilder::new("bound");
+        for i in 0..4 {
+            b.transfer(TransferPath::GmToUb, gm(i * 4096, 4096), ub(i * 4096, 4096)).unwrap();
+        }
+        let trace = sim.simulate(&b.build()).unwrap();
+        for c in Component::ALL {
+            assert!(trace.total_cycles() >= trace.busy_cycles(c) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn validation_failure_is_propagated() {
+        let sim = sim();
+        let kernel = KernelBuilder::new("empty").build();
+        assert!(matches!(sim.simulate(&kernel), Err(SimError::Validation(_))));
+    }
+}

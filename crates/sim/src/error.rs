@@ -1,0 +1,69 @@
+//! Error type of the simulator.
+
+use ascend_arch::ArchError;
+use ascend_isa::IsaError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while simulating a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The kernel failed static validation before execution.
+    Validation(IsaError),
+    /// A chip-specification lookup failed during execution.
+    Arch(ArchError),
+    /// Execution stalled with work remaining (should be prevented by
+    /// validation; kept as a defensive runtime check).
+    Deadlock {
+        /// Number of instructions that never completed.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Validation(err) => write!(f, "kernel validation failed: {err}"),
+            SimError::Arch(err) => write!(f, "chip specification lookup failed: {err}"),
+            SimError::Deadlock { remaining } => {
+                write!(f, "simulation deadlocked with {remaining} instructions outstanding")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Validation(err) => Some(err),
+            SimError::Arch(err) => Some(err),
+            SimError::Deadlock { .. } => None,
+        }
+    }
+}
+
+impl From<IsaError> for SimError {
+    fn from(err: IsaError) -> Self {
+        SimError::Validation(err)
+    }
+}
+
+impl From<ArchError> for SimError {
+    fn from(err: ArchError) -> Self {
+        SimError::Arch(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_chains() {
+        let err = SimError::Validation(IsaError::EmptyKernel);
+        assert!(err.source().is_some());
+        let err = SimError::Deadlock { remaining: 2 };
+        assert!(err.source().is_none());
+        assert!(err.to_string().contains("2 instructions"));
+    }
+}

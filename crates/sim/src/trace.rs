@@ -1,0 +1,360 @@
+//! Execution traces: per-instruction timing and per-component occupancy.
+
+use ascend_arch::Component;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Why an instruction did not start the moment it was dispatched.
+///
+/// This is the per-instruction attribution behind the paper's pipeline
+/// inspection (Figure 12): a queue can sit idle because of dispatch
+/// distance, because it is draining earlier work, because a `wait_flag`
+/// has no producer yet, or because of a spatial dependency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StallCause {
+    /// Started as soon as it was dispatched.
+    #[default]
+    None,
+    /// Waited for earlier instructions on the same queue.
+    QueueBusy,
+    /// Waited on a `wait_flag` whose producer had not fired.
+    Flag,
+    /// Waited on a memory-region conflict (spatial dependency).
+    Region,
+}
+
+impl StallCause {
+    /// Short lowercase label, e.g. `"region"`.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            StallCause::None => "none",
+            StallCause::QueueBusy => "queue",
+            StallCause::Flag => "flag",
+            StallCause::Region => "region",
+        }
+    }
+}
+
+/// Timing of one executed instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstrRecord {
+    /// Index of the instruction in the kernel's program order.
+    pub index: usize,
+    /// The queue it executed on (`None` for dispatcher-level barriers).
+    pub queue: Option<Component>,
+    /// Cycle at which the dispatcher handed the instruction to its queue.
+    pub available_at: f64,
+    /// Cycle at which execution started.
+    pub start: f64,
+    /// Cycle at which execution completed.
+    pub end: f64,
+    /// Why `start` lags `available_at`, if it does.
+    pub stall: StallCause,
+}
+
+impl InstrRecord {
+    /// Execution duration in cycles.
+    #[must_use]
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Cycles spent between dispatch and execution start.
+    #[must_use]
+    pub fn queue_delay(&self) -> f64 {
+        self.start - self.available_at
+    }
+}
+
+/// The full execution trace of one kernel.
+///
+/// This is the raw material the profiling layer aggregates: per-component
+/// busy time, total time, and idle-gap structure (the paper counts "MTE-GM
+/// waiting intervals" when evaluating the ping-pong policy, Section 5.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    kernel_name: String,
+    records: Vec<InstrRecord>,
+    total_cycles: f64,
+}
+
+impl Trace {
+    /// Assembles a trace (used by the simulator).
+    #[must_use]
+    pub fn from_parts(
+        kernel_name: impl Into<String>,
+        records: Vec<InstrRecord>,
+        total_cycles: f64,
+    ) -> Self {
+        Trace { kernel_name: kernel_name.into(), records, total_cycles }
+    }
+
+    /// Name of the kernel that produced this trace.
+    #[must_use]
+    pub fn kernel_name(&self) -> &str {
+        &self.kernel_name
+    }
+
+    /// All instruction records, ordered by program index.
+    #[must_use]
+    pub fn records(&self) -> &[InstrRecord] {
+        &self.records
+    }
+
+    /// End-to-end execution time in cycles.
+    #[must_use]
+    pub fn total_cycles(&self) -> f64 {
+        self.total_cycles
+    }
+
+    /// Records executed on `component`, sorted by start time.
+    #[must_use]
+    pub fn records_of(&self, component: Component) -> Vec<InstrRecord> {
+        let mut records: Vec<InstrRecord> = self
+            .records
+            .iter()
+            .copied()
+            .filter(|r| r.queue == Some(component))
+            .collect();
+        records.sort_by(|a, b| a.start.total_cmp(&b.start));
+        records
+    }
+
+    /// Total cycles `component` spent executing instructions.
+    ///
+    /// Within one queue instructions never overlap, so the sum of
+    /// durations equals the queue's busy (active) time — the metric the
+    /// paper derives from monitoring the instruction queue (Section 3.1).
+    #[must_use]
+    pub fn busy_cycles(&self, component: Component) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.queue == Some(component))
+            .map(InstrRecord::duration)
+            .sum()
+    }
+
+    /// The component time ratio `R_component = T_component / T_total`
+    /// (paper, Eq. 6). Zero when the trace is empty.
+    #[must_use]
+    pub fn time_ratio(&self, component: Component) -> f64 {
+        if self.total_cycles <= 0.0 {
+            return 0.0;
+        }
+        self.busy_cycles(component) / self.total_cycles
+    }
+
+    /// Number of idle gaps longer than `min_gap` cycles between
+    /// consecutive instructions of `component`.
+    ///
+    /// The ping-pong case study reports "MTE-GM waiting intervals reduced
+    /// from 14 to 3" — this is that metric.
+    #[must_use]
+    pub fn waiting_intervals(&self, component: Component, min_gap: f64) -> usize {
+        let records = self.records_of(component);
+        records
+            .windows(2)
+            .filter(|pair| pair[1].start - pair[0].end > min_gap)
+            .count()
+    }
+
+    /// Total cycles instructions of `component` spent waiting between
+    /// dispatch and execution start, attributed to `cause`.
+    #[must_use]
+    pub fn stall_cycles(&self, component: Component, cause: StallCause) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.queue == Some(component) && r.stall == cause)
+            .map(InstrRecord::queue_delay)
+            .sum()
+    }
+
+    /// Serializes the trace in the Chrome trace-event format (load the
+    /// output in `chrome://tracing` or Perfetto). One track per
+    /// component; event names come from `labels` when provided (indexed
+    /// by instruction), else the instruction index.
+    #[must_use]
+    pub fn to_chrome_trace(&self, labels: Option<&[String]>) -> String {
+        let mut out = String::from("[");
+        for (i, r) in self.records.iter().enumerate() {
+            let tid = r.queue.map_or(9, |q| q.index());
+            let track = r.queue.map_or("barrier", |q| q.name());
+            let name = labels
+                .and_then(|l| l.get(r.index))
+                .cloned()
+                .unwrap_or_else(|| format!("instr {}", r.index));
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{},\"args\":{{\"stall\":\"{}\",\"queue_delay\":{:.3}}}}}",
+                name.replace('\"', "'"),
+                track,
+                r.start,
+                r.duration(),
+                tid,
+                r.stall.label(),
+                r.queue_delay()
+            );
+        }
+        out.push(']');
+        out
+    }
+
+    /// Windowed busy fraction of `component`: the execution time is cut
+    /// into `buckets` equal windows, each reporting the fraction of the
+    /// window the component spent executing.
+    #[must_use]
+    pub fn utilization_series(&self, component: Component, buckets: usize) -> Vec<f64> {
+        let buckets = buckets.max(1);
+        let mut series = vec![0.0f64; buckets];
+        if self.total_cycles <= 0.0 {
+            return series;
+        }
+        let width = self.total_cycles / buckets as f64;
+        for record in self.records.iter().filter(|r| r.queue == Some(component)) {
+            let first = ((record.start / width).floor() as usize).min(buckets - 1);
+            let last = ((record.end / width).ceil() as usize).min(buckets);
+            for (b, slot) in series.iter_mut().enumerate().take(last).skip(first) {
+                let lo = b as f64 * width;
+                let hi = lo + width;
+                let overlap = (record.end.min(hi) - record.start.max(lo)).max(0.0);
+                *slot += overlap / width;
+            }
+        }
+        for v in &mut series {
+            *v = v.min(1.0);
+        }
+        series
+    }
+
+    /// A one-line Unicode sparkline of [`Trace::utilization_series`].
+    #[must_use]
+    pub fn utilization_sparkline(&self, component: Component, buckets: usize) -> String {
+        const BARS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+        self.utilization_series(component, buckets)
+            .into_iter()
+            .map(|v| BARS[((v * 7.0).round() as usize).min(7)])
+            .collect()
+    }
+
+    /// Renders an ASCII Gantt chart, one row per component, `width`
+    /// characters across the full execution time.
+    ///
+    /// `#` marks executing time, `.` idle time.
+    #[must_use]
+    pub fn gantt_ascii(&self, width: usize) -> String {
+        let width = width.max(10);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} — {:.0} cycles",
+            self.kernel_name, self.total_cycles
+        );
+        for component in Component::ALL {
+            let mut row = vec!['.'; width];
+            for record in self.records_of(component) {
+                if self.total_cycles <= 0.0 {
+                    continue;
+                }
+                let a = (record.start / self.total_cycles * width as f64).floor() as usize;
+                let b = (record.end / self.total_cycles * width as f64).ceil() as usize;
+                for cell in row.iter_mut().take(b.min(width)).skip(a.min(width)) {
+                    *cell = '#';
+                }
+            }
+            let _ = writeln!(out, "{:>7} |{}|", component.name(), row.iter().collect::<String>());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace::from_parts(
+            "t",
+            vec![
+                InstrRecord {
+                    index: 0, queue: Some(Component::MteGm), available_at: 0.0,
+                    start: 0.0, end: 10.0, stall: StallCause::None,
+                },
+                InstrRecord {
+                    index: 1, queue: Some(Component::Vector), available_at: 2.0,
+                    start: 10.0, end: 15.0, stall: StallCause::Flag,
+                },
+                InstrRecord {
+                    index: 2, queue: Some(Component::MteGm), available_at: 12.0,
+                    start: 20.0, end: 30.0, stall: StallCause::Region,
+                },
+            ],
+            30.0,
+        )
+    }
+
+    #[test]
+    fn busy_and_ratio() {
+        let t = sample();
+        assert_eq!(t.busy_cycles(Component::MteGm), 20.0);
+        assert!((t.time_ratio(Component::MteGm) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(t.busy_cycles(Component::Cube), 0.0);
+    }
+
+    #[test]
+    fn waiting_intervals_counts_gaps() {
+        let t = sample();
+        assert_eq!(t.waiting_intervals(Component::MteGm, 1.0), 1);
+        assert_eq!(t.waiting_intervals(Component::MteGm, 15.0), 0);
+        assert_eq!(t.waiting_intervals(Component::Vector, 0.1), 0);
+    }
+
+    #[test]
+    fn gantt_renders_all_components() {
+        let text = sample().gantt_ascii(40);
+        for c in Component::ALL {
+            assert!(text.contains(c.name()), "missing row for {c}");
+        }
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    fn utilization_series_integrates_to_busy_time() {
+        let t = sample();
+        let series = t.utilization_series(Component::MteGm, 30);
+        let integrated: f64 = series.iter().sum::<f64>() * (t.total_cycles() / 30.0);
+        assert!((integrated - t.busy_cycles(Component::MteGm)).abs() < 1.5);
+        let spark = t.utilization_sparkline(Component::MteGm, 10);
+        assert_eq!(spark.chars().count(), 10);
+    }
+
+    #[test]
+    fn stall_attribution_sums_by_cause() {
+        let t = sample();
+        assert_eq!(t.stall_cycles(Component::Vector, StallCause::Flag), 8.0);
+        assert_eq!(t.stall_cycles(Component::MteGm, StallCause::Region), 8.0);
+        assert_eq!(t.stall_cycles(Component::MteGm, StallCause::None), 0.0);
+    }
+
+    #[test]
+    fn chrome_trace_is_json_like() {
+        let t = sample();
+        let json = t.to_chrome_trace(None);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("mte-gm"));
+        let labeled = t.to_chrome_trace(Some(&["a".into(), "b".into(), "c".into()]));
+        assert!(labeled.contains("\"name\":\"b\""));
+    }
+
+    #[test]
+    fn empty_trace_is_well_behaved() {
+        let t = Trace::from_parts("empty", vec![], 0.0);
+        assert_eq!(t.time_ratio(Component::Cube), 0.0);
+        assert_eq!(t.waiting_intervals(Component::Cube, 1.0), 0);
+        let _ = t.gantt_ascii(20);
+    }
+}

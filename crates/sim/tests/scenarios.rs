@@ -1,0 +1,160 @@
+//! Scenario tests: simulator edge cases beyond the happy path.
+
+use ascend_arch::{Buffer, ChipSpec, Component, ComputeUnit, Precision, TransferPath};
+use ascend_isa::{KernelBuilder, Region};
+use ascend_sim::{SimError, Simulator, StallCause};
+
+fn sim() -> Simulator {
+    Simulator::new(ChipSpec::training())
+}
+
+fn gm(offset: u64, len: u64) -> Region {
+    Region::new(Buffer::Gm, offset, len)
+}
+
+fn ub(offset: u64, len: u64) -> Region {
+    Region::new(Buffer::Ub, offset, len)
+}
+
+#[test]
+fn single_instruction_kernel() {
+    let mut b = KernelBuilder::new("one");
+    b.compute(ComputeUnit::Scalar, Precision::Int32, 1, vec![], vec![]);
+    let trace = sim().simulate(&b.build()).unwrap();
+    assert_eq!(trace.records().len(), 1);
+    let chip = ChipSpec::training();
+    let expected = chip.dispatch_cycles + chip.compute_issue_cycles + 0.25;
+    assert!((trace.total_cycles() - expected).abs() < 1e-9);
+}
+
+#[test]
+fn barrier_only_kernels_are_rejected_or_trivial() {
+    // A kernel of only barriers is legal: each resolves instantly.
+    let mut b = KernelBuilder::new("barriers");
+    b.barrier_all();
+    b.barrier_all();
+    b.barrier_all();
+    let trace = sim().simulate(&b.build()).unwrap();
+    assert_eq!(trace.records().len(), 3);
+    let chip = ChipSpec::training();
+    assert!((trace.total_cycles() - 3.0 * chip.barrier_cycles).abs() < 1e-9);
+}
+
+#[test]
+fn zero_byte_transfer_costs_only_latency_and_overhead() {
+    let mut b = KernelBuilder::new("zero");
+    b.transfer(TransferPath::GmToUb, gm(0, 0), ub(0, 0)).unwrap();
+    let trace = sim().simulate(&b.build()).unwrap();
+    let chip = ChipSpec::training();
+    let spec = chip.transfer(TransferPath::GmToUb).unwrap();
+    assert!((trace.total_cycles() - (chip.dispatch_cycles + spec.cycles(0))).abs() < 1e-9);
+}
+
+#[test]
+fn zero_op_compute_costs_only_issue() {
+    let mut b = KernelBuilder::new("noop");
+    b.compute(ComputeUnit::Vector, Precision::Fp16, 0, vec![], vec![]);
+    let trace = sim().simulate(&b.build()).unwrap();
+    let chip = ChipSpec::training();
+    assert!(
+        (trace.total_cycles() - (chip.dispatch_cycles + chip.compute_issue_cycles)).abs() < 1e-9
+    );
+}
+
+#[test]
+fn one_set_satisfies_exactly_one_wait() {
+    // Counting semantics: two waits need two sets; with two sets both
+    // waits proceed.
+    let mut b = KernelBuilder::new("count");
+    let f = b.new_flag();
+    b.set_flag(Component::MteGm, f);
+    b.set_flag(Component::MteGm, f);
+    b.wait_flag(Component::Vector, f);
+    b.wait_flag(Component::Cube, f);
+    let trace = sim().simulate(&b.build()).unwrap();
+    assert_eq!(trace.records().len(), 4);
+}
+
+#[test]
+fn flag_stall_is_attributed() {
+    let mut b = KernelBuilder::new("stall");
+    let f = b.new_flag();
+    // The wait is dispatched first but must idle until the slow transfer
+    // completes and sets the flag.
+    b.wait_flag(Component::Vector, f);
+    b.transfer(TransferPath::GmToUb, gm(0, 1 << 20), ub(0, 1 << 18)).unwrap_err();
+    b.transfer(TransferPath::GmToUb, gm(0, 1 << 17), ub(0, 1 << 17)).unwrap();
+    b.set_flag(Component::MteGm, f);
+    let trace = sim().simulate(&b.build()).unwrap();
+    let wait = trace.records()[0];
+    assert_eq!(wait.stall, StallCause::Flag);
+    assert!(wait.queue_delay() > 1000.0, "delay {:.0}", wait.queue_delay());
+}
+
+#[test]
+fn queue_busy_stall_is_attributed() {
+    let mut b = KernelBuilder::new("busy");
+    b.transfer(TransferPath::GmToUb, gm(0, 1 << 16), ub(0, 1 << 16)).unwrap();
+    b.transfer(TransferPath::GmToUb, gm(1 << 16, 1 << 16), ub(1 << 16, 1 << 16)).unwrap();
+    let trace = sim().simulate(&b.build()).unwrap();
+    assert_eq!(trace.records()[1].stall, StallCause::QueueBusy);
+}
+
+#[test]
+fn deep_pipelines_terminate_quickly() {
+    // A thousand tiles with full sync chains: the event loop must stay
+    // near-linear.
+    let mut b = KernelBuilder::new("deep");
+    for i in 0..1000u64 {
+        let tile = 4096;
+        b.transfer(TransferPath::GmToUb, gm(i * tile, tile), ub((i % 2) * tile, tile)).unwrap();
+        b.sync(Component::MteGm, Component::Vector);
+        b.compute(
+            ComputeUnit::Vector,
+            Precision::Fp16,
+            128,
+            vec![ub((i % 2) * tile, tile)],
+            vec![ub(2 * tile + (i % 2) * tile, tile)],
+        );
+        b.sync(Component::Vector, Component::MteUb);
+        b.transfer(
+            TransferPath::UbToGm,
+            ub(2 * tile + (i % 2) * tile, tile),
+            gm((1000 + i) * tile, tile),
+        )
+        .unwrap();
+    }
+    let kernel = b.build();
+    let start = std::time::Instant::now();
+    let trace = sim().simulate(&kernel).unwrap();
+    assert_eq!(trace.records().len(), kernel.len());
+    assert!(
+        start.elapsed().as_secs_f64() < 10.0,
+        "7000-instruction kernel must simulate fast, took {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn error_kernels_do_not_panic() {
+    let empty = KernelBuilder::new("empty").build();
+    assert!(matches!(sim().simulate(&empty), Err(SimError::Validation(_))));
+
+    let mut hang = KernelBuilder::new("hang");
+    let f = hang.new_flag();
+    hang.wait_flag(Component::Vector, f);
+    assert!(matches!(sim().simulate(&hang.build()), Err(SimError::Validation(_))));
+}
+
+#[test]
+fn traces_of_identical_kernels_are_identical_across_simulators() {
+    let chip = ChipSpec::training();
+    let mut b = KernelBuilder::new("det");
+    b.transfer(TransferPath::GmToUb, gm(0, 8192), ub(0, 8192)).unwrap();
+    b.sync(Component::MteGm, Component::Vector);
+    b.compute(ComputeUnit::Vector, Precision::Fp32, 512, vec![ub(0, 8192)], vec![ub(0, 8192)]);
+    let kernel = b.build();
+    let a = Simulator::new(chip.clone()).simulate(&kernel).unwrap();
+    let b2 = Simulator::new(chip).simulate(&kernel).unwrap();
+    assert_eq!(a, b2);
+}

@@ -1,0 +1,33 @@
+//! The MobileNetV3 inference end-to-end study (paper, Section 6.2.2):
+//! analyze all 155 operators, optimize the stream, compare distributions.
+//!
+//! Run with `cargo run --release --example mobilenet_inference`.
+
+use ascend::arch::ChipSpec;
+use ascend::models::{convert_for_framework, zoo, Framework, ModelRunner, Phase};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let chip = ChipSpec::inference();
+    let runner = ModelRunner::new(chip.clone());
+    let model = zoo::mobilenet_v3(Phase::Inference);
+    println!("{} operators per inference pass", model.total_invocations());
+
+    let result = runner.optimize(&model)?;
+    println!("\nbefore:\n{}", result.before.summary());
+    println!("after:\n{}", result.after.summary());
+    println!(
+        "computation: {:.0} us -> {:.0} us ({:.2}x)",
+        chip.cycles_to_micros(result.before.total_cycles),
+        chip.cycles_to_micros(result.after.total_cycles),
+        result.computation_speedup()
+    );
+
+    // Framework frontends barely matter (Figure 14b).
+    println!("\nbottleneck distribution per framework frontend:");
+    for framework in Framework::ALL {
+        let converted = convert_for_framework(&model, framework);
+        let report = runner.analyze(&converted)?;
+        println!("  {:<12} {}", framework.name(), report.distribution_by_count().summary());
+    }
+    Ok(())
+}

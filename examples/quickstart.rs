@@ -1,0 +1,53 @@
+//! Quickstart: build an operator kernel, simulate it, and read its
+//! component-based roofline analysis.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use ascend::arch::{ChipSpec, Component};
+use ascend::ops::{AddRelu, Operator, OptFlags};
+use ascend::profile::Profiler;
+use ascend::roofline::{analyze, RooflineChart, Thresholds};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick a chip and an operator.
+    let chip = ChipSpec::training();
+    let op = AddRelu::new(1 << 20);
+
+    // 2. Generate and simulate the kernel.
+    let kernel = op.build(&chip)?;
+    println!("kernel `{}` has {} instructions", kernel.name(), kernel.len());
+    let profiler = Profiler::new(chip.clone());
+    let (profile, trace) = profiler.run(&kernel)?;
+    println!(
+        "executed in {:.0} cycles = {:.3} us at {:.1} GHz",
+        trace.total_cycles(),
+        chip.cycles_to_micros(trace.total_cycles()),
+        chip.frequency_hz / 1e9
+    );
+    println!("\ncomponent occupancy:\n{}", trace.gantt_ascii(72));
+
+    // 3. Run the component-based roofline analysis.
+    let analysis = analyze(&profile, &chip, &Thresholds::default());
+    println!("{}", analysis.summary());
+    println!("diagnosis: {}", analysis.bottleneck());
+
+    // 4. Apply the optimization the diagnosis calls for and compare.
+    let tuned = op.with_flags(OptFlags::new().rsd(true).mrt(true));
+    let (tuned_profile, tuned_trace) = profiler.run(&tuned.build(&chip)?)?;
+    let tuned_analysis = analyze(&tuned_profile, &chip, &Thresholds::default());
+    println!(
+        "after RSD+MRT: {:.3} us ({:.2}x), now {}",
+        chip.cycles_to_micros(tuned_trace.total_cycles()),
+        trace.total_cycles() / tuned_trace.total_cycles(),
+        tuned_analysis.bottleneck()
+    );
+    let ratio = tuned_analysis
+        .metrics_of(Component::MteUb)
+        .map(|m| m.time_ratio * 100.0)
+        .unwrap_or_default();
+    println!("MTE-UB is busy {ratio:.1}% of the time — the write-out engine is the wall");
+
+    // 5. Render the roofline chart.
+    println!("\n{}", RooflineChart::from_analysis(&tuned_analysis).to_ascii(76, 18));
+    Ok(())
+}

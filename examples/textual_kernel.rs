@@ -1,0 +1,51 @@
+//! Author a kernel in the textual ISA format, analyze it, and get the
+//! advisor's suggestion — no Rust required for the kernel itself.
+//!
+//! Run with `cargo run --example textual_kernel`.
+
+use ascend::arch::ChipSpec;
+use ascend::isa::{kernel_to_text, parse_kernel, validate};
+use ascend::optimize::advise;
+use ascend::profile::Profiler;
+use ascend::roofline::{analyze, Thresholds};
+
+const SOURCE: &str = "\
+# A two-tile scale kernel with the classic in-place pathology: the
+# write-back of tile 0 and the load of tile 1 share ub[0:32768].
+kernel handwritten_scale {
+    move gm->ub gm[0:32768] ub[0:32768]
+    set f0 @mte-gm
+    wait f0 @vector
+    vector.fp16 16384 reads ub[0:32768] writes ub[0:32768]
+    set f1 @vector
+    wait f1 @mte-ub
+    move ub->gm ub[0:32768] gm[1048576:1081344]
+
+    move gm->ub gm[32768:65536] ub[0:32768]
+    set f2 @mte-gm
+    wait f2 @vector
+    vector.fp16 16384 reads ub[0:32768] writes ub[0:32768]
+    set f3 @vector
+    wait f3 @mte-ub
+    move ub->gm ub[0:32768] gm[1081344:1114112]
+}";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let chip = ChipSpec::training();
+    let kernel = parse_kernel(SOURCE)?;
+    validate(&kernel, &chip)?;
+    println!("parsed `{}` with {} instructions\n", kernel.name(), kernel.len());
+
+    let (profile, trace) = Profiler::new(chip.clone()).run(&kernel)?;
+    let analysis = analyze(&profile, &chip, &Thresholds::default());
+    println!("{}", analysis.summary());
+    println!("{}", trace.gantt_ascii(72));
+    let suggestions = advise(&analysis);
+    let names: Vec<&str> = suggestions.iter().map(|s| s.abbrev()).collect();
+    println!("advisor suggests: {}", names.join(", "));
+
+    // The disassembler round-trips exactly.
+    assert_eq!(parse_kernel(&kernel_to_text(&kernel))?, kernel);
+    println!("\n(kernel_to_text/parse_kernel round-trip verified)");
+    Ok(())
+}

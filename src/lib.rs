@@ -1,0 +1,11 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate: re-exports every crate of the Ascend roofline workspace.
+pub use ascend_arch as arch;
+pub use ascend_isa as isa;
+pub use ascend_models as models;
+pub use ascend_ops as ops;
+pub use ascend_optimize as optimize;
+pub use ascend_profile as profile;
+pub use ascend_roofline as roofline;
+pub use ascend_sim as sim;

@@ -1,0 +1,122 @@
+//! Cross-crate integration: the full profile → analyze → advise →
+//! optimize workflow of the paper's Figure 5, exercised through the
+//! public API of every crate.
+
+use ascend::arch::{ChipSpec, Component, ComputeUnit, Precision, TransferPath};
+use ascend::isa::{BufferAllocator, KernelBuilder, KernelStats};
+use ascend::ops::{AddRelu, Depthwise, Operator, OptFlags};
+use ascend::optimize::{advise, passes, Optimizer, Strategy};
+use ascend::profile::{Profile, Profiler};
+use ascend::roofline::{analyze, Bottleneck, RooflineChart, Thresholds};
+use ascend::sim::Simulator;
+
+#[test]
+fn hand_written_kernel_full_workflow() {
+    let chip = ChipSpec::training();
+    let mut alloc = BufferAllocator::new(&chip);
+    let gm_in = alloc.alloc(ascend::arch::Buffer::Gm, 1 << 20).unwrap();
+    let gm_out = alloc.alloc(ascend::arch::Buffer::Gm, 1 << 20).unwrap();
+    let ub = alloc.alloc(ascend::arch::Buffer::Ub, 32 << 10).unwrap();
+
+    let mut b = KernelBuilder::new("handwritten_scale");
+    for i in 0..32u64 {
+        let tile = 32 << 10;
+        let src = gm_in.slice(i * tile, tile);
+        let dst = gm_out.slice(i * tile, tile);
+        b.transfer(TransferPath::GmToUb, src, ub).unwrap();
+        b.sync(Component::MteGm, Component::Vector);
+        b.compute(ComputeUnit::Vector, Precision::Fp16, tile / 2, vec![ub], vec![ub]);
+        b.sync(Component::Vector, Component::MteUb);
+        b.transfer(TransferPath::UbToGm, ub, dst).unwrap();
+    }
+    let kernel = b.build();
+
+    // Simulate, profile, analyze.
+    let profiler = Profiler::new(chip.clone());
+    let (profile, trace) = profiler.run(&kernel).unwrap();
+    assert_eq!(trace.records().len(), kernel.len());
+    let analysis = analyze(&profile, &chip, &Thresholds::default());
+    // In-place UB reuse serializes the tile pipeline.
+    assert_eq!(analysis.bottleneck(), Bottleneck::InsufficientParallelism);
+
+    // The advisor proposes the paper's parallelism remedies.
+    let suggestions = advise(&analysis);
+    assert_eq!(suggestions[0], Strategy::Rsd);
+
+    // The chart draws points for the (memory, compute) pairs involved.
+    let chart = RooflineChart::from_analysis(&analysis);
+    assert!(!chart.points().is_empty());
+    assert!(chart.to_svg(640, 480).contains("circle"));
+}
+
+#[test]
+fn ir_passes_compose_and_preserve_semantics() {
+    let chip = ChipSpec::training();
+    let kernel = Depthwise::new(1 << 18).build(&chip).unwrap();
+    let sim = Simulator::new(chip.clone());
+    let t0 = sim.simulate(&kernel).unwrap().total_cycles();
+
+    let optimized = passes::hoist_transfers(&passes::minimize_redundant_transfers(
+        &passes::remove_unnecessary_barriers(&kernel),
+    ));
+    ascend::isa::validate(&optimized, &chip).unwrap();
+    let t1 = sim.simulate(&optimized).unwrap().total_cycles();
+    assert!(t1 <= t0 * 1.001, "composed passes must not slow the kernel: {t1} > {t0}");
+
+    // Work is preserved: same compute ops, no new transfers.
+    let s0 = KernelStats::of(&kernel);
+    let s1 = KernelStats::of(&optimized);
+    assert_eq!(s0.ops, s1.ops);
+    assert!(s1.bytes_of_component(Component::MteGm) <= s0.bytes_of_component(Component::MteGm));
+}
+
+#[test]
+fn optimizer_agrees_with_manual_flag_choice() {
+    let chip = ChipSpec::training();
+    let report = Optimizer::new(chip.clone()).run(&AddRelu::new(1 << 19)).unwrap();
+    // Manually apply the same final flags: identical cycle count.
+    let manual = AddRelu::new(1 << 19).with_flags(report.final_flags());
+    let kernel = manual.build(&chip).unwrap();
+    let cycles = Simulator::new(chip).simulate(&kernel).unwrap().total_cycles();
+    assert!((cycles - report.final_cycles()).abs() < 1e-6);
+}
+
+#[test]
+fn profiles_accumulate_across_operators_like_a_stream() {
+    let chip = ChipSpec::training();
+    let profiler = Profiler::new(chip.clone());
+    let ops: Vec<Box<dyn Operator>> = vec![
+        Box::new(AddRelu::new(1 << 16)),
+        Box::new(AddRelu::new(1 << 16).with_flags(OptFlags::new().rsd(true))),
+        Box::new(Depthwise::new(1 << 16)),
+    ];
+    let mut aggregate = Profile::empty("stream");
+    let mut expected_cycles = 0.0;
+    for op in &ops {
+        let (profile, trace) = profiler.run(&op.build(&chip).unwrap()).unwrap();
+        aggregate.accumulate(&profile);
+        expected_cycles += trace.total_cycles();
+    }
+    assert!((aggregate.total_cycles - expected_cycles).abs() < 1e-6);
+    let analysis = analyze(&aggregate, &chip, &Thresholds::default());
+    assert!(!analysis.metrics().is_empty());
+}
+
+#[test]
+fn inference_chip_is_slower_end_to_end() {
+    let op = AddRelu::new(1 << 18);
+    let t_train = {
+        let chip = ChipSpec::training();
+        let trace = Simulator::new(chip.clone()).simulate(&op.build(&chip).unwrap()).unwrap();
+        chip.cycles_to_secs(trace.total_cycles())
+    };
+    let t_infer = {
+        let chip = ChipSpec::inference();
+        let trace = Simulator::new(chip.clone()).simulate(&op.build(&chip).unwrap()).unwrap();
+        chip.cycles_to_secs(trace.total_cycles())
+    };
+    assert!(
+        t_infer > t_train,
+        "wall-clock on the inference part must be slower: {t_infer} <= {t_train}"
+    );
+}

@@ -1,0 +1,230 @@
+//! Property-based tests over the core data structures and the simulator's
+//! execution invariants.
+
+use ascend::arch::{Buffer, ChipSpec, Component, ComputeUnit, Precision, TransferPath};
+use ascend::isa::{Instruction, KernelBuilder, KernelStats, Region};
+use ascend::profile::{Profile, Profiler};
+use ascend::roofline::{analyze, ideal_compute_rate, Thresholds};
+use ascend::sim::Simulator;
+use proptest::prelude::*;
+
+/// A randomly generated, well-formed tiled kernel: per tile a GM→UB load,
+/// a vector op, and a UB→GM store, with optional sync and in-place reuse.
+#[derive(Debug, Clone)]
+struct TiledKernelSpec {
+    tiles: u64,
+    tile_bytes: u64,
+    in_place: bool,
+    sync: bool,
+    barrier_every: u64,
+    ops_scale: u64,
+}
+
+fn kernel_spec() -> impl Strategy<Value = TiledKernelSpec> {
+    (1u64..24, 1u64..32, any::<bool>(), any::<bool>(), 0u64..4, 1u64..6).prop_map(
+        |(tiles, kib, in_place, sync, barrier_every, ops_scale)| TiledKernelSpec {
+            tiles,
+            tile_bytes: kib * 1024,
+            in_place,
+            sync,
+            barrier_every,
+            ops_scale,
+        },
+    )
+}
+
+fn build(spec: &TiledKernelSpec) -> ascend::isa::Kernel {
+    let mut b = KernelBuilder::new("prop");
+    let tile = spec.tile_bytes;
+    for i in 0..spec.tiles {
+        let gm_in = Region::new(Buffer::Gm, i * tile, tile);
+        let gm_out = Region::new(Buffer::Gm, (spec.tiles + i) * tile, tile);
+        let ub_in = Region::new(Buffer::Ub, 0, tile);
+        let ub_out = if spec.in_place { ub_in } else { Region::new(Buffer::Ub, tile, tile) };
+        b.transfer(TransferPath::GmToUb, gm_in, ub_in).unwrap();
+        if spec.sync {
+            b.sync(Component::MteGm, Component::Vector);
+        }
+        b.compute(
+            ComputeUnit::Vector,
+            Precision::Fp16,
+            (tile / 2) * spec.ops_scale,
+            vec![ub_in],
+            vec![ub_out],
+        );
+        if spec.sync {
+            b.sync(Component::Vector, Component::MteUb);
+        }
+        b.transfer(TransferPath::UbToGm, ub_out, gm_out).unwrap();
+        if spec.barrier_every > 0 && i % spec.barrier_every == spec.barrier_every - 1 {
+            b.barrier_all();
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simulation_is_deterministic(spec in kernel_spec()) {
+        let chip = ChipSpec::training();
+        let kernel = build(&spec);
+        let sim = Simulator::new(chip);
+        let a = sim.simulate(&kernel).unwrap();
+        let b = sim.simulate(&kernel).unwrap();
+        prop_assert_eq!(a.records(), b.records());
+        prop_assert_eq!(a.total_cycles(), b.total_cycles());
+    }
+
+    #[test]
+    fn every_instruction_executes_exactly_once(spec in kernel_spec()) {
+        let chip = ChipSpec::training();
+        let kernel = build(&spec);
+        let trace = Simulator::new(chip).simulate(&kernel).unwrap();
+        prop_assert_eq!(trace.records().len(), kernel.len());
+        for (i, record) in trace.records().iter().enumerate() {
+            prop_assert_eq!(record.index, i);
+            prop_assert!(record.end >= record.start);
+            prop_assert!(record.start >= 0.0);
+        }
+    }
+
+    #[test]
+    fn total_time_bounds_every_queue(spec in kernel_spec()) {
+        let chip = ChipSpec::training();
+        let kernel = build(&spec);
+        let trace = Simulator::new(chip).simulate(&kernel).unwrap();
+        for component in Component::ALL {
+            prop_assert!(trace.busy_cycles(component) <= trace.total_cycles() + 1e-6);
+            let ratio = trace.time_ratio(component);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&ratio));
+        }
+        // And the end-to-end time is at least the critical serial chain of
+        // the busiest queue.
+        let busiest = Component::ALL
+            .into_iter()
+            .map(|c| trace.busy_cycles(c))
+            .fold(0.0, f64::max);
+        prop_assert!(trace.total_cycles() >= busiest - 1e-6);
+    }
+
+    #[test]
+    fn same_queue_records_never_overlap(spec in kernel_spec()) {
+        let chip = ChipSpec::training();
+        let kernel = build(&spec);
+        let trace = Simulator::new(chip).simulate(&kernel).unwrap();
+        for component in Component::ALL {
+            let records = trace.records_of(component);
+            for pair in records.windows(2) {
+                prop_assert!(
+                    pair[1].start >= pair[0].end - 1e-9,
+                    "{component}: {:?} overlaps {:?}", pair[0], pair[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flags_order_producer_before_consumer(spec in kernel_spec()) {
+        prop_assume!(spec.sync);
+        let chip = ChipSpec::training();
+        let kernel = build(&spec);
+        let trace = Simulator::new(chip).simulate(&kernel).unwrap();
+        // Every wait starts at or after its matching set completes
+        // (counting semantics: k-th set matches k-th wait per flag).
+        let mut sets: std::collections::HashMap<u32, Vec<f64>> = Default::default();
+        let mut waits: std::collections::HashMap<u32, Vec<f64>> = Default::default();
+        for (instr, record) in kernel.instructions().iter().zip(trace.records()) {
+            match instr {
+                Instruction::SetFlag { flag, .. } => sets.entry(flag.raw()).or_default().push(record.end),
+                Instruction::WaitFlag { flag, .. } => waits.entry(flag.raw()).or_default().push(record.start),
+                _ => {}
+            }
+        }
+        for (flag, wait_times) in waits {
+            let set_times = &sets[&flag];
+            for (k, wait) in wait_times.iter().enumerate() {
+                prop_assert!(*wait >= set_times[k] - 1e-9, "flag {flag} wait {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn profile_matches_static_stats(spec in kernel_spec()) {
+        let chip = ChipSpec::training();
+        let kernel = build(&spec);
+        let (profile, _) = Profiler::new(chip).run(&kernel).unwrap();
+        let stats = KernelStats::of(&kernel);
+        prop_assert_eq!(&profile.ops, &stats.ops);
+        prop_assert_eq!(&profile.bytes, &stats.bytes);
+    }
+
+    #[test]
+    fn utilization_identity_holds_for_random_kernels(spec in kernel_spec()) {
+        let chip = ChipSpec::training();
+        let kernel = build(&spec);
+        let (profile, _) = Profiler::new(chip.clone()).run(&kernel).unwrap();
+        let analysis = analyze(&profile, &chip, &Thresholds::default());
+        for m in analysis.metrics() {
+            prop_assert!((m.utilization - m.efficiency * m.time_ratio).abs() < 1e-9);
+            prop_assert!(m.utilization <= 1.0 + 1e-9, "{}: U={}", m.component, m.utilization);
+        }
+    }
+
+    #[test]
+    fn in_place_reuse_never_beats_separate_buffers(
+        tiles in 2u64..16, kib in 2u64..32, ops_scale in 1u64..4,
+    ) {
+        let chip = ChipSpec::training();
+        let base = TiledKernelSpec {
+            tiles, tile_bytes: kib * 1024, in_place: true, sync: true,
+            barrier_every: 0, ops_scale,
+        };
+        let rsd = TiledKernelSpec { in_place: false, ..base.clone() };
+        let sim = Simulator::new(chip);
+        let t_in_place = sim.simulate(&build(&base)).unwrap().total_cycles();
+        let t_separate = sim.simulate(&build(&rsd)).unwrap().total_cycles();
+        prop_assert!(
+            t_separate <= t_in_place + 1e-6,
+            "separate result buffers can only help: {t_separate} > {t_in_place}"
+        );
+    }
+
+    #[test]
+    fn barriers_never_speed_things_up(spec in kernel_spec()) {
+        let chip = ChipSpec::training();
+        let with = build(&spec);
+        let without = build(&TiledKernelSpec { barrier_every: 0, ..spec.clone() });
+        let sim = Simulator::new(chip);
+        let t_with = sim.simulate(&with).unwrap().total_cycles();
+        let t_without = sim.simulate(&without).unwrap().total_cycles();
+        prop_assert!(t_without <= t_with + 1e-6);
+    }
+
+    #[test]
+    fn harmonic_mean_ideal_is_bounded_by_the_peaks(
+        fp16 in 1u64..1_000_000, int8 in 1u64..1_000_000,
+    ) {
+        let chip = ChipSpec::training();
+        let mut p = Profile::empty("prop");
+        p.ops.insert((ComputeUnit::Cube, Precision::Fp16), fp16);
+        p.ops.insert((ComputeUnit::Cube, Precision::Int8), int8);
+        let ideal = ideal_compute_rate(&chip, &p, ComputeUnit::Cube).unwrap();
+        let lo = chip.peak_ops_per_cycle(ComputeUnit::Cube, Precision::Fp16).unwrap();
+        let hi = chip.peak_ops_per_cycle(ComputeUnit::Cube, Precision::Int8).unwrap();
+        prop_assert!(ideal >= lo - 1e-9 && ideal <= hi + 1e-9);
+    }
+
+    #[test]
+    fn regions_overlap_iff_intervals_intersect(
+        a_off in 0u64..10_000, a_len in 0u64..4_096,
+        b_off in 0u64..10_000, b_len in 0u64..4_096,
+    ) {
+        let a = Region::new(Buffer::Ub, a_off, a_len);
+        let b = Region::new(Buffer::Ub, b_off, b_len);
+        let expected = a_len > 0 && b_len > 0 && a_off < b_off + b_len && b_off < a_off + a_len;
+        prop_assert_eq!(a.overlaps(&b), expected);
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+    }
+}
