@@ -130,15 +130,51 @@ impl ChipSpec {
             kind: ChipKind::Training,
             frequency_hz: 1.5e9,
             compute: vec![
-                ComputePeak { unit: ComputeUnit::Cube, precision: Precision::Int8, ops_per_cycle: 16384.0 },
-                ComputePeak { unit: ComputeUnit::Cube, precision: Precision::Fp16, ops_per_cycle: 8192.0 },
-                ComputePeak { unit: ComputeUnit::Vector, precision: Precision::Fp16, ops_per_cycle: 256.0 },
-                ComputePeak { unit: ComputeUnit::Vector, precision: Precision::Fp32, ops_per_cycle: 128.0 },
-                ComputePeak { unit: ComputeUnit::Vector, precision: Precision::Int32, ops_per_cycle: 128.0 },
-                ComputePeak { unit: ComputeUnit::Scalar, precision: Precision::Int32, ops_per_cycle: 4.0 },
-                ComputePeak { unit: ComputeUnit::Scalar, precision: Precision::Fp16, ops_per_cycle: 2.0 },
-                ComputePeak { unit: ComputeUnit::Scalar, precision: Precision::Fp32, ops_per_cycle: 2.0 },
-                ComputePeak { unit: ComputeUnit::Scalar, precision: Precision::Fp64, ops_per_cycle: 1.0 },
+                ComputePeak {
+                    unit: ComputeUnit::Cube,
+                    precision: Precision::Int8,
+                    ops_per_cycle: 16384.0,
+                },
+                ComputePeak {
+                    unit: ComputeUnit::Cube,
+                    precision: Precision::Fp16,
+                    ops_per_cycle: 8192.0,
+                },
+                ComputePeak {
+                    unit: ComputeUnit::Vector,
+                    precision: Precision::Fp16,
+                    ops_per_cycle: 256.0,
+                },
+                ComputePeak {
+                    unit: ComputeUnit::Vector,
+                    precision: Precision::Fp32,
+                    ops_per_cycle: 128.0,
+                },
+                ComputePeak {
+                    unit: ComputeUnit::Vector,
+                    precision: Precision::Int32,
+                    ops_per_cycle: 128.0,
+                },
+                ComputePeak {
+                    unit: ComputeUnit::Scalar,
+                    precision: Precision::Int32,
+                    ops_per_cycle: 4.0,
+                },
+                ComputePeak {
+                    unit: ComputeUnit::Scalar,
+                    precision: Precision::Fp16,
+                    ops_per_cycle: 2.0,
+                },
+                ComputePeak {
+                    unit: ComputeUnit::Scalar,
+                    precision: Precision::Fp32,
+                    ops_per_cycle: 2.0,
+                },
+                ComputePeak {
+                    unit: ComputeUnit::Scalar,
+                    precision: Precision::Fp64,
+                    ops_per_cycle: 1.0,
+                },
             ],
             transfers: Self::transfer_table(1.0),
             capacities: Self::capacity_table(),
@@ -158,15 +194,51 @@ impl ChipSpec {
             kind: ChipKind::Inference,
             frequency_hz: 1.0e9,
             compute: vec![
-                ComputePeak { unit: ComputeUnit::Cube, precision: Precision::Int8, ops_per_cycle: 8192.0 },
-                ComputePeak { unit: ComputeUnit::Cube, precision: Precision::Fp16, ops_per_cycle: 4096.0 },
-                ComputePeak { unit: ComputeUnit::Vector, precision: Precision::Fp16, ops_per_cycle: 128.0 },
-                ComputePeak { unit: ComputeUnit::Vector, precision: Precision::Fp32, ops_per_cycle: 64.0 },
-                ComputePeak { unit: ComputeUnit::Vector, precision: Precision::Int32, ops_per_cycle: 64.0 },
-                ComputePeak { unit: ComputeUnit::Scalar, precision: Precision::Int32, ops_per_cycle: 4.0 },
-                ComputePeak { unit: ComputeUnit::Scalar, precision: Precision::Fp16, ops_per_cycle: 2.0 },
-                ComputePeak { unit: ComputeUnit::Scalar, precision: Precision::Fp32, ops_per_cycle: 2.0 },
-                ComputePeak { unit: ComputeUnit::Scalar, precision: Precision::Fp64, ops_per_cycle: 1.0 },
+                ComputePeak {
+                    unit: ComputeUnit::Cube,
+                    precision: Precision::Int8,
+                    ops_per_cycle: 8192.0,
+                },
+                ComputePeak {
+                    unit: ComputeUnit::Cube,
+                    precision: Precision::Fp16,
+                    ops_per_cycle: 4096.0,
+                },
+                ComputePeak {
+                    unit: ComputeUnit::Vector,
+                    precision: Precision::Fp16,
+                    ops_per_cycle: 128.0,
+                },
+                ComputePeak {
+                    unit: ComputeUnit::Vector,
+                    precision: Precision::Fp32,
+                    ops_per_cycle: 64.0,
+                },
+                ComputePeak {
+                    unit: ComputeUnit::Vector,
+                    precision: Precision::Int32,
+                    ops_per_cycle: 64.0,
+                },
+                ComputePeak {
+                    unit: ComputeUnit::Scalar,
+                    precision: Precision::Int32,
+                    ops_per_cycle: 4.0,
+                },
+                ComputePeak {
+                    unit: ComputeUnit::Scalar,
+                    precision: Precision::Fp16,
+                    ops_per_cycle: 2.0,
+                },
+                ComputePeak {
+                    unit: ComputeUnit::Scalar,
+                    precision: Precision::Fp32,
+                    ops_per_cycle: 2.0,
+                },
+                ComputePeak {
+                    unit: ComputeUnit::Scalar,
+                    precision: Precision::Fp64,
+                    ops_per_cycle: 1.0,
+                },
             ],
             transfers: Self::transfer_table(0.5),
             capacities: Self::capacity_table(),
@@ -278,10 +350,7 @@ impl ChipSpec {
     /// Returns [`ArchError::UnknownPath`] when the path is absent from the
     /// spec (cannot happen for the built-in chips).
     pub fn transfer(&self, path: TransferPath) -> Result<&TransferSpec, ArchError> {
-        self.transfers
-            .iter()
-            .find(|t| t.path == path)
-            .ok_or(ArchError::UnknownPath { path })
+        self.transfers.iter().find(|t| t.path == path).ok_or(ArchError::UnknownPath { path })
     }
 
     /// Capacity of a buffer in bytes.

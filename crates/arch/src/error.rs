@@ -50,10 +50,8 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_without_trailing_punctuation() {
-        let err = ArchError::UnsupportedPrecision {
-            unit: ComputeUnit::Cube,
-            precision: Precision::Fp64,
-        };
+        let err =
+            ArchError::UnsupportedPrecision { unit: ComputeUnit::Cube, precision: Precision::Fp64 };
         let msg = err.to_string();
         assert!(msg.starts_with("compute unit"));
         assert!(!msg.ends_with('.'));

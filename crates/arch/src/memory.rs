@@ -46,14 +46,8 @@ pub enum Buffer {
 
 impl Buffer {
     /// All buffers.
-    pub const ALL: [Buffer; 6] = [
-        Buffer::Gm,
-        Buffer::L1,
-        Buffer::Ub,
-        Buffer::L0A,
-        Buffer::L0B,
-        Buffer::L0C,
-    ];
+    pub const ALL: [Buffer; 6] =
+        [Buffer::Gm, Buffer::L1, Buffer::Ub, Buffer::L0A, Buffer::L0B, Buffer::L0C];
 
     /// The hierarchy level this buffer belongs to.
     #[must_use]

@@ -32,13 +32,8 @@ pub enum Precision {
 
 impl Precision {
     /// All precisions, ordered by element width.
-    pub const ALL: [Precision; 5] = [
-        Precision::Int8,
-        Precision::Fp16,
-        Precision::Int32,
-        Precision::Fp32,
-        Precision::Fp64,
-    ];
+    pub const ALL: [Precision; 5] =
+        [Precision::Int8, Precision::Fp16, Precision::Int32, Precision::Fp32, Precision::Fp64];
 
     /// Size of one element in bytes.
     ///

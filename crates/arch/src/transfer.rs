@@ -266,9 +266,7 @@ impl TransferPath {
 
     /// Iterator over the MTE paths of one engine.
     pub fn paths_of(engine: MteEngine) -> impl Iterator<Item = TransferPath> {
-        TransferPath::ALL
-            .into_iter()
-            .filter(move |p| p.mte() == Some(engine))
+        TransferPath::ALL.into_iter().filter(move |p| p.mte() == Some(engine))
     }
 
     /// Short lowercase name, e.g. `"gm->l1"`.
@@ -337,10 +335,7 @@ mod tests {
 
     #[test]
     fn direct_paths_are_eleven() {
-        let direct = TransferPath::ALL
-            .into_iter()
-            .filter(|p| p.mte().is_none())
-            .count();
+        let direct = TransferPath::ALL.into_iter().filter(|p| p.mte().is_none()).count();
         assert_eq!(direct, 11);
     }
 

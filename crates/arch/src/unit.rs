@@ -40,12 +40,9 @@ impl ComputeUnit {
     #[must_use]
     pub const fn precisions(self) -> &'static [Precision] {
         match self {
-            ComputeUnit::Scalar => &[
-                Precision::Int32,
-                Precision::Fp16,
-                Precision::Fp32,
-                Precision::Fp64,
-            ],
+            ComputeUnit::Scalar => {
+                &[Precision::Int32, Precision::Fp16, Precision::Fp32, Precision::Fp64]
+            }
             ComputeUnit::Vector => &[Precision::Int32, Precision::Fp16, Precision::Fp32],
             ComputeUnit::Cube => &[Precision::Int8, Precision::Fp16],
         }

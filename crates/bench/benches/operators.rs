@@ -17,14 +17,17 @@ fn bench_variants(c: &mut Criterion) {
         (
             "depthwise",
             Box::new(Depthwise::new(1 << 18)),
-            Box::new(Depthwise::new(1 << 18).with_flags(
-                OptFlags::new().ais(true).rus(true).pp(true).itg(true).mrt(true),
-            )),
+            Box::new(
+                Depthwise::new(1 << 18)
+                    .with_flags(OptFlags::new().ais(true).rus(true).pp(true).itg(true).mrt(true)),
+            ),
         ),
         (
             "conv2d",
             Box::new(Conv2d::new(1 << 17, 288)),
-            Box::new(Conv2d::new(1 << 17, 288).with_flags(OptFlags::new().rsd(true).mrt(true).pp(true))),
+            Box::new(
+                Conv2d::new(1 << 17, 288).with_flags(OptFlags::new().rsd(true).mrt(true).pp(true)),
+            ),
         ),
         (
             "avgpool",

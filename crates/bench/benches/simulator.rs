@@ -13,7 +13,8 @@ fn bench_simulator(c: &mut Criterion) {
     let chip = ChipSpec::training();
     let sim = Simulator::new(chip.clone());
     let small = AddRelu::new(1 << 16).build(&chip).unwrap();
-    let large = MatMul::new(512, 512, 512).with_flags(OptFlags::new().pp(true)).build(&chip).unwrap();
+    let large =
+        MatMul::new(512, 512, 512).with_flags(OptFlags::new().pp(true)).build(&chip).unwrap();
 
     let mut group = c.benchmark_group("simulator");
     group.bench_function("add_relu_64k_elements", |b| {

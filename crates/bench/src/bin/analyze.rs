@@ -21,9 +21,25 @@ use ascend_profile::Profiler;
 use ascend_roofline::{analyze, report, Thresholds};
 
 const OPERATORS: &[&str] = &[
-    "add_relu", "attention", "avgpool", "cast", "conv2d", "depthwise", "dropout", "embedding",
-    "fully_connection", "gelu", "layernorm", "matmul", "matmul_add", "mul", "add", "realdiv",
-    "reduce_sum", "softmax", "transdata",
+    "add_relu",
+    "attention",
+    "avgpool",
+    "cast",
+    "conv2d",
+    "depthwise",
+    "dropout",
+    "embedding",
+    "fully_connection",
+    "gelu",
+    "layernorm",
+    "matmul",
+    "matmul_add",
+    "mul",
+    "add",
+    "realdiv",
+    "reduce_sum",
+    "softmax",
+    "transdata",
 ];
 
 fn make_operator(name: &str) -> Option<Box<dyn Operator>> {
@@ -72,7 +88,9 @@ fn apply_flag(flags: OptFlags, name: &str) -> Option<OptFlags> {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: analyze <operator> [--<flag>...] [--chip training|inference] [--report <file>]");
+    eprintln!(
+        "usage: analyze <operator> [--<flag>...] [--chip training|inference] [--report <file>]"
+    );
     eprintln!("       analyze --kernel <file> [--chip ...] [--report <file>]");
     eprintln!("       analyze --list");
     eprintln!("flags: rsd mrt ais rus pp itg aip fused tt ea lc ct all");
@@ -140,10 +158,9 @@ fn main() {
     }
 
     let kernel = match (&base, &kernel_file) {
-        (Some(op), _) => op
-            .with_flags_dyn(flags)
-            .build(&chip)
-            .expect("operator must build for this chip"),
+        (Some(op), _) => {
+            op.with_flags_dyn(flags).build(&chip).expect("operator must build for this chip")
+        }
         (None, Some(file)) => {
             let source = std::fs::read_to_string(file).unwrap_or_else(|e| {
                 eprintln!("cannot read {file}: {e}");

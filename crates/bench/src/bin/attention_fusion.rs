@@ -13,14 +13,15 @@ fn main() {
     let chip = ChipSpec::training();
     header("Attention fusion", "FlashAttention-style OP ablation");
     let sim = Simulator::new(chip.clone());
-    println!("{:>6} {:>14} {:>14} {:>9} {:>18}", "seq", "unfused (cy)", "fused (cy)", "speedup", "GM bytes saved");
+    println!(
+        "{:>6} {:>14} {:>14} {:>9} {:>18}",
+        "seq", "unfused (cy)", "fused (cy)", "speedup", "GM bytes saved"
+    );
     let mut rows = Vec::new();
     for seq in [512u64, 1024, 2048, 4096] {
         let unfused = Attention::new(seq, 64).build(&chip).unwrap();
-        let fused = Attention::new(seq, 64)
-            .with_flags(OptFlags::new().fused(true))
-            .build(&chip)
-            .unwrap();
+        let fused =
+            Attention::new(seq, 64).with_flags(OptFlags::new().fused(true)).build(&chip).unwrap();
         let t0 = sim.simulate(&unfused).unwrap().total_cycles();
         let t1 = sim.simulate(&fused).unwrap().total_cycles();
         let b0 = KernelStats::of(&unfused).bytes_of_component(Component::MteGm)

@@ -26,13 +26,18 @@ fn main() {
     println!("\ntotal computation: {us_before:.0} us -> {us_after:.0} us ({:.2}x; paper 8642 -> 7157 us = 1.21x)",
         result.computation_speedup());
 
-    write_json("case_mobilenet", &json!({
-        "operators": model.total_invocations(),
-        "before": result.before.distribution_by_count(),
-        "after": result.after.distribution_by_count(),
-        "micros_before": us_before,
-        "micros_after": us_after,
-        "computation_speedup": result.computation_speedup(),
-        "paper": {"micros_before": 8642.0, "micros_after": 7157.0},
-    }));
+    write_json(
+        "case_mobilenet",
+        &json!({
+            "operators": model.total_invocations(),
+            "before": result.before.distribution_by_count(),
+            "after": result.after.distribution_by_count(),
+            "micros_before": us_before,
+            "micros_after": us_after,
+            "computation_speedup": result.computation_speedup(),
+            "paper": {"micros_before": 8642.0, "micros_after": 7157.0},
+        }),
+    );
+
+    println!("\n{}", runner.pipeline().instrumentation_footer());
 }

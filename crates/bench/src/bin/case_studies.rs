@@ -8,7 +8,11 @@ use ascend_optimize::Optimizer;
 use ascend_sim::Simulator;
 use serde_json::json;
 
-fn walk(chip: &ChipSpec, label: &str, steps: &[(&str, Box<dyn Operator>)]) -> Vec<serde_json::Value> {
+fn walk(
+    chip: &ChipSpec,
+    label: &str,
+    steps: &[(&str, Box<dyn Operator>)],
+) -> Vec<serde_json::Value> {
     println!("\n=== {label} ===");
     let mut rows = Vec::new();
     let mut first = 0.0;
@@ -41,34 +45,72 @@ fn main() {
     header("Sections 5.1-5.3", "operator optimization case studies");
 
     const N: u64 = 1 << 20;
-    let add_relu = walk(&training, "Add_ReLU (paper: 98.673 -> 57.157 us, 1.72x)", &[
-        ("baseline", Box::new(AddRelu::new(N))),
-        ("+RSD", Box::new(AddRelu::new(N).with_flags(OptFlags::new().rsd(true)))),
-        ("+MRT", Box::new(AddRelu::new(N).with_flags(OptFlags::new().rsd(true).mrt(true)))),
-    ]);
+    let add_relu = walk(
+        &training,
+        "Add_ReLU (paper: 98.673 -> 57.157 us, 1.72x)",
+        &[
+            ("baseline", Box::new(AddRelu::new(N))),
+            ("+RSD", Box::new(AddRelu::new(N).with_flags(OptFlags::new().rsd(true)))),
+            ("+MRT", Box::new(AddRelu::new(N).with_flags(OptFlags::new().rsd(true).mrt(true)))),
+        ],
+    );
 
-    let depthwise = walk(&training, "Depthwise (paper: 408.101 -> 325.121 us, 1.26x)", &[
-        ("baseline", Box::new(Depthwise::new(N))),
-        ("+AIS", Box::new(Depthwise::new(N).with_flags(OptFlags::new().ais(true)))),
-        ("+RUS", Box::new(Depthwise::new(N).with_flags(OptFlags::new().ais(true).rus(true)))),
-        ("+PP", Box::new(Depthwise::new(N).with_flags(OptFlags::new().ais(true).rus(true).pp(true)))),
-        ("+ITG+MRT", Box::new(Depthwise::new(N).with_flags(OptFlags::new().ais(true).rus(true).pp(true).itg(true).mrt(true)))),
-    ]);
+    let depthwise = walk(
+        &training,
+        "Depthwise (paper: 408.101 -> 325.121 us, 1.26x)",
+        &[
+            ("baseline", Box::new(Depthwise::new(N))),
+            ("+AIS", Box::new(Depthwise::new(N).with_flags(OptFlags::new().ais(true)))),
+            ("+RUS", Box::new(Depthwise::new(N).with_flags(OptFlags::new().ais(true).rus(true)))),
+            (
+                "+PP",
+                Box::new(
+                    Depthwise::new(N).with_flags(OptFlags::new().ais(true).rus(true).pp(true)),
+                ),
+            ),
+            (
+                "+ITG+MRT",
+                Box::new(
+                    Depthwise::new(N).with_flags(
+                        OptFlags::new().ais(true).rus(true).pp(true).itg(true).mrt(true),
+                    ),
+                ),
+            ),
+        ],
+    );
 
     // Ping-pong's waiting-interval effect (paper: 14 -> 3 intervals).
     let sim = Simulator::new(training.clone());
-    let before = sim.simulate(&Depthwise::new(N).with_flags(OptFlags::new().ais(true).rus(true)).build(&training).unwrap()).unwrap();
-    let after = sim.simulate(&Depthwise::new(N).with_flags(OptFlags::new().ais(true).rus(true).pp(true)).build(&training).unwrap()).unwrap();
+    let before = sim
+        .simulate(
+            &Depthwise::new(N)
+                .with_flags(OptFlags::new().ais(true).rus(true))
+                .build(&training)
+                .unwrap(),
+        )
+        .unwrap();
+    let after = sim
+        .simulate(
+            &Depthwise::new(N)
+                .with_flags(OptFlags::new().ais(true).rus(true).pp(true))
+                .build(&training)
+                .unwrap(),
+        )
+        .unwrap();
     println!(
         "  ping-pong MTE-GM waiting intervals: {} -> {} (paper: 14 -> 3)",
         before.waiting_intervals(Component::MteGm, 10.0),
         after.waiting_intervals(Component::MteGm, 10.0)
     );
 
-    let avgpool = walk(&inference, "AvgPool (paper: 69.821 -> 16.206 us, 4.31x)", &[
-        ("baseline", Box::new(AvgPool::new(1 << 16))),
-        ("+AIP", Box::new(AvgPool::new(1 << 16).with_flags(OptFlags::new().aip(true)))),
-    ]);
+    let avgpool = walk(
+        &inference,
+        "AvgPool (paper: 69.821 -> 16.206 us, 4.31x)",
+        &[
+            ("baseline", Box::new(AvgPool::new(1 << 16))),
+            ("+AIP", Box::new(AvgPool::new(1 << 16).with_flags(OptFlags::new().aip(true)))),
+        ],
+    );
 
     // The automated loop reproduces the same walks.
     println!("\n=== automated analyze-optimize loop ===");
@@ -80,9 +122,12 @@ fn main() {
         println!("{}", report.summary());
     }
 
-    write_json("case_studies", &json!({
-        "add_relu": add_relu,
-        "depthwise": depthwise,
-        "avgpool": avgpool,
-    }));
+    write_json(
+        "case_studies",
+        &json!({
+            "add_relu": add_relu,
+            "depthwise": depthwise,
+            "avgpool": avgpool,
+        }),
+    );
 }

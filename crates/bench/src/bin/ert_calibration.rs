@@ -13,7 +13,10 @@ fn main() {
     let mut rows = Vec::new();
     for chip in [ChipSpec::training(), ChipSpec::inference()] {
         println!("\n{}:", chip.name());
-        println!("{:<16} {:>12} {:>12} {:>10} {:>8}", "target", "granularity", "achieved", "peak", "frac");
+        println!(
+            "{:<16} {:>12} {:>12} {:>10} {:>8}",
+            "target", "granularity", "achieved", "peak", "frac"
+        );
         for point in calibrate(&chip).unwrap() {
             println!(
                 "{:<16} {:>12} {:>12.2} {:>10.2} {:>7.1}%",

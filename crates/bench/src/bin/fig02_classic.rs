@@ -4,7 +4,9 @@
 
 use ascend_arch::{ChipSpec, ComputeUnit, Precision, TransferPath};
 use ascend_bench::{header, write_json};
-use ascend_roofline::classic::{DramRoofline, HierarchicalRoofline, HierarchyLevel, RooflineRegion};
+use ascend_roofline::classic::{
+    DramRoofline, HierarchicalRoofline, HierarchyLevel, RooflineRegion,
+};
 use serde_json::json;
 
 fn main() {
@@ -15,7 +17,12 @@ fn main() {
     let peak_flops = chip.peak_ops_per_sec(ComputeUnit::Cube, Precision::Fp16).unwrap();
     let gm_bw = chip.transfer(TransferPath::GmToL1).unwrap().bytes_per_cycle * chip.frequency_hz;
     let dram = DramRoofline::new(peak_flops, gm_bw);
-    println!("\nDRAM roofline: peak {:.2} Tops/s, GM {:.1} GB/s, ridge at {:.1} ops/byte", peak_flops / 1e12, gm_bw / 1e9, dram.ridge_intensity());
+    println!(
+        "\nDRAM roofline: peak {:.2} Tops/s, GM {:.1} GB/s, ridge at {:.1} ops/byte",
+        peak_flops / 1e12,
+        gm_bw / 1e9,
+        dram.ridge_intensity()
+    );
     let mut points = Vec::new();
     for ai in [0.5, 2.0, 8.0, 32.0, 128.0, 512.0] {
         let attainable = dram.attainable(ai);

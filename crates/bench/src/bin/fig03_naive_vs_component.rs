@@ -31,8 +31,15 @@ fn main() {
     let ideal = ideal_mte_rate(&chip, &p, MteEngine::Gm).unwrap();
     let component_util = (bytes_a + bytes_b) as f64 / t_total / ideal;
     println!("\nFigure 3a (MTE-GM saturated by A and B, A = 2x bytes of B):");
-    println!("  naive:      gm->l0a {:.1}%   gm->l0b {:.1}%   (misdiagnosed as underutilized)", naive_a * 100.0, naive_b * 100.0);
-    println!("  component:  mte-gm  {:.1}%   (correctly identified as the bound)", component_util * 100.0);
+    println!(
+        "  naive:      gm->l0a {:.1}%   gm->l0b {:.1}%   (misdiagnosed as underutilized)",
+        naive_a * 100.0,
+        naive_b * 100.0
+    );
+    println!(
+        "  component:  mte-gm  {:.1}%   (correctly identified as the bound)",
+        component_util * 100.0
+    );
 
     // --- Figure 3b: equal FP16/INT8 op counts on a saturated Cube.
     let p16 = chip.peak_ops_per_cycle(ComputeUnit::Cube, Precision::Fp16).unwrap();
@@ -44,18 +51,31 @@ fn main() {
     q.ops.insert((ComputeUnit::Cube, Precision::Fp16), ops);
     q.ops.insert((ComputeUnit::Cube, Precision::Int8), ops);
     q.active_cycles.insert(Component::Cube, t);
-    let naive_fp16 = naive::precision_utilization(&q, &chip, ComputeUnit::Cube, Precision::Fp16).unwrap();
-    let naive_int8 = naive::precision_utilization(&q, &chip, ComputeUnit::Cube, Precision::Int8).unwrap();
+    let naive_fp16 =
+        naive::precision_utilization(&q, &chip, ComputeUnit::Cube, Precision::Fp16).unwrap();
+    let naive_int8 =
+        naive::precision_utilization(&q, &chip, ComputeUnit::Cube, Precision::Int8).unwrap();
     let ideal_cube = ideal_compute_rate(&chip, &q, ComputeUnit::Cube).unwrap();
     let actual = (2 * ops) as f64 / t;
     println!("\nFigure 3b (Cube saturated by equal FP16 and INT8 operand counts):");
-    println!("  naive:      fp16 {:.1}%   int8 {:.1}%   (misdiagnosed as underutilized)", naive_fp16 * 100.0, naive_int8 * 100.0);
-    println!("  component:  cube {:.1}%   at {:.2} ops/cy = 2/3 of the INT8 peak", actual / ideal_cube * 100.0, actual);
+    println!(
+        "  naive:      fp16 {:.1}%   int8 {:.1}%   (misdiagnosed as underutilized)",
+        naive_fp16 * 100.0,
+        naive_int8 * 100.0
+    );
+    println!(
+        "  component:  cube {:.1}%   at {:.2} ops/cy = 2/3 of the INT8 peak",
+        actual / ideal_cube * 100.0,
+        actual
+    );
 
-    write_json("fig03", &json!({
-        "naive_combinations": naive::combination_count(),
-        "fig3a": {"naive_l0a": naive_a, "naive_l0b": naive_b, "component": component_util},
-        "fig3b": {"naive_fp16": naive_fp16, "naive_int8": naive_int8,
-                   "component": actual / ideal_cube, "actual_vs_int8_peak": actual / p8},
-    }));
+    write_json(
+        "fig03",
+        &json!({
+            "naive_combinations": naive::combination_count(),
+            "fig3a": {"naive_l0a": naive_a, "naive_l0b": naive_b, "component": component_util},
+            "fig3b": {"naive_fp16": naive_fp16, "naive_int8": naive_int8,
+                       "component": actual / ideal_cube, "actual_vs_int8_peak": actual / p8},
+        }),
+    );
 }

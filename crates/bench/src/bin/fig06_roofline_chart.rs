@@ -25,7 +25,10 @@ fn main() {
     for point in chart.points() {
         println!(
             "point ({}, {}): AI {:.3} ops/byte, {:.1} ops/cy, utilization {:.1}%",
-            point.compute, point.memory, point.intensity, point.performance,
+            point.compute,
+            point.memory,
+            point.intensity,
+            point.performance,
             point.utilization * 100.0
         );
     }

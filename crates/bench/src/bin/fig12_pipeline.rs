@@ -19,10 +19,7 @@ fn main() {
     header("Figure 12", "adjusting instruction sequence: MTE-GM queue timeline");
     let sim = Simulator::new(chip);
     let mut rows = Vec::new();
-    for (label, flags) in [
-        ("baseline", OptFlags::new()),
-        ("+AIS", OptFlags::new().ais(true)),
-    ] {
+    for (label, flags) in [("baseline", OptFlags::new()), ("+AIS", OptFlags::new().ais(true))] {
         let op = Depthwise::new(1 << 19).with_flags(flags);
         let kernel = op.build(sim.chip()).unwrap();
         let trace = sim.simulate(&kernel).unwrap();
@@ -40,7 +37,10 @@ fn main() {
         }
         println!("{}", trace.gantt_ascii(88));
         let labels: Vec<String> = kernel.iter().map(ToString::to_string).collect();
-        write_text(&format!("fig12_{}.trace.json", label.trim_start_matches('+')), &trace.to_chrome_trace(Some(&labels)));
+        write_text(
+            &format!("fig12_{}.trace.json", label.trim_start_matches('+')),
+            &trace.to_chrome_trace(Some(&labels)),
+        );
         rows.push(json!({
             "variant": label,
             "total_cycles": trace.total_cycles(),

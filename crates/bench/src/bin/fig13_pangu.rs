@@ -22,12 +22,17 @@ fn main() {
     let comp_before = result.before.computation_seconds(&chip);
     let comp_after = result.after.computation_seconds(&chip);
     let iter_before = chip.cycles_to_secs(result.before.iteration_cycles());
-    let iter_after = chip.cycles_to_secs(result.after.total_cycles + result.before.overhead_cycles());
+    let iter_after =
+        chip.cycles_to_secs(result.after.total_cycles + result.before.overhead_cycles());
     println!("\nFigure 13b — execution time per iteration (simulated seconds):");
-    println!("  computation: {comp_before:.4} s -> {comp_after:.4} s ({:.2}x; paper 72.31 -> 25.16 s)",
-        result.computation_speedup());
-    println!("  iteration:   {iter_before:.4} s -> {iter_after:.4} s ({:.2}x; paper 98.01 -> 48.16 s)",
-        result.overall_speedup());
+    println!(
+        "  computation: {comp_before:.4} s -> {comp_after:.4} s ({:.2}x; paper 72.31 -> 25.16 s)",
+        result.computation_speedup()
+    );
+    println!(
+        "  iteration:   {iter_before:.4} s -> {iter_after:.4} s ({:.2}x; paper 98.01 -> 48.16 s)",
+        result.overall_speedup()
+    );
 
     println!("\nper-operator walkthroughs:");
     for report in &result.op_optimizations {
@@ -38,13 +43,18 @@ fn main() {
     println!("\nbefore, per operator:\n{}", result.before.summary());
     println!("after, per operator:\n{}", result.after.summary());
 
-    write_json("fig13", &json!({
-        "before_distribution": result.before.distribution(),
-        "after_distribution": result.after.distribution(),
-        "computation_speedup": result.computation_speedup(),
-        "overall_speedup": result.overall_speedup(),
-        "paper": {"computation_speedup": 72.31 / 25.16, "overall_speedup": 98.01 / 48.16,
-                   "before": {"IP": 0.6148, "MB": 0.3402, "CB": 0.0450},
-                   "after": {"IP": 0.4010, "MB": 0.5345}},
-    }));
+    write_json(
+        "fig13",
+        &json!({
+            "before_distribution": result.before.distribution(),
+            "after_distribution": result.after.distribution(),
+            "computation_speedup": result.computation_speedup(),
+            "overall_speedup": result.overall_speedup(),
+            "paper": {"computation_speedup": 72.31 / 25.16, "overall_speedup": 98.01 / 48.16,
+                       "before": {"IP": 0.6148, "MB": 0.3402, "CB": 0.0450},
+                       "after": {"IP": 0.4010, "MB": 0.5345}},
+        }),
+    );
+
+    println!("\n{}", runner.pipeline().instrumentation_footer());
 }

@@ -51,4 +51,7 @@ fn main() {
     }
 
     write_json("fig14", &json!({"a": fig_a, "b": fig_b, "c": fig_c}));
+
+    println!("\ntraining pipeline:\n{}", training_runner.pipeline().instrumentation_footer());
+    println!("inference pipeline:\n{}", inference_runner.pipeline().instrumentation_footer());
 }

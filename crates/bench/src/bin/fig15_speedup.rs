@@ -7,7 +7,10 @@ use ascend_models::{zoo, ModelRunner};
 use serde_json::json;
 
 fn main() {
-    header("Figure 15", "time speedup with optimization (paper: computation 1.08-2.70x, overall 1.07-2.15x)");
+    header(
+        "Figure 15",
+        "time speedup with optimization (paper: computation 1.08-2.70x, overall 1.07-2.15x)",
+    );
     let runner = ModelRunner::new(ChipSpec::training());
     println!("{:<16} {:>12} {:>10}", "model", "computation", "overall");
     let mut rows = Vec::new();

@@ -34,13 +34,18 @@ fn main() {
     let mut dispatch = Vec::new();
     for intervening in [0u64, 2, 8, 32, 128] {
         let delay = (intervening + 1) as f64 * chip.dispatch_cycles;
-        println!("  {intervening:>4} intervening instructions: {delay:>6.0} cycles of dispatch delay");
+        println!(
+            "  {intervening:>4} intervening instructions: {delay:>6.0} cycles of dispatch delay"
+        );
         dispatch.push(json!({"intervening": intervening, "delay_cycles": delay}));
     }
 
-    write_json("sweeps", &json!({
-        "granularity": granularity,
-        "repeat": repeat,
-        "dispatch": dispatch,
-    }));
+    write_json(
+        "sweeps",
+        &json!({
+            "granularity": granularity,
+            "repeat": repeat,
+            "dispatch": dispatch,
+        }),
+    );
 }

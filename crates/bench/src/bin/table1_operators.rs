@@ -4,7 +4,10 @@
 
 use ascend_arch::ChipSpec;
 use ascend_bench::{header, write_json};
-use ascend_ops::{AddRelu, AvgPool, Conv2d, Depthwise, Elementwise, EltwiseKind, FullyConnection, Gelu, MatMulAdd, Operator};
+use ascend_ops::{
+    AddRelu, AvgPool, Conv2d, Depthwise, Elementwise, EltwiseKind, FullyConnection, Gelu,
+    MatMulAdd, Operator,
+};
 use ascend_optimize::Optimizer;
 use serde_json::json;
 
@@ -13,8 +16,14 @@ fn main() {
     header("Table 1", "optimization and speedup of MobileNetV3 operators");
     const E: u64 = 1 << 17;
     let paper: &[(&str, f64)] = &[
-        ("add_relu", 1.72), ("depthwise", 1.26), ("avgpool", 4.31), ("mul", 1.34),
-        ("conv2d", 2.65), ("fully_connection", 1.22), ("matmul", 1.10), ("gelu", 1.06),
+        ("add_relu", 1.72),
+        ("depthwise", 1.26),
+        ("avgpool", 4.31),
+        ("mul", 1.34),
+        ("conv2d", 2.65),
+        ("fully_connection", 1.22),
+        ("matmul", 1.10),
+        ("gelu", 1.06),
     ];
     let ops: Vec<Box<dyn Operator>> = vec![
         Box::new(AddRelu::new(E)),

@@ -15,21 +15,39 @@ fn main() {
     header("Tile sweep", "tile-size autotuning across operators");
     let candidates: Vec<u64> = (8..=17).map(|p| 1u64 << p).collect();
     let cases: Vec<(&str, MakeOp)> = vec![
-        ("add_relu+rsd+mrt", Box::new(|tile| {
-            Box::new(AddRelu::new(1 << 19).with_flags(OptFlags::new().rsd(true).mrt(true)).with_tile(tile))
-        })),
-        ("mul", Box::new(|tile| {
-            Box::new(Elementwise::new(EltwiseKind::Mul, 1 << 19).with_tile(tile))
-        })),
-        ("avgpool+aip", Box::new(|tile| {
-            Box::new(AvgPool::new(1 << 15).with_flags(OptFlags::new().aip(true)).with_tile(tile))
-        })),
+        (
+            "add_relu+rsd+mrt",
+            Box::new(|tile| {
+                Box::new(
+                    AddRelu::new(1 << 19)
+                        .with_flags(OptFlags::new().rsd(true).mrt(true))
+                        .with_tile(tile),
+                )
+            }),
+        ),
+        (
+            "mul",
+            Box::new(|tile| Box::new(Elementwise::new(EltwiseKind::Mul, 1 << 19).with_tile(tile))),
+        ),
+        (
+            "avgpool+aip",
+            Box::new(|tile| {
+                Box::new(
+                    AvgPool::new(1 << 15).with_flags(OptFlags::new().aip(true)).with_tile(tile),
+                )
+            }),
+        ),
         ("gelu", Box::new(|_tile| Box::new(Gelu::new(1 << 19)))),
     ];
     let mut rows = Vec::new();
     for (name, make) in &cases {
         let result = tune(&chip, &candidates, make).unwrap();
-        println!("\n{name}: best tile {} at {:.0} cycles (spread {:.2}x)", result.best_value, result.best_cycles, result.spread());
+        println!(
+            "\n{name}: best tile {} at {:.0} cycles (spread {:.2}x)",
+            result.best_value,
+            result.best_cycles,
+            result.spread()
+        );
         for trial in &result.trials {
             match trial.cycles {
                 Some(cycles) => println!("  tile {:>7}: {:>10.0} cycles", trial.value, cycles),

@@ -6,18 +6,48 @@
 //! paper's evaluation; see `DESIGN.md` for the experiment index and
 //! `EXPERIMENTS.md` for paper-vs-measured numbers. Binaries print their
 //! rows to stdout and, when [`write_json`] is used, also drop a JSON
-//! artifact under `target/experiments/`.
+//! artifact under the experiments directory (`target/experiments/` by
+//! default; override with the `ASCEND_EXPERIMENTS_DIR` environment
+//! variable).
+//!
+//! All simulation goes through one process-wide [`AnalysisPipeline`] per
+//! chip (see [`pipeline_for`]), so repeated measurements within a binary
+//! are cache hits and every binary can print the pipeline's
+//! instrumentation footer.
 
 use ascend_arch::ChipSpec;
 use ascend_ops::Operator;
-use ascend_profile::{Profile, Profiler};
-use ascend_roofline::{analyze, RooflineAnalysis, Thresholds};
+use ascend_pipeline::AnalysisPipeline;
+use ascend_profile::Profile;
+use ascend_roofline::RooflineAnalysis;
 use ascend_sim::Trace;
 use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
+
+/// Process-wide pipelines, one per distinct chip spec.
+static PIPELINES: OnceLock<Mutex<Vec<AnalysisPipeline>>> = OnceLock::new();
+
+/// The process-wide [`AnalysisPipeline`] for `chip`. Clones share the
+/// result cache and instrumentation counters, so every [`run_op`] in a
+/// binary contributes to the same ledger.
+#[must_use]
+pub fn pipeline_for(chip: &ChipSpec) -> AnalysisPipeline {
+    let registry = PIPELINES.get_or_init(|| Mutex::new(Vec::new()));
+    let mut pipelines = registry.lock().unwrap();
+    if let Some(found) = pipelines.iter().find(|p| p.chip() == chip) {
+        return found.clone();
+    }
+    let pipeline = AnalysisPipeline::new(chip.clone());
+    pipelines.push(pipeline.clone());
+    pipeline
+}
 
 /// Simulates `op` on `chip` and returns its profile, trace, and analysis.
+///
+/// Routed through [`pipeline_for`], so re-running the same operator and
+/// flags is a cache hit.
 ///
 /// # Panics
 ///
@@ -25,10 +55,8 @@ use std::path::PathBuf;
 /// binaries treat that as a fatal configuration error.
 #[must_use]
 pub fn run_op(chip: &ChipSpec, op: &dyn Operator) -> (Profile, Trace, RooflineAnalysis) {
-    let kernel = op.build(chip).expect("operator must build");
-    let (profile, trace) = Profiler::new(chip.clone()).run(&kernel).expect("kernel must run");
-    let analysis = analyze(&profile, chip, &Thresholds::default());
-    (profile, trace, analysis)
+    let result = pipeline_for(chip).run(op).expect("operator must build and run");
+    (result.profile.clone(), result.trace.clone(), result.analysis.clone())
 }
 
 /// Cycles → microseconds on `chip`, for paper-style reporting.
@@ -37,36 +65,22 @@ pub fn micros(chip: &ChipSpec, cycles: f64) -> f64 {
     chip.cycles_to_micros(cycles)
 }
 
-/// Writes `value` as pretty JSON to `target/experiments/<name>.json` and
-/// returns the path. Errors are reported but not fatal (the printed rows
-/// are the primary artifact).
-pub fn write_json<T: Serialize>(name: &str, value: &T) -> Option<PathBuf> {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
-    if let Err(err) = fs::create_dir_all(&dir) {
-        eprintln!("warning: cannot create {}: {err}", dir.display());
-        return None;
-    }
-    let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(json) => {
-            if let Err(err) = fs::write(&path, json) {
-                eprintln!("warning: cannot write {}: {err}", path.display());
-                return None;
-            }
-            println!("[artifact] {}", path.display());
-            Some(path)
-        }
-        Err(err) => {
-            eprintln!("warning: cannot serialize {name}: {err}");
-            None
-        }
-    }
+/// The directory experiment artifacts are written to:
+/// `$ASCEND_EXPERIMENTS_DIR` when set, `target/experiments/` at the
+/// workspace root otherwise.
+#[must_use]
+pub fn experiments_dir() -> PathBuf {
+    std::env::var_os("ASCEND_EXPERIMENTS_DIR").map_or_else(
+        || PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments"),
+        PathBuf::from,
+    )
 }
 
-/// Writes raw text (e.g. an SVG) to `target/experiments/<name>` and
-/// returns the path.
-pub fn write_text(name: &str, contents: &str) -> Option<PathBuf> {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+/// Writes `contents` to `<experiments_dir>/<name>`, creating the
+/// directory as needed. Errors are reported but not fatal (the printed
+/// rows are the primary artifact).
+fn write_artifact(name: &str, contents: &str) -> Option<PathBuf> {
+    let dir = experiments_dir();
     if let Err(err) = fs::create_dir_all(&dir) {
         eprintln!("warning: cannot create {}: {err}", dir.display());
         return None;
@@ -78,6 +92,24 @@ pub fn write_text(name: &str, contents: &str) -> Option<PathBuf> {
     }
     println!("[artifact] {}", path.display());
     Some(path)
+}
+
+/// Writes `value` as pretty JSON to `<experiments_dir>/<name>.json` and
+/// returns the path.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> Option<PathBuf> {
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => write_artifact(&format!("{name}.json"), &json),
+        Err(err) => {
+            eprintln!("warning: cannot serialize {name}: {err}");
+            None
+        }
+    }
+}
+
+/// Writes raw text (e.g. an SVG) to `<experiments_dir>/<name>` and
+/// returns the path.
+pub fn write_text(name: &str, contents: &str) -> Option<PathBuf> {
+    write_artifact(name, contents)
 }
 
 /// Prints a section header for an experiment binary.
@@ -99,6 +131,15 @@ mod tests {
         assert!((profile.total_cycles - trace.total_cycles()).abs() < 1e-9);
         assert!(!analysis.metrics().is_empty());
         assert!(micros(&chip, trace.total_cycles()) > 0.0);
+    }
+
+    #[test]
+    fn repeated_run_op_hits_the_shared_pipeline_cache() {
+        let chip = ChipSpec::training();
+        let first = run_op(&chip, &AddRelu::new(1 << 10));
+        let again = run_op(&chip, &AddRelu::new(1 << 10));
+        assert_eq!(first.2, again.2);
+        assert!(pipeline_for(&chip).cache_stats().hits >= 1);
     }
 
     #[test]

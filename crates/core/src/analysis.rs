@@ -156,9 +156,7 @@ impl RooflineAnalysis {
     /// The component with the largest active-time ratio, if any.
     #[must_use]
     pub fn busiest_component(&self) -> Option<&ComponentMetrics> {
-        self.metrics
-            .iter()
-            .max_by(|a, b| a.time_ratio.total_cmp(&b.time_ratio))
+        self.metrics.iter().max_by(|a, b| a.time_ratio.total_cmp(&b.time_ratio))
     }
 
     /// A human-readable multi-line summary (mirrors the walkthrough of
@@ -245,10 +243,8 @@ fn classify(metrics: &[ComponentMetrics], thresholds: &Thresholds) -> Bottleneck
         };
     }
     // 2. Insufficient parallelism.
-    let busiest = metrics
-        .iter()
-        .max_by(|a, b| a.time_ratio.total_cmp(&b.time_ratio))
-        .expect("non-empty");
+    let busiest =
+        metrics.iter().max_by(|a, b| a.time_ratio.total_cmp(&b.time_ratio)).expect("non-empty");
     if busiest.time_ratio < thresholds.parallelism_ratio {
         return Bottleneck::InsufficientParallelism;
     }
@@ -290,20 +286,15 @@ mod tests {
 
     #[test]
     fn high_utilization_is_bound() {
-        let metrics = vec![
-            metric(Component::MteGm, 0.93, 0.95),
-            metric(Component::Cube, 0.40, 0.45),
-        ];
+        let metrics =
+            vec![metric(Component::MteGm, 0.93, 0.95), metric(Component::Cube, 0.40, 0.45)];
         assert_eq!(classify(&metrics, &thresholds()), Bottleneck::MteBound(Component::MteGm));
     }
 
     #[test]
     fn compute_bound_names_the_unit() {
         let metrics = vec![metric(Component::Cube, 0.9, 0.95)];
-        assert_eq!(
-            classify(&metrics, &thresholds()),
-            Bottleneck::ComputeBound(ComputeUnit::Cube)
-        );
+        assert_eq!(classify(&metrics, &thresholds()), Bottleneck::ComputeBound(ComputeUnit::Cube));
     }
 
     #[test]
@@ -312,10 +303,7 @@ mod tests {
         let metrics = vec![metric(Component::MteUb, 0.6624, 0.8514)];
         assert_eq!(classify(&metrics, &thresholds()), Bottleneck::MteBound(Component::MteUb));
         let metrics = vec![metric(Component::MteGm, 0.6624, 0.8514)];
-        assert_eq!(
-            classify(&metrics, &thresholds()),
-            Bottleneck::InefficientMte(Component::MteGm)
-        );
+        assert_eq!(classify(&metrics, &thresholds()), Bottleneck::InefficientMte(Component::MteGm));
     }
 
     #[test]
@@ -332,10 +320,8 @@ mod tests {
     #[test]
     fn busy_inefficient_compute_is_flagged() {
         // AvgPool: utilization 13.54%, Vector R 83.98%.
-        let metrics = vec![
-            metric(Component::Vector, 0.1354, 0.8398),
-            metric(Component::MteGm, 0.10, 0.30),
-        ];
+        let metrics =
+            vec![metric(Component::Vector, 0.1354, 0.8398), metric(Component::MteGm, 0.10, 0.30)];
         assert_eq!(
             classify(&metrics, &thresholds()),
             Bottleneck::InefficientCompute(ComputeUnit::Vector)
@@ -345,14 +331,9 @@ mod tests {
     #[test]
     fn busy_inefficient_mte_is_flagged() {
         // Depthwise iteration 2: MTE-GM R 94.18%, U 71.56%.
-        let metrics = vec![
-            metric(Component::MteGm, 0.7156, 0.9418),
-            metric(Component::Cube, 0.30, 0.50),
-        ];
-        assert_eq!(
-            classify(&metrics, &thresholds()),
-            Bottleneck::InefficientMte(Component::MteGm)
-        );
+        let metrics =
+            vec![metric(Component::MteGm, 0.7156, 0.9418), metric(Component::Cube, 0.30, 0.50)];
+        assert_eq!(classify(&metrics, &thresholds()), Bottleneck::InefficientMte(Component::MteGm));
     }
 
     #[test]

@@ -140,13 +140,11 @@ impl HierarchicalRoofline {
     /// The binding level (lowest attainable ceiling) for intensity `ai`.
     #[must_use]
     pub fn binding_level(&self, ai: f64) -> Option<&HierarchyLevel> {
-        self.levels
-            .iter()
-            .min_by(|a, b| {
-                let ra = if a.arithmetic { a.rate } else { ai * a.rate };
-                let rb = if b.arithmetic { b.rate } else { ai * b.rate };
-                ra.total_cmp(&rb)
-            })
+        self.levels.iter().min_by(|a, b| {
+            let ra = if a.arithmetic { a.rate } else { ai * a.rate };
+            let rb = if b.arithmetic { b.rate } else { ai * b.rate };
+            ra.total_cmp(&rb)
+        })
     }
 }
 

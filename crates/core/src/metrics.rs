@@ -62,11 +62,8 @@ impl ComponentMetrics {
         let actual_rate = work / total;
         let utilization = actual_rate / ideal_rate;
         let time_ratio = active_cycles / total;
-        let efficiency = if active_cycles > 0.0 {
-            work / (active_cycles * ideal_rate)
-        } else {
-            0.0
-        };
+        let efficiency =
+            if active_cycles > 0.0 { work / (active_cycles * ideal_rate) } else { 0.0 };
         Some(ComponentMetrics {
             component,
             work,

@@ -20,8 +20,7 @@ use serde::{Deserialize, Serialize};
 /// Number of naive roofline combinations on this chip (Section 2.3).
 #[must_use]
 pub fn combination_count() -> usize {
-    let precision_units: usize =
-        ComputeUnit::ALL.iter().map(|u| u.precisions().len()).sum();
+    let precision_units: usize = ComputeUnit::ALL.iter().map(|u| u.precisions().len()).sum();
     precision_units * TransferPath::ALL.len()
 }
 
@@ -103,7 +102,7 @@ pub fn naive_points(profile: &Profile, chip: &ChipSpec) -> Vec<NaivePoint> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ideal_mte_rate, ideal_compute_rate};
+    use crate::{ideal_compute_rate, ideal_mte_rate};
     use ascend_arch::MteEngine;
 
     #[test]
@@ -193,9 +192,6 @@ mod tests {
         let p = Profile::empty("idle");
         assert!(naive_points(&p, &chip).is_empty());
         assert_eq!(transfer_utilization(&p, &chip, TransferPath::GmToUb), None);
-        assert_eq!(
-            precision_utilization(&p, &chip, ComputeUnit::Cube, Precision::Fp16),
-            None
-        );
+        assert_eq!(precision_utilization(&p, &chip, ComputeUnit::Cube, Precision::Fp16), None);
     }
 }

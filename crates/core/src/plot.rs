@@ -74,10 +74,9 @@ impl RooflineChart {
         let mut points = Vec::new();
         for pair in pruning::pruned_pairs() {
             let compute_component = Component::from_unit(pair.compute);
-            let (Some(c), Some(m)) = (
-                analysis.metrics_of(compute_component),
-                analysis.metrics_of(pair.memory),
-            ) else {
+            let (Some(c), Some(m)) =
+                (analysis.metrics_of(compute_component), analysis.metrics_of(pair.memory))
+            else {
                 continue;
             };
             points.push(PerfPoint {
@@ -143,7 +142,8 @@ impl RooflineChart {
         let (lx_min, lx_max) = (x_min.log10(), x_max.log10());
         let (ly_min, ly_max) = (y_min.log10(), y_max.log10());
         let mut grid = vec![vec![' '; width]; height];
-        let x_of = |col: usize| 10f64.powf(lx_min + (lx_max - lx_min) * col as f64 / (width - 1) as f64);
+        let x_of =
+            |col: usize| 10f64.powf(lx_min + (lx_max - lx_min) * col as f64 / (width - 1) as f64);
         let row_of = |y: f64| {
             let t = (y.log10() - ly_min) / (ly_max - ly_min);
             let r = ((1.0 - t) * (height - 1) as f64).round();
@@ -181,7 +181,10 @@ impl RooflineChart {
         for row in grid {
             let _ = writeln!(out, "|{}|", row.iter().collect::<String>());
         }
-        let _ = writeln!(out, " x: {x_min:.3e} .. {x_max:.3e} ops/byte, y: {y_min:.3e} .. {y_max:.3e} ops/cycle");
+        let _ = writeln!(
+            out,
+            " x: {x_min:.3e} .. {x_max:.3e} ops/byte, y: {y_min:.3e} .. {y_max:.3e} ops/cycle"
+        );
         out
     }
 
@@ -194,7 +197,8 @@ impl RooflineChart {
         let (lx_min, lx_max) = (x_min.log10(), x_max.log10());
         let (ly_min, ly_max) = (y_min.log10(), y_max.log10());
         let sx = |x: f64| margin + (x.log10() - lx_min) / (lx_max - lx_min) * (w - 2.0 * margin);
-        let sy = |y: f64| h - margin - (y.log10() - ly_min) / (ly_max - ly_min) * (h - 2.0 * margin);
+        let sy =
+            |y: f64| h - margin - (y.log10() - ly_min) / (ly_max - ly_min) * (h - 2.0 * margin);
         let mut svg = String::new();
         let _ = write!(
             svg,

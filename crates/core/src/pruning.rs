@@ -68,11 +68,8 @@ mod tests {
     #[test]
     fn mte_l1_only_pairs_with_cube() {
         let pairs = pruned_pairs();
-        let l1_partners: Vec<ComputeUnit> = pairs
-            .iter()
-            .filter(|p| p.memory == Component::MteL1)
-            .map(|p| p.compute)
-            .collect();
+        let l1_partners: Vec<ComputeUnit> =
+            pairs.iter().filter(|p| p.memory == Component::MteL1).map(|p| p.compute).collect();
         assert_eq!(l1_partners, vec![ComputeUnit::Cube]);
     }
 

@@ -40,12 +40,7 @@ use std::fmt::Write as _;
 pub fn to_markdown(analysis: &RooflineAnalysis, profile: &Profile, chip: &ChipSpec) -> String {
     let mut md = String::new();
     let _ = writeln!(md, "# Roofline report: `{}`", analysis.operator);
-    let _ = writeln!(
-        md,
-        "\n- chip: `{}` at {:.2} GHz",
-        chip.name(),
-        chip.frequency_hz / 1e9
-    );
+    let _ = writeln!(md, "\n- chip: `{}` at {:.2} GHz", chip.name(), chip.frequency_hz / 1e9);
     let _ = writeln!(
         md,
         "- total: {:.0} cycles = {:.3} µs",
@@ -53,11 +48,8 @@ pub fn to_markdown(analysis: &RooflineAnalysis, profile: &Profile, chip: &ChipSp
         chip.cycles_to_micros(analysis.total_cycles)
     );
     let _ = writeln!(md, "- **diagnosis: {}**", analysis.bottleneck());
-    let _ = writeln!(
-        md,
-        "- peak component utilization: {:.1}%",
-        analysis.peak_utilization() * 100.0
-    );
+    let _ =
+        writeln!(md, "- peak component utilization: {:.1}%", analysis.peak_utilization() * 100.0);
 
     let _ = writeln!(md, "\n## Components\n");
     let _ = writeln!(md, "| component | ideal/cy | actual/cy | U | E | R |");

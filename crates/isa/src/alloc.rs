@@ -39,10 +39,7 @@ impl Region {
     /// Panics if `offset + len` overflows `u64`.
     #[must_use]
     pub fn new(buffer: Buffer, offset: u64, len: u64) -> Self {
-        assert!(
-            offset.checked_add(len).is_some(),
-            "region end must not overflow u64"
-        );
+        assert!(offset.checked_add(len).is_some(), "region end must not overflow u64");
         Region { buffer, offset, len }
     }
 
@@ -139,41 +136,26 @@ impl BufferAllocator {
     /// Creates an allocator sized from `chip`'s buffer capacities.
     #[must_use]
     pub fn new(chip: &ChipSpec) -> Self {
-        let capacities: Vec<(Buffer, u64)> = Buffer::ALL
-            .into_iter()
-            .map(|b| (b, chip.capacity(b).unwrap_or(0)))
-            .collect();
+        let capacities: Vec<(Buffer, u64)> =
+            Buffer::ALL.into_iter().map(|b| (b, chip.capacity(b).unwrap_or(0))).collect();
         let cursors = Buffer::ALL.into_iter().map(|b| (b, 0)).collect();
         BufferAllocator { capacities, cursors }
     }
 
     fn cursor_mut(&mut self, buffer: Buffer) -> &mut u64 {
-        &mut self
-            .cursors
-            .iter_mut()
-            .find(|(b, _)| *b == buffer)
-            .expect("all buffers present")
-            .1
+        &mut self.cursors.iter_mut().find(|(b, _)| *b == buffer).expect("all buffers present").1
     }
 
     /// Capacity of `buffer` in bytes.
     #[must_use]
     pub fn capacity(&self, buffer: Buffer) -> u64 {
-        self.capacities
-            .iter()
-            .find(|(b, _)| *b == buffer)
-            .expect("all buffers present")
-            .1
+        self.capacities.iter().find(|(b, _)| *b == buffer).expect("all buffers present").1
     }
 
     /// Bytes already allocated in `buffer`.
     #[must_use]
     pub fn used(&self, buffer: Buffer) -> u64 {
-        self.cursors
-            .iter()
-            .find(|(b, _)| *b == buffer)
-            .expect("all buffers present")
-            .1
+        self.cursors.iter().find(|(b, _)| *b == buffer).expect("all buffers present").1
     }
 
     /// Bytes still available in `buffer`.

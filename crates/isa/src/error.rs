@@ -97,10 +97,9 @@ impl fmt::Display for IsaError {
             IsaError::PathSourceMismatch { path, found } => {
                 write!(f, "transfer {path} sources from {found}, not the path's source buffer")
             }
-            IsaError::PathDestinationMismatch { path, found } => write!(
-                f,
-                "transfer {path} writes into {found}, not the path's destination buffer"
-            ),
+            IsaError::PathDestinationMismatch { path, found } => {
+                write!(f, "transfer {path} writes into {found}, not the path's destination buffer")
+            }
             IsaError::TransferLengthMismatch { src_len, dst_len } => {
                 write!(f, "transfer source is {src_len} bytes but destination is {dst_len} bytes")
             }

@@ -141,9 +141,7 @@ impl Instruction {
     #[must_use]
     pub fn conflicts_with(&self, other: &Instruction) -> bool {
         let rw = |a: &Instruction, b: &Instruction| {
-            a.writes()
-                .iter()
-                .any(|w| b.reads().iter().chain(b.writes()).any(|r| w.overlaps(r)))
+            a.writes().iter().any(|w| b.reads().iter().chain(b.writes()).any(|r| w.overlaps(r)))
         };
         rw(self, other) || rw(other, self)
     }

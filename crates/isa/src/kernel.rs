@@ -70,9 +70,7 @@ impl fmt::Display for Kernel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "kernel {} ({} instructions):", self.name, self.len())?;
         for (i, instr) in self.instructions.iter().enumerate() {
-            let queue = instr
-                .queue()
-                .map_or_else(|| "-".to_owned(), |q| q.to_string());
+            let queue = instr.queue().map_or_else(|| "-".to_owned(), |q| q.to_string());
             writeln!(f, "  [{i:>4}] {queue:<7} {instr}")?;
         }
         Ok(())
@@ -162,8 +160,7 @@ impl KernelBuilder {
                 dst_len: dst.len(),
             });
         }
-        self.instructions
-            .push(Instruction::Transfer(TransferInstr { path, src, dst }));
+        self.instructions.push(Instruction::Transfer(TransferInstr { path, src, dst }));
         Ok(self)
     }
 
@@ -294,8 +291,14 @@ mod tests {
         b.sync(Component::MteGm, Component::Vector);
         let k = b.build();
         assert_eq!(k.len(), 2);
-        assert!(matches!(k.instructions()[0], Instruction::SetFlag { queue: Component::MteGm, .. }));
-        assert!(matches!(k.instructions()[1], Instruction::WaitFlag { queue: Component::Vector, .. }));
+        assert!(matches!(
+            k.instructions()[0],
+            Instruction::SetFlag { queue: Component::MteGm, .. }
+        ));
+        assert!(matches!(
+            k.instructions()[1],
+            Instruction::WaitFlag { queue: Component::Vector, .. }
+        ));
     }
 
     #[test]

@@ -77,11 +77,7 @@ impl KernelStats {
     /// Total operations executed on `unit`, all precisions.
     #[must_use]
     pub fn total_ops(&self, unit: ComputeUnit) -> u64 {
-        self.ops
-            .iter()
-            .filter(|((u, _), _)| *u == unit)
-            .map(|(_, &n)| n)
-            .sum()
+        self.ops.iter().filter(|((u, _), _)| *u == unit).map(|(_, &n)| n).sum()
     }
 
     /// Bytes moved along `path`.
@@ -94,11 +90,7 @@ impl KernelStats {
     /// components).
     #[must_use]
     pub fn bytes_of_component(&self, component: Component) -> u64 {
-        self.bytes
-            .iter()
-            .filter(|(path, _)| path.component() == component)
-            .map(|(_, &b)| b)
-            .sum()
+        self.bytes.iter().filter(|(path, _)| path.component() == component).map(|(_, &b)| b).sum()
     }
 
     /// Arithmetic intensity of the kernel w.r.t. one memory component:

@@ -61,9 +61,8 @@ fn parse_region(s: &str, line: usize) -> Result<Region, ParseError> {
     }
     let buffer = parse_buffer(&s[..open], line)?;
     let inner = &s[open + 1..s.len() - 1];
-    let (a, b) = inner
-        .split_once(':')
-        .ok_or_else(|| err(line, format!("region `{s}` needs start:end")))?;
+    let (a, b) =
+        inner.split_once(':').ok_or_else(|| err(line, format!("region `{s}` needs start:end")))?;
     let start: u64 = a.parse().map_err(|_| err(line, format!("bad offset `{a}`")))?;
     let end: u64 = b.parse().map_err(|_| err(line, format!("bad offset `{b}`")))?;
     if end < start {
@@ -73,9 +72,8 @@ fn parse_region(s: &str, line: usize) -> Result<Region, ParseError> {
 }
 
 fn parse_queue(s: &str, line: usize) -> Result<Component, ParseError> {
-    let name = s
-        .strip_prefix('@')
-        .ok_or_else(|| err(line, format!("queue `{s}` must start with @")))?;
+    let name =
+        s.strip_prefix('@').ok_or_else(|| err(line, format!("queue `{s}` must start with @")))?;
     Component::ALL
         .into_iter()
         .find(|c| c.name() == name)

@@ -34,9 +34,8 @@ pub fn validate(kernel: &Kernel, chip: &ChipSpec) -> Result<(), IsaError> {
 fn check_regions(kernel: &Kernel, chip: &ChipSpec) -> Result<(), IsaError> {
     for instr in kernel {
         for region in instr.reads().iter().chain(instr.writes()) {
-            let capacity = chip
-                .capacity(region.buffer())
-                .map_err(|_| IsaError::RegionOutOfBounds {
+            let capacity =
+                chip.capacity(region.buffer()).map_err(|_| IsaError::RegionOutOfBounds {
                     buffer: region.buffer(),
                     end: region.end(),
                     capacity: 0,

@@ -3,12 +3,20 @@ use ascend_models::{zoo, ModelRunner, Phase};
 
 fn main() {
     let runner = ModelRunner::new(ChipSpec::training());
-    for model in [zoo::pangu_alpha(), zoo::mobilenet_v3(Phase::Training), zoo::resnet50(Phase::Training)] {
+    for model in
+        [zoo::pangu_alpha(), zoo::mobilenet_v3(Phase::Training), zoo::resnet50(Phase::Training)]
+    {
         let r = runner.analyze(&model).unwrap();
         println!("=== {} total {:.0}", model.name(), r.total_cycles);
         for op in &r.op_reports {
-            println!("  {:<40} x{:<4} {:>10.0}/call {:>6.1}% share  {}",
-                op.name, op.count, op.cycles_per_call, 100.0*op.total_cycles/r.total_cycles, op.bottleneck);
+            println!(
+                "  {:<40} x{:<4} {:>10.0}/call {:>6.1}% share  {}",
+                op.name,
+                op.count,
+                op.cycles_per_call,
+                100.0 * op.total_cycles / r.total_cycles,
+                op.bottleneck
+            );
         }
     }
 }

@@ -27,12 +27,8 @@ pub enum Framework {
 
 impl Framework {
     /// All supported frontends.
-    pub const ALL: [Framework; 4] = [
-        Framework::MindSpore,
-        Framework::TensorFlow,
-        Framework::PyTorch,
-        Framework::Caffe,
-    ];
+    pub const ALL: [Framework; 4] =
+        [Framework::MindSpore, Framework::TensorFlow, Framework::PyTorch, Framework::Caffe];
 
     /// Display name.
     #[must_use]

@@ -31,7 +31,5 @@ mod workload;
 pub mod zoo;
 
 pub use framework::{convert_for_framework, Framework};
-pub use runner::{
-    BottleneckDistribution, ModelOptimization, ModelReport, ModelRunner, OpReport,
-};
+pub use runner::{BottleneckDistribution, ModelOptimization, ModelReport, ModelRunner, OpReport};
 pub use workload::{ModelWorkload, OpInvocation, Phase};

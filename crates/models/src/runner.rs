@@ -2,10 +2,11 @@
 
 use crate::{ModelWorkload, OpInvocation, Phase};
 use ascend_arch::ChipSpec;
-use ascend_optimize::{OptimizationReport, Optimizer};
 use ascend_ops::LayerNorm;
-use ascend_profile::{Profile, Profiler};
-use ascend_roofline::{analyze, Bottleneck, RooflineAnalysis, Thresholds};
+use ascend_optimize::{OptimizationReport, Optimizer};
+use ascend_pipeline::AnalysisPipeline;
+use ascend_profile::Profile;
+use ascend_roofline::{Bottleneck, RooflineAnalysis};
 use ascend_sim::SimError;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -195,48 +196,66 @@ impl ModelOptimization {
 
 /// Runs model workloads through the simulator, the roofline analysis, and
 /// the optimization loop.
+///
+/// Every measurement routes through one [`AnalysisPipeline`]: operator
+/// invocations that repeat across the stream (or across `analyze`,
+/// `aggregate_analysis`, and `optimize` calls) are answered from its
+/// result cache, and independent invocations of a stream are simulated on
+/// parallel workers with input-ordered results.
 #[derive(Debug, Clone)]
 pub struct ModelRunner {
-    profiler: Profiler,
-    thresholds: Thresholds,
+    pipeline: AnalysisPipeline,
 }
 
 impl ModelRunner {
     /// A runner for `chip` with the default thresholds.
     #[must_use]
     pub fn new(chip: ChipSpec) -> Self {
-        ModelRunner { profiler: Profiler::new(chip), thresholds: Thresholds::default() }
+        Self::from_pipeline(AnalysisPipeline::new(chip))
+    }
+
+    /// A runner measuring through an existing `pipeline` (sharing its
+    /// cache and instrumentation).
+    #[must_use]
+    pub fn from_pipeline(pipeline: AnalysisPipeline) -> Self {
+        ModelRunner { pipeline }
     }
 
     /// The chip in use.
     #[must_use]
     pub fn chip(&self) -> &ChipSpec {
-        self.profiler.chip()
+        self.pipeline.chip()
+    }
+
+    /// The measurement pipeline (for cache statistics and stage timings).
+    #[must_use]
+    pub fn pipeline(&self) -> &AnalysisPipeline {
+        &self.pipeline
     }
 
     /// Analyzes one iteration of `model`: every operator is simulated once
-    /// and weighted by its invocation count.
+    /// and weighted by its invocation count. Distinct operators run on
+    /// parallel pipeline workers; repeated ones are cache hits.
     ///
     /// # Errors
     ///
     /// Propagates simulator errors.
     pub fn analyze(&self, model: &ModelWorkload) -> Result<ModelReport, SimError> {
+        let ops = model.ops().iter().map(OpInvocation::operator);
+        let results = self.pipeline.analyze_stream(ops)?;
         let mut op_reports = Vec::with_capacity(model.ops().len());
         let mut total = 0.0;
-        for invocation in model.ops() {
-            let kernel = invocation.operator().build(self.chip())?;
-            let (profile, trace) = self.profiler.run(&kernel)?;
-            let analysis = analyze(&profile, self.chip(), &self.thresholds);
-            let cycles = trace.total_cycles();
+        for (invocation, result) in model.ops().iter().zip(&results) {
+            let cycles = result.cycles();
             let total_cycles = cycles * invocation.count() as f64;
             total += total_cycles;
             op_reports.push(OpReport {
-                name: kernel.name().to_owned(),
+                name: result.kernel_name.clone(),
                 count: invocation.count(),
                 cycles_per_call: cycles,
                 total_cycles,
-                bottleneck: analysis.bottleneck(),
-                peak_utilization: analysis.peak_utilization(),
+                bottleneck: result.analysis.bottleneck(),
+                peak_utilization: result.analysis.peak_utilization(),
             });
         }
         Ok(ModelReport {
@@ -257,18 +276,20 @@ impl ModelRunner {
     ///
     /// Propagates simulator errors.
     pub fn aggregate_analysis(&self, model: &ModelWorkload) -> Result<RooflineAnalysis, SimError> {
+        let ops = model.ops().iter().map(OpInvocation::operator);
+        let results = self.pipeline.analyze_stream(ops)?;
         let mut aggregate = Profile::empty(model.name().to_owned());
-        for invocation in model.ops() {
-            let kernel = invocation.operator().build(self.chip())?;
-            let (profile, _) = self.profiler.run(&kernel)?;
-            aggregate.accumulate_scaled(&profile, invocation.count());
+        for (invocation, result) in model.ops().iter().zip(&results) {
+            aggregate.accumulate_scaled(&result.profile, invocation.count());
         }
-        Ok(analyze(&aggregate, self.chip(), &self.thresholds))
+        Ok(self.pipeline.analyze_profile(&aggregate))
     }
 
     /// Optimizes `model` the way Section 6.2 does: first the graph-level
     /// rewrite (fusing element-wise chains into LayerNorm), then the
-    /// per-operator roofline-guided loop.
+    /// per-operator roofline-guided loop. The optimizer shares this
+    /// runner's pipeline, so its trial measurements land in (and draw
+    /// from) the same cache.
     ///
     /// # Errors
     ///
@@ -276,7 +297,7 @@ impl ModelRunner {
     pub fn optimize(&self, model: &ModelWorkload) -> Result<ModelOptimization, SimError> {
         let before = self.analyze(model)?;
         let fused = fuse_elementwise_chains(model);
-        let optimizer = Optimizer::new(self.chip().clone());
+        let optimizer = Optimizer::from_pipeline(self.pipeline.clone());
         let mut optimized_ops = Vec::with_capacity(fused.ops().len());
         let mut op_optimizations = Vec::new();
         for invocation in fused.ops() {
@@ -303,11 +324,7 @@ pub(crate) fn fuse_elementwise_chains(model: &ModelWorkload) -> ModelWorkload {
     let mut chain: Vec<&OpInvocation> = Vec::new();
     let flush = |chain: &mut Vec<&OpInvocation>, ops: &mut Vec<OpInvocation>| {
         if chain.len() >= 2 {
-            let elements = chain
-                .iter()
-                .filter_map(|inv| inv.fusable_elements())
-                .max()
-                .unwrap_or(0);
+            let elements = chain.iter().filter_map(|inv| inv.fusable_elements()).max().unwrap_or(0);
             let count = chain.iter().map(|inv| inv.count()).min().unwrap_or(0);
             ops.push(OpInvocation::new(Box::new(LayerNorm::new(elements)), count));
         } else {

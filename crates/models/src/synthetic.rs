@@ -99,7 +99,8 @@ mod tests {
             m.ops().iter().map(|o| o.operator().name()).collect()
         };
         assert_eq!(names(&a), names(&b));
-        let counts = |m: &ModelWorkload| -> Vec<u64> { m.ops().iter().map(|o| o.count()).collect() };
+        let counts =
+            |m: &ModelWorkload| -> Vec<u64> { m.ops().iter().map(|o| o.count()).collect() };
         assert_eq!(counts(&a), counts(&b));
     }
 
@@ -110,10 +111,7 @@ mod tests {
         let names = |m: &ModelWorkload| -> Vec<String> {
             m.ops().iter().map(|o| o.operator().name()).collect()
         };
-        assert_ne!(
-            (names(&a), a.total_invocations()),
-            (names(&b), b.total_invocations())
-        );
+        assert_ne!((names(&a), a.total_invocations()), (names(&b), b.total_invocations()));
     }
 
     #[test]

@@ -348,10 +348,7 @@ mod tests {
         let models = all_training();
         assert_eq!(models.len(), 11);
         let by_name = |name: &str| {
-            models
-                .iter()
-                .find(|m| m.name() == name)
-                .unwrap_or_else(|| panic!("missing {name}"))
+            models.iter().find(|m| m.name() == name).unwrap_or_else(|| panic!("missing {name}"))
         };
         assert_eq!(by_name("MobileNetV3").parameters_millions(), 5.4);
         assert_eq!(by_name("ResNet50").parameters_millions(), 25.6);

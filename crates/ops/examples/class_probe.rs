@@ -7,7 +7,13 @@ fn show(chip: &ChipSpec, op: &dyn Operator) {
     let k = op.build(chip).unwrap();
     let (p, tr) = Profiler::new(chip.clone()).run(&k).unwrap();
     let a = analyze(&p, chip, &Thresholds::default());
-    println!("{:<42} {:>10.0} cy  peakU {:>5.1}%  {}", k.name(), tr.total_cycles(), a.peak_utilization()*100.0, a.bottleneck());
+    println!(
+        "{:<42} {:>10.0} cy  peakU {:>5.1}%  {}",
+        k.name(),
+        tr.total_cycles(),
+        a.peak_utilization() * 100.0,
+        a.bottleneck()
+    );
 }
 
 fn main() {
@@ -23,13 +29,13 @@ fn main() {
     show(&chip, &Softmax::new(E));
     show(&chip, &Gelu::new(E));
     show(&chip, &LayerNorm::new(E));
-    show(&chip, &MatMul::new(512,512,512).with_flags(OptFlags::new().pp(true)));
-    show(&chip, &MatMulAdd::new(512,512,512).with_flags(OptFlags::new().pp(true)));
-    show(&chip, &BatchMatMul::new(4,256,256,256).with_flags(OptFlags::new().pp(true)));
-    show(&chip, &Conv2d::new(1<<17, 288));
-    show(&chip, &Conv2d::new(1<<18, 576).with_flags(OptFlags::new().mrt(true)));
-    show(&chip, &Depthwise::new(1<<17));
-    show(&chip, &AddRelu::new(1<<17));
-    show(&chip, &AvgPool::new(1<<14));
-    show(&chip, &FullyConnection::new(32,256,1024));
+    show(&chip, &MatMul::new(512, 512, 512).with_flags(OptFlags::new().pp(true)));
+    show(&chip, &MatMulAdd::new(512, 512, 512).with_flags(OptFlags::new().pp(true)));
+    show(&chip, &BatchMatMul::new(4, 256, 256, 256).with_flags(OptFlags::new().pp(true)));
+    show(&chip, &Conv2d::new(1 << 17, 288));
+    show(&chip, &Conv2d::new(1 << 18, 576).with_flags(OptFlags::new().mrt(true)));
+    show(&chip, &Depthwise::new(1 << 17));
+    show(&chip, &AddRelu::new(1 << 17));
+    show(&chip, &AvgPool::new(1 << 14));
+    show(&chip, &FullyConnection::new(32, 256, 1024));
 }

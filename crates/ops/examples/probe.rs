@@ -12,19 +12,66 @@ fn show(tag: &str, chip: &ChipSpec, kernel: &ascend_isa::Kernel) {
 
 fn main() {
     let chip = ChipSpec::training();
-    show("add_relu base", &chip, &AddRelu::new(1<<20).build(&chip).unwrap());
-    show("add_relu rsd", &chip, &AddRelu::new(1<<20).with_flags(OptFlags::new().rsd(true)).build(&chip).unwrap());
-    show("add_relu rsd+mrt", &chip, &AddRelu::new(1<<20).with_flags(OptFlags::new().rsd(true).mrt(true)).build(&chip).unwrap());
-    show("mul base", &chip, &Elementwise::new(EltwiseKind::Mul, 1<<19).build(&chip).unwrap());
-    show("mul rsd", &chip, &Elementwise::new(EltwiseKind::Mul, 1<<19).with_flags(OptFlags::new().rsd(true)).build(&chip).unwrap());
+    show("add_relu base", &chip, &AddRelu::new(1 << 20).build(&chip).unwrap());
+    show(
+        "add_relu rsd",
+        &chip,
+        &AddRelu::new(1 << 20).with_flags(OptFlags::new().rsd(true)).build(&chip).unwrap(),
+    );
+    show(
+        "add_relu rsd+mrt",
+        &chip,
+        &AddRelu::new(1 << 20)
+            .with_flags(OptFlags::new().rsd(true).mrt(true))
+            .build(&chip)
+            .unwrap(),
+    );
+    show("mul base", &chip, &Elementwise::new(EltwiseKind::Mul, 1 << 19).build(&chip).unwrap());
+    show(
+        "mul rsd",
+        &chip,
+        &Elementwise::new(EltwiseKind::Mul, 1 << 19)
+            .with_flags(OptFlags::new().rsd(true))
+            .build(&chip)
+            .unwrap(),
+    );
     let ichip = ChipSpec::inference();
-    show("avgpool base", &ichip, &AvgPool::new(1<<16).build(&ichip).unwrap());
-    show("avgpool aip", &ichip, &AvgPool::new(1<<16).with_flags(OptFlags::new().aip(true)).build(&ichip).unwrap());
-    show("gelu base", &chip, &Gelu::new(1<<20).build(&chip).unwrap());
-    show("gelu ea", &chip, &Gelu::new(1<<20).with_flags(OptFlags::new().ea(true)).build(&chip).unwrap());
-    show("dw full", &chip, &Depthwise::new(1<<20).with_flags(OptFlags::new().ais(true).rus(true).pp(true).itg(true).mrt(true)).build(&chip).unwrap());
-    show("conv base", &chip, &Conv2d::new(1<<18, 288).build(&chip).unwrap());
-    show("conv tuned", &chip, &Conv2d::new(1<<18, 288).with_flags(OptFlags::new().rsd(true).mrt(true).pp(true)).build(&chip).unwrap());
-    show("fc base", &chip, &FullyConnection::new(32,1024,1024).build(&chip).unwrap());
-    show("fc itg", &chip, &FullyConnection::new(32,1024,1024).with_flags(OptFlags::new().itg(true)).build(&chip).unwrap());
+    show("avgpool base", &ichip, &AvgPool::new(1 << 16).build(&ichip).unwrap());
+    show(
+        "avgpool aip",
+        &ichip,
+        &AvgPool::new(1 << 16).with_flags(OptFlags::new().aip(true)).build(&ichip).unwrap(),
+    );
+    show("gelu base", &chip, &Gelu::new(1 << 20).build(&chip).unwrap());
+    show(
+        "gelu ea",
+        &chip,
+        &Gelu::new(1 << 20).with_flags(OptFlags::new().ea(true)).build(&chip).unwrap(),
+    );
+    show(
+        "dw full",
+        &chip,
+        &Depthwise::new(1 << 20)
+            .with_flags(OptFlags::new().ais(true).rus(true).pp(true).itg(true).mrt(true))
+            .build(&chip)
+            .unwrap(),
+    );
+    show("conv base", &chip, &Conv2d::new(1 << 18, 288).build(&chip).unwrap());
+    show(
+        "conv tuned",
+        &chip,
+        &Conv2d::new(1 << 18, 288)
+            .with_flags(OptFlags::new().rsd(true).mrt(true).pp(true))
+            .build(&chip)
+            .unwrap(),
+    );
+    show("fc base", &chip, &FullyConnection::new(32, 1024, 1024).build(&chip).unwrap());
+    show(
+        "fc itg",
+        &chip,
+        &FullyConnection::new(32, 1024, 1024)
+            .with_flags(OptFlags::new().itg(true))
+            .build(&chip)
+            .unwrap(),
+    );
 }

@@ -175,10 +175,8 @@ mod tests {
     #[test]
     fn optimized_becomes_mte_ub_bound() {
         let chip = ChipSpec::training();
-        let kernel = AddRelu::new(N)
-            .with_flags(OptFlags::new().rsd(true).mrt(true))
-            .build(&chip)
-            .unwrap();
+        let kernel =
+            AddRelu::new(N).with_flags(OptFlags::new().rsd(true).mrt(true)).build(&chip).unwrap();
         let (profile, _) = Profiler::new(chip.clone()).run(&kernel).unwrap();
         let analysis = analyze(&profile, &chip, &Thresholds::default());
         assert_eq!(

@@ -81,8 +81,16 @@ impl Attention {
                 let bk = Self::BK.min(self.seq - ki * Self::BK);
                 let kv = l1_kv[(ki as usize) % l1_kv.len()];
                 // K and V chunks stream through L1; scores stay on chip.
-                b.transfer(TransferPath::GmToL1, gm_k.slice(ki * kv_tile, kv_tile), kv.slice(0, kv_tile))?;
-                b.transfer(TransferPath::GmToL1, gm_v.slice(ki * kv_tile, kv_tile), kv.slice(kv_tile, kv_tile))?;
+                b.transfer(
+                    TransferPath::GmToL1,
+                    gm_k.slice(ki * kv_tile, kv_tile),
+                    kv.slice(0, kv_tile),
+                )?;
+                b.transfer(
+                    TransferPath::GmToL1,
+                    gm_v.slice(ki * kv_tile, kv_tile),
+                    kv.slice(kv_tile, kv_tile),
+                )?;
                 b.sync(Component::MteGm, Component::MteL1);
                 b.transfer(TransferPath::L1ToL0A, l1_q, l0a.slice(0, q_tile))?;
                 b.transfer(TransferPath::L1ToL0B, kv.slice(0, kv_tile), l0b)?;
@@ -123,7 +131,11 @@ impl Attention {
                 vec![ub_o.slice(0, q_tile)],
             );
             b.sync(Component::Vector, Component::MteUb);
-            b.transfer(TransferPath::UbToGm, ub_o.slice(0, q_tile), gm_o.slice(qi * q_tile, q_tile))?;
+            b.transfer(
+                TransferPath::UbToGm,
+                ub_o.slice(0, q_tile),
+                gm_o.slice(qi * q_tile, q_tile),
+            )?;
         }
         Ok(b.build())
     }
@@ -174,7 +186,13 @@ impl Attention {
                     vec![l0c.slice(0, s_tile)],
                 );
                 b.sync(Component::Cube, Component::Vector);
-                b.compute(ComputeUnit::Vector, Precision::Fp16, bq * bk, vec![l0c.slice(0, s_tile)], vec![ub.slice(0, s_tile)]);
+                b.compute(
+                    ComputeUnit::Vector,
+                    Precision::Fp16,
+                    bq * bk,
+                    vec![l0c.slice(0, s_tile)],
+                    vec![ub.slice(0, s_tile)],
+                );
                 b.sync(Component::Vector, Component::MteUb);
                 let s_off = (qi * k_chunks + ki) * s_tile;
                 b.transfer(TransferPath::UbToGm, ub.slice(0, s_tile), gm_s.slice(s_off, s_tile))?;
@@ -190,7 +208,13 @@ impl Attention {
             let staged = ub_soft.slice(0, t.len);
             b.transfer(TransferPath::GmToUb, src, staged)?;
             b.sync(Component::MteGm, Component::Vector);
-            b.compute(ComputeUnit::Vector, Precision::Fp16, 6 * t.len / e, vec![staged], vec![staged]);
+            b.compute(
+                ComputeUnit::Vector,
+                Precision::Fp16,
+                6 * t.len / e,
+                vec![staged],
+                vec![staged],
+            );
             b.sync(Component::Vector, Component::MteUb);
             b.transfer(TransferPath::UbToGm, staged, dst)?;
         }
@@ -223,7 +247,11 @@ impl Attention {
                 vec![ub_o.slice(0, q_tile)],
             );
             b.sync(Component::Vector, Component::MteUb);
-            b.transfer(TransferPath::UbToGm, ub_o.slice(0, q_tile), gm_o.slice(qi * q_tile, q_tile))?;
+            b.transfer(
+                TransferPath::UbToGm,
+                ub_o.slice(0, q_tile),
+                gm_o.slice(qi * q_tile, q_tile),
+            )?;
         }
         Ok(b.build())
     }
@@ -277,13 +305,13 @@ mod tests {
     fn fusion_eliminates_the_score_round_trips() {
         let chip = ChipSpec::training();
         let unfused = Attention::new(SEQ, DIM).build(&chip).unwrap();
-        let fused = Attention::new(SEQ, DIM).with_flags(OptFlags::new().fused(true)).build(&chip).unwrap();
+        let fused =
+            Attention::new(SEQ, DIM).with_flags(OptFlags::new().fused(true)).build(&chip).unwrap();
         let b0 = KernelStats::of(&unfused);
         let b1 = KernelStats::of(&fused);
         // The materialized S and P matrices dominate unfused GM traffic.
         assert!(
-            b1.bytes_of_component(Component::MteUb) * 3
-                < b0.bytes_of_component(Component::MteUb),
+            b1.bytes_of_component(Component::MteUb) * 3 < b0.bytes_of_component(Component::MteUb),
             "fused write-out must shrink drastically: {} vs {}",
             b1.bytes_of_component(Component::MteUb),
             b0.bytes_of_component(Component::MteUb)
@@ -299,12 +327,15 @@ mod tests {
     fn fusion_is_substantially_faster() {
         let chip = ChipSpec::training();
         let sim = Simulator::new(chip.clone());
-        let t0 = sim
-            .simulate(&Attention::new(SEQ, DIM).build(&chip).unwrap())
-            .unwrap()
-            .total_cycles();
+        let t0 =
+            sim.simulate(&Attention::new(SEQ, DIM).build(&chip).unwrap()).unwrap().total_cycles();
         let t1 = sim
-            .simulate(&Attention::new(SEQ, DIM).with_flags(OptFlags::new().fused(true)).build(&chip).unwrap())
+            .simulate(
+                &Attention::new(SEQ, DIM)
+                    .with_flags(OptFlags::new().fused(true))
+                    .build(&chip)
+                    .unwrap(),
+            )
             .unwrap()
             .total_cycles();
         let speedup = t0 / t1;
@@ -321,7 +352,12 @@ mod tests {
                 .unwrap()
                 .total_cycles();
             let t1 = sim
-                .simulate(&Attention::new(seq, DIM).with_flags(OptFlags::new().fused(true)).build(&chip).unwrap())
+                .simulate(
+                    &Attention::new(seq, DIM)
+                        .with_flags(OptFlags::new().fused(true))
+                        .build(&chip)
+                        .unwrap(),
+                )
                 .unwrap()
                 .total_cycles();
             t0 / t1

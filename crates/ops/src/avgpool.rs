@@ -80,8 +80,7 @@ impl Operator for AvgPool {
         let in_tile_bytes = self.tile_out * 2 * Self::ELEM_BYTES;
         let out_tile_bytes = self.tile_out * Self::ELEM_BYTES;
         let mut alloc = BufferAllocator::new(chip);
-        let gm_in =
-            alloc.alloc(Buffer::Gm, self.output_elements * 2 * Self::ELEM_BYTES)?;
+        let gm_in = alloc.alloc(Buffer::Gm, self.output_elements * 2 * Self::ELEM_BYTES)?;
         let gm_out = alloc.alloc(Buffer::Gm, self.output_elements * Self::ELEM_BYTES)?;
         // The case-study operator already pipelines well (its Vector time
         // ratio is 83.98% in the paper), so input staging is ping-ponged.
@@ -205,6 +204,9 @@ mod tests {
             s1.ops_of(ComputeUnit::Vector, Precision::Fp16),
             "AIP changes instruction shape, not the math"
         );
-        assert!(s0.instructions_per_queue[&Component::Vector] > 10 * s1.instructions_per_queue[&Component::Vector]);
+        assert!(
+            s0.instructions_per_queue[&Component::Vector]
+                > 10 * s1.instructions_per_queue[&Component::Vector]
+        );
     }
 }

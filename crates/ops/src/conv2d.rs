@@ -32,7 +32,12 @@ impl Conv2d {
     /// contraction (C·kh·kw) of `contraction`.
     #[must_use]
     pub fn new(output_elements: u64, contraction: u64) -> Self {
-        Conv2d { output_elements, contraction: contraction.max(1), tile_out: 4096, flags: OptFlags::new() }
+        Conv2d {
+            output_elements,
+            contraction: contraction.max(1),
+            tile_out: 4096,
+            flags: OptFlags::new(),
+        }
     }
 
     /// Overrides outputs per tile.
@@ -105,7 +110,11 @@ impl Operator for Conv2d {
             let l1_r = l1_in[i % l1_in.len()];
             let l0a_r = l0a[i % l0a.len()];
             let l0c_r = l0c[i % l0c.len()];
-            b.transfer(TransferPath::GmToL1, gm_in.slice(i as u64 * patch_bytes, patch_bytes), l1_r)?;
+            b.transfer(
+                TransferPath::GmToL1,
+                gm_in.slice(i as u64 * patch_bytes, patch_bytes),
+                l1_r,
+            )?;
             if !self.flags.has_mrt() || i == 0 {
                 b.transfer(TransferPath::GmToL1, gm_w, l1_w)?;
             }
@@ -134,7 +143,11 @@ impl Operator for Conv2d {
                 vec![dst],
             );
             b.sync(Component::Vector, Component::MteUb);
-            b.transfer(TransferPath::UbToGm, dst, gm_out.slice(tile.offset * Self::ELEM_BYTES, out_len))?;
+            b.transfer(
+                TransferPath::UbToGm,
+                dst,
+                gm_out.slice(tile.offset * Self::ELEM_BYTES, out_len),
+            )?;
         }
         Ok(b.build())
     }

@@ -110,12 +110,13 @@ impl Operator for Depthwise {
         let ub_idx = alloc.alloc(Buffer::Ub, 256)?;
 
         let mut b = KernelBuilder::new(self.name());
-        let load_tile = |b: &mut KernelBuilder, index: usize, regions: &[Region]| -> Result<(), IsaError> {
-            let src = gm_in.slice(index as u64 * in_tile_bytes, in_tile_bytes);
-            let dst = regions[index % regions.len()];
-            b.transfer(TransferPath::GmToL1, src, dst)?;
-            Ok(())
-        };
+        let load_tile =
+            |b: &mut KernelBuilder, index: usize, regions: &[Region]| -> Result<(), IsaError> {
+                let src = gm_in.slice(index as u64 * in_tile_bytes, in_tile_bytes);
+                let dst = regions[index % regions.len()];
+                b.transfer(TransferPath::GmToL1, src, dst)?;
+                Ok(())
+            };
 
         // AIS: prefetch tile 0 before the loop so each iteration can hoist
         // the *next* tile's load to the top of its body.
@@ -251,7 +252,10 @@ mod tests {
             );
             last_util = last_util.max(util);
         }
-        assert!(last_util > 0.75, "fully optimized depthwise should near its bound, got {last_util}");
+        assert!(
+            last_util > 0.75,
+            "fully optimized depthwise should near its bound, got {last_util}"
+        );
     }
 
     #[test]
@@ -270,13 +274,9 @@ mod tests {
     #[test]
     fn optimization_chain_speeds_up_monotonically_overall() {
         let (_, _, t_base) = run(OptFlags::new());
-        let (_, _, t_full) =
-            run(OptFlags::new().ais(true).rus(true).pp(true).itg(true).mrt(true));
+        let (_, _, t_full) = run(OptFlags::new().ais(true).rus(true).pp(true).itg(true).mrt(true));
         let speedup = t_base / t_full;
-        assert!(
-            speedup > 1.15,
-            "the paper reports 1.26x for depthwise, got {speedup:.2}"
-        );
+        assert!(speedup > 1.15, "the paper reports 1.26x for depthwise, got {speedup:.2}");
     }
 
     #[test]

@@ -139,6 +139,9 @@ mod tests {
     #[test]
     fn names_distinguish_variants() {
         assert_eq!(Dropout::new(8).name(), "dropout_do_mask");
-        assert!(Dropout::new(8).with_flags(OptFlags::new().ea(true)).name().starts_with("dropout_do_mask_v3"));
+        assert!(Dropout::new(8)
+            .with_flags(OptFlags::new().ea(true))
+            .name()
+            .starts_with("dropout_do_mask_v3"));
     }
 }

@@ -28,7 +28,12 @@ impl Embedding {
     /// A gather of `lookups` rows from a `rows × dim` FP16 table.
     #[must_use]
     pub fn new(rows: u64, dim: u64, lookups: u64) -> Self {
-        Embedding { rows: rows.max(1), dim: dim.max(8), lookups: lookups.max(1), flags: OptFlags::new() }
+        Embedding {
+            rows: rows.max(1),
+            dim: dim.max(8),
+            lookups: lookups.max(1),
+            flags: OptFlags::new(),
+        }
     }
 
     /// Applies optimization flags (`itg`).

@@ -82,13 +82,7 @@ impl Operator for TransData {
             }
             b.sync(Component::MteGm, Component::Vector);
             // The permuting copy itself.
-            b.compute(
-                ComputeUnit::Vector,
-                Precision::Fp16,
-                tile.len,
-                vec![src, ub_idx],
-                vec![dst],
-            );
+            b.compute(ComputeUnit::Vector, Precision::Fp16, tile.len, vec![src, ub_idx], vec![dst]);
             b.sync(Component::Vector, Component::MteUb);
             b.transfer(TransferPath::UbToGm, dst, gm_out.slice(off, len))?;
         }
@@ -157,7 +151,8 @@ impl Operator for Cast {
         for tile in tiles(self.elements, self.tile_elements) {
             let src_gm = gm_in.slice(tile.offset * Self::IN_BYTES, tile.len * Self::IN_BYTES);
             let dst_gm = gm_out.slice(tile.offset * Self::OUT_BYTES, tile.len * Self::OUT_BYTES);
-            let src = ub_in[(tile.index as usize) % ub_in.len()].slice(0, tile.len * Self::IN_BYTES);
+            let src =
+                ub_in[(tile.index as usize) % ub_in.len()].slice(0, tile.len * Self::IN_BYTES);
             let dst =
                 ub_out[(tile.index as usize) % ub_out.len()].slice(0, tile.len * Self::OUT_BYTES);
             b.transfer(TransferPath::GmToUb, src_gm, src)?;

@@ -79,7 +79,12 @@ use ascend_isa::{IsaError, Kernel};
 ///
 /// Implementations are shape-and-flags value types: construct one, then
 /// [`build`](Operator::build) the kernel for a chip.
-pub trait Operator {
+///
+/// `Debug` is a supertrait because the default [`descriptor`]
+/// (Operator::descriptor) derives the cache identity from the debug
+/// rendering; `Send + Sync` let analysis pipelines fan invocations across
+/// scoped worker threads.
+pub trait Operator: std::fmt::Debug + Send + Sync {
     /// A descriptive kernel name (includes the applied optimizations).
     fn name(&self) -> String;
 
@@ -96,4 +101,27 @@ pub trait Operator {
     /// Returns an [`IsaError`] when the shape cannot be laid out on the
     /// chip (e.g. a tile exceeding a buffer capacity).
     fn build(&self, chip: &ChipSpec) -> Result<Kernel, IsaError>;
+
+    /// A stable, instance-complete description of this operator: two
+    /// operators with equal descriptors must generate identical kernels
+    /// on any given chip.
+    ///
+    /// The default uses the `Debug` rendering, which for the shape+flags
+    /// value types in this crate captures everything `build` consumes —
+    /// unlike [`name`](Operator::name), which omits the shape.
+    fn descriptor(&self) -> String {
+        format!("{self:?}")
+    }
+
+    /// A 64-bit FNV-1a hash of [`descriptor`](Operator::descriptor),
+    /// used as the content-addressed cache identity by analysis
+    /// pipelines.
+    fn fingerprint(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in self.descriptor().bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
 }

@@ -20,11 +20,8 @@ struct GemmConfig {
 
 impl GemmConfig {
     fn new(m: u64, k: u64, n: u64, flags: OptFlags) -> Self {
-        let (precision, elem_bytes) = if flags.has_lc() {
-            (Precision::Int8, 1)
-        } else {
-            (Precision::Fp16, 2)
-        };
+        let (precision, elem_bytes) =
+            if flags.has_lc() { (Precision::Int8, 1) } else { (Precision::Fp16, 2) };
         GemmConfig { m, k, n, bm: 64.min(m), bn: 64.min(n), kc: 256.min(k), precision, elem_bytes }
     }
 }
@@ -500,16 +497,12 @@ mod tests {
         let chip = ChipSpec::training();
         // A much larger than B (B small enough to be staged once).
         let base = MatMul::new(1024, 256, 32).build(&chip).unwrap();
-        let tt = MatMul::new(1024, 256, 32)
-            .with_flags(OptFlags::new().tt(true))
-            .build(&chip)
-            .unwrap();
+        let tt =
+            MatMul::new(1024, 256, 32).with_flags(OptFlags::new().tt(true)).build(&chip).unwrap();
         let s0 = KernelStats::of(&base);
         let s1 = KernelStats::of(&tt);
         // With TT, more bytes flow over the fast L1->L0A port.
-        assert!(
-            s1.bytes_on_path(TransferPath::L1ToL0A) > s0.bytes_on_path(TransferPath::L1ToL0A)
-        );
+        assert!(s1.bytes_on_path(TransferPath::L1ToL0A) > s0.bytes_on_path(TransferPath::L1ToL0A));
         let sim = Simulator::new(chip);
         let t0 = sim.simulate(&base).unwrap().total_cycles();
         let t1 = sim.simulate(&tt).unwrap().total_cycles();
@@ -521,10 +514,8 @@ mod tests {
         let chip = ChipSpec::training();
         let sim = Simulator::new(chip.clone());
         let fp16 = MatMul::new(256, 512, 256).build(&chip).unwrap();
-        let int8 = MatMul::new(256, 512, 256)
-            .with_flags(OptFlags::new().lc(true))
-            .build(&chip)
-            .unwrap();
+        let int8 =
+            MatMul::new(256, 512, 256).with_flags(OptFlags::new().lc(true)).build(&chip).unwrap();
         let s = KernelStats::of(&int8);
         assert!(s.ops_of(ComputeUnit::Cube, Precision::Int8) > 0);
         let t0 = sim.simulate(&fp16).unwrap().total_cycles();
@@ -544,10 +535,7 @@ mod tests {
         let t0 = sim.simulate(&unfused).unwrap().total_cycles();
         let t1 = sim.simulate(&fused).unwrap().total_cycles();
         let speedup = t0 / t1;
-        assert!(
-            speedup > 1.03,
-            "fusion saves the GM round trip (paper: 1.10x), got {speedup:.2}"
-        );
+        assert!(speedup > 1.03, "fusion saves the GM round trip (paper: 1.10x), got {speedup:.2}");
         // The fused kernel moves strictly fewer GM bytes.
         let b0 = KernelStats::of(&unfused).bytes_of_component(Component::MteGm);
         let b1 = KernelStats::of(&fused).bytes_of_component(Component::MteGm);
@@ -589,10 +577,7 @@ mod tests {
         let t0 = sim.simulate(&base).unwrap().total_cycles();
         let t1 = sim.simulate(&itg).unwrap().total_cycles();
         let speedup = t0 / t1;
-        assert!(
-            speedup > 1.1,
-            "ITG must help FC (paper: 1.22x), got {speedup:.2}"
-        );
+        assert!(speedup > 1.1, "ITG must help FC (paper: 1.22x), got {speedup:.2}");
     }
 
     #[test]
@@ -609,17 +594,8 @@ mod tests {
         let (p0, _) = profiler.run(&base).unwrap();
         let (p1, _) = profiler.run(&itg).unwrap();
         let thresholds = Thresholds::default();
-        let e0 = analyze(&p0, &chip, &thresholds)
-            .metrics_of(Component::MteUb)
-            .unwrap()
-            .efficiency;
-        let e1 = analyze(&p1, &chip, &thresholds)
-            .metrics_of(Component::MteUb)
-            .unwrap()
-            .efficiency;
-        assert!(
-            e1 > 1.5 * e0,
-            "merged stores must raise MTE-UB efficiency: {e0:.3} -> {e1:.3}"
-        );
+        let e0 = analyze(&p0, &chip, &thresholds).metrics_of(Component::MteUb).unwrap().efficiency;
+        let e1 = analyze(&p1, &chip, &thresholds).metrics_of(Component::MteUb).unwrap().efficiency;
+        assert!(e1 > 1.5 * e0, "merged stores must raise MTE-UB efficiency: {e0:.3} -> {e1:.3}");
     }
 }

@@ -185,10 +185,9 @@ mod tests {
     #[test]
     fn both_build_and_validate() {
         let chip = ChipSpec::training();
-        for kernel in [
-            LayerNorm::new(N).build(&chip).unwrap(),
-            Softmax::new(N).build(&chip).unwrap(),
-        ] {
+        for kernel in
+            [LayerNorm::new(N).build(&chip).unwrap(), Softmax::new(N).build(&chip).unwrap()]
+        {
             ascend_isa::validate(&kernel, &chip).unwrap();
         }
     }

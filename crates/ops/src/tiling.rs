@@ -61,7 +61,11 @@ mod tests {
             let ts: Vec<Tile> = tiles(total, tile).collect();
             assert_eq!(ts.iter().map(|t| t.len).sum::<u64>(), total);
             for pair in ts.windows(2) {
-                assert_eq!(pair[0].offset + pair[0].len, pair[1].offset, "tiles must be contiguous");
+                assert_eq!(
+                    pair[0].offset + pair[0].len,
+                    pair[1].offset,
+                    "tiles must be contiguous"
+                );
             }
             assert!(ts.iter().all(|t| t.len <= tile && t.len > 0));
         }

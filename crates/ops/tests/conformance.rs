@@ -83,8 +83,8 @@ fn every_operator_touches_global_memory() {
     for op in registry() {
         let kernel = op.build(&chip).unwrap();
         let stats = KernelStats::of(&kernel);
-        let gm_traffic = stats.bytes_of_component(Component::MteGm)
-            + stats.bytes_of_component(Component::MteUb);
+        let gm_traffic =
+            stats.bytes_of_component(Component::MteGm) + stats.bytes_of_component(Component::MteUb);
         assert!(gm_traffic > 0, "{} moves no GM bytes", op.name());
     }
 }

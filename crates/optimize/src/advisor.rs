@@ -46,13 +46,9 @@ pub fn advise(analysis: &RooflineAnalysis) -> Vec<Strategy> {
             vec![Strategy::Itg, Strategy::Mrt, Strategy::OpFusion]
         }
         Bottleneck::InefficientCompute(_) => vec![Strategy::Aip, Strategy::Ct],
-        Bottleneck::MteBound(_) => vec![
-            Strategy::Mrt,
-            Strategy::OpFusion,
-            Strategy::Tt,
-            Strategy::Itg,
-            Strategy::Ea,
-        ],
+        Bottleneck::MteBound(_) => {
+            vec![Strategy::Mrt, Strategy::OpFusion, Strategy::Tt, Strategy::Itg, Strategy::Ea]
+        }
         Bottleneck::ComputeBound(_) => vec![Strategy::Ea, Strategy::Lc, Strategy::Ct],
         Bottleneck::Idle => Vec::new(),
     }

@@ -37,11 +37,7 @@ impl TuneResult {
     /// Speedup of the best configuration over the worst *feasible* one.
     #[must_use]
     pub fn spread(&self) -> f64 {
-        let worst = self
-            .trials
-            .iter()
-            .filter_map(|t| t.cycles)
-            .fold(0.0f64, f64::max);
+        let worst = self.trials.iter().filter_map(|t| t.cycles).fold(0.0f64, f64::max);
         if self.best_cycles > 0.0 {
             worst / self.best_cycles
         } else {
@@ -151,10 +147,9 @@ mod tests {
         // Tiny tiles multiply per-transfer overhead: the sweep must not
         // pick them.
         let chip = ChipSpec::training();
-        let result = tune(&chip, &[64, 256, 16384], |tile| {
-            Box::new(AvgPool::new(1 << 14).with_tile(tile))
-        })
-        .unwrap();
+        let result =
+            tune(&chip, &[64, 256, 16384], |tile| Box::new(AvgPool::new(1 << 14).with_tile(tile)))
+                .unwrap();
         assert!(result.best_value >= 256, "picked {}", result.best_value);
         assert!(result.spread() > 1.5, "tile size must matter, spread {:.2}", result.spread());
     }

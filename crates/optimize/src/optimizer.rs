@@ -3,8 +3,8 @@
 use crate::{advise, Strategy};
 use ascend_arch::ChipSpec;
 use ascend_ops::{Operator, OptFlags};
-use ascend_profile::Profiler;
-use ascend_roofline::{analyze, Bottleneck, RooflineAnalysis, Thresholds};
+use ascend_pipeline::AnalysisPipeline;
+use ascend_roofline::{Bottleneck, RooflineAnalysis, Thresholds};
 use ascend_sim::SimError;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -84,9 +84,8 @@ impl OptimizationReport {
         let mut out = String::new();
         let _ = writeln!(out, "optimization of {} ({:.2}x):", self.operator, self.speedup());
         for (i, record) in self.iterations.iter().enumerate() {
-            let applied = record
-                .applied
-                .map_or_else(|| "stop".to_owned(), |s| format!("apply {s}"));
+            let applied =
+                record.applied.map_or_else(|| "stop".to_owned(), |s| format!("apply {s}"));
             let _ = writeln!(
                 out,
                 "  iter {i}: {:>10.0} cy, peak U {:>5.1}%, {} -> {}",
@@ -101,10 +100,13 @@ impl OptimizationReport {
 }
 
 /// Drives the iterative roofline-guided optimization of an operator.
+///
+/// Every measurement routes through an [`AnalysisPipeline`], so
+/// re-measured (operator, flags) combinations — frequent in the trial
+/// loop, and across operators in a model stream — are cache hits.
 #[derive(Debug, Clone)]
 pub struct Optimizer {
-    profiler: Profiler,
-    thresholds: Thresholds,
+    pipeline: AnalysisPipeline,
     max_iterations: usize,
 }
 
@@ -113,13 +115,21 @@ impl Optimizer {
     /// most 8 optimization rounds.
     #[must_use]
     pub fn new(chip: ChipSpec) -> Self {
-        Optimizer { profiler: Profiler::new(chip), thresholds: Thresholds::default(), max_iterations: 8 }
+        Self::from_pipeline(AnalysisPipeline::new(chip))
+    }
+
+    /// An optimizer measuring through `pipeline` — share one pipeline
+    /// between the optimizer and other analyses to share its result
+    /// cache.
+    #[must_use]
+    pub fn from_pipeline(pipeline: AnalysisPipeline) -> Self {
+        Optimizer { pipeline, max_iterations: 8 }
     }
 
     /// Overrides the classification thresholds.
     #[must_use]
     pub fn with_thresholds(mut self, thresholds: Thresholds) -> Self {
-        self.thresholds = thresholds;
+        self.pipeline = self.pipeline.with_thresholds(thresholds);
         self
     }
 
@@ -130,11 +140,15 @@ impl Optimizer {
         self
     }
 
+    /// The measurement pipeline (for cache statistics and stage timings).
+    #[must_use]
+    pub fn pipeline(&self) -> &AnalysisPipeline {
+        &self.pipeline
+    }
+
     fn measure(&self, op: &dyn Operator) -> Result<(f64, RooflineAnalysis), SimError> {
-        let kernel = op.build(self.profiler.chip())?;
-        let (profile, trace) = self.profiler.run(&kernel)?;
-        let analysis = analyze(&profile, self.profiler.chip(), &self.thresholds);
-        Ok((trace.total_cycles(), analysis))
+        let result = self.pipeline.run(op)?;
+        Ok((result.cycles(), result.analysis.clone()))
     }
 
     /// Runs the analyze→advise→apply loop on `operator`.
@@ -154,10 +168,8 @@ impl Optimizer {
         let mut iterations = Vec::new();
 
         for _ in 0..self.max_iterations {
-            let candidates: Vec<Strategy> = advise(&analysis)
-                .into_iter()
-                .filter(|s| !s.is_applied(flags))
-                .collect();
+            let candidates: Vec<Strategy> =
+                advise(&analysis).into_iter().filter(|s| !s.is_applied(flags)).collect();
             let mut improved = None;
             for strategy in candidates {
                 let trial_flags = strategy.apply_to(flags);
@@ -204,11 +216,7 @@ mod tests {
         let report = Optimizer::new(chip).run(&AddRelu::new(1 << 19)).unwrap();
         assert!(report.speedup() > 1.3, "paper: 1.72x, got {:.2}", report.speedup());
         assert!(report.applied_strategies().contains(&Strategy::Rsd));
-        assert!(
-            report.final_bottleneck().unwrap().is_bound(),
-            "\n{}",
-            report.summary()
-        );
+        assert!(report.final_bottleneck().unwrap().is_bound(), "\n{}", report.summary());
     }
 
     #[test]
@@ -236,11 +244,7 @@ mod tests {
         let chip = ChipSpec::training();
         // Baseline GeLU is compute bound; the Section 5.4 remedy is EA.
         let report = Optimizer::new(chip).run(&Gelu::new(1 << 19)).unwrap();
-        assert!(
-            report.applied_strategies().contains(&Strategy::Ea),
-            "\n{}",
-            report.summary()
-        );
+        assert!(report.applied_strategies().contains(&Strategy::Ea), "\n{}", report.summary());
         assert!(report.speedup() > 1.02, "paper: 1.06x, got {:.2}", report.speedup());
     }
 

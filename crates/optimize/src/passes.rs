@@ -45,14 +45,12 @@ pub fn fuse_kernels(first: &Kernel, second: &Kernel) -> Kernel {
     let mut instructions: Vec<Instruction> = first.instructions().to_vec();
     for instr in second {
         instructions.push(match instr {
-            Instruction::SetFlag { queue, flag } => Instruction::SetFlag {
-                queue: *queue,
-                flag: FlagId::new(flag.raw() + max_flag),
-            },
-            Instruction::WaitFlag { queue, flag } => Instruction::WaitFlag {
-                queue: *queue,
-                flag: FlagId::new(flag.raw() + max_flag),
-            },
+            Instruction::SetFlag { queue, flag } => {
+                Instruction::SetFlag { queue: *queue, flag: FlagId::new(flag.raw() + max_flag) }
+            }
+            Instruction::WaitFlag { queue, flag } => {
+                Instruction::WaitFlag { queue: *queue, flag: FlagId::new(flag.raw() + max_flag) }
+            }
             other => other.clone(),
         });
     }
@@ -100,10 +98,7 @@ pub fn minimize_redundant_transfers(kernel: &Kernel) -> Kernel {
         // writes src or dst (already-removed repeats cannot clobber).
         let clobbered = instructions[prev + 1..i].iter().enumerate().any(|(off, between)| {
             keep[prev + 1 + off]
-                && between
-                    .writes()
-                    .iter()
-                    .any(|w| w.overlaps(&t.src) || w.overlaps(&t.dst))
+                && between.writes().iter().any(|w| w.overlaps(&t.src) || w.overlaps(&t.dst))
         });
         if !clobbered {
             keep[i] = false;
@@ -140,11 +135,9 @@ pub fn remove_unnecessary_barriers(kernel: &Kernel) -> Kernel {
         let seg_end = barriers.get(bi + 1).copied().unwrap_or(n);
         let before = &instructions[seg_start..b];
         let after = &instructions[b + 1..seg_end];
-        let needed = before.iter().any(|x| {
-            after.iter().any(|y| {
-                x.queue() != y.queue() && writes_overlap(x, y)
-            })
-        });
+        let needed = before
+            .iter()
+            .any(|x| after.iter().any(|y| x.queue() != y.queue() && writes_overlap(x, y)));
         if !needed {
             keep[b] = false;
         }
@@ -324,13 +317,10 @@ mod tests {
         assert_eq!(fused.len(), a.len() + b.len());
         ascend_isa::validate(&fused, &chip).unwrap();
         let sim = Simulator::new(chip);
-        let separate = sim.simulate(&a).unwrap().total_cycles()
-            + sim.simulate(&b).unwrap().total_cycles();
+        let separate =
+            sim.simulate(&a).unwrap().total_cycles() + sim.simulate(&b).unwrap().total_cycles();
         let together = sim.simulate(&fused).unwrap().total_cycles();
-        assert!(
-            together < separate,
-            "fusion overlaps the tails: {together} !< {separate}"
-        );
+        assert!(together < separate, "fusion overlaps the tails: {together} !< {separate}");
     }
 
     #[test]

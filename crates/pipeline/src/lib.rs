@@ -1,0 +1,514 @@
+#![warn(missing_docs)]
+
+//! The analysis pipeline: one abstraction owning the chip spec, the
+//! classification thresholds, and the stage sequence every caller of the
+//! workspace runs — **build → simulate → profile → analyze**.
+//!
+//! Before this crate, each consumer (`ascend_bench::run_op`, the model
+//! runner, the optimizer loop, the figure binaries) re-implemented the
+//! same four stages. [`AnalysisPipeline`] centralizes them and adds two
+//! things none of the ad-hoc copies had:
+//!
+//! * **A content-addressed result cache.** Results are keyed by a stable
+//!   fingerprint of the operator descriptor (shape + flags), the chip
+//!   spec, and the thresholds. The optimizer re-measures the same
+//!   operator/flag combinations constantly, and model streams repeat
+//!   operators across invocations — those become cache hits returning the
+//!   bit-identical [`PipelineResult`]. Hit/miss/eviction counters are
+//!   exposed via [`CacheStats`].
+//!
+//! * **A batch API.** [`AnalysisPipeline::run_batch`] fans independent
+//!   invocations across scoped worker threads (`std::thread::scope`, no
+//!   external dependencies) and returns results in input order,
+//!   regardless of worker count. The simulator is deterministic, so the
+//!   parallel path is numerically identical to the serial one.
+//!
+//! Cloning a pipeline is cheap and **shares** the cache and the
+//! instrumentation counters — the model runner and the optimizer can each
+//! hold a clone and still reuse each other's results. Configuration
+//! (thresholds, cache capacity) is per-clone; changing thresholds changes
+//! the cache key context, so stale entries can never be returned.
+//!
+//! # Examples
+//!
+//! ```
+//! use ascend_arch::ChipSpec;
+//! use ascend_ops::AddRelu;
+//! use ascend_pipeline::AnalysisPipeline;
+//!
+//! let pipeline = AnalysisPipeline::new(ChipSpec::training());
+//! let first = pipeline.run(&AddRelu::new(1 << 16))?;
+//! let again = pipeline.run(&AddRelu::new(1 << 16))?; // cache hit
+//! assert_eq!(first.analysis, again.analysis);
+//! assert_eq!(pipeline.cache_stats().hits, 1);
+//! # Ok::<(), ascend_sim::SimError>(())
+//! ```
+
+use ascend_arch::ChipSpec;
+use ascend_ops::Operator;
+use ascend_profile::Profile;
+use ascend_roofline::{analyze, RooflineAnalysis, Thresholds};
+use ascend_sim::{SimError, Simulator, Trace};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default bound on cached results before FIFO eviction kicks in.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// Everything the pipeline produces for one operator invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineResult {
+    /// The generated kernel's name (includes the applied flags).
+    pub kernel_name: String,
+    /// Number of instructions in the generated kernel.
+    pub kernel_len: usize,
+    /// The fingerprint the result is cached under.
+    pub fingerprint: u64,
+    /// Section 3.1 metrics collected from the simulated trace.
+    pub profile: Profile,
+    /// The simulated execution trace.
+    pub trace: Trace,
+    /// The component-based roofline analysis.
+    pub analysis: RooflineAnalysis,
+}
+
+impl PipelineResult {
+    /// End-to-end simulated execution time in cycles.
+    #[must_use]
+    pub fn cycles(&self) -> f64 {
+        self.trace.total_cycles()
+    }
+}
+
+/// Counters of the pipeline's result cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Invocations answered from the cache.
+    pub hits: u64,
+    /// Invocations that ran the full stage sequence.
+    pub misses: u64,
+    /// Entries dropped to respect the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when nothing ran yet).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Cumulative wall time spent in each pipeline stage (cache misses only —
+/// hits skip every stage).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Seconds spent generating kernels (`Operator::build`).
+    pub build_secs: f64,
+    /// Seconds spent in the event-driven simulator.
+    pub simulate_secs: f64,
+    /// Seconds spent collecting profiles from traces.
+    pub profile_secs: f64,
+    /// Seconds spent in the roofline analysis.
+    pub analyze_secs: f64,
+    /// Number of uncached stage-sequence executions.
+    pub runs: u64,
+}
+
+impl StageTimings {
+    /// Total wall time across all four stages.
+    #[must_use]
+    pub fn total_secs(&self) -> f64 {
+        self.build_secs + self.simulate_secs + self.profile_secs + self.analyze_secs
+    }
+}
+
+#[derive(Debug, Default)]
+struct ResultCache {
+    map: HashMap<u64, Arc<PipelineResult>>,
+    order: VecDeque<u64>,
+}
+
+#[derive(Debug, Default)]
+struct SharedState {
+    cache: Mutex<ResultCache>,
+    stats: Mutex<CacheStats>,
+    timings: Mutex<StageTimings>,
+}
+
+/// The build → simulate → profile → analyze stage sequence with a
+/// content-addressed result cache and a scoped-thread batch API.
+///
+/// See the [crate docs](crate) for the full story; construct with
+/// [`AnalysisPipeline::new`], configure with the `with_*` builders, then
+/// [`run`](AnalysisPipeline::run) operators through it.
+#[derive(Debug, Clone)]
+pub struct AnalysisPipeline {
+    chip: ChipSpec,
+    thresholds: Thresholds,
+    simulator: Simulator,
+    /// Fingerprint of (chip, thresholds); mixed into every cache key so
+    /// clones with different configuration never share entries.
+    context: u64,
+    capacity: usize,
+    shared: Arc<SharedState>,
+}
+
+impl AnalysisPipeline {
+    /// A pipeline for `chip` with the paper's default thresholds.
+    #[must_use]
+    pub fn new(chip: ChipSpec) -> Self {
+        let thresholds = Thresholds::default();
+        let context = context_fingerprint(&chip, &thresholds);
+        AnalysisPipeline {
+            simulator: Simulator::new(chip.clone()),
+            chip,
+            thresholds,
+            context,
+            capacity: DEFAULT_CACHE_CAPACITY,
+            shared: Arc::new(SharedState::default()),
+        }
+    }
+
+    /// Overrides the classification thresholds. The cache-key context
+    /// changes with them, so results cached under other thresholds are
+    /// never returned.
+    #[must_use]
+    pub fn with_thresholds(mut self, thresholds: Thresholds) -> Self {
+        self.thresholds = thresholds;
+        self.context = context_fingerprint(&self.chip, &self.thresholds);
+        self
+    }
+
+    /// Overrides the cache capacity (entries, minimum 1).
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity.max(1);
+        self
+    }
+
+    /// The chip this pipeline simulates.
+    #[must_use]
+    pub fn chip(&self) -> &ChipSpec {
+        &self.chip
+    }
+
+    /// The classification thresholds in use.
+    #[must_use]
+    pub fn thresholds(&self) -> &Thresholds {
+        &self.thresholds
+    }
+
+    /// The cache key for `op` under this pipeline's configuration.
+    #[must_use]
+    pub fn cache_key(&self, op: &dyn Operator) -> u64 {
+        mix(self.context, op.fingerprint())
+    }
+
+    /// Runs the full stage sequence on `op`, answering from the cache
+    /// when this (operator, chip, thresholds) combination already ran.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel-construction and simulation errors.
+    pub fn run(&self, op: &dyn Operator) -> Result<Arc<PipelineResult>, SimError> {
+        let key = self.cache_key(op);
+        if let Some(found) = self.shared.cache.lock().unwrap().map.get(&key) {
+            let result = Arc::clone(found);
+            self.shared.stats.lock().unwrap().hits += 1;
+            return Ok(result);
+        }
+        // Compute outside the cache lock so batch workers make progress
+        // concurrently. Two workers racing on the same key both miss; the
+        // later insert is a no-op.
+        let result = Arc::new(self.execute(op, key)?);
+        self.shared.stats.lock().unwrap().misses += 1;
+        self.insert(key, Arc::clone(&result));
+        Ok(result)
+    }
+
+    /// Runs independent operators concurrently on scoped worker threads,
+    /// one per available CPU (capped by the batch size). Results are
+    /// returned in **input order** regardless of completion order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first (by input order) stage error.
+    pub fn run_batch(&self, ops: &[&dyn Operator]) -> Result<Vec<Arc<PipelineResult>>, SimError> {
+        let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        self.run_batch_with_workers(ops, workers)
+    }
+
+    /// [`run_batch`](AnalysisPipeline::run_batch) with an explicit worker
+    /// count (clamped to `1..=ops.len()`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first (by input order) stage error.
+    pub fn run_batch_with_workers(
+        &self,
+        ops: &[&dyn Operator],
+        workers: usize,
+    ) -> Result<Vec<Arc<PipelineResult>>, SimError> {
+        let workers = workers.clamp(1, ops.len().max(1));
+        if workers <= 1 {
+            return ops.iter().map(|op| self.run(*op)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<OnceLock<Result<Arc<PipelineResult>, SimError>>> =
+            (0..ops.len()).map(|_| OnceLock::new()).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(op) = ops.get(index) else { break };
+                    let filled = slots[index].set(self.run(*op));
+                    debug_assert!(filled.is_ok(), "every slot is claimed exactly once");
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every claimed slot is filled"))
+            .collect()
+    }
+
+    /// Analyzes a stream of operator invocations (e.g. one model
+    /// iteration): a batched [`run`](AnalysisPipeline::run) over the
+    /// stream, input-ordered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first (by input order) stage error.
+    pub fn analyze_stream<'a, I>(&self, ops: I) -> Result<Vec<Arc<PipelineResult>>, SimError>
+    where
+        I: IntoIterator<Item = &'a dyn Operator>,
+    {
+        let ops: Vec<&dyn Operator> = ops.into_iter().collect();
+        self.run_batch(&ops)
+    }
+
+    /// Runs only the analyze stage on an externally assembled profile
+    /// (e.g. a whole-model aggregate), under this pipeline's chip and
+    /// thresholds. Not cached.
+    #[must_use]
+    pub fn analyze_profile(&self, profile: &Profile) -> RooflineAnalysis {
+        let start = Instant::now();
+        let analysis = analyze(profile, &self.chip, &self.thresholds);
+        self.shared.timings.lock().unwrap().analyze_secs += start.elapsed().as_secs_f64();
+        analysis
+    }
+
+    /// Current hit/miss/eviction counters (shared across clones).
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        *self.shared.stats.lock().unwrap()
+    }
+
+    /// Cumulative per-stage wall times (shared across clones).
+    #[must_use]
+    pub fn timings(&self) -> StageTimings {
+        *self.shared.timings.lock().unwrap()
+    }
+
+    /// Number of results currently cached.
+    #[must_use]
+    pub fn cache_len(&self) -> usize {
+        self.shared.cache.lock().unwrap().map.len()
+    }
+
+    /// Clears the cache and zeroes all counters (shared across clones).
+    pub fn reset(&self) {
+        let mut cache = self.shared.cache.lock().unwrap();
+        cache.map.clear();
+        cache.order.clear();
+        drop(cache);
+        *self.shared.stats.lock().unwrap() = CacheStats::default();
+        *self.shared.timings.lock().unwrap() = StageTimings::default();
+    }
+
+    /// The two-line instrumentation footer the figure binaries print:
+    /// per-stage wall time plus cache behaviour.
+    #[must_use]
+    pub fn instrumentation_footer(&self) -> String {
+        let timings = self.timings();
+        let stats = self.cache_stats();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "[pipeline] stages ({} uncached runs): build {:.3}s | simulate {:.3}s | profile {:.3}s | analyze {:.3}s",
+            timings.runs,
+            timings.build_secs,
+            timings.simulate_secs,
+            timings.profile_secs,
+            timings.analyze_secs,
+        );
+        let _ = write!(
+            out,
+            "[pipeline] cache: {} hits / {} misses ({:.1}% hit rate), {} evictions, {} entries live",
+            stats.hits,
+            stats.misses,
+            stats.hit_rate() * 100.0,
+            stats.evictions,
+            self.cache_len(),
+        );
+        out
+    }
+
+    /// The uncached stage sequence.
+    fn execute(&self, op: &dyn Operator, key: u64) -> Result<PipelineResult, SimError> {
+        let start = Instant::now();
+        let kernel = op.build(&self.chip)?;
+        let built = Instant::now();
+        let trace = self.simulator.simulate(&kernel)?;
+        let simulated = Instant::now();
+        let profile = Profile::collect(&kernel, &trace);
+        let profiled = Instant::now();
+        let analysis = analyze(&profile, &self.chip, &self.thresholds);
+        let analyzed = Instant::now();
+
+        let mut timings = self.shared.timings.lock().unwrap();
+        timings.build_secs += (built - start).as_secs_f64();
+        timings.simulate_secs += (simulated - built).as_secs_f64();
+        timings.profile_secs += (profiled - simulated).as_secs_f64();
+        timings.analyze_secs += (analyzed - profiled).as_secs_f64();
+        timings.runs += 1;
+        drop(timings);
+
+        Ok(PipelineResult {
+            kernel_name: kernel.name().to_owned(),
+            kernel_len: kernel.len(),
+            fingerprint: key,
+            profile,
+            trace,
+            analysis,
+        })
+    }
+
+    fn insert(&self, key: u64, result: Arc<PipelineResult>) {
+        let mut cache = self.shared.cache.lock().unwrap();
+        if cache.map.insert(key, result).is_none() {
+            cache.order.push_back(key);
+            while cache.order.len() > self.capacity {
+                if let Some(oldest) = cache.order.pop_front() {
+                    cache.map.remove(&oldest);
+                    drop(cache);
+                    self.shared.stats.lock().unwrap().evictions += 1;
+                    cache = self.shared.cache.lock().unwrap();
+                }
+            }
+        }
+    }
+}
+
+/// FNV-1a over the chip and threshold configuration.
+fn context_fingerprint(chip: &ChipSpec, thresholds: &Thresholds) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in format!("{chip:?}|{thresholds:?}").bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// SplitMix64-style combiner for (context, operator) fingerprints.
+fn mix(context: u64, fingerprint: u64) -> u64 {
+    let mut z = context ^ fingerprint.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascend_ops::{AddRelu, Gelu, OptFlags};
+    use ascend_profile::Profiler;
+
+    #[test]
+    fn cached_result_is_identical_to_the_direct_path() {
+        let chip = ChipSpec::training();
+        let pipeline = AnalysisPipeline::new(chip.clone());
+        let op = AddRelu::new(1 << 14);
+
+        let first = pipeline.run(&op).unwrap();
+        let second = pipeline.run(&op).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "second run must be a cache hit");
+
+        // Same numbers as the hand-rolled stage sequence.
+        let kernel = op.build(&chip).unwrap();
+        let (profile, trace) = Profiler::new(chip.clone()).run(&kernel).unwrap();
+        let analysis = analyze(&profile, &chip, &Thresholds::default());
+        assert_eq!(first.profile, profile);
+        assert_eq!(first.trace, trace);
+        assert_eq!(first.analysis, analysis);
+        assert_eq!(pipeline.cache_stats(), CacheStats { hits: 1, misses: 1, evictions: 0 });
+    }
+
+    #[test]
+    fn flags_change_the_cache_key() {
+        let pipeline = AnalysisPipeline::new(ChipSpec::training());
+        let base = AddRelu::new(1 << 19);
+        let tuned = base.with_flags(OptFlags::new().rsd(true));
+        assert_ne!(pipeline.cache_key(&base), pipeline.cache_key(&tuned));
+        let a = pipeline.run(&base).unwrap();
+        let b = pipeline.run(&tuned).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b), "distinct flags must be distinct entries");
+        assert_ne!(a.cycles(), b.cycles(), "RSD must change the simulated time");
+        assert_eq!(pipeline.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn thresholds_change_the_context() {
+        let chip = ChipSpec::training();
+        let a = AnalysisPipeline::new(chip.clone());
+        let b = a
+            .clone()
+            .with_thresholds(Thresholds { parallelism_ratio: 0.99, ..Thresholds::default() });
+        let op = AddRelu::new(1 << 12);
+        assert_ne!(a.cache_key(&op), b.cache_key(&op));
+    }
+
+    #[test]
+    fn clones_share_cache_and_counters() {
+        let pipeline = AnalysisPipeline::new(ChipSpec::training());
+        let clone = pipeline.clone();
+        clone.run(&Gelu::new(1 << 12)).unwrap();
+        let hit = pipeline.run(&Gelu::new(1 << 12)).unwrap();
+        assert_eq!(hit.kernel_name, "gelu");
+        assert_eq!(pipeline.cache_stats(), CacheStats { hits: 1, misses: 1, evictions: 0 });
+    }
+
+    #[test]
+    fn capacity_bound_evicts_fifo() {
+        let pipeline = AnalysisPipeline::new(ChipSpec::training()).with_cache_capacity(2);
+        for shift in [10u64, 11, 12] {
+            pipeline.run(&AddRelu::new(1 << shift)).unwrap();
+        }
+        assert_eq!(pipeline.cache_len(), 2);
+        let stats = pipeline.cache_stats();
+        assert_eq!(stats.evictions, 1);
+        // The oldest entry (1<<10) was dropped: running it again misses.
+        pipeline.run(&AddRelu::new(1 << 10)).unwrap();
+        assert_eq!(pipeline.cache_stats().misses, 4);
+    }
+
+    #[test]
+    fn footer_mentions_all_counters() {
+        let pipeline = AnalysisPipeline::new(ChipSpec::training());
+        pipeline.run(&AddRelu::new(1 << 12)).unwrap();
+        pipeline.run(&AddRelu::new(1 << 12)).unwrap();
+        let footer = pipeline.instrumentation_footer();
+        assert!(footer.contains("1 hits / 1 misses"), "{footer}");
+        assert!(footer.contains("1 uncached runs"), "{footer}");
+    }
+}

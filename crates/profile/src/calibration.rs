@@ -98,12 +98,7 @@ pub fn measure_compute(
     let (profile, trace) = Profiler::new(chip.clone()).run(&b.build())?;
     let achieved = profile.ops_of(unit, precision) as f64 / trace.total_cycles();
     let peak = chip.peak_ops_per_cycle(unit, precision)?;
-    Ok(CalibrationPoint {
-        target: format!("{unit}/{precision}"),
-        granularity: ops,
-        achieved,
-        peak,
-    })
+    Ok(CalibrationPoint { target: format!("{unit}/{precision}"), granularity: ops, achieved, peak })
 }
 
 /// Runs the full calibration sweep: every MTE path at a large granularity
@@ -116,9 +111,10 @@ pub fn calibrate(chip: &ChipSpec) -> Result<Vec<CalibrationPoint>, SimError> {
     let mut points = Vec::new();
     for path in TransferPath::mte_paths() {
         // Use a granularity that fits the destination buffer.
-        let cap = chip.capacity(path.dst()).unwrap_or(u64::MAX).min(
-            chip.capacity(path.src()).unwrap_or(u64::MAX),
-        );
+        let cap = chip
+            .capacity(path.dst())
+            .unwrap_or(u64::MAX)
+            .min(chip.capacity(path.src()).unwrap_or(u64::MAX));
         let bytes = (cap / 2).clamp(1 << 10, 128 << 10);
         points.push(measure_bandwidth(chip, path, bytes, 32)?);
     }

@@ -151,11 +151,7 @@ impl Profile {
     /// Bytes moved by the MTE behind `component` (0 for compute components).
     #[must_use]
     pub fn bytes_of_component(&self, component: Component) -> u64 {
-        self.bytes
-            .iter()
-            .filter(|(path, _)| path.component() == component)
-            .map(|(_, &b)| b)
-            .sum()
+        self.bytes.iter().filter(|(path, _)| path.component() == component).map(|(_, &b)| b).sum()
     }
 
     /// Active cycles of `component` (0 when it never executed).

@@ -1,7 +1,7 @@
 //! The discrete-event execution engine.
 
-use crate::{InstrRecord, SimError, Trace};
 use crate::trace::StallCause;
+use crate::{InstrRecord, SimError, Trace};
 use ascend_arch::{ChipSpec, Component};
 use ascend_isa::{validate, Instruction, Kernel};
 use std::cmp::Reverse;
@@ -60,14 +60,12 @@ impl Eq for Event {}
 
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time
-            .total_cmp(&other.time)
-            .then_with(|| match (self.kind, other.kind) {
-                (EventKind::Complete(a), EventKind::Complete(b)) => a.cmp(&b),
-                (EventKind::Complete(_), EventKind::Wake) => std::cmp::Ordering::Less,
-                (EventKind::Wake, EventKind::Complete(_)) => std::cmp::Ordering::Greater,
-                (EventKind::Wake, EventKind::Wake) => std::cmp::Ordering::Equal,
-            })
+        self.time.total_cmp(&other.time).then_with(|| match (self.kind, other.kind) {
+            (EventKind::Complete(a), EventKind::Complete(b)) => a.cmp(&b),
+            (EventKind::Complete(_), EventKind::Wake) => std::cmp::Ordering::Less,
+            (EventKind::Wake, EventKind::Complete(_)) => std::cmp::Ordering::Greater,
+            (EventKind::Wake, EventKind::Wake) => std::cmp::Ordering::Equal,
+        })
     }
 }
 
@@ -260,9 +258,7 @@ impl<'a> Run<'a> {
 
     fn has_region_conflict(&self, index: usize) -> bool {
         let instr = &self.kernel.instructions()[index];
-        self.executing
-            .iter()
-            .any(|&other| instr.conflicts_with(&self.kernel.instructions()[other]))
+        self.executing.iter().any(|&other| instr.conflicts_with(&self.kernel.instructions()[other]))
     }
 
     fn schedule_wake(&mut self, q: usize, at: f64) {
@@ -381,11 +377,7 @@ mod tests {
         conflicted.transfer(TransferPath::GmToUb, gm(8192, 8192), ub(0, 8192)).unwrap();
         let conflict_trace = sim.simulate(&conflicted.build()).unwrap();
         let r = conflict_trace.records();
-        assert!(
-            r[1].start >= r[0].end,
-            "conflicting transfers must serialize: {:?}",
-            r
-        );
+        assert!(r[1].start >= r[0].end, "conflicting transfers must serialize: {:?}", r);
 
         // Disjoint UB regions (RSD applied): they overlap in time.
         let mut free = KernelBuilder::new("rsd");
@@ -403,13 +395,7 @@ mod tests {
         let chip = sim.chip();
         let mut b = KernelBuilder::new("dispatch");
         for i in 0..10 {
-            b.compute(
-                ComputeUnit::Scalar,
-                Precision::Int32,
-                1,
-                vec![],
-                vec![ub(i * 64, 64)],
-            );
+            b.compute(ComputeUnit::Scalar, Precision::Int32, 1, vec![], vec![ub(i * 64, 64)]);
         }
         // A final transfer dispatched after 10 scalar instructions.
         b.transfer(TransferPath::GmToUb, gm(0, 64), ub(4096, 64)).unwrap();

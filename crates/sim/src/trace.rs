@@ -111,12 +111,8 @@ impl Trace {
     /// Records executed on `component`, sorted by start time.
     #[must_use]
     pub fn records_of(&self, component: Component) -> Vec<InstrRecord> {
-        let mut records: Vec<InstrRecord> = self
-            .records
-            .iter()
-            .copied()
-            .filter(|r| r.queue == Some(component))
-            .collect();
+        let mut records: Vec<InstrRecord> =
+            self.records.iter().copied().filter(|r| r.queue == Some(component)).collect();
         records.sort_by(|a, b| a.start.total_cmp(&b.start));
         records
     }
@@ -128,11 +124,7 @@ impl Trace {
     /// paper derives from monitoring the instruction queue (Section 3.1).
     #[must_use]
     pub fn busy_cycles(&self, component: Component) -> f64 {
-        self.records
-            .iter()
-            .filter(|r| r.queue == Some(component))
-            .map(InstrRecord::duration)
-            .sum()
+        self.records.iter().filter(|r| r.queue == Some(component)).map(InstrRecord::duration).sum()
     }
 
     /// The component time ratio `R_component = T_component / T_total`
@@ -153,10 +145,7 @@ impl Trace {
     #[must_use]
     pub fn waiting_intervals(&self, component: Component, min_gap: f64) -> usize {
         let records = self.records_of(component);
-        records
-            .windows(2)
-            .filter(|pair| pair[1].start - pair[0].end > min_gap)
-            .count()
+        records.windows(2).filter(|pair| pair[1].start - pair[0].end > min_gap).count()
     }
 
     /// Total cycles instructions of `component` spent waiting between
@@ -233,7 +222,10 @@ impl Trace {
     /// A one-line Unicode sparkline of [`Trace::utilization_series`].
     #[must_use]
     pub fn utilization_sparkline(&self, component: Component, buckets: usize) -> String {
-        const BARS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+        const BARS: [char; 8] = [
+            '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+            '\u{2588}',
+        ];
         self.utilization_series(component, buckets)
             .into_iter()
             .map(|v| BARS[((v * 7.0).round() as usize).min(7)])
@@ -248,11 +240,7 @@ impl Trace {
     pub fn gantt_ascii(&self, width: usize) -> String {
         let width = width.max(10);
         let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "{} — {:.0} cycles",
-            self.kernel_name, self.total_cycles
-        );
+        let _ = writeln!(out, "{} — {:.0} cycles", self.kernel_name, self.total_cycles);
         for component in Component::ALL {
             let mut row = vec!['.'; width];
             for record in self.records_of(component) {
@@ -280,16 +268,28 @@ mod tests {
             "t",
             vec![
                 InstrRecord {
-                    index: 0, queue: Some(Component::MteGm), available_at: 0.0,
-                    start: 0.0, end: 10.0, stall: StallCause::None,
+                    index: 0,
+                    queue: Some(Component::MteGm),
+                    available_at: 0.0,
+                    start: 0.0,
+                    end: 10.0,
+                    stall: StallCause::None,
                 },
                 InstrRecord {
-                    index: 1, queue: Some(Component::Vector), available_at: 2.0,
-                    start: 10.0, end: 15.0, stall: StallCause::Flag,
+                    index: 1,
+                    queue: Some(Component::Vector),
+                    available_at: 2.0,
+                    start: 10.0,
+                    end: 15.0,
+                    stall: StallCause::Flag,
                 },
                 InstrRecord {
-                    index: 2, queue: Some(Component::MteGm), available_at: 12.0,
-                    start: 20.0, end: 30.0, stall: StallCause::Region,
+                    index: 2,
+                    queue: Some(Component::MteGm),
+                    available_at: 12.0,
+                    start: 20.0,
+                    end: 30.0,
+                    stall: StallCause::Region,
                 },
             ],
             30.0,

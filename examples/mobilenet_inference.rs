@@ -29,5 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let report = runner.analyze(&converted)?;
         println!("  {:<12} {}", framework.name(), report.distribution_by_count().summary());
     }
+
+    // Every analysis above shared one cached pipeline.
+    println!("\n{}", runner.pipeline().instrumentation_footer());
     Ok(())
 }

@@ -13,9 +13,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let chip = ChipSpec::training();
 
     // Operator-level optimization: the roofline-guided loop.
-    let report = Optimizer::new(chip.clone()).run(&Depthwise::new(1 << 20))?;
+    let optimizer = Optimizer::new(chip.clone());
+    let report = optimizer.run(&Depthwise::new(1 << 20))?;
     println!("{}", report.summary());
-    println!("strategies kept: {:?}\n", report.applied_strategies());
+    println!("strategies kept: {:?}", report.applied_strategies());
+    println!("{}\n", optimizer.pipeline().instrumentation_footer());
 
     // IR-level optimization: transform the baseline instruction stream.
     let baseline = Depthwise::new(1 << 20).build(&chip)?;

@@ -1,53 +1,56 @@
-//! Quickstart: build an operator kernel, simulate it, and read its
-//! component-based roofline analysis.
+//! Quickstart: run an operator through the analysis pipeline and read
+//! its component-based roofline analysis.
 //!
 //! Run with `cargo run --example quickstart`.
 
 use ascend::arch::{ChipSpec, Component};
-use ascend::ops::{AddRelu, Operator, OptFlags};
-use ascend::profile::Profiler;
-use ascend::roofline::{analyze, RooflineChart, Thresholds};
+use ascend::ops::{AddRelu, OptFlags};
+use ascend::pipeline::AnalysisPipeline;
+use ascend::roofline::RooflineChart;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Pick a chip and an operator.
     let chip = ChipSpec::training();
     let op = AddRelu::new(1 << 20);
 
-    // 2. Generate and simulate the kernel.
-    let kernel = op.build(&chip)?;
-    println!("kernel `{}` has {} instructions", kernel.name(), kernel.len());
-    let profiler = Profiler::new(chip.clone());
-    let (profile, trace) = profiler.run(&kernel)?;
+    // 2. One pipeline owns the whole build → simulate → profile →
+    //    analyze sequence (and caches results by operator + flags).
+    let pipeline = AnalysisPipeline::new(chip.clone());
+    let result = pipeline.run(&op)?;
+    println!("kernel `{}` has {} instructions", result.kernel_name, result.kernel_len);
     println!(
         "executed in {:.0} cycles = {:.3} us at {:.1} GHz",
-        trace.total_cycles(),
-        chip.cycles_to_micros(trace.total_cycles()),
+        result.cycles(),
+        chip.cycles_to_micros(result.cycles()),
         chip.frequency_hz / 1e9
     );
-    println!("\ncomponent occupancy:\n{}", trace.gantt_ascii(72));
+    println!("\ncomponent occupancy:\n{}", result.trace.gantt_ascii(72));
 
-    // 3. Run the component-based roofline analysis.
-    let analysis = analyze(&profile, &chip, &Thresholds::default());
-    println!("{}", analysis.summary());
-    println!("diagnosis: {}", analysis.bottleneck());
+    // 3. Read the component-based roofline analysis.
+    println!("{}", result.analysis.summary());
+    println!("diagnosis: {}", result.analysis.bottleneck());
 
     // 4. Apply the optimization the diagnosis calls for and compare.
     let tuned = op.with_flags(OptFlags::new().rsd(true).mrt(true));
-    let (tuned_profile, tuned_trace) = profiler.run(&tuned.build(&chip)?)?;
-    let tuned_analysis = analyze(&tuned_profile, &chip, &Thresholds::default());
+    let tuned_result = pipeline.run(&tuned)?;
     println!(
         "after RSD+MRT: {:.3} us ({:.2}x), now {}",
-        chip.cycles_to_micros(tuned_trace.total_cycles()),
-        trace.total_cycles() / tuned_trace.total_cycles(),
-        tuned_analysis.bottleneck()
+        chip.cycles_to_micros(tuned_result.cycles()),
+        result.cycles() / tuned_result.cycles(),
+        tuned_result.analysis.bottleneck()
     );
-    let ratio = tuned_analysis
+    let ratio = tuned_result
+        .analysis
         .metrics_of(Component::MteUb)
         .map(|m| m.time_ratio * 100.0)
         .unwrap_or_default();
     println!("MTE-UB is busy {ratio:.1}% of the time — the write-out engine is the wall");
 
     // 5. Render the roofline chart.
-    println!("\n{}", RooflineChart::from_analysis(&tuned_analysis).to_ascii(76, 18));
+    println!("\n{}", RooflineChart::from_analysis(&tuned_result.analysis).to_ascii(76, 18));
+
+    // 6. Re-running either flag set is now a cache hit.
+    pipeline.run(&op)?;
+    println!("\n{}", pipeline.instrumentation_footer());
     Ok(())
 }

@@ -6,6 +6,7 @@ pub use ascend_isa as isa;
 pub use ascend_models as models;
 pub use ascend_ops as ops;
 pub use ascend_optimize as optimize;
+pub use ascend_pipeline as pipeline;
 pub use ascend_profile as profile;
 pub use ascend_roofline as roofline;
 pub use ascend_sim as sim;

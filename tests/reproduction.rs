@@ -55,9 +55,8 @@ fn figure_7_add_relu_iteration_sequence() {
     assert_eq!(a1.bottleneck(), Bottleneck::MteBound(Component::MteUb));
     assert!(a1.peak_utilization() > 0.55 && a1.peak_utilization() < 0.85);
 
-    let (_, a2, t2) = training_analysis(
-        &AddRelu::new(1 << 20).with_flags(OptFlags::new().rsd(true).mrt(true)),
-    );
+    let (_, a2, t2) =
+        training_analysis(&AddRelu::new(1 << 20).with_flags(OptFlags::new().rsd(true).mrt(true)));
     assert_eq!(a2.bottleneck(), Bottleneck::MteBound(Component::MteUb));
     assert!(a2.peak_utilization() > a1.peak_utilization());
     let speedup = t0 / t2.min(t1);
@@ -196,7 +195,12 @@ fn figure_14c_training_is_more_mte_prone_than_inference_for_gpt2() {
     let i = inference.analyze(&zoo::gpt2(Phase::Inference)).unwrap().distribution();
     // Paper: training workloads are more prone to MTE bound; inference
     // tends toward inefficient components.
-    assert!(t.share("MB") > i.share("MB"), "train MB {:.3} vs infer MB {:.3}", t.share("MB"), i.share("MB"));
+    assert!(
+        t.share("MB") > i.share("MB"),
+        "train MB {:.3} vs infer MB {:.3}",
+        t.share("MB"),
+        i.share("MB")
+    );
     assert!(
         i.share("IM") + i.share("IC") > t.share("IM") + t.share("IC"),
         "inference should show more inefficiency"

@@ -13,10 +13,7 @@ use ascend::sim::{Simulator, StallCause};
 #[test]
 fn generated_kernels_survive_a_text_round_trip_and_simulate_identically() {
     let chip = ChipSpec::training();
-    let kernel = AddRelu::new(1 << 16)
-        .with_flags(OptFlags::new().rsd(true))
-        .build(&chip)
-        .unwrap();
+    let kernel = AddRelu::new(1 << 16).with_flags(OptFlags::new().rsd(true)).build(&chip).unwrap();
     let text = kernel_to_text(&kernel);
     let reparsed = parse_kernel(&text).unwrap();
     assert_eq!(kernel, reparsed);
@@ -48,27 +45,17 @@ fn stall_attribution_accounts_for_queue_delays() {
     let trace = Simulator::new(chip).simulate(&kernel).unwrap();
     // Total queue delay equals the sum over the attribution classes.
     for component in Component::ALL {
-        let total: f64 = trace
-            .records_of(component)
-            .iter()
-            .map(|r| r.queue_delay())
-            .sum();
-        let by_cause: f64 = [
-            StallCause::None,
-            StallCause::QueueBusy,
-            StallCause::Flag,
-            StallCause::Region,
-        ]
-        .into_iter()
-        .map(|c| trace.stall_cycles(component, c))
-        .sum();
+        let total: f64 = trace.records_of(component).iter().map(|r| r.queue_delay()).sum();
+        let by_cause: f64 =
+            [StallCause::None, StallCause::QueueBusy, StallCause::Flag, StallCause::Region]
+                .into_iter()
+                .map(|c| trace.stall_cycles(component, c))
+                .sum();
         assert!((total - by_cause).abs() < 1e-6, "{component}");
     }
     // The in-place baseline must show real region stalls somewhere.
-    let region_stalls: f64 = Component::ALL
-        .into_iter()
-        .map(|c| trace.stall_cycles(c, StallCause::Region))
-        .sum();
+    let region_stalls: f64 =
+        Component::ALL.into_iter().map(|c| trace.stall_cycles(c, StallCause::Region)).sum();
     assert!(region_stalls > 0.0, "the RSD pathology must appear as region stalls");
 }
 
@@ -99,9 +86,8 @@ fn markdown_report_flows_from_any_operator() {
 fn calibration_matches_spec_derived_efficiency() {
     let chip = ChipSpec::training();
     let bytes = 64 << 10;
-    let point =
-        calibration::measure_bandwidth(&chip, ascend::arch::TransferPath::GmToUb, bytes, 8)
-            .unwrap();
+    let point = calibration::measure_bandwidth(&chip, ascend::arch::TransferPath::GmToUb, bytes, 8)
+        .unwrap();
     let spec = chip.transfer(ascend::arch::TransferPath::GmToUb).unwrap();
     // Back-to-back streaming achieves exactly the per-transfer efficiency
     // (the queue never idles), modulo the single dispatch lead-in.
@@ -130,12 +116,10 @@ fn chip_scaling_composes() {
         .with_mte_bandwidth_scale(MteEngine::Gm, 2.0)
         .with_compute_scale(ComputeUnit::Vector, 2.0)
         .with_frequency(2.0e9);
-    assert!(custom
-        .peak_ops_per_sec(ComputeUnit::Vector, Precision::Fp16)
-        .unwrap()
-        > ChipSpec::training()
-            .peak_ops_per_sec(ComputeUnit::Vector, Precision::Fp16)
-            .unwrap());
+    assert!(
+        custom.peak_ops_per_sec(ComputeUnit::Vector, Precision::Fp16).unwrap()
+            > ChipSpec::training().peak_ops_per_sec(ComputeUnit::Vector, Precision::Fp16).unwrap()
+    );
     // A kernel still simulates on the custom part, faster.
     let base = ChipSpec::training();
     let kernel = AddRelu::new(1 << 16).build(&base).unwrap();

@@ -1,0 +1,175 @@
+//! Vendored offline stand-in for `criterion`.
+//!
+//! Implements the group/bench surface this workspace's benches use:
+//! [`Criterion::benchmark_group`], `bench_function`, `bench_with_input`,
+//! [`BenchmarkId`], and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each bench runs a short warm-up,
+//! then a fixed batch of timed iterations, and prints the mean wall time.
+//! There is no statistical analysis, HTML report, or baseline comparison.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver handed to `criterion_group!` functions.
+pub struct Criterion {
+    warm_up_iters: u64,
+    sample_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { warm_up_iters: 3, sample_iters: 30 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup { criterion: self, name }
+    }
+}
+
+/// A named set of benchmarks sharing a report section.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Times `f` and prints a one-line report.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.criterion);
+        f(&mut bencher);
+        bencher.report(&self.name, &id.to_string());
+        self
+    }
+
+    /// Times `f`, passing it `input`, and prints a one-line report.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.criterion);
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id.to_string());
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; prints a separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Identifier combining a function name and an input label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: function.to_string(), parameter: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    warm_up_iters: u64,
+    sample_iters: u64,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(criterion: &Criterion) -> Self {
+        Bencher {
+            warm_up_iters: criterion.warm_up_iters,
+            sample_iters: criterion.sample_iters,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Runs `routine` repeatedly, recording total wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.warm_up_iters {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.sample_iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += self.sample_iters;
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.iters == 0 {
+            println!("  {group}/{id}: no iterations recorded");
+            return;
+        }
+        let mean = self.elapsed.as_secs_f64() / self.iters as f64;
+        println!("  {group}/{id}: {:.3} us/iter ({} iters)", mean * 1e6, self.iters);
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_surface_runs() {
+        let mut c = Criterion { warm_up_iters: 1, sample_iters: 2 };
+        let mut group = c.benchmark_group("smoke");
+        group.bench_function("add", |b| b.iter(|| 1u64 + 1));
+        group.bench_with_input(BenchmarkId::new("mul", 3u32), &3u64, |b, &x| {
+            b.iter(|| x * x);
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats_as_function_slash_parameter() {
+        assert_eq!(BenchmarkId::new("sim", "large").to_string(), "sim/large");
+    }
+}

@@ -1,0 +1,643 @@
+//! Vendored offline stand-in for `serde`.
+//!
+//! The build container cannot reach a crate registry, so the real serde is
+//! unavailable. This facade keeps the workspace's source compatible with
+//! the serde idioms it uses — `#[derive(Serialize, Deserialize)]`,
+//! `#[serde(with = "module")]`, `Serializer`/`Deserializer` bounds — while
+//! routing everything through one concrete data model: the JSON-like
+//! [`Value`] tree. `serde_json` (also vendored) renders and parses that
+//! tree.
+//!
+//! Design: [`Serialize`] produces a [`Value`]; [`Deserialize`] consumes a
+//! borrowed [`Value`]. The generic `Serializer`/`Deserializer` traits
+//! exist so `#[serde(with = "…")]` adapter modules keep their canonical
+//! signatures, but [`ValueSerializer`]/[`de::ValueDeserializer`] are the
+//! only implementations.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// The JSON-like data model everything serializes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer (kept exact, not as a float).
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object (sorted keys, like serde_json's default BTreeMap map).
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The contained array, if this is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The contained object, if this is one.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The contained string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as an `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::U64(n) => Some(*n as f64),
+            Value::I64(n) => Some(*n as f64),
+            Value::F64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The contained boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Object-field lookup (`None` for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+/// Builds the externally-tagged enum encoding `{"Variant": payload}`.
+pub fn variant_value(name: &str, payload: Value) -> Value {
+    let mut map = BTreeMap::new();
+    map.insert(name.to_owned(), payload);
+    Value::Object(map)
+}
+
+// ------------------------------------------------------------ serialization
+
+/// Serialization into the [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+
+    /// Generic entry point, so `#[serde(with = "…")]` modules can keep the
+    /// canonical `value.serialize(serializer)` form.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        Self: Sized,
+    {
+        serializer.serialize_value(self.to_value())
+    }
+}
+
+/// A sink for a serialized [`Value`].
+pub trait Serializer: Sized {
+    /// Successful result type.
+    type Ok;
+    /// Error type.
+    type Error;
+    /// Consumes the finished value tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// The canonical serializer: yields the [`Value`] unchanged.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = std::convert::Infallible;
+    fn serialize_value(self, value: Value) -> Result<Value, Self::Error> {
+        Ok(value)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+    )*};
+}
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if *self >= 0 { Value::U64(*self as u64) } else { Value::I64(*self as i64) }
+            }
+        }
+    )*};
+}
+serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// Maps serialize as JSON objects; the key's serialized form must be a
+/// string (e.g. a unit enum variant), mirroring serde_json's rule.
+fn serialize_map<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+) -> Value {
+    let mut map = BTreeMap::new();
+    for (k, v) in entries {
+        let key = match k.to_value() {
+            Value::String(s) => s,
+            Value::U64(n) => n.to_string(),
+            Value::I64(n) => n.to_string(),
+            other => panic!("map key must serialize to a string, got {other:?}"),
+        };
+        map.insert(key, v.to_value());
+    }
+    Value::Object(map)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        serialize_map(self.iter())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        serialize_map(self.iter())
+    }
+}
+
+// ---------------------------------------------------------- deserialization
+
+pub mod de {
+    //! Deserialization half of the facade.
+
+    use super::Value;
+    use std::fmt;
+
+    /// Error construction, mirroring `serde::de::Error`.
+    pub trait Error: Sized {
+        /// Builds an error from a display-able message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// A plain-string deserialization error.
+    #[derive(Debug, Clone)]
+    pub struct SimpleError(pub String);
+
+    impl fmt::Display for SimpleError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for SimpleError {}
+
+    impl Error for SimpleError {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            SimpleError(msg.to_string())
+        }
+    }
+
+    /// A source of a borrowed [`Value`] tree.
+    pub trait Deserializer<'de>: Sized {
+        /// Error type.
+        type Error: Error;
+        /// Yields the value to deserialize from.
+        fn value(self) -> Result<&'de Value, Self::Error>;
+    }
+
+    /// The canonical deserializer: wraps a borrowed [`Value`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct ValueDeserializer<'de> {
+        value: &'de Value,
+    }
+
+    impl<'de> ValueDeserializer<'de> {
+        /// Wraps `value`.
+        pub fn new(value: &'de Value) -> Self {
+            ValueDeserializer { value }
+        }
+    }
+
+    impl<'de> Deserializer<'de> for ValueDeserializer<'de> {
+        type Error = SimpleError;
+        fn value(self) -> Result<&'de Value, SimpleError> {
+            Ok(self.value)
+        }
+    }
+
+    /// Splits the externally-tagged enum encoding: a bare string is a unit
+    /// variant; a single-entry object is a data variant.
+    pub fn enum_parts(value: &Value) -> Result<(&str, &Value), String> {
+        const NULL: &Value = &Value::Null;
+        match value {
+            Value::String(s) => Ok((s, NULL)),
+            Value::Object(map) if map.len() == 1 => {
+                let (k, v) = map.iter().next().expect("len checked");
+                Ok((k, v))
+            }
+            other => Err(format!("expected an enum encoding, got {other:?}")),
+        }
+    }
+
+    /// Deserialization from a borrowed [`Value`] tree.
+    pub trait Deserialize<'de>: Sized {
+        /// Reads `Self` out of the deserializer's value.
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+
+    /// `Deserialize` at any lifetime — what owned-result APIs like
+    /// `serde_json::from_str` require.
+    pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+    impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+    fn err<'de, D: Deserializer<'de>, T>(msg: impl fmt::Display) -> Result<T, D::Error> {
+        Err(D::Error::custom(msg))
+    }
+
+    impl<'de> Deserialize<'de> for bool {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            match d.value()? {
+                Value::Bool(b) => Ok(*b),
+                other => err::<D, _>(format_args!("expected bool, got {other:?}")),
+            }
+        }
+    }
+
+    macro_rules! deserialize_int {
+        ($($t:ty),*) => {$(
+            impl<'de> Deserialize<'de> for $t {
+                fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                    let value = d.value()?;
+                    let out = match value {
+                        Value::U64(n) => <$t>::try_from(*n).ok(),
+                        Value::I64(n) => <$t>::try_from(*n).ok(),
+                        Value::F64(n) if n.fract() == 0.0 => Some(*n as $t),
+                        _ => None,
+                    };
+                    match out {
+                        Some(v) => Ok(v),
+                        None => err::<D, _>(format_args!(
+                            "expected {}, got {value:?}", stringify!($t)
+                        )),
+                    }
+                }
+            }
+        )*};
+    }
+    deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! deserialize_float {
+        ($($t:ty),*) => {$(
+            impl<'de> Deserialize<'de> for $t {
+                fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                    match d.value()?.as_f64() {
+                        Some(v) => Ok(v as $t),
+                        None => err::<D, _>("expected number"),
+                    }
+                }
+            }
+        )*};
+    }
+    deserialize_float!(f32, f64);
+
+    impl<'de> Deserialize<'de> for String {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            match d.value()? {
+                Value::String(s) => Ok(s.clone()),
+                other => err::<D, _>(format_args!("expected string, got {other:?}")),
+            }
+        }
+    }
+
+    impl<'de> Deserialize<'de> for Value {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            Ok(d.value()?.clone())
+        }
+    }
+
+    impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            match d.value()? {
+                Value::Null => Ok(None),
+                v => T::deserialize(ValueDeserializer::new(v)).map(Some).map_err(D::Error::custom),
+            }
+        }
+    }
+
+    impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            match d.value()? {
+                Value::Array(items) => items
+                    .iter()
+                    .map(|v| T::deserialize(ValueDeserializer::new(v)).map_err(D::Error::custom))
+                    .collect(),
+                other => err::<D, _>(format_args!("expected array, got {other:?}")),
+            }
+        }
+    }
+
+    impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            match d.value()? {
+                Value::Array(items) if items.len() == N => {
+                    let mut out = Vec::with_capacity(N);
+                    for v in items {
+                        out.push(
+                            T::deserialize(ValueDeserializer::new(v)).map_err(D::Error::custom)?,
+                        );
+                    }
+                    match out.try_into() {
+                        Ok(array) => Ok(array),
+                        Err(_) => err::<D, _>("array length mismatch"),
+                    }
+                }
+                other => err::<D, _>(format_args!("expected {N}-element array, got {other:?}")),
+            }
+        }
+    }
+
+    macro_rules! deserialize_tuple {
+        ($(($($n:tt $t:ident),+; $len:expr))*) => {$(
+            impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+                fn deserialize<__D: Deserializer<'de>>(d: __D) -> Result<Self, __D::Error> {
+                    match d.value()? {
+                        Value::Array(items) if items.len() == $len => Ok(($(
+                            $t::deserialize(ValueDeserializer::new(&items[$n]))
+                                .map_err(__D::Error::custom)?,
+                        )+)),
+                        other => err::<__D, _>(format_args!(
+                            "expected {}-tuple, got {other:?}", $len
+                        )),
+                    }
+                }
+            }
+        )*};
+    }
+    deserialize_tuple! {
+        (0 A; 1)
+        (0 A, 1 B; 2)
+        (0 A, 1 B, 2 C; 3)
+        (0 A, 1 B, 2 C, 3 D; 4)
+        (0 A, 1 B, 2 C, 3 D, 4 E; 5)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F; 6)
+    }
+
+    impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+    where
+        // Keys are rehydrated through a temporary string Value, so their
+        // deserialization cannot borrow from the 'de input.
+        K: for<'k> Deserialize<'k> + Ord,
+        V: Deserialize<'de>,
+    {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            match d.value()? {
+                Value::Object(entries) => {
+                    let mut out = std::collections::BTreeMap::new();
+                    for (k, v) in entries {
+                        // Keys were flattened to strings on the way out;
+                        // rehydrate them through the string encoding.
+                        let key_value = Value::String(k.clone());
+                        let key = K::deserialize(ValueDeserializer::new(&key_value))
+                            .map_err(D::Error::custom)?;
+                        let val =
+                            V::deserialize(ValueDeserializer::new(v)).map_err(D::Error::custom)?;
+                        out.insert(key, val);
+                    }
+                    Ok(out)
+                }
+                other => err::<D, _>(format_args!("expected object, got {other:?}")),
+            }
+        }
+    }
+}
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+
+/// Shared `Null` for out-of-range `Index` lookups.
+static NULL_VALUE: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL_VALUE)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL_VALUE),
+            _ => &NULL_VALUE,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_value(f, self)
+    }
+}
+
+fn write_value(f: &mut fmt::Formatter<'_>, value: &Value) -> fmt::Result {
+    match value {
+        Value::Null => f.write_str("null"),
+        Value::Bool(b) => write!(f, "{b}"),
+        Value::U64(n) => write!(f, "{n}"),
+        Value::I64(n) => write!(f, "{n}"),
+        Value::F64(n) => write_f64(f, *n),
+        Value::String(s) => write_escaped(f, s),
+        Value::Array(items) => {
+            f.write_str("[")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write_value(f, item)?;
+            }
+            f.write_str("]")
+        }
+        Value::Object(map) => {
+            f.write_str("{")?;
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write_escaped(f, k)?;
+                f.write_str(":")?;
+                write_value(f, v)?;
+            }
+            f.write_str("}")
+        }
+    }
+}
+
+/// Shortest-roundtrip float rendering; infinities and NaN are not valid
+/// JSON, so they degrade to `null` like serde_json.
+fn write_f64(f: &mut fmt::Formatter<'_>, n: f64) -> fmt::Result {
+    if n.is_finite() {
+        write!(f, "{n:?}")
+    } else {
+        f.write_str("null")
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_through_value() {
+        assert_eq!(42u64.to_value(), Value::U64(42));
+        assert_eq!((-3i32).to_value(), Value::I64(-3));
+        assert_eq!("hi".to_value(), Value::String("hi".into()));
+        let v = vec![1u32, 2, 3].to_value();
+        assert_eq!(v.as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn float_display_is_shortest_roundtrip() {
+        assert_eq!(Value::F64(1.0).to_string(), "1.0");
+        assert_eq!(Value::F64(0.1).to_string(), "0.1");
+    }
+
+    #[test]
+    fn option_none_is_null() {
+        assert_eq!(Option::<u64>::None.to_value(), Value::Null);
+        assert_eq!(Some(5u64).to_value(), Value::U64(5));
+    }
+}

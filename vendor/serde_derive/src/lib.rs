@@ -1,0 +1,469 @@
+//! Vendored offline stand-in for `serde_derive`.
+//!
+//! The build container has no network access and no registry cache, so the
+//! real `serde_derive` (and its `syn`/`quote` dependency tree) cannot be
+//! fetched. This crate re-implements the two derives against the vendored
+//! `serde` facade using only the compiler-provided `proc_macro` API.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//!
+//! - structs with named fields (including `#[serde(with = "path")]` fields)
+//! - tuple structs (newtype structs serialize transparently)
+//! - unit structs
+//! - enums with unit, newtype, tuple, and struct variants
+//!   (externally tagged, like real serde's default)
+//!
+//! Generics, lifetimes, and the wider serde attribute language are
+//! deliberately unsupported; deriving on such a type is a compile error
+//! rather than a silent misbehavior.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    /// Module path from `#[serde(with = "path")]`, if present.
+    with: Option<String>,
+}
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives `serde::Serialize` (value-tree based; see the vendored serde).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize` (value-tree based; see the vendored serde).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    // Attributes and visibility are single trees or idents before the
+    // keyword; groups are opaque, so a top-level scan is safe.
+    let mut i = 0;
+    let mut is_enum = false;
+    while i < toks.len() {
+        if let TokenTree::Ident(id) = &toks[i] {
+            let s = id.to_string();
+            if s == "struct" {
+                break;
+            }
+            if s == "enum" {
+                is_enum = true;
+                break;
+            }
+        }
+        i += 1;
+    }
+    if i == toks.len() {
+        return Err("serde derive: expected `struct` or `enum`".to_owned());
+    }
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde derive: expected a type name".to_owned()),
+    };
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde derive: generic type `{name}` is not supported by the vendored derive"
+        ));
+    }
+    if is_enum {
+        let body = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            _ => return Err("serde derive: expected enum body".to_owned()),
+        };
+        Ok(Item::Enum { name, variants: parse_variants(body)? })
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::Struct { name, fields: Fields::Named(parse_named_fields(g.stream())?) })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::Struct { name, fields: Fields::Tuple(count_tuple_fields(g.stream())) })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Ok(Item::Struct { name, fields: Fields::Unit })
+            }
+            _ => Err("serde derive: expected struct body".to_owned()),
+        }
+    }
+}
+
+/// Extracts `with = "path"` from the tokens inside a `#[serde(...)]` group.
+fn parse_serde_attr(group: &TokenStream) -> Option<String> {
+    let toks: Vec<TokenTree> = group.clone().into_iter().collect();
+    // Shape: serde ( with = "path" )
+    if let Some(TokenTree::Ident(id)) = toks.first() {
+        if id.to_string() == "serde" {
+            if let Some(TokenTree::Group(inner)) = toks.get(1) {
+                let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+                let mut j = 0;
+                while j < inner.len() {
+                    if let TokenTree::Ident(key) = &inner[j] {
+                        if key.to_string() == "with" {
+                            if let Some(TokenTree::Literal(lit)) = inner.get(j + 2) {
+                                let s = lit.to_string();
+                                return Some(s.trim_matches('"').to_owned());
+                            }
+                        }
+                    }
+                    j += 1;
+                }
+            }
+        }
+    }
+    None
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut with = None;
+        // attributes
+        while matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                if let Some(path) = parse_serde_attr(&g.stream()) {
+                    with = Some(path);
+                }
+            }
+            i += 2;
+        }
+        // visibility
+        if matches!(&toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("serde derive: expected field name, found {other:?}")),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!("serde derive: expected `:` after `{name}`, found {other:?}"))
+            }
+        }
+        // Skip the type: commas inside angle brackets are not separators.
+        let mut angle_depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, with });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_tokens_since_comma = false;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_tokens_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2; // attribute
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("serde derive: expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err(format!(
+                "serde derive: explicit discriminant on variant `{name}` is not supported"
+            ));
+        }
+        if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fields) => {
+                    let mut s = String::from(
+                        "let mut map = ::std::collections::BTreeMap::<::std::string::String, ::serde::Value>::new();\n",
+                    );
+                    for f in fields {
+                        let value = match &f.with {
+                            Some(path) => format!(
+                                "{path}::serialize(&self.{}, ::serde::ValueSerializer).unwrap()",
+                                f.name
+                            ),
+                            None => format!("::serde::Serialize::to_value(&self.{})", f.name),
+                        };
+                        s.push_str(&format!(
+                            "map.insert(::std::string::String::from({:?}), {value});\n",
+                            f.name
+                        ));
+                    }
+                    s.push_str("::serde::Value::Object(map)");
+                    s
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_owned(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{\n {body}\n }}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(::std::string::String::from({vn:?})),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(x0) => ::serde::variant_value({vn:?}, ::serde::Serialize::to_value(x0)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let pats: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let vals: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::variant_value({vn:?}, ::serde::Value::Array(vec![{}])),\n",
+                            pats.join(", "),
+                            vals.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let pats: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from(
+                            "let mut map = ::std::collections::BTreeMap::<::std::string::String, ::serde::Value>::new();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "map.insert(::std::string::String::from({:?}), ::serde::Serialize::to_value({}));\n",
+                                f.name, f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ {inner} ::serde::variant_value({vn:?}, ::serde::Value::Object(map)) }}\n",
+                            pats.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{\n match self {{\n {arms} }}\n }}\n}}\n"
+            )
+        }
+    }
+}
+
+/// Expression deserializing `value_expr` (an `&::serde::Value` with the
+/// `'de` lifetime) into the inferred target type, converting errors to `D::Error`.
+fn deser_sub(value_expr: &str, with: Option<&String>) -> String {
+    match with {
+        Some(path) => format!(
+            "match {path}::deserialize(::serde::de::ValueDeserializer::new({value_expr})) {{\n Ok(v) => v,\n Err(e) => return ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(e)),\n }}"
+        ),
+        None => format!(
+            "match ::serde::Deserialize::deserialize(::serde::de::ValueDeserializer::new({value_expr})) {{\n Ok(v) => v,\n Err(e) => return ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(e)),\n }}"
+        ),
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fields) => {
+                    let mut s = String::from(
+                        "let obj = match value {\n ::serde::Value::Object(m) => m,\n _ => return ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\"expected object\")),\n };\n",
+                    );
+                    s.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+                    for f in fields {
+                        let get = format!("obj.get({:?}).unwrap_or(&::serde::Value::Null)", f.name);
+                        s.push_str(&format!(
+                            "{}: {{ let sub = {get}; {} }},\n",
+                            f.name,
+                            deser_sub("sub", f.with.as_ref())
+                        ));
+                    }
+                    s.push_str("})");
+                    s
+                }
+                Fields::Tuple(1) => {
+                    format!("::std::result::Result::Ok({name}({}))", deser_sub("value", None))
+                }
+                Fields::Tuple(n) => {
+                    let mut s = String::from(
+                        "let arr = match value {\n ::serde::Value::Array(a) => a,\n _ => return ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\"expected array\")),\n };\n",
+                    );
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| {
+                            deser_sub(
+                                &format!("arr.get({i}).unwrap_or(&::serde::Value::Null)"),
+                                None,
+                            )
+                        })
+                        .collect();
+                    s.push_str(&format!("::std::result::Result::Ok({name}({}))", items.join(", ")));
+                    s
+                }
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{vn:?} => {{ let sub = payload; ::std::result::Result::Ok({name}::{vn}({})) }}\n",
+                        deser_sub("sub", None)
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                deser_sub(
+                                    &format!("arr.get({i}).unwrap_or(&::serde::Value::Null)"),
+                                    None,
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{vn:?} => {{\n let arr = match payload {{\n ::serde::Value::Array(a) => a,\n _ => return ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\"expected array payload\")),\n }};\n ::std::result::Result::Ok({name}::{vn}({}))\n }}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let mut inner = String::from(
+                            "let obj = match payload {\n ::serde::Value::Object(m) => m,\n _ => return ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\"expected object payload\")),\n };\n",
+                        );
+                        inner.push_str(&format!("::std::result::Result::Ok({name}::{vn} {{\n"));
+                        for f in fields {
+                            let get = format!(
+                                "obj.get({:?}).unwrap_or(&::serde::Value::Null)",
+                                f.name
+                            );
+                            inner.push_str(&format!(
+                                "{}: {{ let sub = {get}; {} }},\n",
+                                f.name,
+                                deser_sub("sub", f.with.as_ref())
+                            ));
+                        }
+                        inner.push_str("})");
+                        arms.push_str(&format!("{vn:?} => {{ {inner} }}\n"));
+                    }
+                }
+            }
+            let body = format!(
+                "let (tag, payload) = match ::serde::de::enum_parts(value) {{\n Ok(parts) => parts,\n Err(e) => return ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(e)),\n }};\n match tag {{\n {arms} other => ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(format!(\"unknown variant {{other}} of {name}\"))),\n }}"
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) -> ::std::result::Result<Self, D::Error> {{\n let value = deserializer.value()?;\n {body}\n }}\n}}\n"
+    )
+}

@@ -1,0 +1,447 @@
+//! Vendored offline stand-in for `serde_json`.
+//!
+//! Renders and parses JSON over the vendored serde's [`Value`] tree.
+//! Covers the workspace's usage: [`to_string`], [`to_string_pretty`],
+//! [`from_str`], [`Value`], and the [`json!`] macro.
+
+pub use serde::Value;
+use serde::{DeserializeOwned, Serialize};
+use std::fmt;
+
+/// A JSON parse or conversion error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+    /// Byte offset the parser had reached, where applicable.
+    pub offset: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    fn new(message: impl Into<String>, offset: usize) -> Self {
+        Error { message: message.into(), offset }
+    }
+}
+
+/// Serializes `value` to compact JSON.
+///
+/// # Errors
+///
+/// Never fails for the vendored facade; the `Result` keeps the real
+/// serde_json signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string())
+}
+
+/// Serializes `value` to two-space-indented JSON.
+///
+/// # Errors
+///
+/// Never fails for the vendored facade; the `Result` keeps the real
+/// serde_json signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&mut out, &value.to_value(), 0);
+    Ok(out)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Parses JSON text into any deserializable type.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    T::deserialize(serde::de::ValueDeserializer::new(&value))
+        .map_err(|e| Error::new(e.to_string(), 0))
+}
+
+fn write_pretty(out: &mut String, value: &Value, indent: usize) {
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                out.push_str(&Value::String(k.clone()).to_string());
+                out.push_str(": ");
+                write_pretty(out, v, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        other => out.push_str(&other.to_string()),
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+// ------------------------------------------------------------------ parser
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new("trailing characters", p.pos));
+    }
+    Ok(value)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!("expected `{}`", b as char), self.pos))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(Error::new("expected a JSON value", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::new("expected `,` or `]`", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = std::collections::BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(Error::new("expected `,` or `}`", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(Error::new("unterminated string", self.pos));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(Error::new("unterminated escape", self.pos));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(Error::new("truncated \\u escape", self.pos));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| Error::new("bad \\u escape", self.pos))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::new("bad \\u escape", self.pos))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(Error::new("unknown escape", self.pos)),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 starting at the byte we consumed.
+                    let start = self.pos - 1;
+                    let rest = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| Error::new("invalid UTF-8", start))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number", start))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("invalid number `{text}`"), start))
+    }
+}
+
+// ------------------------------------------------------------------- json!
+
+/// Builds a [`Value`] from a JSON-ish literal; expression positions accept
+/// anything implementing the vendored `Serialize`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => {{
+        // `Vec::from` rather than `Vec::new` keeps the expansion clear of
+        // clippy's `vec_init_then_push` at `-D warnings` call sites.
+        let mut array = ::std::vec::Vec::<$crate::Value>::from([]);
+        $crate::json_array_internal!(array; $($tt)+);
+        $crate::Value::Array(array)
+    }};
+    ({}) => { $crate::Value::Object(::std::collections::BTreeMap::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut object = ::std::collections::BTreeMap::<::std::string::String, $crate::Value>::new();
+        $crate::json_object_internal!(object; $($tt)+);
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Implementation detail of [`json!`]: object-entry muncher.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_internal {
+    ($obj:ident;) => {};
+    ($obj:ident; $key:literal : { $($inner:tt)* } , $($rest:tt)*) => {
+        $obj.insert(::std::string::String::from($key), $crate::json!({ $($inner)* }));
+        $crate::json_object_internal!($obj; $($rest)*);
+    };
+    ($obj:ident; $key:literal : { $($inner:tt)* }) => {
+        $obj.insert(::std::string::String::from($key), $crate::json!({ $($inner)* }));
+    };
+    ($obj:ident; $key:literal : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $obj.insert(::std::string::String::from($key), $crate::json!([ $($inner)* ]));
+        $crate::json_object_internal!($obj; $($rest)*);
+    };
+    ($obj:ident; $key:literal : [ $($inner:tt)* ]) => {
+        $obj.insert(::std::string::String::from($key), $crate::json!([ $($inner)* ]));
+    };
+    ($obj:ident; $key:literal : null , $($rest:tt)*) => {
+        $obj.insert(::std::string::String::from($key), $crate::Value::Null);
+        $crate::json_object_internal!($obj; $($rest)*);
+    };
+    ($obj:ident; $key:literal : null) => {
+        $obj.insert(::std::string::String::from($key), $crate::Value::Null);
+    };
+    ($obj:ident; $key:literal : $value:expr , $($rest:tt)*) => {
+        $obj.insert(::std::string::String::from($key), $crate::to_value(&$value));
+        $crate::json_object_internal!($obj; $($rest)*);
+    };
+    ($obj:ident; $key:literal : $value:expr) => {
+        $obj.insert(::std::string::String::from($key), $crate::to_value(&$value));
+    };
+}
+
+/// Implementation detail of [`json!`]: array-element muncher.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_internal {
+    ($arr:ident;) => {};
+    ($arr:ident; { $($inner:tt)* } , $($rest:tt)*) => {
+        $arr.push($crate::json!({ $($inner)* }));
+        $crate::json_array_internal!($arr; $($rest)*);
+    };
+    ($arr:ident; { $($inner:tt)* }) => {
+        $arr.push($crate::json!({ $($inner)* }));
+    };
+    ($arr:ident; [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $arr.push($crate::json!([ $($inner)* ]));
+        $crate::json_array_internal!($arr; $($rest)*);
+    };
+    ($arr:ident; [ $($inner:tt)* ]) => {
+        $arr.push($crate::json!([ $($inner)* ]));
+    };
+    ($arr:ident; null , $($rest:tt)*) => {
+        $arr.push($crate::Value::Null);
+        $crate::json_array_internal!($arr; $($rest)*);
+    };
+    ($arr:ident; null) => {
+        $arr.push($crate::Value::Null);
+    };
+    ($arr:ident; $value:expr , $($rest:tt)*) => {
+        $arr.push($crate::to_value(&$value));
+        $crate::json_array_internal!($arr; $($rest)*);
+    };
+    ($arr:ident; $value:expr) => {
+        $arr.push($crate::to_value(&$value));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_compact_output() {
+        let v = json!({"a": 1, "b": [true, null, 2.5], "c": {"nested": "x\"y"}});
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = json!({"rows": [{"x": 1}, {"x": 2}], "name": "t"});
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains('\n'));
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn numbers_keep_integer_and_float_identity() {
+        let back: Value = from_str("[1, -2, 3.5, 1e3]").unwrap();
+        let items = back.as_array().unwrap();
+        assert_eq!(items[0], Value::U64(1));
+        assert_eq!(items[1], Value::I64(-2));
+        assert_eq!(items[2], Value::F64(3.5));
+        assert_eq!(items[3], Value::F64(1000.0));
+    }
+
+    #[test]
+    fn float_round_trip_is_exact() {
+        let original = 0.1f64 + 0.2f64;
+        let text = to_string(&original).unwrap();
+        let back: f64 = from_str(&text).unwrap();
+        assert_eq!(original.to_bits(), back.to_bits());
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        assert!(from_str::<Value>("{} x").is_err());
+        assert!(from_str::<Value>("{\"a\":}").is_err());
+    }
+}
