@@ -300,6 +300,76 @@ impl ChipSpec {
         ]
     }
 
+    /// Checks the construction-time invariants every consumer of a spec
+    /// relies on: positive finite frequency and rates, non-negative finite
+    /// latencies and overheads, non-empty peak/transfer/capacity tables,
+    /// and non-zero buffer capacities. A spec that fails these would turn
+    /// cycle arithmetic into NaN or infinity deep inside the simulator;
+    /// [`Simulator`](https://docs.rs/ascend-sim) and the analysis pipeline
+    /// reject it up front instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidSpec`] naming the violated invariant.
+    pub fn validate(&self) -> Result<(), ArchError> {
+        let fail = |detail: String| Err(ArchError::InvalidSpec { chip: self.name.clone(), detail });
+        let positive = |value: f64| value.is_finite() && value > 0.0;
+        let non_negative = |value: f64| value.is_finite() && value >= 0.0;
+        if !positive(self.frequency_hz) {
+            return fail(format!(
+                "frequency must be positive and finite, got {}",
+                self.frequency_hz
+            ));
+        }
+        for (value, what) in [
+            (self.dispatch_cycles, "dispatch_cycles"),
+            (self.flag_cycles, "flag_cycles"),
+            (self.barrier_cycles, "barrier_cycles"),
+            (self.compute_issue_cycles, "compute_issue_cycles"),
+        ] {
+            if !non_negative(value) {
+                return fail(format!("{what} must be non-negative and finite, got {value}"));
+            }
+        }
+        if self.compute.is_empty() {
+            return fail("compute peak table is empty".to_owned());
+        }
+        for peak in &self.compute {
+            if !positive(peak.ops_per_cycle) {
+                return fail(format!(
+                    "peak for {}/{} must be positive and finite, got {}",
+                    peak.unit, peak.precision, peak.ops_per_cycle
+                ));
+            }
+        }
+        if self.transfers.is_empty() {
+            return fail("transfer table is empty".to_owned());
+        }
+        for spec in &self.transfers {
+            if !positive(spec.bytes_per_cycle) {
+                return fail(format!(
+                    "bandwidth of {} must be positive and finite, got {}",
+                    spec.path, spec.bytes_per_cycle
+                ));
+            }
+            if !non_negative(spec.latency_cycles) || !non_negative(spec.overhead_bytes) {
+                return fail(format!(
+                    "latency/overhead of {} must be non-negative and finite",
+                    spec.path
+                ));
+            }
+        }
+        if self.capacities.is_empty() {
+            return fail("capacity table is empty".to_owned());
+        }
+        for cap in &self.capacities {
+            if cap.bytes == 0 {
+                return fail(format!("capacity of {} must be non-zero", cap.buffer));
+            }
+        }
+        Ok(())
+    }
+
     /// The chip's display name.
     #[must_use]
     pub fn name(&self) -> &str {
@@ -415,6 +485,20 @@ impl ChipSpec {
         }
         self.name = format!("{}+{}x{factor:.2}", self.name, unit);
         self
+    }
+
+    /// Scales every path of `engine` by `factor` **without** the
+    /// positivity check of [`ChipSpec::with_mte_bandwidth_scale`]. Fault
+    /// injection uses this to model degraded or dead links (`factor` of
+    /// `0.0` zeroes the bandwidth); the resulting spec fails
+    /// [`ChipSpec::validate`], which is exactly how the dead-link error
+    /// path is exercised.
+    pub fn scale_bandwidth_unchecked(&mut self, engine: crate::MteEngine, factor: f64) {
+        for spec in &mut self.transfers {
+            if spec.path.mte() == Some(engine) {
+                spec.bytes_per_cycle *= factor;
+            }
+        }
     }
 
     /// Returns a copy with a different core clock.
@@ -593,5 +677,39 @@ mod tests {
     fn frequency_override() {
         let chip = ChipSpec::training().with_frequency(3.0e9);
         assert!((chip.cycles_to_secs(3.0e9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builtin_specs_validate() {
+        assert_eq!(ChipSpec::training().validate(), Ok(()));
+        assert_eq!(ChipSpec::inference().validate(), Ok(()));
+        // The documented derived specs stay valid too.
+        assert_eq!(
+            ChipSpec::training()
+                .with_mte_bandwidth_scale(crate::MteEngine::Gm, 0.25)
+                .with_compute_scale(ComputeUnit::Cube, 2.0)
+                .validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn zeroed_bandwidth_fails_validation() {
+        let mut chip = ChipSpec::training();
+        chip.scale_bandwidth_unchecked(crate::MteEngine::Gm, 0.0);
+        let err = chip.validate().unwrap_err();
+        match err {
+            ArchError::InvalidSpec { chip, detail } => {
+                assert_eq!(chip, "ascend-training");
+                assert!(detail.contains("bandwidth"), "{detail}");
+            }
+            other => panic!("expected InvalidSpec, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_frequency_fails_validation() {
+        let chip = ChipSpec::training().with_frequency(f64::INFINITY);
+        assert!(matches!(chip.validate(), Err(ArchError::InvalidSpec { .. })));
     }
 }

@@ -24,6 +24,15 @@ pub enum ArchError {
         /// The buffer queried.
         buffer: Buffer,
     },
+    /// The chip specification violates a construction-time invariant
+    /// (zero/negative/non-finite rate, empty table, ...). Simulating with
+    /// such a spec would produce NaN or infinite cycle counts.
+    InvalidSpec {
+        /// Name of the offending chip spec.
+        chip: String,
+        /// Which invariant is violated.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ArchError {
@@ -37,6 +46,9 @@ impl fmt::Display for ArchError {
             }
             ArchError::UnknownBuffer { buffer } => {
                 write!(f, "chip specification has no capacity entry for buffer {buffer}")
+            }
+            ArchError::InvalidSpec { chip, detail } => {
+                write!(f, "chip specification {chip} is invalid: {detail}")
             }
         }
     }
@@ -55,5 +67,32 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.starts_with("compute unit"));
         assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn display_snapshots_stay_stable() {
+        // Exact message snapshots: the deadlock forensics and the bench
+        // binaries print these verbatim, so changes must be deliberate.
+        let cases = [
+            (
+                ArchError::UnsupportedPrecision {
+                    unit: ComputeUnit::Cube,
+                    precision: Precision::Fp64,
+                },
+                "compute unit cube does not support precision fp64",
+            ),
+            (
+                ArchError::UnknownBuffer { buffer: crate::Buffer::Ub },
+                "chip specification has no capacity entry for buffer ub",
+            ),
+            (
+                ArchError::InvalidSpec { chip: "x".to_owned(), detail: "zero bandwidth".into() },
+                "chip specification x is invalid: zero bandwidth",
+            ),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+            assert!(std::error::Error::source(&err).is_none());
+        }
     }
 }

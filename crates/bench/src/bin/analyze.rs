@@ -158,9 +158,10 @@ fn main() {
     }
 
     let kernel = match (&base, &kernel_file) {
-        (Some(op), _) => {
-            op.with_flags_dyn(flags).build(&chip).expect("operator must build for this chip")
-        }
+        (Some(op), _) => op.with_flags_dyn(flags).build(&chip).unwrap_or_else(|e| {
+            eprintln!("operator does not build for this chip:\n{}", ascend_bench::error_chain(&e));
+            std::process::exit(2);
+        }),
         (None, Some(file)) => {
             let source = std::fs::read_to_string(file).unwrap_or_else(|e| {
                 eprintln!("cannot read {file}: {e}");
@@ -178,7 +179,10 @@ fn main() {
         }
         (None, None) => usage(),
     };
-    let (profile, trace) = Profiler::new(chip.clone()).run(&kernel).expect("kernel must run");
+    let (profile, trace) = Profiler::new(chip.clone()).run(&kernel).unwrap_or_else(|e| {
+        eprintln!("{}: simulation failed:\n{}", kernel.name(), ascend_bench::error_chain(&e));
+        std::process::exit(2);
+    });
     let analysis = analyze(&profile, &chip, &Thresholds::default());
     println!(
         "{}: {:.0} cycles = {:.3} us on {}",

@@ -22,9 +22,10 @@ use ascend_profile::Profile;
 use ascend_roofline::RooflineAnalysis;
 use ascend_sim::Trace;
 use serde::Serialize;
+use std::error::Error;
 use std::fs;
 use std::path::PathBuf;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Process-wide pipelines, one per distinct chip spec.
 static PIPELINES: OnceLock<Mutex<Vec<AnalysisPipeline>>> = OnceLock::new();
@@ -35,7 +36,7 @@ static PIPELINES: OnceLock<Mutex<Vec<AnalysisPipeline>>> = OnceLock::new();
 #[must_use]
 pub fn pipeline_for(chip: &ChipSpec) -> AnalysisPipeline {
     let registry = PIPELINES.get_or_init(|| Mutex::new(Vec::new()));
-    let mut pipelines = registry.lock().unwrap();
+    let mut pipelines = lock(registry);
     if let Some(found) = pipelines.iter().find(|p| p.chip() == chip) {
         return found.clone();
     }
@@ -52,11 +53,36 @@ pub fn pipeline_for(chip: &ChipSpec) -> AnalysisPipeline {
 /// # Panics
 ///
 /// Panics when the kernel fails to build or simulate — the experiment
-/// binaries treat that as a fatal configuration error.
+/// binaries treat that as a fatal configuration error. The panic message
+/// carries the full error chain (including deadlock forensics and
+/// watchdog budgets), not just the top-level variant.
 #[must_use]
 pub fn run_op(chip: &ChipSpec, op: &dyn Operator) -> (Profile, Trace, RooflineAnalysis) {
-    let result = pipeline_for(chip).run(op).expect("operator must build and run");
+    let result = pipeline_for(chip)
+        .run_isolated(op)
+        .unwrap_or_else(|err| panic!("operator {:?} failed:\n{}", op.name(), error_chain(&err)));
     (result.profile.clone(), result.trace.clone(), result.analysis.clone())
+}
+
+/// Renders `err` followed by its full [`Error::source`] chain, one
+/// `caused by:` line per level — so a deadlock buried under a pipeline
+/// error still prints its per-queue forensics.
+#[must_use]
+pub fn error_chain(err: &dyn Error) -> String {
+    let mut out = err.to_string();
+    let mut cause = err.source();
+    while let Some(err) = cause {
+        out.push_str("\ncaused by: ");
+        out.push_str(&err.to_string());
+        cause = err.source();
+    }
+    out
+}
+
+/// Locks `mutex`, tolerating poisoning: the registry holds plain data
+/// that stays consistent even if a holder panicked.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Cycles → microseconds on `chip`, for paper-style reporting.
@@ -140,6 +166,21 @@ mod tests {
         let again = run_op(&chip, &AddRelu::new(1 << 10));
         assert_eq!(first.2, again.2);
         assert!(pipeline_for(&chip).cache_stats().hits >= 1);
+    }
+
+    #[test]
+    fn error_chain_renders_every_level() {
+        use ascend_pipeline::PipelineError;
+        use ascend_sim::SimError;
+        let err = PipelineError::from(SimError::BudgetExceeded {
+            events: 10,
+            cycles: 5.0,
+            max_events: 8,
+            max_cycles: 1e6,
+        });
+        let chain = error_chain(&err);
+        assert!(chain.contains("simulation failed"), "{chain}");
+        assert!(chain.contains("caused by: watchdog budget exceeded"), "{chain}");
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Seeded adversarial kernel generation for the differential fuzzer.
+//!
+//! [`generate`] draws a kernel — compute, transfer, and synchronization
+//! instructions — from a seed. Generation is deliberately *not* limited to
+//! valid kernels: flags may be awaited without producers, synchronization
+//! may form cross-queue cycles, regions may overrun their buffers, and
+//! precisions may be unsupported. The differential property suite feeds
+//! every generated kernel to both the static validator and the engine and
+//! checks that their verdicts agree (see the crate docs for the contract).
+
+use crate::rng::SplitMix64;
+use ascend_arch::{Buffer, ChipSpec, Component, ComputeUnit, Precision, TransferPath};
+use ascend_isa::{Kernel, KernelBuilder, Region};
+
+/// The MTE-schedulable transfer paths a kernel may legally name.
+const MTE_PATHS: [TransferPath; 9] = [
+    TransferPath::GmToL1,
+    TransferPath::GmToL0A,
+    TransferPath::GmToL0B,
+    TransferPath::GmToUb,
+    TransferPath::L1ToL0A,
+    TransferPath::L1ToL0B,
+    TransferPath::L1ToUb,
+    TransferPath::UbToGm,
+    TransferPath::UbToL1,
+];
+
+/// Flags are drawn from a small pool so sets and waits collide often.
+const FLAG_POOL: u32 = 4;
+
+/// Regions are laid out on a few fixed slots per buffer so overlapping
+/// (spatially dependent) instructions are common.
+const SLOTS: u64 = 4;
+
+/// Generates a kernel of up to `max_len` instructions from `seed`.
+///
+/// The same `(seed, max_len)` always yields the same kernel. Roughly half
+/// of the generated kernels pass [`ascend_isa::validate`] against the
+/// built-in training chip; the other half exercise every rejection path —
+/// unmatched waits, self-synchronization, sync cycles, oversized regions,
+/// and unsupported precisions.
+#[must_use]
+pub fn generate(seed: u64, max_len: usize) -> Kernel {
+    let chip = ChipSpec::training();
+    let mut rng = SplitMix64::new(seed);
+    let len = 1 + rng.below(max_len.max(2) as u64 - 1) as usize;
+    let mut b = KernelBuilder::new(format!("fuzz#{seed}"));
+    for _ in 0..FLAG_POOL {
+        // Materialize the flag pool so ids are stable regardless of use.
+        let _ = b.new_flag();
+    }
+    // Sets and waits seen so far, per flag, plus the queues that set each
+    // flag (used to bias toward valid, self-sync-free kernels).
+    let mut sets = [0usize; FLAG_POOL as usize];
+    let mut waits = [0usize; FLAG_POOL as usize];
+    let mut set_queues: [Vec<Component>; FLAG_POOL as usize] = Default::default();
+
+    while b.len() < len {
+        match rng.below(100) {
+            // ---------------------------------------------- transfers
+            0..=34 => {
+                let path = MTE_PATHS[rng.below(MTE_PATHS.len() as u64) as usize];
+                let (src, dst) = transfer_regions(&mut rng, &chip, path);
+                b.transfer(path, src, dst).expect("generated transfer matches its path");
+            }
+            // ------------------------------------------------ compute
+            35..=54 => {
+                let unit = [ComputeUnit::Scalar, ComputeUnit::Vector, ComputeUnit::Cube]
+                    [rng.below(3) as usize];
+                // Mostly a supported precision; sometimes a fully random
+                // one so UnsupportedPrecision stays reachable.
+                let precision = if rng.chance(0.9) {
+                    unit.precisions()[rng.below(unit.precisions().len() as u64) as usize]
+                } else {
+                    [
+                        Precision::Int8,
+                        Precision::Fp16,
+                        Precision::Int32,
+                        Precision::Fp32,
+                        Precision::Fp64,
+                    ][rng.below(5) as usize]
+                };
+                let ops = 1 + rng.below(4096);
+                let reads = vec![slot_region(&mut rng, &chip, Buffer::Ub)];
+                let writes = vec![slot_region(&mut rng, &chip, Buffer::Ub)];
+                b.compute(unit, precision, ops, reads, writes);
+            }
+            // ----------------------------------------------- set_flag
+            55..=74 => {
+                let flag = rng.below(u64::from(FLAG_POOL)) as usize;
+                let queue = Component::ALL[rng.below(6) as usize];
+                b.set_flag(queue, ascend_isa::FlagId::new(flag as u32));
+                sets[flag] += 1;
+                set_queues[flag].push(queue);
+            }
+            // ---------------------------------------------- wait_flag
+            75..=91 => {
+                let flag;
+                let queue;
+                if rng.chance(0.7) {
+                    // Biased: wait on a flag with spare sets, from a queue
+                    // that never set it — keeps the kernel valid.
+                    let Some(candidate) = (0..FLAG_POOL as usize).find(|&f| sets[f] > waits[f])
+                    else {
+                        continue;
+                    };
+                    let free: Vec<Component> = Component::ALL
+                        .into_iter()
+                        .filter(|q| !set_queues[candidate].contains(q))
+                        .collect();
+                    if free.is_empty() {
+                        continue;
+                    }
+                    flag = candidate;
+                    queue = free[rng.below(free.len() as u64) as usize];
+                } else {
+                    // Unbiased: may produce unmatched waits, self-sync,
+                    // or cross-queue cycles.
+                    flag = rng.below(u64::from(FLAG_POOL)) as usize;
+                    queue = Component::ALL[rng.below(6) as usize];
+                }
+                b.wait_flag(queue, ascend_isa::FlagId::new(flag as u32));
+                waits[flag] += 1;
+            }
+            // ------------------------------------------------ barrier
+            _ => {
+                b.barrier_all();
+            }
+        }
+    }
+    b.build()
+}
+
+/// A region on one of the buffer's fixed slots; rarely deliberately
+/// overruns the buffer so `RegionOutOfBounds` stays reachable.
+fn slot_region(rng: &mut SplitMix64, chip: &ChipSpec, buffer: Buffer) -> Region {
+    let capacity = chip.capacity(buffer).unwrap_or(1 << 20).min(1 << 30);
+    let slot_len = (capacity / SLOTS).max(64);
+    let offset = rng.below(SLOTS) * slot_len;
+    let len = slot_len.min(64 + rng.below(slot_len));
+    if rng.chance(0.03) {
+        // Overrun: one-past-capacity end offset.
+        Region::new(buffer, capacity.saturating_sub(len / 2), len.max(2))
+    } else {
+        Region::new(buffer, offset, len)
+    }
+}
+
+/// Matching source/destination regions for `path` (equal lengths, correct
+/// endpoint buffers — the builder enforces both).
+fn transfer_regions(rng: &mut SplitMix64, chip: &ChipSpec, path: TransferPath) -> (Region, Region) {
+    let src = slot_region(rng, chip, path.src());
+    let dst_proto = slot_region(rng, chip, path.dst());
+    let len = src.len().min(dst_proto.len());
+    let src = Region::new(path.src(), src.offset(), len);
+    let dst = Region::new(path.dst(), dst_proto.offset(), len);
+    (src, dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascend_isa::validate;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..32 {
+            assert_eq!(generate(seed, 24), generate(seed, 24));
+        }
+    }
+
+    #[test]
+    fn generated_kernels_are_never_empty_and_bounded() {
+        for seed in 0..64 {
+            let kernel = generate(seed, 24);
+            assert!(!kernel.is_empty());
+            assert!(kernel.len() <= 24, "kernel of {} instructions", kernel.len());
+        }
+    }
+
+    #[test]
+    fn generator_covers_both_validator_verdicts() {
+        let chip = ChipSpec::training();
+        let mut accepted = 0;
+        let mut rejected = 0;
+        for seed in 0..256 {
+            match validate(&generate(seed, 24), &chip) {
+                Ok(()) => accepted += 1,
+                Err(_) => rejected += 1,
+            }
+        }
+        assert!(accepted > 30, "too few valid kernels: {accepted}/256");
+        assert!(rejected > 30, "too few invalid kernels: {rejected}/256");
+    }
+
+    #[test]
+    fn generator_emits_every_instruction_class() {
+        use ascend_isa::Instruction;
+        let mut seen = [false; 5];
+        for seed in 0..128 {
+            for instr in generate(seed, 24).iter() {
+                let class = match instr {
+                    Instruction::Compute(_) => 0,
+                    Instruction::Transfer(_) => 1,
+                    Instruction::SetFlag { .. } => 2,
+                    Instruction::WaitFlag { .. } => 3,
+                    Instruction::Barrier => 4,
+                };
+                seen[class] = true;
+            }
+        }
+        assert_eq!(seen, [true; 5], "missing instruction class: {seen:?}");
+    }
+}

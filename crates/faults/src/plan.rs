@@ -1,0 +1,357 @@
+//! The declarative, seeded fault model.
+
+use crate::rng::SplitMix64;
+use ascend_arch::{ChipSpec, MteEngine};
+use ascend_isa::{Instruction, Kernel};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Bandwidth degradation of one MTE engine.
+///
+/// A `scale` of `0.5` halves the engine's bandwidth; `0.0` models a dead
+/// link — the degraded spec then fails [`ChipSpec::validate`] and the
+/// simulator reports the failure instead of dividing by zero.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthFault {
+    /// The engine whose paths are degraded.
+    pub engine: MteEngine,
+    /// Multiplier applied to the engine's bandwidth (non-negative).
+    pub scale: f64,
+}
+
+/// A deterministic fault-injection plan the simulator accepts.
+///
+/// Faults fall into two classes with very different contracts:
+///
+/// * **Timing faults** — [`degrade_bandwidth`](FaultPlan::degrade_bandwidth)
+///   with a positive scale and [`with_latency_jitter`](FaultPlan::with_latency_jitter)
+///   — change instruction durations but never the synchronization
+///   structure. A kernel that passes validation completes under any
+///   timing-only plan (the differential fuzzer enforces exactly this).
+/// * **Sync faults** — [`drop_set_flags`](FaultPlan::drop_set_flags),
+///   [`duplicate_set_flags`](FaultPlan::duplicate_set_flags), and
+///   [`truncate_to`](FaultPlan::truncate_to) — rewrite the kernel itself,
+///   making runtime deadlock (and its forensics) reachable on purpose.
+///
+/// Every choice the plan makes (which `set_flag` to drop, each
+/// instruction's latency factor) is derived from the seed, so a failing
+/// scenario replays bit-identically from `FaultPlan::new(seed)`.
+///
+/// # Examples
+///
+/// ```
+/// use ascend_arch::MteEngine;
+/// use ascend_faults::FaultPlan;
+///
+/// let plan = FaultPlan::new(7)
+///     .degrade_bandwidth(MteEngine::Gm, 0.25)
+///     .with_latency_jitter(0.2);
+/// assert!(plan.is_timing_only());
+///
+/// let hostile = FaultPlan::new(7).drop_set_flags(1);
+/// assert!(!hostile.is_timing_only());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    seed: u64,
+    bandwidth: Vec<BandwidthFault>,
+    latency_jitter: f64,
+    drop_set_flags: usize,
+    duplicate_set_flags: usize,
+    truncate_to: Option<usize>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            bandwidth: Vec::new(),
+            latency_jitter: 0.0,
+            drop_set_flags: 0,
+            duplicate_set_flags: 0,
+            truncate_to: None,
+        }
+    }
+
+    /// The seed all of the plan's random choices derive from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Adds a bandwidth degradation of `engine` by `scale` (timing fault;
+    /// `0.0` models a dead link, which surfaces as an invalid-spec error).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `scale` is negative or not finite.
+    #[must_use]
+    pub fn degrade_bandwidth(mut self, engine: MteEngine, scale: f64) -> Self {
+        assert!(scale.is_finite() && scale >= 0.0, "bandwidth scale must be finite and >= 0");
+        self.bandwidth.push(BandwidthFault { engine, scale });
+        self
+    }
+
+    /// Perturbs every instruction's duration by a seeded multiplicative
+    /// factor in `[1/(1+spread), 1+spread)` (timing fault).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `spread` is negative or not finite.
+    #[must_use]
+    pub fn with_latency_jitter(mut self, spread: f64) -> Self {
+        assert!(spread.is_finite() && spread >= 0.0, "latency jitter must be finite and >= 0");
+        self.latency_jitter = spread;
+        self
+    }
+
+    /// Drops `count` seeded-chosen `set_flag` instructions (sync fault):
+    /// their waiters starve, so the kernel can genuinely deadlock.
+    #[must_use]
+    pub fn drop_set_flags(mut self, count: usize) -> Self {
+        self.drop_set_flags = count;
+        self
+    }
+
+    /// Duplicates `count` seeded-chosen `set_flag` instructions (sync
+    /// fault): flags over-fire, exercising the counting semantics.
+    #[must_use]
+    pub fn duplicate_set_flags(mut self, count: usize) -> Self {
+        self.duplicate_set_flags = count;
+        self
+    }
+
+    /// Truncates the kernel to its first `len` instructions (sync fault):
+    /// producers vanish mid-pipeline.
+    #[must_use]
+    pub fn truncate_to(mut self, len: usize) -> Self {
+        self.truncate_to = Some(len);
+        self
+    }
+
+    /// Whether the plan only perturbs timing. Timing-only plans must never
+    /// hang a kernel that passes validation — the differential fuzzer's
+    /// core liveness property.
+    #[must_use]
+    pub fn is_timing_only(&self) -> bool {
+        self.drop_set_flags == 0 && self.duplicate_set_flags == 0 && self.truncate_to.is_none()
+    }
+
+    /// Whether [`FaultPlan::apply_to_kernel`] would change any kernel.
+    #[must_use]
+    pub fn mutates_kernel(&self) -> bool {
+        !self.is_timing_only()
+    }
+
+    /// The degraded chip spec. The result may be invalid (dead links);
+    /// the simulator runs [`ChipSpec::validate`] on it and reports
+    /// [`ascend_arch::ArchError::InvalidSpec`] rather than computing with
+    /// zeroed bandwidth.
+    #[must_use]
+    pub fn apply_to_chip(&self, chip: &ChipSpec) -> ChipSpec {
+        let mut degraded = chip.clone();
+        for fault in &self.bandwidth {
+            degraded.scale_bandwidth_unchecked(fault.engine, fault.scale);
+        }
+        degraded
+    }
+
+    /// The mutated kernel: truncation first, then seeded `set_flag` drops,
+    /// then seeded duplications. The result intentionally may fail static
+    /// validation — that is how the engine's deadlock forensics become
+    /// reachable.
+    #[must_use]
+    pub fn apply_to_kernel(&self, kernel: &Kernel) -> Kernel {
+        if !self.mutates_kernel() {
+            return kernel.clone();
+        }
+        let mut rng = SplitMix64::new(self.seed);
+        let mut instructions: Vec<Instruction> = kernel.instructions().to_vec();
+        if let Some(len) = self.truncate_to {
+            instructions.truncate(len);
+        }
+        for _ in 0..self.drop_set_flags {
+            let sets: Vec<usize> = set_flag_positions(&instructions);
+            if sets.is_empty() {
+                break;
+            }
+            let victim = sets[rng.below(sets.len() as u64) as usize];
+            instructions.remove(victim);
+        }
+        for _ in 0..self.duplicate_set_flags {
+            let sets: Vec<usize> = set_flag_positions(&instructions);
+            if sets.is_empty() {
+                break;
+            }
+            let chosen = sets[rng.below(sets.len() as u64) as usize];
+            let copy = instructions[chosen].clone();
+            instructions.insert(chosen + 1, copy);
+        }
+        kernel
+            .renamed(format!("{}+faults#{}", kernel.name(), self.seed))
+            .with_instructions(instructions)
+    }
+
+    /// The seeded duration multiplier for instruction `index` (always
+    /// positive; `1.0` when jitter is off).
+    #[must_use]
+    pub fn latency_factor(&self, index: usize) -> f64 {
+        if self.latency_jitter == 0.0 {
+            return 1.0;
+        }
+        let mut rng =
+            SplitMix64::new(self.seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        (1.0 + self.latency_jitter).powf(2.0 * rng.unit_f64() - 1.0)
+    }
+}
+
+fn set_flag_positions(instructions: &[Instruction]) -> Vec<usize> {
+    instructions
+        .iter()
+        .enumerate()
+        .filter(|(_, instr)| matches!(instr, Instruction::SetFlag { .. }))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fault plan #{}", self.seed)?;
+        for fault in &self.bandwidth {
+            write!(f, " bandwidth({}x{:.2})", fault.engine, fault.scale)?;
+        }
+        if self.latency_jitter > 0.0 {
+            write!(f, " jitter({:.2})", self.latency_jitter)?;
+        }
+        if self.drop_set_flags > 0 {
+            write!(f, " drop-sets({})", self.drop_set_flags)?;
+        }
+        if self.duplicate_set_flags > 0 {
+            write!(f, " dup-sets({})", self.duplicate_set_flags)?;
+        }
+        if let Some(len) = self.truncate_to {
+            write!(f, " truncate({len})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascend_arch::{Buffer, Component, ComputeUnit, Precision, TransferPath};
+    use ascend_isa::{KernelBuilder, Region};
+
+    fn sample_kernel() -> Kernel {
+        let gm = Region::new(Buffer::Gm, 0, 1024);
+        let ub = Region::new(Buffer::Ub, 0, 1024);
+        let mut b = KernelBuilder::new("sample");
+        let loaded = b.new_flag();
+        b.transfer(TransferPath::GmToUb, gm, ub).unwrap();
+        b.set_flag(Component::MteGm, loaded);
+        b.wait_flag(Component::Vector, loaded);
+        b.compute(ComputeUnit::Vector, Precision::Fp16, 512, vec![ub], vec![ub]);
+        b.build()
+    }
+
+    #[test]
+    fn empty_plan_is_identity() {
+        let plan = FaultPlan::new(1);
+        let kernel = sample_kernel();
+        assert_eq!(plan.apply_to_kernel(&kernel), kernel);
+        let chip = ChipSpec::training();
+        assert_eq!(plan.apply_to_chip(&chip), chip);
+        assert_eq!(plan.latency_factor(3), 1.0);
+        assert!(plan.is_timing_only());
+    }
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let kernel = sample_kernel();
+        let a = FaultPlan::new(99).drop_set_flags(1).apply_to_kernel(&kernel);
+        let b = FaultPlan::new(99).drop_set_flags(1).apply_to_kernel(&kernel);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dropping_removes_a_set_flag() {
+        let kernel = sample_kernel();
+        let mutated = FaultPlan::new(5).drop_set_flags(1).apply_to_kernel(&kernel);
+        assert_eq!(mutated.len(), kernel.len() - 1);
+        let sets =
+            |k: &Kernel| k.iter().filter(|i| matches!(i, Instruction::SetFlag { .. })).count();
+        assert_eq!(sets(&mutated), sets(&kernel) - 1);
+    }
+
+    #[test]
+    fn duplicating_adds_a_set_flag() {
+        let kernel = sample_kernel();
+        let mutated = FaultPlan::new(5).duplicate_set_flags(2).apply_to_kernel(&kernel);
+        let sets =
+            |k: &Kernel| k.iter().filter(|i| matches!(i, Instruction::SetFlag { .. })).count();
+        // The sample has one set_flag; each round re-picks from the grown list.
+        assert_eq!(sets(&mutated), sets(&kernel) + 2);
+    }
+
+    #[test]
+    fn truncation_shortens_the_kernel() {
+        let kernel = sample_kernel();
+        let mutated = FaultPlan::new(5).truncate_to(2).apply_to_kernel(&kernel);
+        assert_eq!(mutated.len(), 2);
+        assert_eq!(mutated.instructions(), &kernel.instructions()[..2]);
+    }
+
+    #[test]
+    fn bandwidth_degradation_targets_one_engine() {
+        let chip = ChipSpec::training();
+        let degraded = FaultPlan::new(1).degrade_bandwidth(MteEngine::Gm, 0.5).apply_to_chip(&chip);
+        let before = chip.transfer(TransferPath::GmToUb).unwrap().bytes_per_cycle;
+        let after = degraded.transfer(TransferPath::GmToUb).unwrap().bytes_per_cycle;
+        assert_eq!(after, 0.5 * before);
+        assert_eq!(
+            chip.transfer(TransferPath::UbToGm).unwrap().bytes_per_cycle,
+            degraded.transfer(TransferPath::UbToGm).unwrap().bytes_per_cycle,
+        );
+        assert_eq!(degraded.validate(), Ok(()));
+    }
+
+    #[test]
+    fn dead_link_fails_spec_validation() {
+        let degraded = FaultPlan::new(1)
+            .degrade_bandwidth(MteEngine::Ub, 0.0)
+            .apply_to_chip(&ChipSpec::training());
+        assert!(degraded.validate().is_err());
+    }
+
+    #[test]
+    fn latency_factors_are_positive_bounded_and_deterministic() {
+        let plan = FaultPlan::new(11).with_latency_jitter(0.5);
+        for index in 0..256 {
+            let f = plan.latency_factor(index);
+            assert!(f > 0.0 && f.is_finite());
+            assert!((1.0 / 1.5..1.5 + 1e-12).contains(&f), "factor {f} out of range");
+            assert_eq!(f, plan.latency_factor(index));
+        }
+        // Different indices must not all share one factor.
+        let distinct: std::collections::HashSet<u64> =
+            (0..16).map(|i| plan.latency_factor(i).to_bits()).collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn display_names_active_faults() {
+        let plan = FaultPlan::new(3)
+            .degrade_bandwidth(MteEngine::Gm, 0.25)
+            .with_latency_jitter(0.1)
+            .drop_set_flags(2)
+            .truncate_to(10);
+        let text = plan.to_string();
+        assert!(text.contains("fault plan #3"), "{text}");
+        assert!(text.contains("bandwidth"), "{text}");
+        assert!(text.contains("jitter"), "{text}");
+        assert!(text.contains("drop-sets(2)"), "{text}");
+        assert!(text.contains("truncate(10)"), "{text}");
+    }
+}

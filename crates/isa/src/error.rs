@@ -51,6 +51,13 @@ pub enum IsaError {
         /// The unsupported precision.
         precision: Precision,
     },
+    /// A region references a buffer the target chip specification defines
+    /// no capacity for. Distinct from [`IsaError::RegionOutOfBounds`]:
+    /// this is a hole in the chip spec, not an oversized region.
+    UnknownBuffer {
+        /// The buffer missing from the spec.
+        buffer: Buffer,
+    },
     /// A region exceeds the capacity of its buffer on the target chip.
     RegionOutOfBounds {
         /// The buffer.
@@ -76,6 +83,19 @@ pub enum IsaError {
         queue: Component,
         /// The flag's numeric id.
         flag: u32,
+    },
+    /// Two `wait_flag`s of the same flag are not ordered by the
+    /// synchronization graph: which one consumes an increment would
+    /// depend on execution timing, and the unlucky ordering can starve a
+    /// wait whose remaining producer sits behind it (a timing-dependent
+    /// deadlock the validator must rule out for *all* timings).
+    UnorderedWaits {
+        /// The flag's numeric id.
+        flag: u32,
+        /// Index of the earlier (by program position) wait.
+        first: usize,
+        /// Index of the later wait, not provably after `first`.
+        second: usize,
     },
     /// The synchronization graph contains a cycle: the kernel would
     /// deadlock under in-order per-queue execution.
@@ -109,6 +129,9 @@ impl fmt::Display for IsaError {
             IsaError::UnsupportedPrecision { unit, precision } => {
                 write!(f, "compute unit {unit} does not support precision {precision}")
             }
+            IsaError::UnknownBuffer { buffer } => {
+                write!(f, "region references buffer {buffer}, which the chip does not define")
+            }
             IsaError::RegionOutOfBounds { buffer, end, capacity } => {
                 write!(f, "region ends at byte {end} but buffer {buffer} holds {capacity} bytes")
             }
@@ -118,6 +141,11 @@ impl fmt::Display for IsaError {
             IsaError::SelfSync { queue, flag } => {
                 write!(f, "flag {flag} is both set and awaited on queue {queue}")
             }
+            IsaError::UnorderedWaits { flag, first, second } => write!(
+                f,
+                "waits of flag {flag} at instructions {first} and {second} are not \
+                 synchronization-ordered; which consumes a set would depend on timing"
+            ),
             IsaError::SyncCycle { at } => {
                 write!(f, "synchronization cycle detected through instruction {at}")
             }
@@ -138,11 +166,47 @@ mod tests {
             IsaError::EmptyKernel,
             IsaError::TransferLengthMismatch { src_len: 1, dst_len: 2 },
             IsaError::SyncCycle { at: 3 },
+            IsaError::UnknownBuffer { buffer: Buffer::L0A },
         ];
         for err in errors {
             let msg = err.to_string();
             assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
             assert!(!msg.ends_with('.'), "{msg}");
+        }
+    }
+
+    #[test]
+    fn display_snapshots_stay_stable() {
+        // Exact snapshots: validation messages surface in deadlock
+        // forensics and CI logs, so wording changes must be deliberate.
+        let cases = [
+            (
+                IsaError::UnknownBuffer { buffer: Buffer::L0B },
+                "region references buffer l0b, which the chip does not define",
+            ),
+            (
+                IsaError::RegionOutOfBounds { buffer: Buffer::Ub, end: 300, capacity: 256 },
+                "region ends at byte 300 but buffer ub holds 256 bytes",
+            ),
+            (
+                IsaError::UnmatchedWait { flag: 7, sets: 1, waits: 2 },
+                "flag 7 has 2 waits but only 1 sets",
+            ),
+            (
+                IsaError::SelfSync { queue: Component::Vector, flag: 3 },
+                "flag 3 is both set and awaited on queue vector",
+            ),
+            (IsaError::SyncCycle { at: 9 }, "synchronization cycle detected through instruction 9"),
+            (
+                IsaError::UnorderedWaits { flag: 1, first: 3, second: 8 },
+                "waits of flag 1 at instructions 3 and 8 are not synchronization-ordered; \
+                 which consumes a set would depend on timing",
+            ),
+            (IsaError::EmptyKernel, "kernel contains no instructions"),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+            assert!(std::error::Error::source(&err).is_none());
         }
     }
 }

@@ -16,7 +16,10 @@ use std::collections::HashMap;
 ///    flag is set and awaited on the same queue;
 /// 5. the synchronization graph (per-queue program order ∪ matched
 ///    set→wait edges ∪ barrier edges) is acyclic, i.e. the kernel cannot
-///    deadlock under in-order per-queue execution.
+///    deadlock under in-order per-queue execution;
+/// 6. when a flag is awaited more than once, the waits are totally
+///    ordered by that same graph, so which wait consumes which set cannot
+///    depend on execution timing.
 ///
 /// # Errors
 ///
@@ -34,12 +37,12 @@ pub fn validate(kernel: &Kernel, chip: &ChipSpec) -> Result<(), IsaError> {
 fn check_regions(kernel: &Kernel, chip: &ChipSpec) -> Result<(), IsaError> {
     for instr in kernel {
         for region in instr.reads().iter().chain(instr.writes()) {
-            let capacity =
-                chip.capacity(region.buffer()).map_err(|_| IsaError::RegionOutOfBounds {
-                    buffer: region.buffer(),
-                    end: region.end(),
-                    capacity: 0,
-                })?;
+            // A buffer absent from the spec is a spec hole, not an
+            // oversized region; reporting `capacity: 0` here used to mask
+            // the real ArchError.
+            let capacity = chip
+                .capacity(region.buffer())
+                .map_err(|_| IsaError::UnknownBuffer { buffer: region.buffer() })?;
             if region.end() > capacity {
                 return Err(IsaError::RegionOutOfBounds {
                     buffer: region.buffer(),
@@ -105,6 +108,15 @@ fn check_flags(kernel: &Kernel) -> Result<(), IsaError> {
 fn check_sync_graph(kernel: &Kernel) -> Result<(), IsaError> {
     let n = kernel.len();
     let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    // The subset of `edges` that is *unconditionally* respected by every
+    // timing the engine can realize: program order (queues are in-order)
+    // and barrier edges (the dispatcher stalls). Set→wait edges are added
+    // below only for single-set/single-wait flags, where the lone
+    // increment cannot be consumed by anyone else. The wait-ordering
+    // check must restrict itself to this subgraph — a path through a
+    // multi-set flag's set→wait edge would assume the very index-order
+    // consumption it is trying to prove.
+    let mut sound: Vec<Vec<usize>> = vec![Vec::new(); n];
 
     // Per-queue program order.
     let mut last_on_queue: HashMap<ascend_arch::Component, usize> = HashMap::new();
@@ -120,10 +132,12 @@ fn check_sync_graph(kernel: &Kernel) -> Result<(), IsaError> {
             Some(queue) => {
                 if let Some(&prev) = last_on_queue.get(&queue) {
                     edges[prev].push(i);
+                    sound[prev].push(i);
                 }
                 last_on_queue.insert(queue, i);
                 if let Some(b) = last_barrier {
                     edges[b].push(i);
+                    sound[b].push(i);
                 }
                 since_last_barrier.push(i);
             }
@@ -133,9 +147,11 @@ fn check_sync_graph(kernel: &Kernel) -> Result<(), IsaError> {
                 // the previous barrier).
                 for &j in &since_last_barrier {
                     edges[j].push(i);
+                    sound[j].push(i);
                 }
                 if let Some(b) = last_barrier {
                     edges[b].push(i);
+                    sound[b].push(i);
                 }
                 since_last_barrier.clear();
                 last_barrier = Some(i);
@@ -159,6 +175,9 @@ fn check_sync_graph(kernel: &Kernel) -> Result<(), IsaError> {
                 if let Some(&set_idx) = sets.get(k) {
                     edges[set_idx].push(wait_idx);
                 }
+            }
+            if sets.len() == 1 && waits.len() == 1 {
+                sound[sets[0]].push(waits[0]);
             }
         }
     }
@@ -185,7 +204,50 @@ fn check_sync_graph(kernel: &Kernel) -> Result<(), IsaError> {
         let at = indegree.iter().position(|&d| d > 0).unwrap_or(0);
         return Err(IsaError::SyncCycle { at });
     }
+
+    // The set→wait edges above pair the k-th set with the k-th wait, but
+    // the engine hands increments to whichever wait *starts* first. The
+    // static pairing is only a sound model of that temporal race when the
+    // waits of each flag are totally ordered — each wait completing
+    // before the next can start — under *every* timing. Reachability in
+    // the `sound` subgraph proves exactly that: its interior edges all
+    // imply completes-no-later-than, and every sound in-edge of a
+    // multi-wait flag's wait gates that wait's start (program order or
+    // barrier; sound set→wait edges only target single-wait flags).
+    // Without this, a wait on a fast queue can steal an increment meant
+    // for an earlier-indexed wait whose remaining producer sits behind it
+    // — a timing-dependent deadlock (found by the differential fuzzer).
+    for (flag, waits) in &wait_positions {
+        for pair in waits.windows(2) {
+            if !reachable(&sound, pair[0], pair[1]) {
+                return Err(IsaError::UnorderedWaits {
+                    flag: *flag,
+                    first: pair[0],
+                    second: pair[1],
+                });
+            }
+        }
+    }
     Ok(())
+}
+
+/// Whether `to` is reachable from `from` in the (acyclic) edge list.
+fn reachable(edges: &[Vec<usize>], from: usize, to: usize) -> bool {
+    let mut seen = vec![false; edges.len()];
+    let mut stack = vec![from];
+    seen[from] = true;
+    while let Some(node) = stack.pop() {
+        if node == to {
+            return true;
+        }
+        for &next in &edges[node] {
+            if !seen[next] {
+                seen[next] = true;
+                stack.push(next);
+            }
+        }
+    }
+    false
 }
 
 #[cfg(test)]
@@ -232,6 +294,41 @@ mod tests {
             validate(&b.build(), &chip()),
             Err(IsaError::RegionOutOfBounds { buffer: Buffer::L0A, .. })
         ));
+    }
+
+    /// A training spec with the L0A capacity entry removed, built through
+    /// a serde round-trip (the capacity table is private by design).
+    fn chip_without_l0a() -> ChipSpec {
+        let serde::Value::Object(mut map) = serde_json::to_value(&chip()) else {
+            panic!("chip specs serialize as objects")
+        };
+        let serde::Value::Array(caps) = map.remove("capacities").expect("capacities field") else {
+            panic!("capacities serialize as an array")
+        };
+        let caps = caps
+            .into_iter()
+            .filter(|cap| cap.get("buffer").and_then(serde::Value::as_str) != Some("L0A"))
+            .collect();
+        map.insert("capacities".to_owned(), serde::Value::Array(caps));
+        let json = serde_json::to_string(&serde::Value::Object(map)).unwrap();
+        serde_json::from_str(&json).expect("holed spec still deserializes")
+    }
+
+    #[test]
+    fn unknown_buffer_is_reported_distinctly() {
+        // A buffer absent from the spec must be named as the spec hole it
+        // is, not reported as `RegionOutOfBounds { capacity: 0 }`.
+        let holed = chip_without_l0a();
+        assert!(holed.capacity(Buffer::L0A).is_err());
+
+        let l0a = Region::new(Buffer::L0A, 0, 128);
+        let gm = Region::new(Buffer::Gm, 0, 128);
+        let mut b = KernelBuilder::new("holed");
+        b.transfer(TransferPath::GmToL0A, gm, l0a).unwrap();
+        assert_eq!(
+            validate(&b.build(), &holed),
+            Err(IsaError::UnknownBuffer { buffer: Buffer::L0A })
+        );
     }
 
     #[test]
@@ -292,6 +389,61 @@ mod tests {
         let f = b.new_flag();
         b.wait_flag(Component::Vector, f);
         b.set_flag(Component::MteGm, f);
+        assert_eq!(validate(&b.build(), &chip()), Ok(()));
+    }
+
+    #[test]
+    fn timing_dependent_wait_order_is_rejected() {
+        // Three sets and three waits of one flag. The first two sets fire
+        // quickly; the waits on cube and vector (fast, empty queues) can
+        // start before mte-l1's wait and steal both increments. mte-l1's
+        // only remaining producer then sits *behind* its wait on the same
+        // queue: deadlock under one timing, completion under another. The
+        // validator must reject regardless of which timing the engine
+        // happens to realize.
+        let mut b = KernelBuilder::new("steal");
+        let f = b.new_flag();
+        b.set_flag(Component::MteUb, f);
+        b.set_flag(Component::Scalar, f);
+        b.wait_flag(Component::MteL1, f);
+        b.set_flag(Component::MteL1, f);
+        b.wait_flag(Component::Cube, f);
+        b.wait_flag(Component::Vector, f);
+        assert!(matches!(
+            validate(&b.build(), &chip()),
+            Err(IsaError::UnorderedWaits { flag: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn ordered_repeated_waits_are_accepted() {
+        // Two waits of the same flag are fine when the graph orders them:
+        // here both sit on the same queue, so program order decides which
+        // consumes first under every timing.
+        let mut b = KernelBuilder::new("ordered");
+        let f = b.new_flag();
+        b.set_flag(Component::MteGm, f);
+        b.wait_flag(Component::Vector, f);
+        b.set_flag(Component::Scalar, f);
+        b.wait_flag(Component::Vector, f);
+        assert_eq!(validate(&b.build(), &chip()), Ok(()));
+    }
+
+    #[test]
+    fn cross_queue_waits_chained_through_a_private_flag_are_accepted() {
+        // Repeated waits of `f` on different queues, ordered through a
+        // single-set/single-wait flag `g`: vector's wait completes, vector
+        // sets g, cube waits g before its own wait of f. The unique-token
+        // edge of g makes the ordering timing-independent.
+        let mut b = KernelBuilder::new("chained");
+        let f = b.new_flag();
+        let g = b.new_flag();
+        b.set_flag(Component::MteGm, f);
+        b.wait_flag(Component::Vector, f);
+        b.set_flag(Component::Vector, g);
+        b.set_flag(Component::Scalar, f);
+        b.wait_flag(Component::Cube, g);
+        b.wait_flag(Component::Cube, f);
         assert_eq!(validate(&b.build(), &chip()), Ok(()));
     }
 

@@ -4,10 +4,9 @@ use crate::{ModelWorkload, OpInvocation, Phase};
 use ascend_arch::ChipSpec;
 use ascend_ops::LayerNorm;
 use ascend_optimize::{OptimizationReport, Optimizer};
-use ascend_pipeline::AnalysisPipeline;
+use ascend_pipeline::{AnalysisPipeline, PipelineError};
 use ascend_profile::Profile;
 use ascend_roofline::{Bottleneck, RooflineAnalysis};
-use ascend_sim::SimError;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -239,10 +238,11 @@ impl ModelRunner {
     ///
     /// # Errors
     ///
-    /// Propagates simulator errors.
-    pub fn analyze(&self, model: &ModelWorkload) -> Result<ModelReport, SimError> {
+    /// Propagates the first (by model order) per-operator pipeline error.
+    pub fn analyze(&self, model: &ModelWorkload) -> Result<ModelReport, PipelineError> {
         let ops = model.ops().iter().map(OpInvocation::operator);
-        let results = self.pipeline.analyze_stream(ops)?;
+        let results =
+            self.pipeline.analyze_stream(ops).into_iter().collect::<Result<Vec<_>, _>>()?;
         let mut op_reports = Vec::with_capacity(model.ops().len());
         let mut total = 0.0;
         for (invocation, result) in model.ops().iter().zip(&results) {
@@ -274,10 +274,14 @@ impl ModelRunner {
     ///
     /// # Errors
     ///
-    /// Propagates simulator errors.
-    pub fn aggregate_analysis(&self, model: &ModelWorkload) -> Result<RooflineAnalysis, SimError> {
+    /// Propagates the first (by model order) per-operator pipeline error.
+    pub fn aggregate_analysis(
+        &self,
+        model: &ModelWorkload,
+    ) -> Result<RooflineAnalysis, PipelineError> {
         let ops = model.ops().iter().map(OpInvocation::operator);
-        let results = self.pipeline.analyze_stream(ops)?;
+        let results =
+            self.pipeline.analyze_stream(ops).into_iter().collect::<Result<Vec<_>, _>>()?;
         let mut aggregate = Profile::empty(model.name().to_owned());
         for (invocation, result) in model.ops().iter().zip(&results) {
             aggregate.accumulate_scaled(&result.profile, invocation.count());
@@ -293,8 +297,8 @@ impl ModelRunner {
     ///
     /// # Errors
     ///
-    /// Propagates simulator errors.
-    pub fn optimize(&self, model: &ModelWorkload) -> Result<ModelOptimization, SimError> {
+    /// Propagates the first (by model order) per-operator pipeline error.
+    pub fn optimize(&self, model: &ModelWorkload) -> Result<ModelOptimization, PipelineError> {
         let before = self.analyze(model)?;
         let fused = fuse_elementwise_chains(model);
         let optimizer = Optimizer::from_pipeline(self.pipeline.clone());

@@ -79,6 +79,7 @@ pub fn tune(
     let sim = Simulator::new(chip.clone());
     let mut trials = Vec::with_capacity(candidates.len());
     let mut best: Option<(u64, f64)> = None;
+    let mut last_build_error = None;
     for &value in candidates {
         let op = make(value);
         let cycles = match op.build(chip) {
@@ -89,12 +90,18 @@ pub fn tune(
                 }
                 Some(t)
             }
-            Err(_) => None,
+            Err(err) => {
+                last_build_error = Some(err);
+                None
+            }
         };
         trials.push(Trial { value, cycles });
     }
-    let (best_value, best_cycles) =
-        best.ok_or(SimError::Deadlock { remaining: candidates.len() })?;
+    // No feasible candidate: surface the last builder rejection (or, for
+    // an empty candidate list, the empty-kernel error) as the cause.
+    let (best_value, best_cycles) = best.ok_or_else(|| {
+        SimError::Validation(last_build_error.unwrap_or(ascend_isa::IsaError::EmptyKernel))
+    })?;
     Ok(TuneResult { best_value, best_cycles, trials })
 }
 

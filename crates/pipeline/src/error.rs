@@ -1,0 +1,120 @@
+//! The pipeline's error taxonomy.
+//!
+//! Batch and stream APIs isolate failures per item: a panicking or
+//! erroring operator costs its own slot, never its siblings'.
+//! [`PipelineError`] classifies what went wrong in one slot, unifying the
+//! lower layers' [`IsaError`], [`ArchError`], and [`SimError`] under one
+//! roof and adding the panic case the lower layers cannot represent.
+
+use ascend_arch::ArchError;
+use ascend_isa::IsaError;
+use ascend_sim::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// What went wrong while running one operator through the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// The operator produced a kernel the validator rejected (or could
+    /// not produce one at all).
+    Invalid(IsaError),
+    /// The chip specification is invalid or missing a required rate.
+    Chip(ArchError),
+    /// The engine failed at runtime: deadlock or watchdog budget.
+    Runtime(SimError),
+    /// A pipeline stage panicked. The panic was caught at the item
+    /// boundary; the payload's message is preserved here.
+    Panicked {
+        /// The panic payload, when it was a string (the common case).
+        message: String,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Invalid(err) => write!(f, "operator produced an invalid kernel: {err}"),
+            PipelineError::Chip(err) => write!(f, "chip specification error: {err}"),
+            PipelineError::Runtime(err) => write!(f, "simulation failed: {err}"),
+            PipelineError::Panicked { message } => write!(f, "pipeline stage panicked: {message}"),
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Invalid(err) => Some(err),
+            PipelineError::Chip(err) => Some(err),
+            PipelineError::Runtime(err) => Some(err),
+            PipelineError::Panicked { .. } => None,
+        }
+    }
+}
+
+impl From<SimError> for PipelineError {
+    fn from(err: SimError) -> Self {
+        // Re-classify rather than wrap: a validation failure is the
+        // operator's fault and a spec failure the chip's, regardless of
+        // which layer noticed first.
+        match err {
+            SimError::Validation(err) => PipelineError::Invalid(err),
+            SimError::Arch(err) => PipelineError::Chip(err),
+            other => PipelineError::Runtime(other),
+        }
+    }
+}
+
+impl From<IsaError> for PipelineError {
+    fn from(err: IsaError) -> Self {
+        PipelineError::Invalid(err)
+    }
+}
+
+impl From<ArchError> for PipelineError {
+    fn from(err: ArchError) -> Self {
+        PipelineError::Chip(err)
+    }
+}
+
+/// Renders a caught panic payload as a message.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_errors_are_reclassified() {
+        let err = PipelineError::from(SimError::Validation(IsaError::EmptyKernel));
+        assert!(matches!(err, PipelineError::Invalid(_)));
+        assert_eq!(
+            err.to_string(),
+            "operator produced an invalid kernel: kernel contains no instructions"
+        );
+        assert!(err.source().is_some());
+        let err = PipelineError::from(SimError::BudgetExceeded {
+            events: 2,
+            cycles: 1.0,
+            max_events: 1,
+            max_cycles: 1e6,
+        });
+        assert!(matches!(err, PipelineError::Runtime(_)));
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn panic_case_has_no_source_and_keeps_the_message() {
+        let err = PipelineError::Panicked { message: "boom".to_string() };
+        assert!(err.source().is_none());
+        assert_eq!(err.to_string(), "pipeline stage panicked: boom");
+    }
+}

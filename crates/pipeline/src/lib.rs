@@ -44,7 +44,11 @@
 //! # Ok::<(), ascend_sim::SimError>(())
 //! ```
 
-use ascend_arch::ChipSpec;
+mod error;
+
+pub use error::PipelineError;
+
+use ascend_arch::{ArchError, ChipSpec};
 use ascend_ops::Operator;
 use ascend_profile::Profile;
 use ascend_roofline::{analyze, RooflineAnalysis, Thresholds};
@@ -52,9 +56,18 @@ use ascend_sim::{SimError, Simulator, Trace};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
+
+/// Locks `mutex`, tolerating poison: a panic in one batch item must not
+/// wedge the shared cache for every later item. The guarded structures
+/// (cache map, counters) are valid at every await-free point, so the
+/// poisoned payload is safe to adopt.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Default bound on cached results before FIFO eviction kicks in.
 pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
@@ -179,6 +192,18 @@ impl AnalysisPipeline {
         }
     }
 
+    /// A pipeline for `chip`, rejecting invalid chip specifications at
+    /// construction instead of at the first run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidSpec`] when `chip` violates a
+    /// construction invariant (see `ChipSpec::validate`).
+    pub fn try_new(chip: ChipSpec) -> Result<Self, ArchError> {
+        chip.validate()?;
+        Ok(AnalysisPipeline::new(chip))
+    }
+
     /// Overrides the classification thresholds. The cache-key context
     /// changes with them, so results cached under other thresholds are
     /// never returned.
@@ -222,74 +247,95 @@ impl AnalysisPipeline {
     /// Propagates kernel-construction and simulation errors.
     pub fn run(&self, op: &dyn Operator) -> Result<Arc<PipelineResult>, SimError> {
         let key = self.cache_key(op);
-        if let Some(found) = self.shared.cache.lock().unwrap().map.get(&key) {
+        if let Some(found) = lock(&self.shared.cache).map.get(&key) {
             let result = Arc::clone(found);
-            self.shared.stats.lock().unwrap().hits += 1;
+            lock(&self.shared.stats).hits += 1;
             return Ok(result);
         }
         // Compute outside the cache lock so batch workers make progress
         // concurrently. Two workers racing on the same key both miss; the
         // later insert is a no-op.
         let result = Arc::new(self.execute(op, key)?);
-        self.shared.stats.lock().unwrap().misses += 1;
+        lock(&self.shared.stats).misses += 1;
         self.insert(key, Arc::clone(&result));
         Ok(result)
     }
 
-    /// Runs independent operators concurrently on scoped worker threads,
-    /// one per available CPU (capped by the batch size). Results are
-    /// returned in **input order** regardless of completion order.
+    /// [`run`](AnalysisPipeline::run) with panic isolation: a panicking
+    /// operator (or stage) is caught at this boundary and reported as
+    /// [`PipelineError::Panicked`] instead of unwinding into the caller.
+    /// This is the per-item unit of the batch and stream APIs.
     ///
     /// # Errors
     ///
-    /// Propagates the first (by input order) stage error.
-    pub fn run_batch(&self, ops: &[&dyn Operator]) -> Result<Vec<Arc<PipelineResult>>, SimError> {
+    /// Everything [`run`](AnalysisPipeline::run) reports, reclassified
+    /// into the [`PipelineError`] taxonomy, plus the panic case.
+    pub fn run_isolated(&self, op: &dyn Operator) -> Result<Arc<PipelineResult>, PipelineError> {
+        // The shared state stays coherent across an unwind: `lock`
+        // tolerates poison and the guarded structures are valid between
+        // mutations, so resuming with the caught state is safe.
+        catch_unwind(AssertUnwindSafe(|| self.run(op)))
+            .map_err(|payload| PipelineError::Panicked {
+                message: error::panic_message(payload.as_ref()),
+            })?
+            .map_err(PipelineError::from)
+    }
+
+    /// Runs independent operators concurrently on scoped worker threads,
+    /// one per available CPU (capped by the batch size). Results are
+    /// returned in **input order** regardless of completion order, one
+    /// `Result` per input: a failing or panicking operator costs its own
+    /// slot, never its siblings'.
+    pub fn run_batch(
+        &self,
+        ops: &[&dyn Operator],
+    ) -> Vec<Result<Arc<PipelineResult>, PipelineError>> {
         let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         self.run_batch_with_workers(ops, workers)
     }
 
     /// [`run_batch`](AnalysisPipeline::run_batch) with an explicit worker
     /// count (clamped to `1..=ops.len()`).
-    ///
-    /// # Errors
-    ///
-    /// Propagates the first (by input order) stage error.
     pub fn run_batch_with_workers(
         &self,
         ops: &[&dyn Operator],
         workers: usize,
-    ) -> Result<Vec<Arc<PipelineResult>>, SimError> {
+    ) -> Vec<Result<Arc<PipelineResult>, PipelineError>> {
         let workers = workers.clamp(1, ops.len().max(1));
         if workers <= 1 {
-            return ops.iter().map(|op| self.run(*op)).collect();
+            return ops.iter().map(|op| self.run_isolated(*op)).collect();
         }
         let next = AtomicUsize::new(0);
-        let slots: Vec<OnceLock<Result<Arc<PipelineResult>, SimError>>> =
+        let slots: Vec<OnceLock<Result<Arc<PipelineResult>, PipelineError>>> =
             (0..ops.len()).map(|_| OnceLock::new()).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let index = next.fetch_add(1, Ordering::Relaxed);
                     let Some(op) = ops.get(index) else { break };
-                    let filled = slots[index].set(self.run(*op));
+                    let filled = slots[index].set(self.run_isolated(*op));
                     debug_assert!(filled.is_ok(), "every slot is claimed exactly once");
                 });
             }
         });
         slots
             .into_iter()
-            .map(|slot| slot.into_inner().expect("every claimed slot is filled"))
+            .map(|slot| {
+                slot.into_inner().unwrap_or_else(|| {
+                    // Unreachable while the claim loop covers every index;
+                    // degrade to a per-slot error rather than panic.
+                    Err(PipelineError::Panicked {
+                        message: "batch slot was never filled".to_string(),
+                    })
+                })
+            })
             .collect()
     }
 
     /// Analyzes a stream of operator invocations (e.g. one model
     /// iteration): a batched [`run`](AnalysisPipeline::run) over the
-    /// stream, input-ordered.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the first (by input order) stage error.
-    pub fn analyze_stream<'a, I>(&self, ops: I) -> Result<Vec<Arc<PipelineResult>>, SimError>
+    /// stream, input-ordered, one `Result` per invocation.
+    pub fn analyze_stream<'a, I>(&self, ops: I) -> Vec<Result<Arc<PipelineResult>, PipelineError>>
     where
         I: IntoIterator<Item = &'a dyn Operator>,
     {
@@ -304,36 +350,36 @@ impl AnalysisPipeline {
     pub fn analyze_profile(&self, profile: &Profile) -> RooflineAnalysis {
         let start = Instant::now();
         let analysis = analyze(profile, &self.chip, &self.thresholds);
-        self.shared.timings.lock().unwrap().analyze_secs += start.elapsed().as_secs_f64();
+        lock(&self.shared.timings).analyze_secs += start.elapsed().as_secs_f64();
         analysis
     }
 
     /// Current hit/miss/eviction counters (shared across clones).
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
-        *self.shared.stats.lock().unwrap()
+        *lock(&self.shared.stats)
     }
 
     /// Cumulative per-stage wall times (shared across clones).
     #[must_use]
     pub fn timings(&self) -> StageTimings {
-        *self.shared.timings.lock().unwrap()
+        *lock(&self.shared.timings)
     }
 
     /// Number of results currently cached.
     #[must_use]
     pub fn cache_len(&self) -> usize {
-        self.shared.cache.lock().unwrap().map.len()
+        lock(&self.shared.cache).map.len()
     }
 
     /// Clears the cache and zeroes all counters (shared across clones).
     pub fn reset(&self) {
-        let mut cache = self.shared.cache.lock().unwrap();
+        let mut cache = lock(&self.shared.cache);
         cache.map.clear();
         cache.order.clear();
         drop(cache);
-        *self.shared.stats.lock().unwrap() = CacheStats::default();
-        *self.shared.timings.lock().unwrap() = StageTimings::default();
+        *lock(&self.shared.stats) = CacheStats::default();
+        *lock(&self.shared.timings) = StageTimings::default();
     }
 
     /// The two-line instrumentation footer the figure binaries print:
@@ -376,7 +422,7 @@ impl AnalysisPipeline {
         let analysis = analyze(&profile, &self.chip, &self.thresholds);
         let analyzed = Instant::now();
 
-        let mut timings = self.shared.timings.lock().unwrap();
+        let mut timings = lock(&self.shared.timings);
         timings.build_secs += (built - start).as_secs_f64();
         timings.simulate_secs += (simulated - built).as_secs_f64();
         timings.profile_secs += (profiled - simulated).as_secs_f64();
@@ -395,15 +441,15 @@ impl AnalysisPipeline {
     }
 
     fn insert(&self, key: u64, result: Arc<PipelineResult>) {
-        let mut cache = self.shared.cache.lock().unwrap();
+        let mut cache = lock(&self.shared.cache);
         if cache.map.insert(key, result).is_none() {
             cache.order.push_back(key);
             while cache.order.len() > self.capacity {
                 if let Some(oldest) = cache.order.pop_front() {
                     cache.map.remove(&oldest);
                     drop(cache);
-                    self.shared.stats.lock().unwrap().evictions += 1;
-                    cache = self.shared.cache.lock().unwrap();
+                    lock(&self.shared.stats).evictions += 1;
+                    cache = lock(&self.shared.cache);
                 }
             }
         }
@@ -500,6 +546,61 @@ mod tests {
         // The oldest entry (1<<10) was dropped: running it again misses.
         pipeline.run(&AddRelu::new(1 << 10)).unwrap();
         assert_eq!(pipeline.cache_stats().misses, 4);
+    }
+
+    /// An operator whose build stage always panics.
+    #[derive(Debug, Clone)]
+    struct PanickingOp;
+
+    impl Operator for PanickingOp {
+        fn name(&self) -> String {
+            "panicker".to_string()
+        }
+        fn flags(&self) -> OptFlags {
+            OptFlags::new()
+        }
+        fn with_flags_dyn(&self, _flags: OptFlags) -> Box<dyn Operator> {
+            Box::new(self.clone())
+        }
+        fn build(&self, _chip: &ChipSpec) -> Result<ascend_isa::Kernel, ascend_isa::IsaError> {
+            panic!("injected failure: operator build exploded")
+        }
+    }
+
+    #[test]
+    fn batch_isolates_a_panicking_item() {
+        let pipeline = AnalysisPipeline::new(ChipSpec::training());
+        let good_a = AddRelu::new(1 << 12);
+        let bad = PanickingOp;
+        let good_b = Gelu::new(1 << 12);
+        let ops: Vec<&dyn Operator> = vec![&good_a, &bad, &good_b];
+        for workers in [1, 3] {
+            let results = pipeline.run_batch_with_workers(&ops, workers);
+            assert_eq!(results.len(), 3);
+            assert!(results[0].is_ok(), "workers={workers}");
+            assert!(results[2].is_ok(), "workers={workers}");
+            match &results[1] {
+                Err(PipelineError::Panicked { message }) => {
+                    assert!(message.contains("operator build exploded"), "{message}");
+                }
+                other => panic!("expected Panicked, got {other:?}"),
+            }
+        }
+        // The shared state survived the unwind: the pipeline still runs
+        // and the counters still respond.
+        assert!(pipeline.run(&good_a).is_ok());
+        assert!(pipeline.cache_stats().hits > 0);
+    }
+
+    #[test]
+    fn run_isolated_reclassifies_stage_errors() {
+        let pipeline = AnalysisPipeline::new(ChipSpec::training());
+        // AvgPool with an enormous tile cannot be laid out -> Invalid.
+        let impossible = ascend_ops::AvgPool::new(1 << 14).with_tile(1 << 40);
+        match pipeline.run_isolated(&impossible) {
+            Err(PipelineError::Invalid(_)) => {}
+            other => panic!("expected Invalid, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,11 +1,45 @@
 //! The discrete-event execution engine.
 
+use crate::forensics::{
+    instr_text, BlockCause, DeadlockReport, PendingSetter, QueueState, SetterLocation, WaitEdge,
+};
 use crate::trace::StallCause;
 use crate::{InstrRecord, SimError, Trace};
-use ascend_arch::{ChipSpec, Component};
+use ascend_arch::{ArchError, ChipSpec, Component};
+use ascend_faults::FaultPlan;
 use ascend_isa::{validate, Instruction, Kernel};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Watchdog budgets bounding one simulation run.
+///
+/// The defaults are far beyond any legitimate kernel in this repository
+/// (the largest operator sweeps finish in thousands of events and under a
+/// billion cycles), so a tripped budget means a runaway run — typically a
+/// fault-degraded chip crawling through transfers — rather than a slow
+/// one. Tighten the budgets per simulator with
+/// [`Simulator::with_budget`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimBudget {
+    /// Maximum number of events the engine may process.
+    pub max_events: u64,
+    /// Maximum simulated cycle the engine may reach.
+    pub max_cycles: f64,
+}
+
+impl Default for SimBudget {
+    fn default() -> Self {
+        SimBudget { max_events: 100_000_000, max_cycles: 1e15 }
+    }
+}
+
+impl SimBudget {
+    /// A budget that never trips (the pre-watchdog behavior).
+    #[must_use]
+    pub fn unlimited() -> Self {
+        SimBudget { max_events: u64::MAX, max_cycles: f64::INFINITY }
+    }
+}
 
 /// Simulates kernels on one chip.
 ///
@@ -13,13 +47,44 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 #[derive(Debug, Clone)]
 pub struct Simulator {
     chip: ChipSpec,
+    budget: SimBudget,
+    /// Spec-invariant violation found at construction, surfaced on the
+    /// first simulate call (keeps `new` infallible for the many call
+    /// sites that construct from built-in specs).
+    spec_error: Option<ArchError>,
 }
 
 impl Simulator {
     /// Creates a simulator for `chip`.
+    ///
+    /// The chip specification is checked immediately; if it violates an
+    /// invariant (see [`ChipSpec::validate`]), every subsequent simulate
+    /// call reports [`SimError::Arch`] instead of producing garbage
+    /// cycles. Use [`Simulator::try_new`] to surface the problem at
+    /// construction time.
     #[must_use]
     pub fn new(chip: ChipSpec) -> Self {
-        Simulator { chip }
+        let spec_error = chip.validate().err();
+        Simulator { chip, budget: SimBudget::default(), spec_error }
+    }
+
+    /// Creates a simulator for `chip`, rejecting invalid specifications.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidSpec`] when the chip violates a
+    /// construction invariant (non-positive frequency, zero bandwidth,
+    /// empty rate tables, ...).
+    pub fn try_new(chip: ChipSpec) -> Result<Self, ArchError> {
+        chip.validate()?;
+        Ok(Simulator { chip, budget: SimBudget::default(), spec_error: None })
+    }
+
+    /// Replaces the watchdog budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: SimBudget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// The chip this simulator models.
@@ -28,17 +93,77 @@ impl Simulator {
         &self.chip
     }
 
+    /// The watchdog budget in force.
+    #[must_use]
+    pub fn budget(&self) -> SimBudget {
+        self.budget
+    }
+
     /// Executes `kernel` and returns its trace.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Validation`] when the kernel fails static
-    /// validation, [`SimError::Arch`] when it references rates missing
-    /// from the chip spec, and [`SimError::Deadlock`] if execution stalls
-    /// (defensive; validation rules this out).
+    /// validation, [`SimError::Arch`] when the chip spec is invalid or
+    /// it references rates missing from the spec,
+    /// [`SimError::Deadlock`] if execution stalls (defensive; validation
+    /// rules this out), and [`SimError::BudgetExceeded`] when the
+    /// watchdog trips.
     pub fn simulate(&self, kernel: &Kernel) -> Result<Trace, SimError> {
+        self.check_spec()?;
         validate(kernel, &self.chip)?;
-        Run::new(kernel, &self.chip).execute()
+        Run::new(kernel, &self.chip, self.budget, None).execute()
+    }
+
+    /// Executes `kernel` without static validation.
+    ///
+    /// This is the engine's raw entry point: kernels with broken
+    /// synchronization run until they genuinely stall, producing a
+    /// [`SimError::Deadlock`] with full forensics (or
+    /// [`SimError::BudgetExceeded`] if they run away). The differential
+    /// fuzzer uses it to compare the engine's verdict against the
+    /// validator's.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::simulate`], minus [`SimError::Validation`].
+    pub fn simulate_unchecked(&self, kernel: &Kernel) -> Result<Trace, SimError> {
+        self.check_spec()?;
+        Run::new(kernel, &self.chip, self.budget, None).execute()
+    }
+
+    /// Executes `kernel` under a fault plan.
+    ///
+    /// The plan's chip faults (degraded bandwidth) produce a derived
+    /// chip, its kernel faults (dropped/duplicated `set_flag`s,
+    /// truncation) produce a derived kernel, and its latency jitter
+    /// perturbs every instruction duration. The derived kernel is *not*
+    /// re-validated — injecting sync faults into valid kernels and
+    /// watching the engine deadlock is the point — but the derived chip
+    /// must still satisfy the spec invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Arch`] when the faulted chip fails
+    /// [`ChipSpec::validate`] (for example, bandwidth degraded to zero),
+    /// plus everything [`Simulator::simulate_unchecked`] can return.
+    pub fn simulate_with_faults(
+        &self,
+        kernel: &Kernel,
+        plan: &FaultPlan,
+    ) -> Result<Trace, SimError> {
+        self.check_spec()?;
+        let chip = plan.apply_to_chip(&self.chip);
+        chip.validate()?;
+        let kernel = plan.apply_to_kernel(kernel);
+        Run::new(&kernel, &chip, self.budget, Some(plan)).execute()
+    }
+
+    fn check_spec(&self) -> Result<(), SimError> {
+        match &self.spec_error {
+            Some(err) => Err(SimError::Arch(err.clone())),
+            None => Ok(()),
+        }
     }
 }
 
@@ -78,11 +203,15 @@ impl PartialOrd for Event {
 struct Run<'a> {
     kernel: &'a Kernel,
     chip: &'a ChipSpec,
+    budget: SimBudget,
+    faults: Option<&'a FaultPlan>,
     /// Dispatcher timeline: when the next instruction can be dispatched.
     dispatch_free: f64,
     next_dispatch: usize,
     barrier_pending: bool,
     last_completion: f64,
+    /// Simulated time of the most recently processed event.
+    clock: f64,
     /// Per-component FIFO of dispatched instructions: (index, available-at).
     pending: [VecDeque<(usize, f64)>; 6],
     busy_until: [f64; 6],
@@ -100,14 +229,22 @@ struct Run<'a> {
 }
 
 impl<'a> Run<'a> {
-    fn new(kernel: &'a Kernel, chip: &'a ChipSpec) -> Self {
+    fn new(
+        kernel: &'a Kernel,
+        chip: &'a ChipSpec,
+        budget: SimBudget,
+        faults: Option<&'a FaultPlan>,
+    ) -> Self {
         Run {
             kernel,
             chip,
+            budget,
+            faults,
             dispatch_free: 0.0,
             next_dispatch: 0,
             barrier_pending: false,
             last_completion: 0.0,
+            clock: 0.0,
             pending: Default::default(),
             busy_until: [0.0; 6],
             wake_scheduled: [-1.0; 6],
@@ -124,21 +261,107 @@ impl<'a> Run<'a> {
     fn execute(mut self) -> Result<Trace, SimError> {
         self.dispatch();
         self.try_start_all(0.0)?;
+        let mut processed: u64 = 0;
         while let Some(Reverse(event)) = self.events.pop() {
             let now = event.time;
+            self.clock = now;
+            processed += 1;
+            if processed > self.budget.max_events || now > self.budget.max_cycles {
+                return Err(SimError::BudgetExceeded {
+                    events: processed,
+                    cycles: now,
+                    max_events: self.budget.max_events,
+                    max_cycles: self.budget.max_cycles,
+                });
+            }
             if let EventKind::Complete(index) = event.kind {
                 self.finish(index, now);
             }
             self.try_start_all(now)?;
         }
-        let n = self.kernel.len();
-        if self.completed != n {
-            return Err(SimError::Deadlock { remaining: n - self.completed });
+        if self.completed != self.kernel.len() || self.records.iter().any(Option::is_none) {
+            return Err(SimError::Deadlock(Box::new(self.forensics())));
         }
-        let records: Vec<InstrRecord> =
-            self.records.into_iter().map(|r| r.expect("all instructions recorded")).collect();
+        let records: Vec<InstrRecord> = self.records.into_iter().flatten().collect();
         let total = records.iter().map(|r| r.end).fold(0.0, f64::max);
         Ok(Trace::from_parts(self.kernel.name(), records, total))
+    }
+
+    /// Snapshots engine state into a [`DeadlockReport`]. Called at
+    /// quiescence: the event heap is empty, so nothing is executing and
+    /// every non-empty queue has a genuinely blocked front.
+    fn forensics(&self) -> DeadlockReport {
+        let instructions = self.kernel.instructions();
+        let mut queues = Vec::new();
+        let mut wait_edges = Vec::new();
+        for component in Component::ALL {
+            let q = component.index();
+            let Some(&(front_index, _)) = self.pending[q].front() else {
+                continue;
+            };
+            let instr = &instructions[front_index];
+            let cause = match instr {
+                Instruction::WaitFlag { flag, .. } => {
+                    wait_edges.push(WaitEdge {
+                        waiter: component,
+                        flag: flag.raw(),
+                        pending_setters: self.pending_setters(flag.raw()),
+                    });
+                    BlockCause::Flag { flag: flag.raw() }
+                }
+                Instruction::Compute(_) | Instruction::Transfer(_)
+                    if self.has_region_conflict(front_index) =>
+                {
+                    let conflicting_with = self
+                        .executing
+                        .iter()
+                        .copied()
+                        .find(|&other| instr.conflicts_with(&instructions[other]))
+                        .unwrap_or(front_index);
+                    BlockCause::Region { conflicting_with }
+                }
+                _ => BlockCause::NotStarted,
+            };
+            queues.push(QueueState {
+                queue: component,
+                depth: self.pending[q].len(),
+                front_index,
+                front_instr: instr_text(instr),
+                cause,
+            });
+        }
+        DeadlockReport {
+            kernel: self.kernel.name().to_string(),
+            at_cycle: self.clock,
+            total: self.kernel.len(),
+            remaining: self.kernel.len() - self.completed,
+            undispatched: self.kernel.len() - self.next_dispatch,
+            barrier_pending: self.barrier_pending,
+            queues,
+            wait_edges,
+        }
+    }
+
+    /// Every `set_flag` of `flag` that has not started (and therefore, at
+    /// quiescence, never completed), with its location.
+    fn pending_setters(&self, flag: u32) -> Vec<PendingSetter> {
+        self.kernel
+            .instructions()
+            .iter()
+            .enumerate()
+            .filter(|&(i, instr)| {
+                matches!(instr, Instruction::SetFlag { flag: f, .. } if f.raw() == flag)
+                    && self.records[i].is_none()
+            })
+            .map(|(i, instr)| PendingSetter {
+                index: i,
+                location: if i >= self.next_dispatch {
+                    SetterLocation::Undispatched
+                } else {
+                    instr.queue().map_or(SetterLocation::Undispatched, SetterLocation::Queued)
+                },
+            })
+            .collect()
     }
 
     /// Dispatches instructions in program order until a barrier blocks or
@@ -239,7 +462,10 @@ impl<'a> Run<'a> {
             None if now > available + 1e-9 => StallCause::QueueBusy,
             None => StallCause::None,
         };
-        let duration = self.duration(instr)?;
+        let mut duration = self.duration(instr)?;
+        if let Some(plan) = self.faults {
+            duration *= plan.latency_factor(index);
+        }
         let end = now + duration;
         self.records[index] = Some(InstrRecord {
             index,
@@ -285,7 +511,7 @@ impl<'a> Run<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ascend_arch::{Buffer, ComputeUnit, Precision, TransferPath};
+    use ascend_arch::{Buffer, ComputeUnit, MteEngine, Precision, TransferPath};
     use ascend_isa::{KernelBuilder, Region};
 
     fn sim() -> Simulator {
@@ -463,5 +689,111 @@ mod tests {
         let sim = sim();
         let kernel = KernelBuilder::new("empty").build();
         assert!(matches!(sim.simulate(&kernel), Err(SimError::Validation(_))));
+    }
+
+    #[test]
+    fn invalid_spec_is_reported_not_simulated() {
+        let mut chip = ChipSpec::training();
+        chip.scale_bandwidth_unchecked(MteEngine::Gm, 0.0);
+        let sim = Simulator::new(chip.clone());
+        let mut b = KernelBuilder::new("doomed");
+        b.transfer(TransferPath::GmToUb, gm(0, 1024), ub(0, 1024)).unwrap();
+        let kernel = b.build();
+        match sim.simulate(&kernel) {
+            Err(SimError::Arch(ArchError::InvalidSpec { .. })) => {}
+            other => panic!("expected InvalidSpec, got {other:?}"),
+        }
+        assert!(matches!(Simulator::try_new(chip), Err(ArchError::InvalidSpec { .. })));
+    }
+
+    #[test]
+    fn unchecked_deadlock_carries_forensics() {
+        let sim = sim();
+        let mut b = KernelBuilder::new("stuck");
+        let f = b.new_flag();
+        // A wait with no matching set: validation would reject this.
+        b.wait_flag(ascend_arch::Component::Vector, f);
+        b.compute(ComputeUnit::Vector, Precision::Fp16, 64, vec![], vec![]);
+        let kernel = b.build();
+        assert!(matches!(sim.simulate(&kernel), Err(SimError::Validation(_))));
+        let Err(SimError::Deadlock(report)) = sim.simulate_unchecked(&kernel) else {
+            panic!("unmatched wait must deadlock the engine");
+        };
+        assert_eq!(report.remaining, 2);
+        assert_eq!(report.total, 2);
+        let vector = report
+            .queues
+            .iter()
+            .find(|q| q.queue == Component::Vector)
+            .expect("vector queue must be stuck");
+        assert_eq!(vector.front_index, 0);
+        assert_eq!(vector.cause, BlockCause::Flag { flag: f.raw() });
+        assert_eq!(report.wait_edges.len(), 1);
+        assert!(report.wait_edges[0].pending_setters.is_empty(), "no setter exists");
+        assert!(report.to_string().contains("the wait is unmatched"));
+    }
+
+    #[test]
+    fn event_budget_trips_the_watchdog() {
+        let sim = sim().with_budget(SimBudget { max_events: 4, max_cycles: f64::INFINITY });
+        let mut b = KernelBuilder::new("busy");
+        for i in 0..16 {
+            b.transfer(TransferPath::GmToUb, gm(i * 1024, 1024), ub(i * 1024, 1024)).unwrap();
+        }
+        match sim.simulate(&b.build()) {
+            Err(SimError::BudgetExceeded { events, max_events: 4, .. }) => {
+                assert!(events > 4);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cycle_budget_trips_the_watchdog() {
+        let sim = sim().with_budget(SimBudget { max_events: u64::MAX, max_cycles: 1.0 });
+        let mut b = KernelBuilder::new("slow");
+        b.transfer(TransferPath::GmToUb, gm(0, 1 << 18), ub(0, 1 << 18)).unwrap();
+        match sim.simulate(&b.build()) {
+            Err(SimError::BudgetExceeded { cycles, .. }) => assert!(cycles > 1.0),
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timing_faults_change_cycles_not_completion() {
+        let sim = sim();
+        let mut b = KernelBuilder::new("jitter");
+        for i in 0..4 {
+            b.transfer(TransferPath::GmToUb, gm(i * 4096, 4096), ub(i * 4096, 4096)).unwrap();
+        }
+        let kernel = b.build();
+        let base = sim.simulate(&kernel).unwrap().total_cycles();
+        let plan = ascend_faults::FaultPlan::new(7)
+            .degrade_bandwidth(MteEngine::Gm, 0.5)
+            .with_latency_jitter(0.2);
+        let faulted = sim.simulate_with_faults(&kernel, &plan).unwrap();
+        assert!(
+            faulted.total_cycles() > base,
+            "halved bandwidth must slow the kernel: {} vs {base}",
+            faulted.total_cycles()
+        );
+    }
+
+    #[test]
+    fn dropped_set_flag_deadlocks_with_forensics() {
+        let sim = sim();
+        let mut b = KernelBuilder::new("sync");
+        let f = b.new_flag();
+        b.transfer(TransferPath::GmToUb, gm(0, 2048), ub(0, 2048)).unwrap();
+        b.set_flag(ascend_arch::Component::MteGm, f);
+        b.wait_flag(ascend_arch::Component::Vector, f);
+        b.compute(ComputeUnit::Vector, Precision::Fp16, 512, vec![ub(0, 2048)], vec![ub(0, 2048)]);
+        let kernel = b.build();
+        sim.simulate(&kernel).expect("the unfaulted kernel is valid");
+        let plan = ascend_faults::FaultPlan::new(3).drop_set_flags(1);
+        let Err(SimError::Deadlock(report)) = sim.simulate_with_faults(&kernel, &plan) else {
+            panic!("dropping the only set_flag must deadlock");
+        };
+        assert!(report.queues.iter().any(|q| q.cause == BlockCause::Flag { flag: f.raw() }));
     }
 }

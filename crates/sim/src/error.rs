@@ -1,23 +1,49 @@
 //! Error type of the simulator.
 
+use crate::DeadlockReport;
 use ascend_arch::ArchError;
 use ascend_isa::IsaError;
 use std::error::Error;
 use std::fmt;
 
 /// Errors produced while simulating a kernel.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
     /// The kernel failed static validation before execution.
     Validation(IsaError),
-    /// A chip-specification lookup failed during execution.
+    /// A chip-specification lookup failed during execution, or the chip
+    /// specification itself is invalid.
     Arch(ArchError),
-    /// Execution stalled with work remaining (should be prevented by
-    /// validation; kept as a defensive runtime check).
-    Deadlock {
-        /// Number of instructions that never completed.
-        remaining: usize,
+    /// Execution stalled with work remaining. Validation rules this out
+    /// for accepted kernels; it is reachable through
+    /// `simulate_unchecked` and fault injection. The boxed report
+    /// carries full forensics — per-queue fronts, blocking causes, and
+    /// the flag wait-graph — and renders them through `Display`.
+    Deadlock(Box<DeadlockReport>),
+    /// The watchdog tripped: execution exceeded its event-count or
+    /// simulated-cycle budget before completing. Distinguishes runaway
+    /// (possibly livelocked or fault-degraded) runs from true deadlocks.
+    BudgetExceeded {
+        /// Events processed when the watchdog fired.
+        events: u64,
+        /// Simulated cycle when the watchdog fired.
+        cycles: f64,
+        /// The event budget that was in force.
+        max_events: u64,
+        /// The cycle budget that was in force.
+        max_cycles: f64,
     },
+}
+
+impl SimError {
+    /// The deadlock forensics, when this error is a deadlock.
+    #[must_use]
+    pub fn deadlock_report(&self) -> Option<&DeadlockReport> {
+        match self {
+            SimError::Deadlock(report) => Some(report),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -25,9 +51,12 @@ impl fmt::Display for SimError {
         match self {
             SimError::Validation(err) => write!(f, "kernel validation failed: {err}"),
             SimError::Arch(err) => write!(f, "chip specification lookup failed: {err}"),
-            SimError::Deadlock { remaining } => {
-                write!(f, "simulation deadlocked with {remaining} instructions outstanding")
-            }
+            SimError::Deadlock(report) => report.fmt(f),
+            SimError::BudgetExceeded { events, cycles, max_events, max_cycles } => write!(
+                f,
+                "watchdog budget exceeded after {events} events at cycle {cycles:.0} \
+                 (budget: {max_events} events, {max_cycles:.0} cycles)"
+            ),
         }
     }
 }
@@ -37,7 +66,7 @@ impl Error for SimError {
         match self {
             SimError::Validation(err) => Some(err),
             SimError::Arch(err) => Some(err),
-            SimError::Deadlock { .. } => None,
+            SimError::Deadlock(_) | SimError::BudgetExceeded { .. } => None,
         }
     }
 }
@@ -62,8 +91,25 @@ mod tests {
     fn source_chains() {
         let err = SimError::Validation(IsaError::EmptyKernel);
         assert!(err.source().is_some());
-        let err = SimError::Deadlock { remaining: 2 };
+        let err =
+            SimError::BudgetExceeded { events: 11, cycles: 1e4, max_events: 10, max_cycles: 1e6 };
         assert!(err.source().is_none());
-        assert!(err.to_string().contains("2 instructions"));
+    }
+
+    #[test]
+    fn display_snapshots_stay_stable() {
+        let err = SimError::Validation(IsaError::EmptyKernel);
+        assert_eq!(err.to_string(), "kernel validation failed: kernel contains no instructions");
+        let err = SimError::BudgetExceeded {
+            events: 11,
+            cycles: 12345.0,
+            max_events: 10,
+            max_cycles: 1e6,
+        };
+        assert_eq!(
+            err.to_string(),
+            "watchdog budget exceeded after 11 events at cycle 12345 \
+             (budget: 10 events, 1000000 cycles)"
+        );
     }
 }

@@ -1,0 +1,231 @@
+//! Deadlock forensics: a structured snapshot of engine state at the
+//! moment execution stalled.
+//!
+//! When the event loop drains with instructions still outstanding, the
+//! engine used to report only a count. That is useless for debugging a
+//! generated or fault-mutated kernel: *which* queue is stuck, on *what*,
+//! and *where are the missing producers*? [`DeadlockReport`] answers all
+//! three, and its [`Display`](std::fmt::Display) impl renders the answer
+//! as the multi-line diagnostic the bench binaries print.
+
+use ascend_arch::Component;
+use ascend_isa::Instruction;
+use std::fmt;
+
+/// Why a queue's front instruction cannot start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockCause {
+    /// The front instruction is a `wait_flag` and the flag's counter is
+    /// zero: every producer either already ran (counts consumed by earlier
+    /// waits) or is itself stuck. See the report's wait edges for the
+    /// producers that never completed.
+    Flag {
+        /// Raw id of the awaited flag.
+        flag: u32,
+    },
+    /// The front instruction overlaps a region of a still-executing
+    /// instruction (spatial dependency).
+    Region {
+        /// Index of the executing instruction it conflicts with.
+        conflicting_with: usize,
+    },
+    /// The instruction is runnable as far as the engine can tell; it
+    /// simply never reached the front of its queue in time. Seen on
+    /// queues behind a stalled dispatcher.
+    NotStarted,
+}
+
+impl fmt::Display for BlockCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockCause::Flag { flag } => write!(f, "blocked waiting on flag f{flag}"),
+            BlockCause::Region { conflicting_with } => {
+                write!(f, "blocked on a region conflict with #{conflicting_with}")
+            }
+            BlockCause::NotStarted => write!(f, "never started"),
+        }
+    }
+}
+
+/// The state of one component queue at stall time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueState {
+    /// The component whose queue this is.
+    pub queue: Component,
+    /// Number of dispatched-but-unfinished instructions in the queue.
+    pub depth: usize,
+    /// Kernel index of the instruction at the front of the queue.
+    pub front_index: usize,
+    /// The front instruction, rendered in the kernel text syntax.
+    pub front_instr: String,
+    /// Why the front instruction cannot start.
+    pub cause: BlockCause,
+}
+
+/// Where an unfinished `set_flag` producer is stuck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetterLocation {
+    /// Dispatched, sitting in (or behind the front of) this queue.
+    Queued(Component),
+    /// The dispatcher never reached it (it sits after a pending barrier).
+    Undispatched,
+}
+
+/// One unfinished producer of an awaited flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingSetter {
+    /// Kernel index of the `set_flag` instruction.
+    pub index: usize,
+    /// Where that instruction is stuck.
+    pub location: SetterLocation,
+}
+
+/// One edge of the flag wait-graph: a queue waiting on a flag, plus every
+/// producer of that flag that never completed. An empty `pending_setters`
+/// list is the signature of an unmatched wait — nothing will ever satisfy
+/// it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaitEdge {
+    /// The queue whose front instruction is the wait.
+    pub waiter: Component,
+    /// Raw id of the awaited flag.
+    pub flag: u32,
+    /// Every `set_flag` of this flag that has not completed.
+    pub pending_setters: Vec<PendingSetter>,
+}
+
+/// Everything the engine knew at the moment it stalled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadlockReport {
+    /// Name of the kernel that deadlocked.
+    pub kernel: String,
+    /// Simulated cycle at which the last event was processed.
+    pub at_cycle: f64,
+    /// Total number of instructions in the kernel.
+    pub total: usize,
+    /// Number of instructions that never completed.
+    pub remaining: usize,
+    /// Number of instructions the dispatcher never handed to a queue.
+    pub undispatched: usize,
+    /// True when the dispatcher itself is stalled at a `pipe_barrier`.
+    pub barrier_pending: bool,
+    /// Per-queue state, one entry per non-empty queue.
+    pub queues: Vec<QueueState>,
+    /// The flag wait-graph at stall time.
+    pub wait_edges: Vec<WaitEdge>,
+}
+
+impl fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "deadlock in kernel `{}` at cycle {:.0}: {} of {} instructions never completed",
+            self.kernel, self.at_cycle, self.remaining, self.total
+        )?;
+        if self.undispatched > 0 {
+            write!(f, "; {} undispatched", self.undispatched)?;
+        }
+        if self.barrier_pending {
+            write!(f, "; dispatcher stalled at a barrier")?;
+        }
+        for q in &self.queues {
+            write!(
+                f,
+                "\n  queue {}: depth {}, front #{} `{}` — {}",
+                q.queue, q.depth, q.front_index, q.front_instr, q.cause
+            )?;
+        }
+        for edge in &self.wait_edges {
+            write!(f, "\n  flag f{}: {} waits", edge.flag, edge.waiter)?;
+            if edge.pending_setters.is_empty() {
+                write!(f, "; no pending set_flag — the wait is unmatched")?;
+            } else {
+                write!(f, "; pending setters:")?;
+                for setter in &edge.pending_setters {
+                    match setter.location {
+                        SetterLocation::Queued(queue) => {
+                            write!(f, " #{} (queued on {})", setter.index, queue)?;
+                        }
+                        SetterLocation::Undispatched => {
+                            write!(f, " #{} (undispatched)", setter.index)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Renders one instruction in the kernel text syntax (compact form).
+pub(crate) fn instr_text(instr: &Instruction) -> String {
+    match instr {
+        Instruction::Transfer(t) => format!("move {} {}B", t.path, t.bytes()),
+        Instruction::Compute(c) => format!("{}.{} {}", c.unit, c.precision, c.ops),
+        Instruction::SetFlag { queue, flag } => format!("set f{} @{}", flag.raw(), queue),
+        Instruction::WaitFlag { queue, flag } => format!("wait f{} @{}", flag.raw(), queue),
+        Instruction::Barrier => "barrier".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_every_section() {
+        let report = DeadlockReport {
+            kernel: "stuck".to_string(),
+            at_cycle: 41.7,
+            total: 6,
+            remaining: 3,
+            undispatched: 1,
+            barrier_pending: true,
+            queues: vec![QueueState {
+                queue: Component::Vector,
+                depth: 2,
+                front_index: 4,
+                front_instr: "wait f1 @vector".to_string(),
+                cause: BlockCause::Flag { flag: 1 },
+            }],
+            wait_edges: vec![WaitEdge {
+                waiter: Component::Vector,
+                flag: 1,
+                pending_setters: vec![PendingSetter {
+                    index: 5,
+                    location: SetterLocation::Undispatched,
+                }],
+            }],
+        };
+        let text = report.to_string();
+        assert!(text.contains("deadlock in kernel `stuck` at cycle 42"), "{text}");
+        assert!(text.contains("3 of 6 instructions never completed"), "{text}");
+        assert!(text.contains("1 undispatched"), "{text}");
+        assert!(text.contains("dispatcher stalled at a barrier"), "{text}");
+        assert!(text.contains("queue vector: depth 2, front #4 `wait f1 @vector`"), "{text}");
+        assert!(text.contains("blocked waiting on flag f1"), "{text}");
+        assert!(
+            text.contains("flag f1: vector waits; pending setters: #5 (undispatched)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn unmatched_wait_is_called_out() {
+        let report = DeadlockReport {
+            kernel: "orphan".to_string(),
+            at_cycle: 0.0,
+            total: 1,
+            remaining: 1,
+            undispatched: 0,
+            barrier_pending: false,
+            queues: vec![],
+            wait_edges: vec![WaitEdge {
+                waiter: Component::Cube,
+                flag: 0,
+                pending_setters: vec![],
+            }],
+        };
+        assert!(report.to_string().contains("no pending set_flag — the wait is unmatched"));
+    }
+}

@@ -47,8 +47,12 @@
 
 mod engine;
 mod error;
+mod forensics;
 mod trace;
 
-pub use engine::Simulator;
+pub use engine::{SimBudget, Simulator};
 pub use error::SimError;
+pub use forensics::{
+    BlockCause, DeadlockReport, PendingSetter, QueueState, SetterLocation, WaitEdge,
+};
 pub use trace::{InstrRecord, StallCause, Trace};

@@ -2,6 +2,7 @@
 
 //! Umbrella crate: re-exports every crate of the Ascend roofline workspace.
 pub use ascend_arch as arch;
+pub use ascend_faults as faults;
 pub use ascend_isa as isa;
 pub use ascend_models as models;
 pub use ascend_ops as ops;

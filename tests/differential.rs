@@ -1,0 +1,127 @@
+//! The validator↔engine differential fuzzer.
+//!
+//! The repository's soundness contract has two one-directional halves:
+//!
+//! 1. **Accepted ⇒ completes.** Every kernel `validate()` accepts must
+//!    simulate to completion — no deadlock, no watchdog trip — with and
+//!    without *timing* faults (degraded bandwidth, latency jitter change
+//!    when things happen, never whether they happen).
+//! 2. **Deadlocks ⇒ rejected.** Every kernel the engine stalls on must
+//!    have been rejected by `validate()` — the static analysis may be
+//!    conservative, but it must never bless a kernel the engine cannot
+//!    finish.
+//!
+//! Kernels are drawn from the seeded adversarial generator in
+//! `ascend-faults`, which deliberately produces both valid and invalid
+//! synchronization structures. The vendored proptest honors a
+//! `PROPTEST_CASES` environment variable, which CI's fuzz job uses to run
+//! a deeper sweep than the local default.
+
+use ascend::arch::{ChipSpec, MteEngine};
+use ascend::faults::{generator, FaultPlan, SplitMix64};
+use ascend::isa::validate;
+use ascend::sim::{SimBudget, SimError, Simulator};
+use proptest::prelude::*;
+
+const MAX_LEN: usize = 24;
+
+/// A watchdog tight enough to catch a hung run quickly but far above
+/// anything a 24-instruction kernel can legitimately need.
+fn guarded_simulator(chip: ChipSpec) -> Simulator {
+    Simulator::new(chip).with_budget(SimBudget { max_events: 1 << 20, max_cycles: 1e12 })
+}
+
+/// A timing-only fault plan derived from `seed`: degraded (but non-zero)
+/// bandwidth on every engine plus bounded latency jitter. Such plans must
+/// never change a kernel's liveness.
+fn timing_plan(seed: u64) -> FaultPlan {
+    let mut rng = SplitMix64::new(seed);
+    let mut plan = FaultPlan::new(seed).with_latency_jitter(rng.unit_f64() * 0.5);
+    for engine in MteEngine::ALL {
+        plan = plan.degrade_bandwidth(engine, 0.25 + rng.unit_f64());
+    }
+    assert!(plan.is_timing_only());
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    // Contract half 1: accepted kernels complete, bare and under timing
+    // faults.
+    #[test]
+    fn accepted_kernels_simulate_to_completion(seed in 0u64..u64::MAX) {
+        let chip = ChipSpec::training();
+        let kernel = generator::generate(seed, MAX_LEN);
+        if validate(&kernel, &chip).is_ok() {
+            let sim = guarded_simulator(chip);
+            match sim.simulate(&kernel) {
+                Ok(_) => {}
+                Err(err) => prop_assert!(
+                    false,
+                    "validated kernel (seed {seed}) failed to complete: {err}"
+                ),
+            }
+            match sim.simulate_with_faults(&kernel, &timing_plan(seed ^ 0xD1FF)) {
+                Ok(_) => {}
+                Err(err) => prop_assert!(
+                    false,
+                    "timing faults hung a valid kernel (seed {seed}): {err}"
+                ),
+            }
+        }
+    }
+
+    // Contract half 2: anything the engine deadlocks on was rejected.
+    #[test]
+    fn engine_deadlocks_only_on_rejected_kernels(seed in 0u64..u64::MAX) {
+        let chip = ChipSpec::training();
+        let kernel = generator::generate(seed, MAX_LEN);
+        let sim = guarded_simulator(chip.clone());
+        if let Err(SimError::Deadlock(report)) = sim.simulate_unchecked(&kernel) {
+            prop_assert!(
+                validate(&kernel, &chip).is_err(),
+                "engine deadlocked on a kernel the validator accepted (seed {seed}):\n{report}"
+            );
+        }
+    }
+
+    // Sync faults re-enter the contract: a fault-mutated kernel is a new
+    // kernel, and the validator's verdict on *it* must still agree with
+    // the engine.
+    #[test]
+    fn sync_faulted_kernels_still_satisfy_the_contract(seed in 0u64..u64::MAX) {
+        let chip = ChipSpec::training();
+        let kernel = generator::generate(seed, MAX_LEN);
+        let mut rng = SplitMix64::new(seed ^ 0x5EED);
+        let plan = FaultPlan::new(seed ^ 0x5EED)
+            .drop_set_flags(rng.below(3) as usize)
+            .duplicate_set_flags(rng.below(3) as usize);
+        let mutated = plan.apply_to_kernel(&kernel);
+        let sim = guarded_simulator(chip.clone());
+        if let Err(SimError::Deadlock(report)) = sim.simulate_unchecked(&mutated) {
+            prop_assert!(
+                validate(&mutated, &chip).is_err(),
+                "engine deadlocked on a mutated kernel the validator accepted \
+                 (seed {seed}):\n{report}"
+            );
+        }
+    }
+
+    // The watchdog never fires on generator-sized kernels: whatever the
+    // engine's verdict, it must reach it within budget.
+    #[test]
+    fn watchdog_stays_silent_on_bounded_kernels(seed in 0u64..u64::MAX) {
+        let chip = ChipSpec::training();
+        let kernel = generator::generate(seed, MAX_LEN);
+        let sim = guarded_simulator(chip);
+        prop_assert!(
+            !matches!(
+                sim.simulate_unchecked(&kernel),
+                Err(SimError::BudgetExceeded { .. })
+            ),
+            "watchdog tripped on a {}-instruction kernel (seed {seed})",
+            kernel.len()
+        );
+    }
+}

@@ -67,7 +67,11 @@ fn run_batch_preserves_input_order_for_any_worker_count() {
         // A fresh pipeline per worker count: results must not depend on
         // scheduling or on cache warmth.
         let pipeline = AnalysisPipeline::new(chip.clone());
-        let batch = pipeline.run_batch_with_workers(&refs, workers).unwrap();
+        let batch: Vec<_> = pipeline
+            .run_batch_with_workers(&refs, workers)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
         assert_eq!(batch.len(), serial.len());
         for (expected, got) in serial.iter().zip(&batch) {
             assert_eq!(expected.kernel_name, got.kernel_name, "workers={workers}");
@@ -86,7 +90,8 @@ fn cache_stats_count_hits_and_misses_on_a_stream_with_repeats() {
     let c = Softmax::new(1 << 12);
     // A B A A C B → misses for A, B, C; hits for the three repeats.
     let stream: Vec<&dyn Operator> = vec![&a, &b, &a, &a, &c, &b];
-    let results = pipeline.analyze_stream(stream.iter().copied()).unwrap();
+    let results: Vec<_> =
+        pipeline.analyze_stream(stream.iter().copied()).into_iter().map(|r| r.unwrap()).collect();
     assert_eq!(results.len(), 6);
     let stats = pipeline.cache_stats();
     assert_eq!(stats.misses, 3, "{stats:?}");
@@ -106,7 +111,9 @@ fn batch_misses_are_counted_once_per_distinct_operator() {
     let a = AddRelu::new(1 << 12);
     let b = Gelu::new(1 << 12);
     let stream: Vec<&dyn Operator> = vec![&a, &b, &a, &b, &a, &b, &a, &b];
-    pipeline.run_batch_with_workers(&stream, 4).unwrap();
+    for result in pipeline.run_batch_with_workers(&stream, 4) {
+        result.unwrap();
+    }
     let stats = pipeline.cache_stats();
     // Concurrent duplicate misses are allowed to race (both count as
     // misses), but the total ledger must cover the whole stream.

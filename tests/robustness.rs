@@ -1,0 +1,136 @@
+//! Regression tests for the hardened execution path: watchdog budgets,
+//! deadlock forensics, and per-item panic isolation in the pipeline.
+
+use ascend::arch::{ChipSpec, Component};
+use ascend::isa::{IsaError, Kernel, KernelBuilder};
+use ascend::ops::{AddRelu, Operator, OptFlags};
+use ascend::pipeline::{AnalysisPipeline, PipelineError};
+use ascend::sim::{SimBudget, SimError, Simulator};
+
+/// A kernel long enough to outrun a tiny event budget.
+fn long_kernel(len: usize) -> Kernel {
+    let mut b = KernelBuilder::new("long");
+    for _ in 0..len {
+        b.compute(
+            ascend::arch::ComputeUnit::Vector,
+            ascend::arch::Precision::Fp16,
+            1024,
+            vec![],
+            vec![],
+        );
+    }
+    b.build()
+}
+
+#[test]
+fn event_budget_exhaustion_is_reported_not_hung() {
+    let sim = Simulator::new(ChipSpec::training())
+        .with_budget(SimBudget { max_events: 16, max_cycles: 1e15 });
+    let err = sim.simulate(&long_kernel(64)).unwrap_err();
+    let SimError::BudgetExceeded { events, max_events, .. } = err else {
+        panic!("expected BudgetExceeded, got {err}");
+    };
+    assert_eq!(max_events, 16);
+    assert!(events > max_events);
+
+    // The same kernel completes under the default (generous) budget.
+    assert!(Simulator::new(ChipSpec::training()).simulate(&long_kernel(64)).is_ok());
+}
+
+#[test]
+fn deadlock_report_names_the_blocked_queue_and_the_missing_setter() {
+    // An unmatched wait: rejected statically, and when run unchecked the
+    // engine must return forensics naming the waiter and the absent set.
+    let mut b = KernelBuilder::new("hang");
+    let f = b.new_flag();
+    b.wait_flag(Component::Vector, f);
+    let kernel = b.build();
+
+    let chip = ChipSpec::training();
+    assert!(ascend::isa::validate(&kernel, &chip).is_err());
+
+    let err = Simulator::new(chip).simulate_unchecked(&kernel).unwrap_err();
+    let report = err.deadlock_report().expect("deadlock, not another error");
+    assert_eq!(report.kernel, "hang");
+    assert_eq!(report.remaining, 1);
+    assert_eq!(report.total, 1);
+    assert_eq!(report.queues.len(), 1);
+    assert_eq!(report.queues[0].queue, Component::Vector);
+    assert_eq!(report.wait_edges.len(), 1);
+    assert!(report.wait_edges[0].pending_setters.is_empty());
+
+    let rendered = err.to_string();
+    assert!(rendered.contains("deadlock in kernel `hang`"), "{rendered}");
+    assert!(rendered.contains("queue vector"), "{rendered}");
+    assert!(rendered.contains("blocked waiting on flag f0"), "{rendered}");
+    assert!(rendered.contains("the wait is unmatched"), "{rendered}");
+}
+
+#[test]
+fn timing_dependent_wait_races_are_rejected_statically() {
+    // The pattern the differential fuzzer found: waits of one flag on
+    // different queues, where a fast queue can steal an increment whose
+    // intended consumer's remaining producer sits behind it.
+    let mut b = KernelBuilder::new("steal");
+    let f = b.new_flag();
+    b.set_flag(Component::MteUb, f);
+    b.set_flag(Component::Scalar, f);
+    b.wait_flag(Component::MteL1, f);
+    b.set_flag(Component::MteL1, f);
+    b.wait_flag(Component::Cube, f);
+    b.wait_flag(Component::Vector, f);
+    assert!(matches!(
+        ascend::isa::validate(&b.build(), &ChipSpec::training()),
+        Err(IsaError::UnorderedWaits { flag: 0, .. })
+    ));
+}
+
+/// An operator whose `build` panics — stands in for a buggy generator.
+#[derive(Debug)]
+struct ExplodingOp;
+
+impl Operator for ExplodingOp {
+    fn name(&self) -> String {
+        "exploding".to_string()
+    }
+
+    fn flags(&self) -> OptFlags {
+        OptFlags::new()
+    }
+
+    fn with_flags_dyn(&self, _flags: OptFlags) -> Box<dyn Operator> {
+        Box::new(ExplodingOp)
+    }
+
+    fn build(&self, _chip: &ChipSpec) -> Result<Kernel, IsaError> {
+        panic!("injected failure: generator bug");
+    }
+}
+
+#[test]
+fn one_poisoned_batch_item_cannot_sink_its_siblings() {
+    let pipeline = AnalysisPipeline::new(ChipSpec::training());
+    let ops: Vec<Box<dyn Operator>> = vec![
+        Box::new(AddRelu::new(1 << 12)),
+        Box::new(ExplodingOp),
+        Box::new(AddRelu::new(1 << 13)),
+        Box::new(AddRelu::new(1 << 14)),
+    ];
+    let refs: Vec<&dyn Operator> = ops.iter().map(AsRef::as_ref).collect();
+    for workers in [1, 2, 4] {
+        let results = pipeline.run_batch_with_workers(&refs, workers);
+        assert_eq!(results.len(), 4);
+        for (i, result) in results.iter().enumerate() {
+            if i == 1 {
+                let Err(PipelineError::Panicked { message }) = result else {
+                    panic!("slot 1 must be the panicked one, got {result:?}");
+                };
+                assert!(message.contains("injected failure"), "{message}");
+            } else {
+                assert!(result.is_ok(), "slot {i}: {result:?}");
+            }
+        }
+    }
+    // The pipeline (and its shared cache) survives the panic.
+    assert!(pipeline.run(&AddRelu::new(1 << 12)).is_ok());
+}

@@ -30,6 +30,16 @@ pub mod test_runner {
         }
     }
 
+    /// The case count in force: a parseable `PROPTEST_CASES` environment
+    /// variable overrides the per-test configuration (mirroring the real
+    /// proptest), so CI can crank fuzz jobs up without code changes.
+    pub fn cases_from_env(configured: u32) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|value| value.parse().ok())
+            .unwrap_or(configured)
+    }
+
     /// Why a single sampled case did not pass.
     #[derive(Debug)]
     pub enum TestCaseError {
@@ -334,6 +344,9 @@ macro_rules! __proptest_tests {
             #[test]
             fn $name() {
                 let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __config = $crate::test_runner::ProptestConfig {
+                    cases: $crate::test_runner::cases_from_env(__config.cases),
+                };
                 let mut __rng = $crate::test_runner::TestRng::deterministic(concat!(
                     module_path!(), "::", stringify!($name)
                 ));
