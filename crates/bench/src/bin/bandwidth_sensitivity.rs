@@ -5,7 +5,7 @@
 //! and watches the bottleneck distribution and iteration time respond.
 
 use ascend_arch::{ChipSpec, MteEngine};
-use ascend_bench::{header, write_json};
+use ascend_bench::{header, run_policy, write_json};
 use ascend_models::{zoo, ModelRunner};
 use serde_json::json;
 
@@ -16,7 +16,7 @@ fn main() {
     let mut reference = 0.0;
     for factor in [0.5, 1.0, 2.0, 4.0] {
         let chip = ChipSpec::training().with_mte_bandwidth_scale(MteEngine::Gm, factor);
-        let runner = ModelRunner::new(chip);
+        let runner = ModelRunner::new(chip).with_policy(run_policy());
         let report = runner.analyze(&zoo::pangu_alpha()).unwrap();
         if factor == 1.0 {
             reference = report.total_cycles;

@@ -3,7 +3,7 @@
 //! total latency before/after optimization.
 
 use ascend_arch::ChipSpec;
-use ascend_bench::{header, write_json};
+use ascend_bench::{header, run_policy, write_json};
 use ascend_models::{zoo, ModelRunner, Phase};
 use serde_json::json;
 
@@ -12,7 +12,7 @@ fn main() {
     header("Section 6.2.2", "MobileNetV3 inference optimization");
     let model = zoo::mobilenet_v3(Phase::Inference);
     println!("operators per inference: {} (paper: 155)", model.total_invocations());
-    let runner = ModelRunner::new(chip.clone());
+    let runner = ModelRunner::new(chip.clone()).with_policy(run_policy());
     let result = runner.optimize(&model).unwrap();
 
     println!("\nbottleneck causes (operator-count weighted):");

@@ -2,11 +2,12 @@
 //! every iteration's diagnosis and the applied strategy.
 
 use ascend_arch::{ChipSpec, Component};
-use ascend_bench::{header, micros, run_op, write_json};
+use ascend_bench::{error_chain, header, micros, run_op, write_json};
 use ascend_ops::{AddRelu, AvgPool, Depthwise, Operator, OptFlags};
 use ascend_optimize::Optimizer;
 use ascend_sim::Simulator;
 use serde_json::json;
+use std::error::Error;
 
 fn walk(
     chip: &ChipSpec,
@@ -39,7 +40,7 @@ fn walk(
     rows
 }
 
-fn main() {
+fn run() -> Result<(), Box<dyn Error>> {
     let training = ChipSpec::training();
     let inference = ChipSpec::inference();
     header("Sections 5.1-5.3", "operator optimization case studies");
@@ -81,22 +82,14 @@ fn main() {
 
     // Ping-pong's waiting-interval effect (paper: 14 -> 3 intervals).
     let sim = Simulator::new(training.clone());
-    let before = sim
-        .simulate(
-            &Depthwise::new(N)
-                .with_flags(OptFlags::new().ais(true).rus(true))
-                .build(&training)
-                .unwrap(),
-        )
-        .unwrap();
-    let after = sim
-        .simulate(
-            &Depthwise::new(N)
-                .with_flags(OptFlags::new().ais(true).rus(true).pp(true))
-                .build(&training)
-                .unwrap(),
-        )
-        .unwrap();
+    let before = sim.simulate(
+        &Depthwise::new(N).with_flags(OptFlags::new().ais(true).rus(true)).build(&training)?,
+    )?;
+    let after = sim.simulate(
+        &Depthwise::new(N)
+            .with_flags(OptFlags::new().ais(true).rus(true).pp(true))
+            .build(&training)?,
+    )?;
     println!(
         "  ping-pong MTE-GM waiting intervals: {} -> {} (paper: 14 -> 3)",
         before.waiting_intervals(Component::MteGm, 10.0),
@@ -115,9 +108,9 @@ fn main() {
     // The automated loop reproduces the same walks.
     println!("\n=== automated analyze-optimize loop ===");
     for report in [
-        Optimizer::new(training.clone()).run(&AddRelu::new(N)).unwrap(),
-        Optimizer::new(training.clone()).run(&Depthwise::new(N)).unwrap(),
-        Optimizer::new(inference.clone()).run(&AvgPool::new(1 << 16)).unwrap(),
+        Optimizer::new(training.clone()).run(&AddRelu::new(N))?,
+        Optimizer::new(training.clone()).run(&Depthwise::new(N))?,
+        Optimizer::new(inference.clone()).run(&AvgPool::new(1 << 16))?,
     ] {
         println!("{}", report.summary());
     }
@@ -130,4 +123,12 @@ fn main() {
             "avgpool": avgpool,
         }),
     );
+    Ok(())
+}
+
+fn main() {
+    if let Err(err) = run() {
+        eprintln!("case_studies failed:\n{}", error_chain(err.as_ref()));
+        std::process::exit(1);
+    }
 }

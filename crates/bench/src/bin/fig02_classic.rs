@@ -3,19 +3,20 @@
 //! where they stop being informative for Ascend.
 
 use ascend_arch::{ChipSpec, ComputeUnit, Precision, TransferPath};
-use ascend_bench::{header, write_json};
+use ascend_bench::{error_chain, header, write_json};
 use ascend_roofline::classic::{
     DramRoofline, HierarchicalRoofline, HierarchyLevel, RooflineRegion,
 };
 use serde_json::json;
+use std::error::Error;
 
-fn main() {
+fn run() -> Result<(), Box<dyn Error>> {
     let chip = ChipSpec::training();
     header("Figure 2", "classic roofline models (background)");
 
     // DRAM roofline from the chip's Cube FP16 peak and GM bandwidth.
-    let peak_flops = chip.peak_ops_per_sec(ComputeUnit::Cube, Precision::Fp16).unwrap();
-    let gm_bw = chip.transfer(TransferPath::GmToL1).unwrap().bytes_per_cycle * chip.frequency_hz;
+    let peak_flops = chip.peak_ops_per_sec(ComputeUnit::Cube, Precision::Fp16)?;
+    let gm_bw = chip.transfer(TransferPath::GmToL1)?.bytes_per_cycle * chip.frequency_hz;
     let dram = DramRoofline::new(peak_flops, gm_bw);
     println!(
         "\nDRAM roofline: peak {:.2} Tops/s, GM {:.1} GB/s, ridge at {:.1} ops/byte",
@@ -35,8 +36,8 @@ fn main() {
     }
 
     // Hierarchical roofline with the chip's memory levels.
-    let l1_bw = chip.transfer(TransferPath::L1ToL0A).unwrap().bytes_per_cycle * chip.frequency_hz;
-    let ub_bw = chip.transfer(TransferPath::UbToGm).unwrap().bytes_per_cycle * chip.frequency_hz;
+    let l1_bw = chip.transfer(TransferPath::L1ToL0A)?.bytes_per_cycle * chip.frequency_hz;
+    let ub_bw = chip.transfer(TransferPath::UbToGm)?.bytes_per_cycle * chip.frequency_hz;
     let hier = HierarchicalRoofline::new(vec![
         HierarchyLevel { name: "GM".into(), rate: gm_bw, arithmetic: false },
         HierarchyLevel { name: "L1".into(), rate: l1_bw, arithmetic: false },
@@ -44,13 +45,14 @@ fn main() {
         HierarchyLevel { name: "Cube FP16".into(), rate: peak_flops, arithmetic: true },
         HierarchyLevel {
             name: "Cube INT8".into(),
-            rate: chip.peak_ops_per_sec(ComputeUnit::Cube, Precision::Int8).unwrap(),
+            rate: chip.peak_ops_per_sec(ComputeUnit::Cube, Precision::Int8)?,
             arithmetic: true,
         },
     ]);
     println!("\nhierarchical roofline binding level by intensity:");
     for ai in [0.5, 8.0, 128.0, 4096.0] {
-        let level = hier.binding_level(ai).unwrap();
+        let level =
+            hier.binding_level(ai).ok_or("hierarchical roofline has no levels to bind against")?;
         println!("  AI {ai:>7.1}: bound by {}", level.name);
     }
     println!("\nWhat neither model can express (Section 2.3): the serial MTE");
@@ -58,4 +60,12 @@ fn main() {
     println!("Figure 3b — run fig03_naive_vs_component for the component model's fix.");
 
     write_json("fig02", &json!({"dram_points": points, "ridge": dram.ridge_intensity()}));
+    Ok(())
+}
+
+fn main() {
+    if let Err(err) = run() {
+        eprintln!("fig02_classic failed:\n{}", error_chain(err.as_ref()));
+        std::process::exit(1);
+    }
 }

@@ -3,14 +3,14 @@
 //! optimization campaign.
 
 use ascend_arch::ChipSpec;
-use ascend_bench::{header, write_json};
+use ascend_bench::{header, run_policy, write_json};
 use ascend_models::{zoo, ModelRunner};
 use serde_json::json;
 
 fn main() {
     let chip = ChipSpec::training();
     header("Figure 13", "PanGu-alpha training: analysis and optimization");
-    let runner = ModelRunner::new(chip.clone());
+    let runner = ModelRunner::new(chip.clone()).with_policy(run_policy());
     let result = runner.optimize(&zoo::pangu_alpha()).unwrap();
 
     println!("\nFigure 13a — bottleneck causes (time-weighted):");

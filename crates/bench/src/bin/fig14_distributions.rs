@@ -3,14 +3,14 @@
 //! inference deployments.
 
 use ascend_arch::ChipSpec;
-use ascend_bench::{header, write_json};
+use ascend_bench::{header, run_policy, write_json};
 use ascend_models::{convert_for_framework, zoo, Framework, ModelRunner, Phase};
 use serde_json::json;
 
 fn main() {
     header("Figure 14", "distribution of performance impediments");
-    let training_runner = ModelRunner::new(ChipSpec::training());
-    let inference_runner = ModelRunner::new(ChipSpec::inference());
+    let training_runner = ModelRunner::new(ChipSpec::training()).with_policy(run_policy());
+    let inference_runner = ModelRunner::new(ChipSpec::inference()).with_policy(run_policy());
 
     println!("\nFigure 14a — training bottleneck causes across models (time-weighted):");
     let mut fig_a = Vec::new();

@@ -2,22 +2,23 @@
 //! campaign across all eleven training workloads.
 
 use ascend_arch::ChipSpec;
-use ascend_bench::{header, write_json};
+use ascend_bench::{error_chain, header, run_policy, write_json};
 use ascend_models::{zoo, ModelRunner};
 use serde_json::json;
+use std::error::Error;
 
-fn main() {
+fn run() -> Result<(), Box<dyn Error>> {
     header(
         "Figure 15",
         "time speedup with optimization (paper: computation 1.08-2.70x, overall 1.07-2.15x)",
     );
-    let runner = ModelRunner::new(ChipSpec::training());
+    let runner = ModelRunner::new(ChipSpec::training()).with_policy(run_policy());
     println!("{:<16} {:>12} {:>10}", "model", "computation", "overall");
     let mut rows = Vec::new();
     let mut comp_range = (f64::INFINITY, 0.0f64);
     let mut overall_range = (f64::INFINITY, 0.0f64);
     for model in zoo::all_training() {
-        let result = runner.optimize(&model).unwrap();
+        let result = runner.optimize(&model)?;
         let comp = result.computation_speedup();
         let overall = result.overall_speedup();
         comp_range = (comp_range.0.min(comp), comp_range.1.max(comp));
@@ -34,4 +35,12 @@ fn main() {
         comp_range.0, comp_range.1, overall_range.0, overall_range.1
     );
     write_json("fig15", &rows);
+    Ok(())
+}
+
+fn main() {
+    if let Err(err) = run() {
+        eprintln!("fig15_speedup failed:\n{}", error_chain(err.as_ref()));
+        std::process::exit(1);
+    }
 }

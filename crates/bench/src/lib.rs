@@ -17,15 +17,16 @@
 
 use ascend_arch::ChipSpec;
 use ascend_ops::Operator;
-use ascend_pipeline::AnalysisPipeline;
+use ascend_pipeline::{AnalysisPipeline, BatchJournal, RunPolicy};
 use ascend_profile::Profile;
 use ascend_roofline::RooflineAnalysis;
-use ascend_sim::Trace;
+use ascend_sim::{SimBudget, Trace};
 use serde::Serialize;
 use std::error::Error;
 use std::fs;
 use std::path::PathBuf;
 use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
 
 /// Process-wide pipelines, one per distinct chip spec.
 static PIPELINES: OnceLock<Mutex<Vec<AnalysisPipeline>>> = OnceLock::new();
@@ -45,21 +46,65 @@ pub fn pipeline_for(chip: &ChipSpec) -> AnalysisPipeline {
     pipeline
 }
 
+/// The supervision policy the experiment binaries run under:
+/// [`RunPolicy::resilient`] (bounded retries, circuit breaker,
+/// analytical fallback), tunable per run through the environment:
+///
+/// * `ASCEND_ITEM_DEADLINE_MS` — per-attempt wall-clock deadline in
+///   milliseconds (unset: no deadline);
+/// * `ASCEND_ITEM_MAX_EVENTS` — per-attempt watchdog event budget
+///   (unset: the simulator default);
+/// * `ASCEND_RETRIES` — retry count (default 2);
+/// * `ASCEND_NO_FALLBACK` — set (to anything) to fail hard instead of
+///   degrading to the analytical estimate.
+#[must_use]
+pub fn run_policy() -> RunPolicy {
+    let mut policy = RunPolicy::resilient();
+    if let Some(ms) = env_u64("ASCEND_ITEM_DEADLINE_MS") {
+        policy = policy.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(max_events) = env_u64("ASCEND_ITEM_MAX_EVENTS") {
+        policy = policy.with_budget(SimBudget { max_events, max_cycles: f64::INFINITY });
+    }
+    if let Some(retries) = env_u64("ASCEND_RETRIES") {
+        policy = policy.with_retries(u32::try_from(retries).unwrap_or(u32::MAX));
+    }
+    if std::env::var_os("ASCEND_NO_FALLBACK").is_some() {
+        policy = policy.with_fallback(false);
+    }
+    policy
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    match raw.trim().parse() {
+        Ok(value) => Some(value),
+        Err(_) => {
+            eprintln!("warning: ignoring unparsable {name}={raw:?}");
+            None
+        }
+    }
+}
+
 /// Simulates `op` on `chip` and returns its profile, trace, and analysis.
 ///
-/// Routed through [`pipeline_for`], so re-running the same operator and
-/// flags is a cache hit.
+/// Routed through [`pipeline_for`] under [`run_policy`], so re-running
+/// the same operator and flags is a cache hit, transient failures are
+/// retried, and (unless `ASCEND_NO_FALLBACK` is set) a persistently
+/// failing item degrades to the analytical estimate instead of aborting
+/// the figure.
 ///
 /// # Panics
 ///
-/// Panics when the kernel fails to build or simulate — the experiment
-/// binaries treat that as a fatal configuration error. The panic message
-/// carries the full error chain (including deadlock forensics and
-/// watchdog budgets), not just the top-level variant.
+/// Panics when the item fails permanently (invalid kernel, broken chip
+/// spec, or fallback disabled) — the experiment binaries treat that as a
+/// fatal configuration error. The panic message carries the full error
+/// chain (including deadlock forensics and watchdog budgets), not just
+/// the top-level variant.
 #[must_use]
 pub fn run_op(chip: &ChipSpec, op: &dyn Operator) -> (Profile, Trace, RooflineAnalysis) {
     let result = pipeline_for(chip)
-        .run_isolated(op)
+        .run_supervised(op, &run_policy())
         .unwrap_or_else(|err| panic!("operator {:?} failed:\n{}", op.name(), error_chain(&err)));
     (result.profile.clone(), result.trace.clone(), result.analysis.clone())
 }
@@ -100,6 +145,35 @@ pub fn experiments_dir() -> PathBuf {
         || PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments"),
         PathBuf::from,
     )
+}
+
+/// Opens (or resumes) the write-ahead journal for a named batch sweep:
+/// `<experiments_dir>/<name>.journal.jsonl`. Pass it to
+/// [`AnalysisPipeline::run_batch_resumable`] so a killed sweep picks up
+/// where it left off instead of re-simulating finished items. Errors
+/// are reported but not fatal (the sweep still runs, just without
+/// resumability), matching the artifact writers below.
+#[must_use]
+pub fn batch_journal(name: &str) -> Option<BatchJournal> {
+    let path = experiments_dir().join(format!("{name}.journal.jsonl"));
+    match BatchJournal::open(&path) {
+        Ok(journal) => {
+            let recovery = journal.recovery();
+            if recovery.recovered > 0 || recovery.dropped > 0 {
+                println!(
+                    "[journal] {}: resumed {} item(s), dropped {} damaged line(s)",
+                    path.display(),
+                    recovery.recovered,
+                    recovery.dropped
+                );
+            }
+            Some(journal)
+        }
+        Err(err) => {
+            eprintln!("warning: cannot open journal {}: {err}", path.display());
+            None
+        }
+    }
 }
 
 /// Writes `contents` to `<experiments_dir>/<name>`, creating the
@@ -181,6 +255,25 @@ mod tests {
         let chain = error_chain(&err);
         assert!(chain.contains("simulation failed"), "{chain}");
         assert!(chain.contains("caused by: watchdog budget exceeded"), "{chain}");
+    }
+
+    #[test]
+    fn batch_journal_lives_under_the_experiments_dir() {
+        let journal = batch_journal("selftest_batch").expect("journal opens");
+        assert!(journal.path().starts_with(experiments_dir()));
+        assert!(journal.path().ends_with("selftest_batch.journal.jsonl"));
+        // Journaling a supervised result round-trips through the file.
+        let chip = ChipSpec::training();
+        let pipeline = pipeline_for(&chip);
+        let op = AddRelu::new(1 << 9);
+        let results = pipeline.run_batch_resumable(
+            &[&op as &dyn ascend_ops::Operator],
+            &run_policy(),
+            &journal,
+        );
+        assert!(results[0].is_ok());
+        assert_eq!(ascend_pipeline::BatchJournal::open(journal.path()).unwrap().len(), 1);
+        let _ = std::fs::remove_file(journal.path());
     }
 
     #[test]

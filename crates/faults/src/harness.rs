@@ -1,0 +1,233 @@
+//! Process- and storage-level fault injection for the supervision layer.
+//!
+//! [`FaultPlan`](crate::FaultPlan) corrupts what the *simulator* sees;
+//! this module corrupts what the *supervisor* sees: a [`PanicSwitch`]
+//! makes an operator die mid-batch after a chosen number of successes
+//! (standing in for a `kill -9` in tests of journal resume), and
+//! [`corrupt_journal`] applies the storage faults a real crash leaves
+//! behind — torn tails, lost records, duplicated records — so journal
+//! recovery is tested against the failures it claims to survive.
+
+use std::fs::OpenOptions;
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A countdown that lets `n` calls pass and panics on every later one —
+/// the deterministic stand-in for a process killed mid-batch.
+///
+/// Clones share the countdown, so a batch's operators can all hold the
+/// same switch: exactly `n` of them (in execution order) complete, the
+/// next ones panic, and [`disarm`](PanicSwitch::disarm) turns the
+/// survivor back into a no-op for the resumed run.
+///
+/// # Examples
+///
+/// ```
+/// use ascend_faults::PanicSwitch;
+///
+/// let switch = PanicSwitch::after(2);
+/// switch.tick(); // first call passes
+/// switch.tick(); // second call passes
+/// assert!(std::panic::catch_unwind(|| switch.tick()).is_err());
+/// switch.disarm();
+/// switch.tick(); // disarmed: passes again
+/// ```
+#[derive(Debug, Clone)]
+pub struct PanicSwitch {
+    /// Remaining free passes; `u64::MAX` means disarmed.
+    remaining: Arc<AtomicU64>,
+}
+
+impl Default for PanicSwitch {
+    /// Disarmed — a default that silently always fired would be a trap.
+    fn default() -> Self {
+        PanicSwitch::disarmed()
+    }
+}
+
+impl PanicSwitch {
+    /// A switch whose first `n` [`tick`](PanicSwitch::tick)s pass.
+    #[must_use]
+    pub fn after(n: u64) -> Self {
+        PanicSwitch { remaining: Arc::new(AtomicU64::new(n)) }
+    }
+
+    /// A switch that never fires.
+    #[must_use]
+    pub fn disarmed() -> Self {
+        PanicSwitch { remaining: Arc::new(AtomicU64::new(u64::MAX)) }
+    }
+
+    /// Consumes one pass, panicking once the passes are spent.
+    ///
+    /// # Panics
+    ///
+    /// After the configured number of passes — that is the point.
+    pub fn tick(&self) {
+        let mut current = self.remaining.load(Ordering::Acquire);
+        loop {
+            if current == u64::MAX {
+                return; // disarmed
+            }
+            if current == 0 {
+                panic!("injected failure: panic switch fired");
+            }
+            match self.remaining.compare_exchange_weak(
+                current,
+                current - 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Turns every later [`tick`](PanicSwitch::tick) into a no-op
+    /// (visible through every clone).
+    pub fn disarm(&self) {
+        self.remaining.store(u64::MAX, Ordering::Release);
+    }
+
+    /// Remaining free passes (`None` when disarmed).
+    #[must_use]
+    pub fn remaining(&self) -> Option<u64> {
+        match self.remaining.load(Ordering::Acquire) {
+            u64::MAX => None,
+            n => Some(n),
+        }
+    }
+}
+
+/// Storage faults a crash can leave in a JSON-lines journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalFault {
+    /// Chops `n` bytes off the end of the file — a torn final write
+    /// (record cut mid-line, usually losing its trailing newline).
+    TruncateTailBytes(u64),
+    /// Removes the last `n` complete records (whole lines).
+    DropLastRecords(usize),
+    /// Appends a byte-identical copy of the last complete record — the
+    /// duplicate an append-retry-after-crash produces.
+    DuplicateLastRecord,
+}
+
+/// Applies `fault` to the journal file at `path`.
+///
+/// # Errors
+///
+/// Propagates I/O failures; faulting an empty or missing journal is an
+/// error for the truncate/duplicate faults (there is nothing to corrupt).
+pub fn corrupt_journal(path: &Path, fault: JournalFault) -> std::io::Result<()> {
+    let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+    let mut contents = String::new();
+    file.read_to_string(&mut contents)?;
+    match fault {
+        JournalFault::TruncateTailBytes(n) => {
+            let keep = (contents.len() as u64).saturating_sub(n);
+            file.set_len(keep)?;
+        }
+        JournalFault::DropLastRecords(n) => {
+            // A "record" is a newline-terminated line; keep the first
+            // `complete - n` of them so the file stays record-aligned.
+            let boundaries: Vec<usize> = contents.match_indices('\n').map(|(i, _)| i + 1).collect();
+            let keep_records = boundaries.len().saturating_sub(n);
+            let keep_bytes = if keep_records == 0 { 0 } else { boundaries[keep_records - 1] };
+            file.set_len(keep_bytes as u64)?;
+        }
+        JournalFault::DuplicateLastRecord => {
+            let trimmed = contents.trim_end_matches('\n');
+            let last = trimmed.rfind('\n').map_or(trimmed, |i| &trimmed[i + 1..]);
+            if last.is_empty() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "journal has no complete record to duplicate",
+                ));
+            }
+            let mut line = last.to_owned();
+            line.push('\n');
+            file.seek(SeekFrom::End(0))?;
+            file.write_all(line.as_bytes())?;
+        }
+    }
+    file.sync_data()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_counts_down_then_fires() {
+        let switch = PanicSwitch::after(2);
+        let clone = switch.clone();
+        switch.tick();
+        clone.tick();
+        assert_eq!(switch.remaining(), Some(0));
+        let fired = std::panic::catch_unwind(|| switch.tick());
+        assert!(fired.is_err(), "the third tick must panic");
+        clone.disarm();
+        switch.tick();
+        assert_eq!(switch.remaining(), None);
+    }
+
+    #[test]
+    fn disarmed_switch_never_fires() {
+        let switch = PanicSwitch::disarmed();
+        for _ in 0..1000 {
+            switch.tick();
+        }
+        assert_eq!(switch.remaining(), None);
+    }
+
+    fn write_lines(dir: &Path, lines: &[&str]) -> std::path::PathBuf {
+        let path = dir.join("journal.jsonl");
+        let mut contents = String::new();
+        for line in lines {
+            contents.push_str(line);
+            contents.push('\n');
+        }
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("ascend-faults-harness-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn truncate_tail_tears_the_last_record() {
+        let dir = tempdir("truncate");
+        let path = write_lines(&dir, &["{\"a\":1}", "{\"b\":2}"]);
+        corrupt_journal(&path, JournalFault::TruncateTailBytes(3)).unwrap();
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(contents, "{\"a\":1}\n{\"b\":"); // torn, no trailing newline
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drop_last_records_stays_record_aligned() {
+        let dir = tempdir("drop");
+        let path = write_lines(&dir, &["{\"a\":1}", "{\"b\":2}", "{\"c\":3}"]);
+        corrupt_journal(&path, JournalFault::DropLastRecords(2)).unwrap();
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(contents, "{\"a\":1}\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_appends_the_last_record_again() {
+        let dir = tempdir("duplicate");
+        let path = write_lines(&dir, &["{\"a\":1}", "{\"b\":2}"]);
+        corrupt_journal(&path, JournalFault::DuplicateLastRecord).unwrap();
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(contents, "{\"a\":1}\n{\"b\":2}\n{\"b\":2}\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -32,10 +32,12 @@
 //! mutated kernel, the same degraded chip, and the same latency factors,
 //! so any fuzzer failure reproduces from its printed seed.
 
+mod harness;
 mod plan;
 mod rng;
 
 pub mod generator;
 
+pub use harness::{corrupt_journal, JournalFault, PanicSwitch};
 pub use plan::{BandwidthFault, FaultPlan};
 pub use rng::SplitMix64;

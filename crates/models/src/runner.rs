@@ -4,7 +4,7 @@ use crate::{ModelWorkload, OpInvocation, Phase};
 use ascend_arch::ChipSpec;
 use ascend_ops::LayerNorm;
 use ascend_optimize::{OptimizationReport, Optimizer};
-use ascend_pipeline::{AnalysisPipeline, PipelineError};
+use ascend_pipeline::{AnalysisPipeline, Fidelity, PipelineError, RunPolicy};
 use ascend_profile::Profile;
 use ascend_roofline::{Bottleneck, RooflineAnalysis};
 use serde::{Deserialize, Serialize};
@@ -26,6 +26,10 @@ pub struct OpReport {
     pub bottleneck: Bottleneck,
     /// Peak component utilization.
     pub peak_utilization: f64,
+    /// Whether the cycles were simulated or analytically estimated
+    /// (degraded under a supervision policy).
+    #[serde(default)]
+    pub fidelity: Fidelity,
 }
 
 /// The distribution of bottleneck causes over a model's computation time
@@ -129,25 +133,42 @@ impl ModelReport {
         self.iteration_cycles() - self.total_cycles
     }
 
-    /// Multi-line per-operator table.
+    /// Number of operators whose result was analytically estimated
+    /// rather than simulated (degraded coverage).
+    #[must_use]
+    pub fn degraded_ops(&self) -> usize {
+        self.op_reports.iter().filter(|op| op.fidelity.is_degraded()).count()
+    }
+
+    /// Multi-line per-operator table. Degraded (analytically estimated)
+    /// operators are marked `~` and counted in the header so figure
+    /// captions can report coverage honestly.
     #[must_use]
     pub fn summary(&self) -> String {
         let mut out = String::new();
+        let degraded = self.degraded_ops();
+        let coverage = if degraded > 0 {
+            format!(" [{degraded}/{} ops analytically estimated]", self.op_reports.len())
+        } else {
+            String::new()
+        };
         let _ = writeln!(
             out,
-            "{} ({}): {:.0} computation cycles/iteration — {}",
+            "{} ({}): {:.0} computation cycles/iteration — {}{}",
             self.model,
             self.phase,
             self.total_cycles,
-            self.distribution().summary()
+            self.distribution().summary(),
+            coverage
         );
         for op in &self.op_reports {
             let _ = writeln!(
                 out,
-                "  {:<36} x{:<5} {:>12.0} cy  {:>5.1}%  {}",
+                "  {:<36} x{:<5} {:>12.0} cy{} {:>5.1}%  {}",
                 op.name,
                 op.count,
                 op.total_cycles,
+                if op.fidelity.is_degraded() { "~" } else { " " },
                 op.peak_utilization * 100.0,
                 op.bottleneck
             );
@@ -204,6 +225,7 @@ impl ModelOptimization {
 #[derive(Debug, Clone)]
 pub struct ModelRunner {
     pipeline: AnalysisPipeline,
+    policy: RunPolicy,
 }
 
 impl ModelRunner {
@@ -217,7 +239,21 @@ impl ModelRunner {
     /// cache and instrumentation).
     #[must_use]
     pub fn from_pipeline(pipeline: AnalysisPipeline) -> Self {
-        ModelRunner { pipeline }
+        ModelRunner { pipeline, policy: RunPolicy::default() }
+    }
+
+    /// Supervises every measurement under `policy` (deadline, retries,
+    /// breaker, analytical fallback). The default is a passthrough.
+    #[must_use]
+    pub fn with_policy(mut self, policy: RunPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The supervision policy in force.
+    #[must_use]
+    pub fn policy(&self) -> &RunPolicy {
+        &self.policy
     }
 
     /// The chip in use.
@@ -241,8 +277,11 @@ impl ModelRunner {
     /// Propagates the first (by model order) per-operator pipeline error.
     pub fn analyze(&self, model: &ModelWorkload) -> Result<ModelReport, PipelineError> {
         let ops = model.ops().iter().map(OpInvocation::operator);
-        let results =
-            self.pipeline.analyze_stream(ops).into_iter().collect::<Result<Vec<_>, _>>()?;
+        let results = self
+            .pipeline
+            .analyze_stream_supervised(ops, &self.policy)
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
         let mut op_reports = Vec::with_capacity(model.ops().len());
         let mut total = 0.0;
         for (invocation, result) in model.ops().iter().zip(&results) {
@@ -256,6 +295,7 @@ impl ModelRunner {
                 total_cycles,
                 bottleneck: result.analysis.bottleneck(),
                 peak_utilization: result.analysis.peak_utilization(),
+                fidelity: result.fidelity,
             });
         }
         Ok(ModelReport {
@@ -280,8 +320,11 @@ impl ModelRunner {
         model: &ModelWorkload,
     ) -> Result<RooflineAnalysis, PipelineError> {
         let ops = model.ops().iter().map(OpInvocation::operator);
-        let results =
-            self.pipeline.analyze_stream(ops).into_iter().collect::<Result<Vec<_>, _>>()?;
+        let results = self
+            .pipeline
+            .analyze_stream_supervised(ops, &self.policy)
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
         let mut aggregate = Profile::empty(model.name().to_owned());
         for (invocation, result) in model.ops().iter().zip(&results) {
             aggregate.accumulate_scaled(&result.profile, invocation.count());
@@ -456,6 +499,26 @@ mod tests {
         // Aggregate cycles equal the per-op weighted sum.
         let report = runner.analyze(&toy_model()).unwrap();
         assert!((analysis.total_cycles - report.total_cycles).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degraded_coverage_is_reported_honestly() {
+        // A one-event budget trips on every operator; with fallback on,
+        // the whole model analyzes anyway, tagged as estimated.
+        let policy = RunPolicy::default()
+            .with_budget(ascend_sim::SimBudget { max_events: 1, max_cycles: 1.0 })
+            .with_fallback(true);
+        let runner = ModelRunner::new(ChipSpec::training()).with_policy(policy);
+        let report = runner.analyze(&toy_model()).unwrap();
+        assert_eq!(report.degraded_ops(), report.op_reports.len());
+        assert!(report.op_reports.iter().all(|op| op.fidelity.is_degraded()));
+        assert!(report.total_cycles > 0.0, "estimates still carry time");
+        assert!(report.summary().contains("analytically estimated"), "{}", report.summary());
+
+        // The default passthrough policy keeps full fidelity.
+        let simulated = ModelRunner::new(ChipSpec::training()).analyze(&toy_model()).unwrap();
+        assert_eq!(simulated.degraded_ops(), 0);
+        assert!(!simulated.summary().contains("analytically estimated"));
     }
 
     #[test]

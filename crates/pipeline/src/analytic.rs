@@ -1,0 +1,118 @@
+//! Closed-form analytical time estimate — the degradation target when
+//! simulation is preempted or keeps failing.
+//!
+//! The estimate mirrors the engine's per-instruction duration model
+//! (compute issue cost + ops/peak, transfer efficiency curve, flag
+//! cost) but replaces event-driven scheduling with the roofline
+//! abstraction from the paper: each component queue executes its
+//! instructions serially, queues overlap perfectly, and the kernel takes
+//! `max` over the per-queue serial times plus the serial dispatcher and
+//! barrier overheads. That ignores cross-queue synchronization stalls
+//! and spatial-dependency serialization, so the estimate is an
+//! **optimistic lower bound** of the simulated time — which is exactly
+//! what the roofline analysis downstream expects as "peak-shape" input.
+
+use ascend_arch::{ArchError, ChipSpec, Component};
+use ascend_isa::{Instruction, Kernel};
+use std::collections::BTreeMap;
+
+/// Per-queue serial active cycles plus the estimated end-to-end time.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct AnalyticEstimate {
+    /// Serial execution cycles per component queue (only busy queues).
+    pub active_cycles: BTreeMap<Component, f64>,
+    /// Estimated end-to-end cycles: `max(active) + dispatch + barriers`.
+    pub total_cycles: f64,
+}
+
+/// Estimates `kernel` on `chip` without simulating.
+///
+/// # Errors
+///
+/// Returns [`ArchError`] when the kernel references a compute rate or
+/// transfer path missing from the spec — the same lookups the simulator
+/// performs, so a kernel that simulates cleanly always estimates
+/// cleanly.
+pub(crate) fn estimate(kernel: &Kernel, chip: &ChipSpec) -> Result<AnalyticEstimate, ArchError> {
+    let mut active_cycles: BTreeMap<Component, f64> = BTreeMap::new();
+    let mut dispatched = 0u64;
+    let mut barriers = 0u64;
+    for instr in kernel.instructions() {
+        match instr {
+            Instruction::Compute(c) => {
+                let peak = chip.peak_ops_per_cycle(c.unit, c.precision)?;
+                let cycles = chip.compute_issue_cycles + c.ops as f64 / peak;
+                *active_cycles.entry(Component::from_unit(c.unit)).or_default() += cycles;
+            }
+            Instruction::Transfer(t) => {
+                let spec = chip.transfer(t.path)?;
+                *active_cycles.entry(t.path.component()).or_default() += spec.cycles(t.bytes());
+            }
+            Instruction::SetFlag { queue, .. } | Instruction::WaitFlag { queue, .. } => {
+                *active_cycles.entry(*queue).or_default() += chip.flag_cycles;
+            }
+            Instruction::Barrier => barriers += 1,
+        }
+        dispatched += 1;
+    }
+    let busiest = active_cycles.values().copied().fold(0.0f64, f64::max);
+    let total_cycles =
+        busiest + chip.dispatch_cycles * dispatched as f64 + chip.barrier_cycles * barriers as f64;
+    Ok(AnalyticEstimate { active_cycles, total_cycles })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascend_arch::{Buffer, ComputeUnit, Precision, TransferPath};
+    use ascend_isa::{KernelBuilder, Region};
+    use ascend_sim::Simulator;
+
+    fn sample() -> Kernel {
+        let gm = Region::new(Buffer::Gm, 0, 4096);
+        let ub = Region::new(Buffer::Ub, 0, 4096);
+        let mut b = KernelBuilder::new("sample");
+        b.transfer(TransferPath::GmToUb, gm, ub).unwrap();
+        b.sync(Component::MteGm, Component::Vector);
+        b.compute(ComputeUnit::Vector, Precision::Fp16, 2048, vec![ub], vec![ub]);
+        b.build()
+    }
+
+    #[test]
+    fn estimate_is_positive_and_covers_busy_queues() {
+        let chip = ChipSpec::training();
+        let est = estimate(&sample(), &chip).unwrap();
+        assert!(est.total_cycles > 0.0);
+        assert!(est.active_cycles[&Component::MteGm] > 0.0);
+        assert!(est.active_cycles[&Component::Vector] > 0.0);
+    }
+
+    #[test]
+    fn estimate_lower_bounds_the_simulator_within_sync_slack() {
+        // The estimate ignores cross-queue waiting, so the simulated
+        // time can only exceed it (it pays the same per-instruction
+        // durations plus stalls).
+        let chip = ChipSpec::training();
+        let kernel = sample();
+        let est = estimate(&kernel, &chip).unwrap();
+        let trace = Simulator::new(chip).simulate(&kernel).unwrap();
+        assert!(
+            est.total_cycles <= trace.total_cycles() + 1e-9,
+            "analytic {} must lower-bound simulated {}",
+            est.total_cycles,
+            trace.total_cycles()
+        );
+    }
+
+    #[test]
+    fn missing_rate_is_an_arch_error() {
+        // The training spec's cube has no FP32 rate; the estimate must
+        // surface the same lookup failure the simulator would.
+        let mut b = KernelBuilder::new("unsupported");
+        b.compute(ComputeUnit::Cube, Precision::Fp32, 64, vec![], vec![]);
+        assert!(matches!(
+            estimate(&b.build(), &ChipSpec::training()),
+            Err(ArchError::UnsupportedPrecision { .. })
+        ));
+    }
+}

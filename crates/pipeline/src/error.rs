@@ -28,6 +28,15 @@ pub enum PipelineError {
         /// The panic payload, when it was a string (the common case).
         message: String,
     },
+    /// The supervision circuit breaker is open: too many consecutive
+    /// items failed every attempt, so the supervisor stopped trying the
+    /// simulator (and analytical fallback was disabled by policy). Reset
+    /// with `AnalysisPipeline::reset_breaker`.
+    CircuitOpen {
+        /// Consecutive hard failures recorded when the item was
+        /// short-circuited.
+        consecutive_failures: u32,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -37,6 +46,11 @@ impl fmt::Display for PipelineError {
             PipelineError::Chip(err) => write!(f, "chip specification error: {err}"),
             PipelineError::Runtime(err) => write!(f, "simulation failed: {err}"),
             PipelineError::Panicked { message } => write!(f, "pipeline stage panicked: {message}"),
+            PipelineError::CircuitOpen { consecutive_failures } => write!(
+                f,
+                "supervision circuit breaker is open after {consecutive_failures} consecutive \
+                 hard failures; not attempting simulation"
+            ),
         }
     }
 }
@@ -47,7 +61,31 @@ impl Error for PipelineError {
             PipelineError::Invalid(err) => Some(err),
             PipelineError::Chip(err) => Some(err),
             PipelineError::Runtime(err) => Some(err),
-            PipelineError::Panicked { .. } => None,
+            PipelineError::Panicked { .. } | PipelineError::CircuitOpen { .. } => None,
+        }
+    }
+}
+
+impl PipelineError {
+    /// Whether the failure is *transient* — tied to this particular run
+    /// (preemption, watchdog, panic) rather than to the operator or the
+    /// chip — and therefore retryable and fallback-eligible under a
+    /// [`RunPolicy`](crate::RunPolicy).
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        match self {
+            PipelineError::Runtime(err) => {
+                // A deadlock is deterministic for a given kernel, but it
+                // is reachable only through fault injection here (valid
+                // kernels cannot deadlock), so the analytical fallback is
+                // still the right rescue. Treat every runtime failure as
+                // transient.
+                err.is_transient() || matches!(err, ascend_sim::SimError::Deadlock(_))
+            }
+            PipelineError::Panicked { .. } => true,
+            PipelineError::Invalid(_)
+            | PipelineError::Chip(_)
+            | PipelineError::CircuitOpen { .. } => false,
         }
     }
 }

@@ -1,0 +1,194 @@
+//! Crash-safe write-ahead journal for resumable batches.
+//!
+//! One JSON line per completed item — `(fingerprint, result digest,
+//! fidelity, result)` — appended *and fsync'd* before the batch moves
+//! on, so a killed process loses at most the item that was in flight.
+//! [`BatchJournal::open`] recovers every intact record, tolerates the
+//! torn tail a mid-write kill leaves behind (truncating it away so the
+//! next append starts on a record boundary), and drops records whose
+//! digest no longer matches their payload.
+
+use crate::{Fidelity, PipelineResult};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// One journaled batch item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalRecord {
+    /// The pipeline cache key of the item (operator + chip + thresholds).
+    pub fingerprint: u64,
+    /// FNV-1a digest of the serialized `result`, verified on recovery.
+    pub digest: u64,
+    /// How the result was produced.
+    pub fidelity: Fidelity,
+    /// The full result, replayed on resume instead of re-running.
+    pub result: PipelineResult,
+}
+
+/// What [`BatchJournal::open`] found on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalRecovery {
+    /// Intact records recovered (after last-wins dedup).
+    pub recovered: usize,
+    /// Lines dropped: torn tail, unparsable JSON, or digest mismatch.
+    pub dropped: usize,
+}
+
+/// An append-only, fsync-per-record journal of completed batch items.
+pub struct BatchJournal {
+    path: PathBuf,
+    file: Mutex<File>,
+    recovered: Mutex<HashMap<u64, JournalRecord>>,
+    recovery: JournalRecovery,
+}
+
+impl std::fmt::Debug for BatchJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchJournal")
+            .field("path", &self.path)
+            .field("recovery", &self.recovery)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BatchJournal {
+    /// Opens (or creates) the journal at `path`, recovering intact
+    /// records and truncating any torn tail left by a mid-write kill.
+    ///
+    /// Recovery is tolerant by design: a line that does not end in
+    /// `\n`, does not parse, or whose digest disagrees with its payload
+    /// is counted in [`JournalRecovery::dropped`] and its item simply
+    /// re-runs. Duplicate fingerprints keep the *last* record (a
+    /// re-run's journal entry supersedes the original).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures opening, reading, or truncating `path`.
+    pub fn open(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = OpenOptions::new().read(true).create(true).append(true).open(&path)?;
+        let mut contents = String::new();
+        file.seek(SeekFrom::Start(0))?;
+        file.read_to_string(&mut contents)?;
+
+        let mut recovered: HashMap<u64, JournalRecord> = HashMap::new();
+        let mut dropped = 0usize;
+        let mut intact_bytes = 0u64;
+        let mut cursor = 0usize;
+        while cursor < contents.len() {
+            let Some(newline) = contents[cursor..].find('\n') else {
+                // Torn tail: the record being written when the process
+                // died. Dropped, and truncated below so the next append
+                // starts on a record boundary instead of concatenating.
+                dropped += 1;
+                break;
+            };
+            let line = &contents[cursor..cursor + newline];
+            cursor += newline + 1;
+            intact_bytes = cursor as u64;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<JournalRecord>(line) {
+                Ok(record) if record.digest == result_digest(&record.result) => {
+                    recovered.insert(record.fingerprint, record);
+                }
+                _ => dropped += 1,
+            }
+        }
+        if intact_bytes < contents.len() as u64 {
+            file.set_len(intact_bytes)?;
+            file.sync_data()?;
+        }
+
+        let recovery = JournalRecovery { recovered: recovered.len(), dropped };
+        Ok(BatchJournal {
+            path,
+            file: Mutex::new(file),
+            recovered: Mutex::new(recovered),
+            recovery,
+        })
+    }
+
+    /// The journal's on-disk path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// What recovery found when the journal was opened.
+    #[must_use]
+    pub fn recovery(&self) -> JournalRecovery {
+        self.recovery
+    }
+
+    /// The recovered (or since-appended) record for `fingerprint`.
+    #[must_use]
+    pub fn get(&self, fingerprint: u64) -> Option<JournalRecord> {
+        lock(&self.recovered).get(&fingerprint).cloned()
+    }
+
+    /// Number of distinct journaled fingerprints.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        lock(&self.recovered).len()
+    }
+
+    /// Whether the journal holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends one completed item and fsyncs before returning — after
+    /// this call, a kill cannot lose the record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and I/O failures; on failure nothing is
+    /// recorded in memory either, so a later retry re-appends cleanly.
+    pub fn append(&self, fingerprint: u64, result: &PipelineResult) -> std::io::Result<()> {
+        let record = JournalRecord {
+            fingerprint,
+            digest: result_digest(result),
+            fidelity: result.fidelity,
+            result: result.clone(),
+        };
+        let mut line = serde_json::to_string(&record).map_err(std::io::Error::other)?;
+        line.push('\n');
+        {
+            let mut file = lock(&self.file);
+            file.write_all(line.as_bytes())?;
+            file.flush()?;
+            file.sync_data()?;
+        }
+        lock(&self.recovered).insert(fingerprint, record);
+        Ok(())
+    }
+}
+
+/// FNV-1a over the canonical JSON serialization of a result — the
+/// integrity check recovery verifies per record.
+#[must_use]
+pub fn result_digest(result: &PipelineResult) -> u64 {
+    let json = serde_json::to_string(result).unwrap_or_default();
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in json.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -44,15 +44,21 @@
 //! # Ok::<(), ascend_sim::SimError>(())
 //! ```
 
+mod analytic;
 mod error;
+mod journal;
+mod supervisor;
 
 pub use error::PipelineError;
+pub use journal::{result_digest, BatchJournal, JournalRecord, JournalRecovery};
+pub use supervisor::{Fidelity, RunPolicy, SupervisorStats};
 
 use ascend_arch::{ArchError, ChipSpec};
+use ascend_isa::KernelStats;
 use ascend_ops::Operator;
 use ascend_profile::Profile;
 use ascend_roofline::{analyze, RooflineAnalysis, Thresholds};
-use ascend_sim::{SimError, Simulator, Trace};
+use ascend_sim::{CancelToken, SimError, Simulator, Trace};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
@@ -73,7 +79,7 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
 
 /// Everything the pipeline produces for one operator invocation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PipelineResult {
     /// The generated kernel's name (includes the applied flags).
     pub kernel_name: String,
@@ -83,10 +89,14 @@ pub struct PipelineResult {
     pub fingerprint: u64,
     /// Section 3.1 metrics collected from the simulated trace.
     pub profile: Profile,
-    /// The simulated execution trace.
+    /// The simulated execution trace (empty for analytical fallbacks).
     pub trace: Trace,
     /// The component-based roofline analysis.
     pub analysis: RooflineAnalysis,
+    /// How the result was produced: simulated, or degraded to the
+    /// closed-form analytical estimate by a [`RunPolicy`].
+    #[serde(default)]
+    pub fidelity: Fidelity,
 }
 
 impl PipelineResult {
@@ -151,11 +161,23 @@ struct ResultCache {
     order: VecDeque<u64>,
 }
 
+/// Circuit-breaker state shared across pipeline clones. The counter
+/// tracks *consecutive* items whose every supervised attempt failed;
+/// once `open`, it stays open (short-circuiting supervised runs whose
+/// policy enables the breaker) until [`AnalysisPipeline::reset_breaker`].
+#[derive(Debug, Default)]
+struct BreakerState {
+    consecutive: u32,
+    open: bool,
+}
+
 #[derive(Debug, Default)]
 struct SharedState {
     cache: Mutex<ResultCache>,
     stats: Mutex<CacheStats>,
     timings: Mutex<StageTimings>,
+    supervisor: Mutex<SupervisorStats>,
+    breaker: Mutex<BreakerState>,
 }
 
 /// The build → simulate → profile → analyze stage sequence with a
@@ -281,6 +303,191 @@ impl AnalysisPipeline {
             .map_err(PipelineError::from)
     }
 
+    /// Runs `op` under a supervision [`RunPolicy`]: per-attempt
+    /// deadline/budget, bounded seeded retries of transient failures, a
+    /// circuit breaker across items, and optional degradation to the
+    /// closed-form analytical estimate ([`Fidelity::AnalyticalFallback`])
+    /// when every attempt fails.
+    ///
+    /// A passthrough policy ([`RunPolicy::default`]) behaves exactly
+    /// like [`run_isolated`](AnalysisPipeline::run_isolated). Fallback
+    /// results are **not** cached — a later run under a healthier policy
+    /// gets a fresh chance to simulate.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`run_isolated`](AnalysisPipeline::run_isolated)
+    /// reports (the *last* attempt's error once retries are exhausted
+    /// and fallback is disabled or impossible), plus
+    /// [`PipelineError::CircuitOpen`] when the breaker short-circuits
+    /// the item.
+    pub fn run_supervised(
+        &self,
+        op: &dyn Operator,
+        policy: &RunPolicy,
+    ) -> Result<Arc<PipelineResult>, PipelineError> {
+        if policy.is_passthrough() {
+            return self.run_isolated(op);
+        }
+        let key = self.cache_key(op);
+        if let Some(found) = lock(&self.shared.cache).map.get(&key) {
+            let result = Arc::clone(found);
+            lock(&self.shared.stats).hits += 1;
+            return Ok(result);
+        }
+        lock(&self.shared.supervisor).supervised_runs += 1;
+
+        if policy.breaker_threshold > 0 {
+            let breaker = lock(&self.shared.breaker);
+            if breaker.open {
+                let consecutive = breaker.consecutive;
+                drop(breaker);
+                lock(&self.shared.supervisor).breaker_short_circuits += 1;
+                if policy.fallback {
+                    if let Ok(result) = self.analytic_fallback(op, key) {
+                        lock(&self.shared.supervisor).fallbacks += 1;
+                        return Ok(result);
+                    }
+                }
+                return Err(PipelineError::CircuitOpen { consecutive_failures: consecutive });
+            }
+        }
+
+        let mut last_err: Option<PipelineError> = None;
+        for attempt in 0..=policy.max_retries {
+            if attempt > 0 {
+                lock(&self.shared.supervisor).retries += 1;
+                let delay = policy.backoff_delay(key, attempt);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+            }
+            match self.attempt_supervised(op, key, policy) {
+                Ok(result) => {
+                    if policy.breaker_threshold > 0 {
+                        let mut breaker = lock(&self.shared.breaker);
+                        if !breaker.open {
+                            breaker.consecutive = 0;
+                        }
+                    }
+                    lock(&self.shared.stats).misses += 1;
+                    let result = Arc::new(result);
+                    self.insert(key, Arc::clone(&result));
+                    return Ok(result);
+                }
+                Err(err) => {
+                    {
+                        let mut sup = lock(&self.shared.supervisor);
+                        match &err {
+                            PipelineError::Runtime(SimError::Cancelled { .. }) => {
+                                sup.deadline_preemptions += 1;
+                            }
+                            PipelineError::Runtime(SimError::BudgetExceeded { .. }) => {
+                                sup.budget_trips += 1;
+                            }
+                            _ => {}
+                        }
+                    }
+                    let transient = err.is_transient();
+                    last_err = Some(err);
+                    if !transient {
+                        // Invalid kernels and broken specs fail the same
+                        // way every time; retrying burns the deadline for
+                        // nothing.
+                        break;
+                    }
+                }
+            }
+        }
+
+        let err = last_err.unwrap_or(PipelineError::Panicked {
+            message: "supervised run produced neither result nor error".to_string(),
+        });
+        let transient = err.is_transient();
+        if transient {
+            // Only backend-health failures feed the breaker: a batch of
+            // invalid operators must not lock healthy items out of the
+            // simulator.
+            lock(&self.shared.supervisor).hard_failures += 1;
+            if policy.breaker_threshold > 0 {
+                let mut breaker = lock(&self.shared.breaker);
+                breaker.consecutive += 1;
+                if !breaker.open && breaker.consecutive >= policy.breaker_threshold {
+                    breaker.open = true;
+                    drop(breaker);
+                    lock(&self.shared.supervisor).breaker_trips += 1;
+                }
+            }
+            if policy.fallback {
+                if let Ok(result) = self.analytic_fallback(op, key) {
+                    lock(&self.shared.supervisor).fallbacks += 1;
+                    return Ok(result);
+                }
+            }
+        }
+        Err(err)
+    }
+
+    /// One supervised attempt: the stage sequence on a simulator derived
+    /// from the policy (budget override, cancellation deadline), with
+    /// panic isolation at the attempt boundary.
+    fn attempt_supervised(
+        &self,
+        op: &dyn Operator,
+        key: u64,
+        policy: &RunPolicy,
+    ) -> Result<PipelineResult, PipelineError> {
+        let simulator = if policy.deadline.is_some() || policy.budget.is_some() {
+            let mut simulator = self.simulator.clone();
+            if let Some(budget) = policy.budget {
+                simulator = simulator.with_budget(budget);
+            }
+            if let Some(deadline) = policy.deadline {
+                simulator = simulator.with_cancel(CancelToken::with_timeout(deadline));
+            }
+            Some(simulator)
+        } else {
+            None
+        };
+        let simulator = simulator.as_ref().unwrap_or(&self.simulator);
+        catch_unwind(AssertUnwindSafe(|| self.execute_on(op, key, simulator)))
+            .map_err(|payload| PipelineError::Panicked {
+                message: error::panic_message(payload.as_ref()),
+            })?
+            .map_err(PipelineError::from)
+    }
+
+    /// Builds the degraded result: the kernel's closed-form analytical
+    /// roofline estimate with an empty trace, tagged
+    /// [`Fidelity::AnalyticalFallback`]. Never cached.
+    fn analytic_fallback(
+        &self,
+        op: &dyn Operator,
+        key: u64,
+    ) -> Result<Arc<PipelineResult>, PipelineError> {
+        let kernel = op.build(&self.chip)?;
+        let estimate = analytic::estimate(&kernel, &self.chip)?;
+        let stats = KernelStats::of(&kernel);
+        let profile = Profile {
+            name: kernel.name().to_owned(),
+            ops: stats.ops,
+            bytes: stats.bytes,
+            active_cycles: estimate.active_cycles,
+            total_cycles: estimate.total_cycles,
+            instruction_count: kernel.len() as u64,
+        };
+        let analysis = analyze(&profile, &self.chip, &self.thresholds);
+        Ok(Arc::new(PipelineResult {
+            kernel_name: kernel.name().to_owned(),
+            kernel_len: kernel.len(),
+            fingerprint: key,
+            profile,
+            trace: Trace::from_parts(kernel.name(), Vec::new(), estimate.total_cycles),
+            analysis,
+            fidelity: Fidelity::AnalyticalFallback,
+        }))
+    }
+
     /// Runs independent operators concurrently on scoped worker threads,
     /// one per available CPU (capped by the batch size). Results are
     /// returned in **input order** regardless of completion order, one
@@ -295,15 +502,40 @@ impl AnalysisPipeline {
     }
 
     /// [`run_batch`](AnalysisPipeline::run_batch) with an explicit worker
-    /// count (clamped to `1..=ops.len()`).
+    /// count.
+    ///
+    /// The worker count is **clamped to `1..=ops.len()`**: `0` (or any
+    /// degenerate request) runs serially on the calling thread, a count
+    /// above the batch size is reduced to one worker per item (threads
+    /// that could never claim work are not spawned), and an empty batch
+    /// spawns no threads and returns an empty vector.
     pub fn run_batch_with_workers(
         &self,
         ops: &[&dyn Operator],
         workers: usize,
     ) -> Vec<Result<Arc<PipelineResult>, PipelineError>> {
-        let workers = workers.clamp(1, ops.len().max(1));
+        self.batch_with_workers(ops, workers, |op| self.run_isolated(op))
+    }
+
+    /// The shared fan-out machinery of every batch API: `run_one` per
+    /// item on scoped worker threads (count clamped to `1..=ops.len()`,
+    /// see [`run_batch_with_workers`](AnalysisPipeline::run_batch_with_workers)),
+    /// results in input order.
+    fn batch_with_workers<F>(
+        &self,
+        ops: &[&dyn Operator],
+        workers: usize,
+        run_one: F,
+    ) -> Vec<Result<Arc<PipelineResult>, PipelineError>>
+    where
+        F: Fn(&dyn Operator) -> Result<Arc<PipelineResult>, PipelineError> + Sync,
+    {
+        if ops.is_empty() {
+            return Vec::new();
+        }
+        let workers = workers.clamp(1, ops.len());
         if workers <= 1 {
-            return ops.iter().map(|op| self.run_isolated(*op)).collect();
+            return ops.iter().map(|op| run_one(*op)).collect();
         }
         let next = AtomicUsize::new(0);
         let slots: Vec<OnceLock<Result<Arc<PipelineResult>, PipelineError>>> =
@@ -313,7 +545,7 @@ impl AnalysisPipeline {
                 scope.spawn(|| loop {
                     let index = next.fetch_add(1, Ordering::Relaxed);
                     let Some(op) = ops.get(index) else { break };
-                    let filled = slots[index].set(self.run_isolated(*op));
+                    let filled = slots[index].set(run_one(*op));
                     debug_assert!(filled.is_ok(), "every slot is claimed exactly once");
                 });
             }
@@ -343,6 +575,88 @@ impl AnalysisPipeline {
         self.run_batch(&ops)
     }
 
+    /// [`run_batch`](AnalysisPipeline::run_batch) with every item going
+    /// through [`run_supervised`](AnalysisPipeline::run_supervised)
+    /// under `policy`.
+    pub fn run_batch_supervised(
+        &self,
+        ops: &[&dyn Operator],
+        policy: &RunPolicy,
+    ) -> Vec<Result<Arc<PipelineResult>, PipelineError>> {
+        let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        self.run_batch_supervised_with_workers(ops, workers, policy)
+    }
+
+    /// [`run_batch_supervised`](AnalysisPipeline::run_batch_supervised)
+    /// with an explicit worker count (clamped as in
+    /// [`run_batch_with_workers`](AnalysisPipeline::run_batch_with_workers)).
+    pub fn run_batch_supervised_with_workers(
+        &self,
+        ops: &[&dyn Operator],
+        workers: usize,
+        policy: &RunPolicy,
+    ) -> Vec<Result<Arc<PipelineResult>, PipelineError>> {
+        self.batch_with_workers(ops, workers, |op| self.run_supervised(op, policy))
+    }
+
+    /// [`analyze_stream`](AnalysisPipeline::analyze_stream) with every
+    /// invocation supervised under `policy`.
+    pub fn analyze_stream_supervised<'a, I>(
+        &self,
+        ops: I,
+        policy: &RunPolicy,
+    ) -> Vec<Result<Arc<PipelineResult>, PipelineError>>
+    where
+        I: IntoIterator<Item = &'a dyn Operator>,
+    {
+        let ops: Vec<&dyn Operator> = ops.into_iter().collect();
+        self.run_batch_supervised(&ops, policy)
+    }
+
+    /// A crash-safe resumable batch: items whose fingerprint is already
+    /// in `journal` replay the journaled result
+    /// (counted as [`SupervisorStats::journal_skips`]); fresh items run
+    /// through [`run_supervised`](AnalysisPipeline::run_supervised) and
+    /// are appended — fsync'd — before the batch moves on. Killing the
+    /// process mid-batch therefore loses at most the items that were in
+    /// flight; reopening the same journal and re-running the same batch
+    /// completes only the remainder.
+    pub fn run_batch_resumable(
+        &self,
+        ops: &[&dyn Operator],
+        policy: &RunPolicy,
+        journal: &BatchJournal,
+    ) -> Vec<Result<Arc<PipelineResult>, PipelineError>> {
+        let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        self.run_batch_resumable_with_workers(ops, workers, policy, journal)
+    }
+
+    /// [`run_batch_resumable`](AnalysisPipeline::run_batch_resumable)
+    /// with an explicit worker count (clamped as in
+    /// [`run_batch_with_workers`](AnalysisPipeline::run_batch_with_workers)).
+    pub fn run_batch_resumable_with_workers(
+        &self,
+        ops: &[&dyn Operator],
+        workers: usize,
+        policy: &RunPolicy,
+        journal: &BatchJournal,
+    ) -> Vec<Result<Arc<PipelineResult>, PipelineError>> {
+        self.batch_with_workers(ops, workers, |op| {
+            let key = self.cache_key(op);
+            if let Some(record) = journal.get(key) {
+                lock(&self.shared.supervisor).journal_skips += 1;
+                return Ok(Arc::new(record.result));
+            }
+            let result = self.run_supervised(op, policy)?;
+            if let Err(err) = journal.append(key, &result) {
+                // The result is still correct; only resumability of this
+                // one item is lost. Warn instead of failing the slot.
+                eprintln!("[pipeline] warning: journal append failed for {:#018x}: {err}", key);
+            }
+            Ok(result)
+        })
+    }
+
     /// Runs only the analyze stage on an externally assembled profile
     /// (e.g. a whole-model aggregate), under this pipeline's chip and
     /// thresholds. Not cached.
@@ -358,6 +672,25 @@ impl AnalysisPipeline {
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
         *lock(&self.shared.stats)
+    }
+
+    /// Current supervision counters (shared across clones).
+    #[must_use]
+    pub fn supervisor_stats(&self) -> SupervisorStats {
+        *lock(&self.shared.supervisor)
+    }
+
+    /// Whether the supervision circuit breaker is currently open.
+    #[must_use]
+    pub fn breaker_is_open(&self) -> bool {
+        lock(&self.shared.breaker).open
+    }
+
+    /// Closes the circuit breaker and zeroes its consecutive-failure
+    /// counter — the explicit recovery step after the backend (chip
+    /// spec, fault plan, host load) has been fixed.
+    pub fn reset_breaker(&self) {
+        *lock(&self.shared.breaker) = BreakerState::default();
     }
 
     /// Cumulative per-stage wall times (shared across clones).
@@ -380,6 +713,8 @@ impl AnalysisPipeline {
         drop(cache);
         *lock(&self.shared.stats) = CacheStats::default();
         *lock(&self.shared.timings) = StageTimings::default();
+        *lock(&self.shared.supervisor) = SupervisorStats::default();
+        *lock(&self.shared.breaker) = BreakerState::default();
     }
 
     /// The two-line instrumentation footer the figure binaries print:
@@ -407,15 +742,34 @@ impl AnalysisPipeline {
             stats.evictions,
             self.cache_len(),
         );
+        // The supervision line only appears when something supervised
+        // actually happened, keeping unsupervised binaries' output
+        // byte-identical to before the supervisor existed.
+        let sup = self.supervisor_stats();
+        if sup.any_activity() {
+            let _ = write!(out, "\n[pipeline] supervision: {sup}");
+        }
         out
     }
 
-    /// The uncached stage sequence.
+    /// The uncached stage sequence on the pipeline's own simulator.
     fn execute(&self, op: &dyn Operator, key: u64) -> Result<PipelineResult, SimError> {
+        self.execute_on(op, key, &self.simulator)
+    }
+
+    /// The uncached stage sequence on an explicit simulator (the
+    /// supervised path substitutes one carrying a deadline token and/or
+    /// a budget override).
+    fn execute_on(
+        &self,
+        op: &dyn Operator,
+        key: u64,
+        simulator: &Simulator,
+    ) -> Result<PipelineResult, SimError> {
         let start = Instant::now();
         let kernel = op.build(&self.chip)?;
         let built = Instant::now();
-        let trace = self.simulator.simulate(&kernel)?;
+        let trace = simulator.simulate(&kernel)?;
         let simulated = Instant::now();
         let profile = Profile::collect(&kernel, &trace);
         let profiled = Instant::now();
@@ -437,6 +791,7 @@ impl AnalysisPipeline {
             profile,
             trace,
             analysis,
+            fidelity: Fidelity::Simulated,
         })
     }
 

@@ -1,0 +1,123 @@
+//! Cooperative cancellation of in-flight simulations.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cooperative cancellation handle checked inside the engine's event
+/// loop, alongside the watchdog budget.
+///
+/// A supervisor holds one clone and the simulator another; flipping the
+/// token (or letting its deadline lapse) makes the engine return
+/// [`SimError::Cancelled`](crate::SimError::Cancelled) — with a forensics
+/// snapshot of the preempted run — at the next event boundary, without
+/// killing any thread. Cancellation is **cooperative**: a run that never
+/// processes another event (it already drained its heap) completes
+/// normally.
+///
+/// Clones share the cancellation flag; the optional deadline is fixed at
+/// construction.
+///
+/// # Examples
+///
+/// ```
+/// use ascend_sim::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let handle = token.clone();
+/// assert!(!token.is_cancelled());
+/// handle.cancel();
+/// assert!(token.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`cancel`](CancelToken::cancel) is
+    /// called on it (or a clone).
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that additionally expires `timeout` from now — the
+    /// per-item deadline primitive: no watchdog thread is needed, the
+    /// engine notices the lapsed deadline from inside its own loop.
+    #[must_use]
+    pub fn with_timeout(timeout: Duration) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(Instant::now() + timeout),
+        }
+    }
+
+    /// A token expiring at `deadline`.
+    #[must_use]
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken { flag: Arc::new(AtomicBool::new(false)), deadline: Some(deadline) }
+    }
+
+    /// Requests cancellation (visible to every clone).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation was requested explicitly. Cheap (one atomic
+    /// load); safe to call every event.
+    #[must_use]
+    pub fn is_signalled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// Whether the deadline (if any) has lapsed. Reads the wall clock, so
+    /// the engine only polls this every few events.
+    #[must_use]
+    pub fn is_expired(&self) -> bool {
+        self.deadline.is_some_and(|deadline| Instant::now() >= deadline)
+    }
+
+    /// Whether the token is cancelled for either reason.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.is_signalled() || self.is_expired()
+    }
+
+    /// The configured deadline, when one exists.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        b.cancel();
+        assert!(a.is_signalled());
+        assert!(a.is_cancelled());
+        assert!(!a.is_expired(), "no deadline was configured");
+    }
+
+    #[test]
+    fn zero_timeout_is_immediately_expired() {
+        let token = CancelToken::with_timeout(Duration::ZERO);
+        assert!(token.is_expired());
+        assert!(token.is_cancelled());
+        assert!(!token.is_signalled(), "expiry is not an explicit signal");
+    }
+
+    #[test]
+    fn distant_deadline_does_not_cancel() {
+        let token = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert!(!token.is_cancelled());
+        assert!(token.deadline().is_some());
+    }
+}

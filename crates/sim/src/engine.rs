@@ -1,5 +1,6 @@
 //! The discrete-event execution engine.
 
+use crate::cancel::CancelToken;
 use crate::forensics::{
     instr_text, BlockCause, DeadlockReport, PendingSetter, QueueState, SetterLocation, WaitEdge,
 };
@@ -48,6 +49,7 @@ impl SimBudget {
 pub struct Simulator {
     chip: ChipSpec,
     budget: SimBudget,
+    cancel: Option<CancelToken>,
     /// Spec-invariant violation found at construction, surfaced on the
     /// first simulate call (keeps `new` infallible for the many call
     /// sites that construct from built-in specs).
@@ -65,7 +67,7 @@ impl Simulator {
     #[must_use]
     pub fn new(chip: ChipSpec) -> Self {
         let spec_error = chip.validate().err();
-        Simulator { chip, budget: SimBudget::default(), spec_error }
+        Simulator { chip, budget: SimBudget::default(), cancel: None, spec_error }
     }
 
     /// Creates a simulator for `chip`, rejecting invalid specifications.
@@ -77,7 +79,7 @@ impl Simulator {
     /// empty rate tables, ...).
     pub fn try_new(chip: ChipSpec) -> Result<Self, ArchError> {
         chip.validate()?;
-        Ok(Simulator { chip, budget: SimBudget::default(), spec_error: None })
+        Ok(Simulator { chip, budget: SimBudget::default(), cancel: None, spec_error: None })
     }
 
     /// Replaces the watchdog budget.
@@ -85,6 +87,22 @@ impl Simulator {
     pub fn with_budget(mut self, budget: SimBudget) -> Self {
         self.budget = budget;
         self
+    }
+
+    /// Attaches a cooperative cancellation token, checked in the event
+    /// loop alongside the budget. A cancelled (or deadline-expired)
+    /// token makes every in-flight and future run on this simulator
+    /// return [`SimError::Cancelled`] with a forensics snapshot.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The attached cancellation token, when one exists.
+    #[must_use]
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
     }
 
     /// The chip this simulator models.
@@ -112,7 +130,7 @@ impl Simulator {
     pub fn simulate(&self, kernel: &Kernel) -> Result<Trace, SimError> {
         self.check_spec()?;
         validate(kernel, &self.chip)?;
-        Run::new(kernel, &self.chip, self.budget, None).execute()
+        Run::new(kernel, &self.chip, self.budget, None, self.cancel.as_ref()).execute()
     }
 
     /// Executes `kernel` without static validation.
@@ -129,7 +147,7 @@ impl Simulator {
     /// As [`Simulator::simulate`], minus [`SimError::Validation`].
     pub fn simulate_unchecked(&self, kernel: &Kernel) -> Result<Trace, SimError> {
         self.check_spec()?;
-        Run::new(kernel, &self.chip, self.budget, None).execute()
+        Run::new(kernel, &self.chip, self.budget, None, self.cancel.as_ref()).execute()
     }
 
     /// Executes `kernel` under a fault plan.
@@ -156,7 +174,7 @@ impl Simulator {
         let chip = plan.apply_to_chip(&self.chip);
         chip.validate()?;
         let kernel = plan.apply_to_kernel(kernel);
-        Run::new(&kernel, &chip, self.budget, Some(plan)).execute()
+        Run::new(&kernel, &chip, self.budget, Some(plan), self.cancel.as_ref()).execute()
     }
 
     fn check_spec(&self) -> Result<(), SimError> {
@@ -205,6 +223,7 @@ struct Run<'a> {
     chip: &'a ChipSpec,
     budget: SimBudget,
     faults: Option<&'a FaultPlan>,
+    cancel: Option<&'a CancelToken>,
     /// Dispatcher timeline: when the next instruction can be dispatched.
     dispatch_free: f64,
     next_dispatch: usize,
@@ -234,12 +253,14 @@ impl<'a> Run<'a> {
         chip: &'a ChipSpec,
         budget: SimBudget,
         faults: Option<&'a FaultPlan>,
+        cancel: Option<&'a CancelToken>,
     ) -> Self {
         Run {
             kernel,
             chip,
             budget,
             faults,
+            cancel,
             dispatch_free: 0.0,
             next_dispatch: 0,
             barrier_pending: false,
@@ -273,6 +294,18 @@ impl<'a> Run<'a> {
                     max_events: self.budget.max_events,
                     max_cycles: self.budget.max_cycles,
                 });
+            }
+            if let Some(token) = self.cancel {
+                // The explicit flag is one atomic load — check it every
+                // event. The deadline reads the wall clock, so poll it
+                // only every 64 events (and on the first).
+                if token.is_signalled() || (processed & 0x3F == 1 && token.is_expired()) {
+                    return Err(SimError::Cancelled {
+                        events: processed,
+                        cycles: now,
+                        forensics: Box::new(self.forensics()),
+                    });
+                }
             }
             if let EventKind::Complete(index) = event.kind {
                 self.finish(index, now);
@@ -795,5 +828,54 @@ mod tests {
             panic!("dropping the only set_flag must deadlock");
         };
         assert!(report.queues.iter().any(|q| q.cause == BlockCause::Flag { flag: f.raw() }));
+    }
+
+    #[test]
+    fn signalled_token_preempts_with_forensics() {
+        let token = CancelToken::new();
+        token.cancel();
+        let sim = sim().with_cancel(token);
+        let mut b = KernelBuilder::new("preempted");
+        for i in 0..8 {
+            b.transfer(TransferPath::GmToUb, gm(i * 1024, 1024), ub(i * 1024, 1024)).unwrap();
+        }
+        let kernel = b.build();
+        let Err(err) = sim.simulate(&kernel) else {
+            panic!("a pre-cancelled token must preempt the run");
+        };
+        assert!(err.is_transient());
+        let SimError::Cancelled { events, forensics, .. } = &err else {
+            panic!("expected Cancelled, got {err:?}");
+        };
+        assert!(*events >= 1, "the engine notices cancellation at an event boundary");
+        assert_eq!(forensics.total, kernel.len());
+        assert!(forensics.remaining > 0, "preemption leaves work incomplete");
+        assert!(err.to_string().contains("cancelled"));
+    }
+
+    #[test]
+    fn expired_deadline_preempts_the_run() {
+        let sim = sim().with_cancel(CancelToken::with_timeout(std::time::Duration::ZERO));
+        let mut b = KernelBuilder::new("late");
+        for i in 0..8 {
+            b.transfer(TransferPath::GmToUb, gm(i * 1024, 1024), ub(i * 1024, 1024)).unwrap();
+        }
+        match sim.simulate(&b.build()) {
+            Err(SimError::Cancelled { .. }) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn untriggered_token_leaves_results_identical() {
+        let mut b = KernelBuilder::new("same");
+        b.transfer(TransferPath::GmToUb, gm(0, 4096), ub(0, 4096)).unwrap();
+        b.sync(ascend_arch::Component::MteGm, ascend_arch::Component::Vector);
+        b.compute(ComputeUnit::Vector, Precision::Fp16, 1024, vec![ub(0, 4096)], vec![ub(0, 4096)]);
+        let kernel = b.build();
+        let plain = sim().simulate(&kernel).unwrap();
+        let supervised = sim().with_cancel(CancelToken::new()).simulate(&kernel).unwrap();
+        assert_eq!(plain.total_cycles(), supervised.total_cycles());
+        assert_eq!(plain.records(), supervised.records());
     }
 }

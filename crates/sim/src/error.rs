@@ -33,6 +33,19 @@ pub enum SimError {
         /// The cycle budget that was in force.
         max_cycles: f64,
     },
+    /// The run was preempted through its
+    /// [`CancelToken`](crate::CancelToken): a supervisor cancelled it, or
+    /// its wall-clock deadline lapsed. The boxed report is a forensics
+    /// *snapshot* of the engine at the preemption point (queues may still
+    /// have runnable work — unlike a deadlock, nothing is proven stuck).
+    Cancelled {
+        /// Events processed when the cancellation was noticed.
+        events: u64,
+        /// Simulated cycle when the cancellation was noticed.
+        cycles: f64,
+        /// Engine-state snapshot at preemption.
+        forensics: Box<DeadlockReport>,
+    },
 }
 
 impl SimError {
@@ -43,6 +56,25 @@ impl SimError {
             SimError::Deadlock(report) => Some(report),
             _ => None,
         }
+    }
+
+    /// The engine-state forensics carried by this error, if any: the full
+    /// report of a deadlock, or the preemption snapshot of a cancellation.
+    #[must_use]
+    pub fn forensics(&self) -> Option<&DeadlockReport> {
+        match self {
+            SimError::Deadlock(report) => Some(report),
+            SimError::Cancelled { forensics, .. } => Some(forensics),
+            _ => None,
+        }
+    }
+
+    /// Whether the failure is *transient* — tied to this particular run
+    /// (preemption, watchdog) rather than to the kernel or chip — and
+    /// therefore worth retrying under a different budget or deadline.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SimError::Cancelled { .. } | SimError::BudgetExceeded { .. })
     }
 }
 
@@ -57,6 +89,12 @@ impl fmt::Display for SimError {
                 "watchdog budget exceeded after {events} events at cycle {cycles:.0} \
                  (budget: {max_events} events, {max_cycles:.0} cycles)"
             ),
+            SimError::Cancelled { events, cycles, forensics } => write!(
+                f,
+                "simulation cancelled after {events} events at cycle {cycles:.0} \
+                 ({} of {} instructions incomplete at preemption)",
+                forensics.remaining, forensics.total
+            ),
         }
     }
 }
@@ -66,7 +104,9 @@ impl Error for SimError {
         match self {
             SimError::Validation(err) => Some(err),
             SimError::Arch(err) => Some(err),
-            SimError::Deadlock(_) | SimError::BudgetExceeded { .. } => None,
+            SimError::Deadlock(_)
+            | SimError::BudgetExceeded { .. }
+            | SimError::Cancelled { .. } => None,
         }
     }
 }

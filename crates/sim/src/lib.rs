@@ -45,11 +45,13 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod cancel;
 mod engine;
 mod error;
 mod forensics;
 mod trace;
 
+pub use cancel::CancelToken;
 pub use engine::{SimBudget, Simulator};
 pub use error::SimError;
 pub use forensics::{

@@ -83,6 +83,35 @@ fn run_batch_preserves_input_order_for_any_worker_count() {
 }
 
 #[test]
+fn degenerate_worker_counts_are_clamped_not_fatal() {
+    let pipeline = AnalysisPipeline::new(ChipSpec::training());
+    let a = AddRelu::new(1 << 10);
+    let b = Gelu::new(1 << 10);
+    let refs: Vec<&dyn Operator> = vec![&a, &b];
+
+    // workers == 0 clamps to a serial run on the calling thread.
+    let zero = pipeline.run_batch_with_workers(&refs, 0);
+    assert_eq!(zero.len(), 2);
+    assert!(zero.iter().all(Result::is_ok));
+
+    // workers far above the batch size clamps to one worker per item.
+    let oversubscribed = pipeline.run_batch_with_workers(&refs, 1024);
+    assert_eq!(oversubscribed.len(), 2);
+    for (lhs, rhs) in zero.iter().zip(&oversubscribed) {
+        assert_eq!(
+            lhs.as_ref().unwrap().analysis,
+            rhs.as_ref().unwrap().analysis,
+            "clamped runs must agree with the serial run"
+        );
+    }
+
+    // An empty batch spawns nothing and returns nothing, for any count.
+    for workers in [0, 1, 7] {
+        assert!(pipeline.run_batch_with_workers(&[], workers).is_empty());
+    }
+}
+
+#[test]
 fn cache_stats_count_hits_and_misses_on_a_stream_with_repeats() {
     let pipeline = AnalysisPipeline::new(ChipSpec::training());
     let a = AddRelu::new(1 << 12);

@@ -1,11 +1,16 @@
 //! Regression tests for the hardened execution path: watchdog budgets,
-//! deadlock forensics, and per-item panic isolation in the pipeline.
+//! deadlock forensics, per-item panic isolation, and the supervision
+//! layer — deadlines, retries, the circuit breaker, analytical
+//! degradation, and crash-safe resumable batch journals.
 
 use ascend::arch::{ChipSpec, Component};
+use ascend::faults::{corrupt_journal, JournalFault, PanicSwitch};
 use ascend::isa::{IsaError, Kernel, KernelBuilder};
 use ascend::ops::{AddRelu, Operator, OptFlags};
-use ascend::pipeline::{AnalysisPipeline, PipelineError};
+use ascend::pipeline::{AnalysisPipeline, BatchJournal, Fidelity, PipelineError, RunPolicy};
 use ascend::sim::{SimBudget, SimError, Simulator};
+use std::path::PathBuf;
+use std::time::Duration;
 
 /// A kernel long enough to outrun a tiny event budget.
 fn long_kernel(len: usize) -> Kernel {
@@ -133,4 +138,267 @@ fn one_poisoned_batch_item_cannot_sink_its_siblings() {
     }
     // The pipeline (and its shared cache) survives the panic.
     assert!(pipeline.run(&AddRelu::new(1 << 12)).is_ok());
+}
+
+/// A per-test scratch directory under the system temp dir.
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ascend-robustness-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Wraps an operator with a [`PanicSwitch`] ticked on every `build` —
+/// the deterministic stand-in for a process killed mid-batch. The
+/// descriptor forwards to the inner operator, so the crashed run and
+/// the resumed run (using plain operators) share journal fingerprints,
+/// exactly as two invocations of the same binary would.
+#[derive(Debug)]
+struct CrashingOp {
+    inner: AddRelu,
+    switch: PanicSwitch,
+}
+
+impl Operator for CrashingOp {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn flags(&self) -> OptFlags {
+        self.inner.flags()
+    }
+
+    fn with_flags_dyn(&self, flags: OptFlags) -> Box<dyn Operator> {
+        self.inner.with_flags_dyn(flags)
+    }
+
+    fn build(&self, chip: &ChipSpec) -> Result<Kernel, IsaError> {
+        self.switch.tick();
+        self.inner.build(chip)
+    }
+
+    fn descriptor(&self) -> String {
+        self.inner.descriptor()
+    }
+}
+
+/// ISSUE acceptance (a): a 64-item batch killed mid-run resumes via the
+/// journal, re-running only the unfinished items.
+#[test]
+fn killed_batch_resumes_from_the_journal_rerunning_only_the_remainder() {
+    let dir = tempdir("resume");
+    let journal_path = dir.join("batch.journal.jsonl");
+    let sizes: Vec<u64> = (0..64).map(|i| 1024 + 64 * i).collect();
+
+    // First run: panic-at-stage injection "kills" the batch after 24
+    // items complete — every later build panics mid-stage.
+    let switch = PanicSwitch::after(24);
+    let crashing: Vec<Box<dyn Operator>> = sizes
+        .iter()
+        .map(|&size| {
+            Box::new(CrashingOp { inner: AddRelu::new(size), switch: switch.clone() })
+                as Box<dyn Operator>
+        })
+        .collect();
+    let refs: Vec<&dyn Operator> = crashing.iter().map(AsRef::as_ref).collect();
+    let journal = BatchJournal::open(&journal_path).unwrap();
+    let pipeline = AnalysisPipeline::new(ChipSpec::training());
+    let results =
+        pipeline.run_batch_resumable_with_workers(&refs, 1, &RunPolicy::default(), &journal);
+    assert_eq!(results.iter().filter(|r| r.is_ok()).count(), 24);
+    assert!(
+        matches!(results[24], Err(PipelineError::Panicked { .. })),
+        "item 25 is the one that died: {:?}",
+        results[24]
+    );
+    assert_eq!(journal.len(), 24, "exactly the completed items are journaled");
+    drop((journal, pipeline));
+
+    // Resumed run: fresh process state — a new pipeline, plain
+    // operators, the journal reopened from disk.
+    let plain: Vec<Box<dyn Operator>> =
+        sizes.iter().map(|&size| Box::new(AddRelu::new(size)) as Box<dyn Operator>).collect();
+    let refs: Vec<&dyn Operator> = plain.iter().map(AsRef::as_ref).collect();
+    let journal = BatchJournal::open(&journal_path).unwrap();
+    assert_eq!(journal.recovery().recovered, 24);
+    assert_eq!(journal.recovery().dropped, 0);
+    let resumed = AnalysisPipeline::new(ChipSpec::training());
+    let results =
+        resumed.run_batch_resumable_with_workers(&refs, 1, &RunPolicy::default(), &journal);
+    assert_eq!(results.len(), 64);
+    assert!(results.iter().all(Result::is_ok), "the resumed batch completes whole");
+    assert_eq!(resumed.supervisor_stats().journal_skips, 24, "journaled items replay");
+    assert_eq!(resumed.timings().runs, 40, "only the unfinished items re-run");
+    assert_eq!(journal.len(), 64);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// ISSUE acceptance (b): an item that keeps blowing its per-attempt
+/// budget completes the batch as `AnalyticalFallback` instead of
+/// failing it — and the degraded result is not cached, so a healthier
+/// policy gets a fresh chance to simulate.
+#[test]
+fn budget_blown_item_completes_the_batch_as_analytical_fallback() {
+    let pipeline = AnalysisPipeline::new(ChipSpec::training());
+    let ops: Vec<Box<dyn Operator>> = vec![
+        Box::new(AddRelu::new(1 << 12)),
+        Box::new(AddRelu::new(1 << 20)), // ~120k cycles: blows the budget below
+        Box::new(AddRelu::new(1 << 14)),
+    ];
+    let refs: Vec<&dyn Operator> = ops.iter().map(AsRef::as_ref).collect();
+    let policy = RunPolicy::default()
+        .with_budget(SimBudget { max_events: u64::MAX, max_cycles: 10_000.0 })
+        .with_retries(1)
+        .with_fallback(true);
+    let results = pipeline.run_batch_supervised_with_workers(&refs, 1, &policy);
+    let fidelities: Vec<Fidelity> = results
+        .iter()
+        .map(|r| r.as_ref().expect("fallback keeps the batch whole").fidelity)
+        .collect();
+    assert_eq!(
+        fidelities,
+        [Fidelity::Simulated, Fidelity::AnalyticalFallback, Fidelity::Simulated]
+    );
+    let stats = pipeline.supervisor_stats();
+    assert_eq!(stats.retries, 1, "one bounded retry before degrading");
+    assert_eq!(stats.budget_trips, 2, "initial attempt plus the retry");
+    assert_eq!(stats.hard_failures, 1);
+    assert_eq!(stats.fallbacks, 1);
+
+    // Degraded results are not cached: under a permissive policy the
+    // same operator simulates for real.
+    let healthy = pipeline.run_supervised(ops[1].as_ref(), &RunPolicy::default()).unwrap();
+    assert_eq!(healthy.fidelity, Fidelity::Simulated);
+}
+
+#[test]
+fn lapsed_deadline_preempts_the_item_and_degrades_it() {
+    let pipeline = AnalysisPipeline::new(ChipSpec::training());
+    let policy =
+        RunPolicy::default().with_deadline(Duration::ZERO).with_retries(1).with_fallback(true);
+    let result = pipeline.run_supervised(&AddRelu::new(1 << 14), &policy).unwrap();
+    assert_eq!(result.fidelity, Fidelity::AnalyticalFallback);
+    let stats = pipeline.supervisor_stats();
+    assert!(stats.deadline_preemptions >= 1, "{stats:?}");
+    assert_eq!(stats.fallbacks, 1);
+}
+
+#[test]
+fn torn_journal_tail_is_dropped_and_only_that_item_re_runs() {
+    let dir = tempdir("torn");
+    let journal_path = dir.join("batch.journal.jsonl");
+    let ops: Vec<Box<dyn Operator>> = vec![
+        Box::new(AddRelu::new(1 << 10)),
+        Box::new(AddRelu::new(1 << 11)),
+        Box::new(AddRelu::new(1 << 12)),
+    ];
+    let refs: Vec<&dyn Operator> = ops.iter().map(AsRef::as_ref).collect();
+    let journal = BatchJournal::open(&journal_path).unwrap();
+    let pipeline = AnalysisPipeline::new(ChipSpec::training());
+    let results =
+        pipeline.run_batch_resumable_with_workers(&refs, 1, &RunPolicy::default(), &journal);
+    assert!(results.iter().all(Result::is_ok));
+    drop((journal, pipeline));
+
+    // Tear the tail of the last record, as a mid-write kill would.
+    corrupt_journal(&journal_path, JournalFault::TruncateTailBytes(7)).unwrap();
+
+    let journal = BatchJournal::open(&journal_path).unwrap();
+    assert_eq!(journal.recovery().recovered, 2);
+    assert_eq!(journal.recovery().dropped, 1);
+    let resumed = AnalysisPipeline::new(ChipSpec::training());
+    let results =
+        resumed.run_batch_resumable_with_workers(&refs, 1, &RunPolicy::default(), &journal);
+    assert!(results.iter().all(Result::is_ok));
+    assert_eq!(resumed.supervisor_stats().journal_skips, 2);
+    assert_eq!(resumed.timings().runs, 1, "only the torn item re-runs");
+    assert_eq!(journal.len(), 3, "the re-run is journaled again");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn duplicated_journal_records_recover_with_last_wins_semantics() {
+    let dir = tempdir("duplicate");
+    let journal_path = dir.join("batch.journal.jsonl");
+    let ops: Vec<Box<dyn Operator>> =
+        vec![Box::new(AddRelu::new(1 << 10)), Box::new(AddRelu::new(1 << 11))];
+    let refs: Vec<&dyn Operator> = ops.iter().map(AsRef::as_ref).collect();
+    let journal = BatchJournal::open(&journal_path).unwrap();
+    let pipeline = AnalysisPipeline::new(ChipSpec::training());
+    pipeline.run_batch_resumable_with_workers(&refs, 1, &RunPolicy::default(), &journal);
+    drop((journal, pipeline));
+
+    // The duplicate an append-retry-after-crash produces.
+    corrupt_journal(&journal_path, JournalFault::DuplicateLastRecord).unwrap();
+
+    let journal = BatchJournal::open(&journal_path).unwrap();
+    assert_eq!(journal.recovery().recovered, 2, "duplicates dedup to the last record");
+    assert_eq!(journal.recovery().dropped, 0);
+    let resumed = AnalysisPipeline::new(ChipSpec::training());
+    let results =
+        resumed.run_batch_resumable_with_workers(&refs, 1, &RunPolicy::default(), &journal);
+    assert!(results.iter().all(Result::is_ok));
+    assert_eq!(resumed.supervisor_stats().journal_skips, 2, "nothing re-runs");
+    assert_eq!(resumed.timings().runs, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// An operator that always panics, with a distinct fingerprint per size.
+#[derive(Debug)]
+struct ExplodingSized(u64);
+
+impl Operator for ExplodingSized {
+    fn name(&self) -> String {
+        format!("exploding_{}", self.0)
+    }
+
+    fn flags(&self) -> OptFlags {
+        OptFlags::new()
+    }
+
+    fn with_flags_dyn(&self, _flags: OptFlags) -> Box<dyn Operator> {
+        Box::new(ExplodingSized(self.0))
+    }
+
+    fn build(&self, _chip: &ChipSpec) -> Result<Kernel, IsaError> {
+        panic!("injected failure: generator bug {}", self.0);
+    }
+}
+
+#[test]
+fn consecutive_hard_failures_open_the_breaker_until_reset() {
+    let pipeline = AnalysisPipeline::new(ChipSpec::training());
+    let policy = RunPolicy::default().with_retries(0).with_breaker(2).with_fallback(false);
+
+    // Two consecutive items whose every attempt fails trip the breaker.
+    for size in [1, 2] {
+        let err = pipeline.run_supervised(&ExplodingSized(size), &policy).unwrap_err();
+        assert!(matches!(err, PipelineError::Panicked { .. }), "{err}");
+    }
+    assert!(pipeline.breaker_is_open());
+    assert_eq!(pipeline.supervisor_stats().breaker_trips, 1);
+
+    // A healthy item is now short-circuited without running.
+    let err = pipeline.run_supervised(&AddRelu::new(1 << 12), &policy).unwrap_err();
+    assert!(
+        matches!(err, PipelineError::CircuitOpen { consecutive_failures: 2 }),
+        "expected CircuitOpen, got {err}"
+    );
+    assert_eq!(pipeline.supervisor_stats().breaker_short_circuits, 1);
+    assert_eq!(pipeline.timings().runs, 0, "the short-circuited item never ran");
+
+    // After an operator reset, the same item runs for real again.
+    pipeline.reset_breaker();
+    assert!(!pipeline.breaker_is_open());
+    assert!(pipeline.run_supervised(&AddRelu::new(1 << 12), &policy).is_ok());
+}
+
+#[test]
+fn backoff_schedule_is_reproducible_across_policy_instances() {
+    // Two processes building the same policy must sleep the same
+    // amounts — retry storms stay reproducible from the printed seed.
+    let a = RunPolicy::resilient();
+    let b = RunPolicy::resilient();
+    for attempt in 1..=4 {
+        assert_eq!(a.backoff_delay(0x00A5_CE4D, attempt), b.backoff_delay(0x00A5_CE4D, attempt));
+    }
 }
