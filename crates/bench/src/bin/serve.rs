@@ -1,0 +1,167 @@
+//! Resident-service demo: replay a seeded open-loop load against an
+//! [`AnalysisService`] and report its health under pressure.
+//!
+//! ```text
+//! cargo run -p ascend-bench --bin serve
+//! cargo run -p ascend-bench --bin serve -- --rate 400 --duration-ms 500
+//! cargo run -p ascend-bench --bin serve -- --workers 1 --queue 4 --chaos 0.2
+//! ```
+//!
+//! Arrivals come from a deterministic [`LoadProfile`] (Poisson with a
+//! periodic burst), so the same seed replays the same traffic byte for
+//! byte. A `--chaos` fraction of requests is wrapped in a
+//! [`FaultedOperator`] whose kernel mutations exercise the failure path
+//! without ever poisoning the clean cache entries. The binary prints the
+//! final [`HealthSnapshot`], the pipeline instrumentation footer, and
+//! writes `serve_health.json` under the experiments directory.
+
+use ascend_arch::ChipSpec;
+use ascend_bench::{header, pipeline_for, run_policy, write_json};
+use ascend_faults::{FaultPlan, FaultedOperator, LoadProfile};
+use ascend_ops::{AddRelu, Elementwise, EltwiseKind, LayerNorm, Operator, Softmax};
+use ascend_pipeline::{AnalysisService, PipelineError, Request, ServiceConfig, Ticket};
+use std::time::{Duration, Instant};
+
+struct Args {
+    seed: u64,
+    rate_hz: f64,
+    duration: Duration,
+    workers: usize,
+    queue: usize,
+    chaos: f64,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            seed: 0x00A5_CE4D,
+            rate_hz: 300.0,
+            duration: Duration::from_millis(400),
+            workers: 2,
+            queue: 16,
+            chaos: 0.1,
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let value = argv.get(i + 1).map(String::as_str);
+            let parsed = value.and_then(|v| v.parse::<f64>().ok());
+            match (argv[i].as_str(), parsed) {
+                ("--seed", Some(v)) => args.seed = v as u64,
+                ("--rate", Some(v)) if v > 0.0 => args.rate_hz = v,
+                ("--duration-ms", Some(v)) => args.duration = Duration::from_millis(v as u64),
+                ("--workers", Some(v)) if v >= 1.0 => args.workers = v as usize,
+                ("--queue", Some(v)) if v >= 1.0 => args.queue = v as usize,
+                ("--chaos", Some(v)) => args.chaos = v.clamp(0.0, 1.0),
+                (flag, _) => {
+                    eprintln!("usage: serve [--seed N] [--rate HZ] [--duration-ms MS]");
+                    eprintln!("             [--workers N] [--queue N] [--chaos FRACTION]");
+                    eprintln!("unrecognized or malformed: {flag}");
+                    std::process::exit(2);
+                }
+            }
+            i += 2;
+        }
+        args
+    }
+}
+
+/// Derives a distinct small operator from one arrival's random draw, so
+/// the traffic is a mix of shapes rather than one cache entry.
+fn operator_for(draw: u64, chaos: f64) -> Box<dyn Operator> {
+    let elements = 1 << (10 + draw % 5);
+    let inner: Box<dyn Operator> = match (draw >> 8) % 4 {
+        0 => Box::new(AddRelu::new(elements)),
+        1 => Box::new(Softmax::new(elements)),
+        2 => Box::new(LayerNorm::new(elements)),
+        _ => Box::new(Elementwise::new(EltwiseKind::Mul, elements)),
+    };
+    // The low byte of the draw decides chaos membership deterministically.
+    if chaos > 0.0 && ((draw & 0xFF) as f64) < chaos * 256.0 {
+        Box::new(FaultedOperator::new(inner, FaultPlan::new(draw).truncate_to(3)))
+    } else {
+        inner
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    header("serve", "resident analysis service under seeded open-loop load");
+    let chip = ChipSpec::training();
+    let config = ServiceConfig {
+        workers: args.workers,
+        queue_capacity: args.queue,
+        policy: run_policy(),
+        default_deadline: Some(Duration::from_secs(2)),
+        seed: args.seed,
+        ..ServiceConfig::default()
+    };
+    let service = AnalysisService::start(pipeline_for(&chip), config);
+
+    let profile = LoadProfile::new(args.seed, args.rate_hz, args.duration).with_burst(
+        args.duration / 4,
+        args.duration / 8,
+        4.0,
+    );
+    let schedule = profile.schedule();
+    println!(
+        "load: {} arrivals over {:?} (mean {} Hz, 4x burst every {:?}), chaos {:.0}%",
+        schedule.len(),
+        args.duration,
+        args.rate_hz,
+        args.duration / 4,
+        args.chaos * 100.0
+    );
+
+    let start = Instant::now();
+    let mut tickets: Vec<Ticket> = Vec::new();
+    let mut rejected = 0u64;
+    for arrival in &schedule {
+        if let Some(wait) = arrival.at.checked_sub(start.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        let op = operator_for(arrival.draw, args.chaos);
+        let request =
+            if arrival.interactive { Request::interactive(op) } else { Request::sweep(op) };
+        match service.submit(request) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(PipelineError::Overloaded { .. }) => rejected += 1,
+            Err(err) => {
+                eprintln!("submit failed: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let drain = service.drain(Duration::from_secs(30));
+    let health = service.health();
+    println!(
+        "admission: {} accepted, {} rejected (open-loop, no client retry)",
+        health.counters.accepted, rejected
+    );
+    println!(
+        "outcomes: {} ok, {} failed, {} shed, {} flushed at drain",
+        health.counters.completed_ok,
+        health.counters.failed,
+        health.counters.shed_deadline,
+        health.counters.drain_flushed
+    );
+    println!("latency ms p50/p95/p99: interactive {} | sweep {}", health.interactive, health.sweep);
+    println!(
+        "drain: flushed {} queued, quiesced: {}, elapsed {:.1} ms",
+        drain.flushed_queued,
+        drain.quiesced,
+        drain.elapsed.as_secs_f64() * 1e3
+    );
+    assert!(drain.quiesced, "drain must quiesce within its deadline");
+    assert_eq!(
+        health.counters.terminal_states(),
+        health.counters.accepted,
+        "every accepted ticket must reach exactly one terminal state"
+    );
+    let settled = tickets.iter().filter(|t| t.try_result().is_some()).count();
+    assert_eq!(settled, tickets.len(), "every held ticket must be settled after drain");
+
+    println!("\n{}", service.pipeline().instrumentation_footer());
+    write_json("serve_health", &health);
+}

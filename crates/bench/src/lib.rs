@@ -34,6 +34,11 @@ static PIPELINES: OnceLock<Mutex<Vec<AnalysisPipeline>>> = OnceLock::new();
 /// The process-wide [`AnalysisPipeline`] for `chip`. Clones share the
 /// result cache and instrumentation counters, so every [`run_op`] in a
 /// binary contributes to the same ledger.
+///
+/// The result-cache bound is tunable per run through the
+/// `ASCEND_CACHE_CAPACITY` environment variable (entries, minimum 1;
+/// unset: the pipeline default). Evictions under sustained traffic are
+/// visible in the instrumentation footer's `evictions` counter.
 #[must_use]
 pub fn pipeline_for(chip: &ChipSpec) -> AnalysisPipeline {
     let registry = PIPELINES.get_or_init(|| Mutex::new(Vec::new()));
@@ -41,7 +46,10 @@ pub fn pipeline_for(chip: &ChipSpec) -> AnalysisPipeline {
     if let Some(found) = pipelines.iter().find(|p| p.chip() == chip) {
         return found.clone();
     }
-    let pipeline = AnalysisPipeline::new(chip.clone());
+    let mut pipeline = AnalysisPipeline::new(chip.clone());
+    if let Some(capacity) = env_u64("ASCEND_CACHE_CAPACITY") {
+        pipeline = pipeline.with_cache_capacity(usize::try_from(capacity).unwrap_or(usize::MAX));
+    }
     pipelines.push(pipeline.clone());
     pipeline
 }

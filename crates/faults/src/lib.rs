@@ -33,11 +33,13 @@
 //! so any fuzzer failure reproduces from its printed seed.
 
 mod harness;
+mod loadgen;
 mod plan;
 mod rng;
 
 pub mod generator;
 
 pub use harness::{corrupt_journal, JournalFault, PanicSwitch};
+pub use loadgen::{Arrival, Burst, FaultedOperator, LoadProfile, PanicOperator};
 pub use plan::{BandwidthFault, FaultPlan};
 pub use rng::SplitMix64;

@@ -1,0 +1,318 @@
+//! Seeded open-loop load generation and chaos operator wrappers.
+//!
+//! A service's failure modes live in its *arrival process*, not in any
+//! single request: queues only grow when arrivals outpace service, and
+//! sheds only happen under bursts. [`LoadProfile`] turns a seed into a
+//! deterministic Poisson arrival schedule (optionally with periodic
+//! bursts), so soak tests can replay the exact same overload pattern on
+//! every run. The operator wrappers compose the crate's existing fault
+//! surface with that traffic: [`FaultedOperator`] routes a
+//! [`FaultPlan`](crate::FaultPlan)'s kernel mutations through an
+//! operator's build stage, and [`PanicOperator`] arms a
+//! [`PanicSwitch`](crate::PanicSwitch) behind one, so a stream of
+//! requests can carry a controlled fraction of poison.
+
+use crate::{FaultPlan, PanicSwitch, SplitMix64};
+use ascend_arch::ChipSpec;
+use ascend_isa::{IsaError, Kernel};
+use ascend_ops::{Operator, OptFlags};
+use std::time::Duration;
+
+/// A periodic burst riding on top of the mean arrival rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Burst {
+    /// Distance between burst starts.
+    pub period: Duration,
+    /// How long each burst lasts (clamped to the period).
+    pub length: Duration,
+    /// Rate multiplier while inside a burst (≥ 1 for an overload spike).
+    pub multiplier: f64,
+}
+
+/// One scheduled request of a generated load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Offset from the start of the run at which to submit.
+    pub at: Duration,
+    /// Whether this request is interactive-class (vs. sweep-class).
+    pub interactive: bool,
+    /// A deterministic per-arrival random draw, for the caller to derive
+    /// operator shapes or fault decisions without re-seeding.
+    pub draw: u64,
+}
+
+/// A seeded open-loop arrival process: Poisson arrivals at a mean rate,
+/// optionally spiked by a periodic [`Burst`]. The schedule is a pure
+/// function of the profile — same seed, same arrivals, byte for byte.
+///
+/// # Examples
+///
+/// ```
+/// use ascend_faults::LoadProfile;
+/// use std::time::Duration;
+///
+/// let profile = LoadProfile::new(42, 200.0, Duration::from_millis(500));
+/// let a = profile.schedule();
+/// let b = profile.schedule();
+/// assert_eq!(a, b, "the schedule is deterministic");
+/// assert!(!a.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadProfile {
+    /// Seed of the inter-arrival and classification draws.
+    pub seed: u64,
+    /// Mean arrival rate outside bursts, in requests per second.
+    pub mean_rate_hz: f64,
+    /// Optional periodic overload spike.
+    pub burst: Option<Burst>,
+    /// Fraction of arrivals classified interactive (the rest are sweep).
+    pub interactive_fraction: f64,
+    /// Length of the generated schedule.
+    pub duration: Duration,
+}
+
+impl LoadProfile {
+    /// A burst-free profile at `mean_rate_hz` for `duration`.
+    #[must_use]
+    pub fn new(seed: u64, mean_rate_hz: f64, duration: Duration) -> Self {
+        assert!(
+            mean_rate_hz.is_finite() && mean_rate_hz > 0.0,
+            "mean rate must be finite and positive"
+        );
+        LoadProfile { seed, mean_rate_hz, burst: None, interactive_fraction: 0.5, duration }
+    }
+
+    /// Adds a periodic burst: every `period`, the rate is multiplied by
+    /// `multiplier` for `length`.
+    #[must_use]
+    pub fn with_burst(mut self, period: Duration, length: Duration, multiplier: f64) -> Self {
+        assert!(multiplier.is_finite() && multiplier > 0.0, "multiplier must be positive");
+        assert!(!period.is_zero(), "burst period must be non-zero");
+        self.burst = Some(Burst { period, length: length.min(period), multiplier });
+        self
+    }
+
+    /// Sets the interactive fraction (clamped to `[0, 1]`).
+    #[must_use]
+    pub fn with_interactive_fraction(mut self, fraction: f64) -> Self {
+        self.interactive_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The instantaneous arrival rate at offset `at`.
+    #[must_use]
+    pub fn rate_at(&self, at: Duration) -> f64 {
+        match &self.burst {
+            Some(burst) => {
+                let phase = at.as_secs_f64() % burst.period.as_secs_f64();
+                if phase < burst.length.as_secs_f64() {
+                    self.mean_rate_hz * burst.multiplier
+                } else {
+                    self.mean_rate_hz
+                }
+            }
+            None => self.mean_rate_hz,
+        }
+    }
+
+    /// Generates the arrival schedule: exponential inter-arrival times
+    /// at the (possibly burst-inflated) instantaneous rate, in
+    /// ascending order, ending before
+    /// [`duration`](LoadProfile::duration).
+    #[must_use]
+    pub fn schedule(&self) -> Vec<Arrival> {
+        let mut rng = SplitMix64::new(self.seed);
+        let mut arrivals = Vec::new();
+        let mut now = 0.0f64;
+        let horizon = self.duration.as_secs_f64();
+        loop {
+            let rate = self.rate_at(Duration::from_secs_f64(now));
+            // Inverse-transform sample of Exp(rate); 1-u keeps ln away
+            // from zero.
+            let gap = -(1.0 - rng.unit_f64()).ln() / rate;
+            now += gap;
+            if now >= horizon {
+                return arrivals;
+            }
+            arrivals.push(Arrival {
+                at: Duration::from_secs_f64(now),
+                interactive: rng.chance(self.interactive_fraction),
+                draw: rng.next_u64(),
+            });
+        }
+    }
+}
+
+/// An operator whose generated kernel is corrupted by a
+/// [`FaultPlan`](crate::FaultPlan)'s **kernel mutations** (dropped or
+/// duplicated `set_flag`s, truncation) before it reaches the validator.
+///
+/// Timing faults (bandwidth, latency jitter) live in the simulator, not
+/// the kernel, so they do not compose through this wrapper — a plan that
+/// is timing-only leaves the kernel untouched. The wrapper's debug
+/// rendering includes the plan, so its cache identity is distinct from
+/// the clean operator's: a corrupted run can never poison the clean
+/// entry.
+#[derive(Debug)]
+pub struct FaultedOperator {
+    inner: Box<dyn Operator>,
+    plan: FaultPlan,
+}
+
+impl FaultedOperator {
+    /// Wraps `inner` so every build passes through `plan`'s kernel
+    /// mutations.
+    #[must_use]
+    pub fn new(inner: Box<dyn Operator>, plan: FaultPlan) -> Self {
+        FaultedOperator { inner, plan }
+    }
+}
+
+impl Operator for FaultedOperator {
+    fn name(&self) -> String {
+        format!("{}+faults", self.inner.name())
+    }
+
+    fn flags(&self) -> OptFlags {
+        self.inner.flags()
+    }
+
+    fn with_flags_dyn(&self, flags: OptFlags) -> Box<dyn Operator> {
+        Box::new(FaultedOperator {
+            inner: self.inner.with_flags_dyn(flags),
+            plan: self.plan.clone(),
+        })
+    }
+
+    fn build(&self, chip: &ChipSpec) -> Result<Kernel, IsaError> {
+        let kernel = self.inner.build(chip)?;
+        Ok(self.plan.apply_to_kernel(&kernel))
+    }
+}
+
+/// An operator that panics in its build stage once a shared
+/// [`PanicSwitch`](crate::PanicSwitch) runs out of passes — the
+/// deterministic way to inject a worker panic into a stream of service
+/// requests.
+#[derive(Debug)]
+pub struct PanicOperator {
+    inner: Box<dyn Operator>,
+    switch: PanicSwitch,
+}
+
+impl PanicOperator {
+    /// Wraps `inner`; each build ticks `switch` first (clones of the
+    /// switch share the countdown).
+    #[must_use]
+    pub fn new(inner: Box<dyn Operator>, switch: PanicSwitch) -> Self {
+        PanicOperator { inner, switch }
+    }
+}
+
+impl Operator for PanicOperator {
+    fn name(&self) -> String {
+        format!("{}+panic", self.inner.name())
+    }
+
+    fn flags(&self) -> OptFlags {
+        self.inner.flags()
+    }
+
+    fn with_flags_dyn(&self, flags: OptFlags) -> Box<dyn Operator> {
+        Box::new(PanicOperator {
+            inner: self.inner.with_flags_dyn(flags),
+            switch: self.switch.clone(),
+        })
+    }
+
+    fn build(&self, chip: &ChipSpec) -> Result<Kernel, IsaError> {
+        self.switch.tick();
+        self.inner.build(chip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascend_ops::AddRelu;
+
+    #[test]
+    fn schedule_is_deterministic_and_ordered() {
+        let profile = LoadProfile::new(7, 500.0, Duration::from_millis(200))
+            .with_burst(Duration::from_millis(50), Duration::from_millis(10), 4.0)
+            .with_interactive_fraction(0.25);
+        let a = profile.schedule();
+        assert_eq!(a, profile.schedule());
+        assert!(!a.is_empty());
+        for pair in a.windows(2) {
+            assert!(pair[0].at <= pair[1].at, "arrivals must be ascending");
+        }
+        assert!(a.iter().all(|arr| arr.at < profile.duration));
+    }
+
+    #[test]
+    fn mean_rate_is_roughly_respected() {
+        let profile = LoadProfile::new(11, 1000.0, Duration::from_secs(2));
+        let n = profile.schedule().len() as f64;
+        // 2000 expected arrivals; Poisson sd is ~45, so ±20% is generous.
+        assert!((1600.0..2400.0).contains(&n), "expected ~2000 arrivals, got {n}");
+    }
+
+    #[test]
+    fn bursts_raise_the_local_rate() {
+        let base = LoadProfile::new(13, 200.0, Duration::from_secs(1));
+        let bursty =
+            base.clone().with_burst(Duration::from_millis(100), Duration::from_millis(50), 8.0);
+        assert!(bursty.schedule().len() > 2 * base.schedule().len());
+        assert!(bursty.rate_at(Duration::from_millis(10)) > base.rate_at(Duration::ZERO));
+        assert_eq!(bursty.rate_at(Duration::from_millis(60)), 200.0, "outside the burst window");
+    }
+
+    #[test]
+    fn interactive_fraction_is_honored() {
+        let all =
+            LoadProfile::new(17, 500.0, Duration::from_secs(1)).with_interactive_fraction(1.0);
+        assert!(all.schedule().iter().all(|a| a.interactive));
+        let none =
+            LoadProfile::new(17, 500.0, Duration::from_secs(1)).with_interactive_fraction(0.0);
+        assert!(none.schedule().iter().all(|a| !a.interactive));
+    }
+
+    #[test]
+    fn faulted_operator_mutates_the_kernel_distinctly() {
+        let chip = ChipSpec::training();
+        let clean = AddRelu::new(1 << 14);
+        let clean_len = clean.build(&chip).unwrap().len();
+        let faulted =
+            FaultedOperator::new(Box::new(AddRelu::new(1 << 14)), FaultPlan::new(3).truncate_to(2));
+        assert_eq!(faulted.build(&chip).unwrap().len(), 2, "truncation must reach the kernel");
+        assert_ne!(clean_len, 2);
+        assert_ne!(
+            faulted.fingerprint(),
+            clean.fingerprint(),
+            "a faulted operator must have its own cache identity"
+        );
+        assert!(faulted.name().ends_with("+faults"));
+    }
+
+    #[test]
+    fn timing_only_plan_leaves_the_kernel_untouched() {
+        let chip = ChipSpec::training();
+        let clean_len = AddRelu::new(1 << 14).build(&chip).unwrap().len();
+        let wrapped = FaultedOperator::new(
+            Box::new(AddRelu::new(1 << 14)),
+            FaultPlan::new(5).with_latency_jitter(0.5),
+        );
+        assert_eq!(wrapped.build(&chip).unwrap().len(), clean_len);
+    }
+
+    #[test]
+    fn panic_operator_fires_on_schedule() {
+        let chip = ChipSpec::training();
+        let op = PanicOperator::new(Box::new(AddRelu::new(1 << 12)), PanicSwitch::after(2));
+        assert!(op.build(&chip).is_ok());
+        assert!(op.build(&chip).is_ok());
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| op.build(&chip)));
+        assert!(caught.is_err(), "the third build must panic");
+    }
+}

@@ -4,12 +4,16 @@ use crate::{ModelWorkload, OpInvocation, Phase};
 use ascend_arch::ChipSpec;
 use ascend_ops::LayerNorm;
 use ascend_optimize::{OptimizationReport, Optimizer};
-use ascend_pipeline::{AnalysisPipeline, Fidelity, PipelineError, RunPolicy};
+use ascend_pipeline::{
+    AnalysisPipeline, AnalysisService, Fidelity, PipelineError, PipelineResult, Request, RunPolicy,
+    Ticket,
+};
 use ascend_profile::Profile;
 use ascend_roofline::{Bottleneck, RooflineAnalysis};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Analysis result of one operator in a model stream.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -282,29 +286,51 @@ impl ModelRunner {
             .analyze_stream_supervised(ops, &self.policy)
             .into_iter()
             .collect::<Result<Vec<_>, _>>()?;
-        let mut op_reports = Vec::with_capacity(model.ops().len());
-        let mut total = 0.0;
-        for (invocation, result) in model.ops().iter().zip(&results) {
-            let cycles = result.cycles();
-            let total_cycles = cycles * invocation.count() as f64;
-            total += total_cycles;
-            op_reports.push(OpReport {
-                name: result.kernel_name.clone(),
-                count: invocation.count(),
-                cycles_per_call: cycles,
-                total_cycles,
-                bottleneck: result.analysis.bottleneck(),
-                peak_utilization: result.analysis.peak_utilization(),
-                fidelity: result.fidelity,
-            });
+        Ok(assemble_report(model, &results))
+    }
+
+    /// [`analyze`](ModelRunner::analyze), but routed through a resident
+    /// [`AnalysisService`] instead of this runner's own batch workers:
+    /// every invocation is submitted as a sweep-class request and the
+    /// report is assembled from the tickets. Backpressure is handled
+    /// closed-loop — an [`Overloaded`](PipelineError::Overloaded)
+    /// rejection sleeps out its `retry_after_hint` and resubmits, so a
+    /// model analysis rides along live traffic without amplifying it.
+    ///
+    /// The service's pipeline is the measurement authority here; this
+    /// runner's own pipeline and policy are not consulted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first (by model order) ticket error, and
+    /// [`PipelineError::ServiceStopped`] when the service drains before
+    /// every invocation was admitted.
+    pub fn analyze_via_service(
+        &self,
+        model: &ModelWorkload,
+        service: &AnalysisService,
+    ) -> Result<ModelReport, PipelineError> {
+        let mut tickets: Vec<Ticket> = Vec::with_capacity(model.ops().len());
+        for invocation in model.ops() {
+            let op = invocation.operator();
+            loop {
+                // Operators are shape+flags value types; re-boxing via
+                // with_flags_dyn is the trait-object clone idiom.
+                let boxed = op.with_flags_dyn(op.flags());
+                match service.submit(Request::sweep(boxed)) {
+                    Ok(ticket) => {
+                        tickets.push(ticket);
+                        break;
+                    }
+                    Err(PipelineError::Overloaded { retry_after_hint, .. }) => {
+                        std::thread::sleep(retry_after_hint);
+                    }
+                    Err(err) => return Err(err),
+                }
+            }
         }
-        Ok(ModelReport {
-            model: model.name().to_owned(),
-            phase: model.phase(),
-            op_reports,
-            total_cycles: total,
-            overhead_fraction: model.overhead_fraction(),
-        })
+        let results = tickets.iter().map(Ticket::wait).collect::<Result<Vec<_>, _>>()?;
+        Ok(assemble_report(model, &results))
     }
 
     /// Builds the whole-model aggregate analysis: every operator's profile
@@ -359,6 +385,35 @@ impl ModelRunner {
         }
         let after = self.analyze(&fused.with_ops(optimized_ops))?;
         Ok(ModelOptimization { before, after, op_optimizations })
+    }
+}
+
+/// Assembles a [`ModelReport`] from one pipeline result per invocation,
+/// weighting each by its invocation count — shared by the batch and
+/// service analysis paths.
+fn assemble_report(model: &ModelWorkload, results: &[Arc<PipelineResult>]) -> ModelReport {
+    let mut op_reports = Vec::with_capacity(model.ops().len());
+    let mut total = 0.0;
+    for (invocation, result) in model.ops().iter().zip(results) {
+        let cycles = result.cycles();
+        let total_cycles = cycles * invocation.count() as f64;
+        total += total_cycles;
+        op_reports.push(OpReport {
+            name: result.kernel_name.clone(),
+            count: invocation.count(),
+            cycles_per_call: cycles,
+            total_cycles,
+            bottleneck: result.analysis.bottleneck(),
+            peak_utilization: result.analysis.peak_utilization(),
+            fidelity: result.fidelity,
+        });
+    }
+    ModelReport {
+        model: model.name().to_owned(),
+        phase: model.phase(),
+        op_reports,
+        total_cycles: total,
+        overhead_fraction: model.overhead_fraction(),
     }
 }
 
@@ -433,6 +488,26 @@ mod tests {
         }
         let sum: f64 = report.op_reports.iter().map(|o| o.total_cycles).sum();
         assert!((sum - report.total_cycles).abs() < 1e-6);
+    }
+
+    #[test]
+    fn service_analysis_matches_the_batch_path() {
+        let runner = ModelRunner::new(ChipSpec::training());
+        let batch = runner.analyze(&toy_model()).unwrap();
+        let service = AnalysisService::start(
+            AnalysisPipeline::new(ChipSpec::training()),
+            ascend_pipeline::ServiceConfig::default(),
+        );
+        let via = runner.analyze_via_service(&toy_model(), &service).unwrap();
+        let report = service.drain(std::time::Duration::from_secs(10));
+        assert!(report.quiesced);
+        assert_eq!(via.op_reports.len(), batch.op_reports.len());
+        assert!(
+            (via.total_cycles - batch.total_cycles).abs() < 1e-9,
+            "the service path is the same simulator: {} vs {}",
+            via.total_cycles,
+            batch.total_cycles
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@ use ascend_isa::IsaError;
 use ascend_sim::SimError;
 use std::error::Error;
 use std::fmt;
+use std::time::Duration;
 
 /// What went wrong while running one operator through the pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +38,30 @@ pub enum PipelineError {
         /// short-circuited.
         consecutive_failures: u32,
     },
+    /// The service's bounded admission queue is full: the request was
+    /// rejected at submission, before any work was done. This is the
+    /// backpressure signal — the client should retry after
+    /// `retry_after_hint` or route elsewhere. Never raised for a request
+    /// that was already accepted.
+    Overloaded {
+        /// Queue depth observed at rejection (equal to the configured
+        /// capacity).
+        queue_depth: usize,
+        /// Estimated time until a slot frees up, derived from recent
+        /// service latency. A hint, not a guarantee.
+        retry_after_hint: Duration,
+    },
+    /// The request was accepted but its deadline lapsed while it waited
+    /// in the queue, so it was shed at dequeue without executing. The
+    /// work was never started — nothing was simulated or cached.
+    DeadlineShed {
+        /// How long the request sat in the queue before being shed.
+        queued_for: Duration,
+    },
+    /// The service is draining or stopped: admissions are closed, and
+    /// queued requests that could not be started are flushed with this
+    /// terminal state.
+    ServiceStopped,
 }
 
 impl fmt::Display for PipelineError {
@@ -51,6 +76,20 @@ impl fmt::Display for PipelineError {
                 "supervision circuit breaker is open after {consecutive_failures} consecutive \
                  hard failures; not attempting simulation"
             ),
+            PipelineError::Overloaded { queue_depth, retry_after_hint } => write!(
+                f,
+                "service overloaded: admission queue is full ({queue_depth} deep); retry after \
+                 ~{:.0} ms",
+                retry_after_hint.as_secs_f64() * 1e3
+            ),
+            PipelineError::DeadlineShed { queued_for } => write!(
+                f,
+                "request shed: its deadline lapsed after {:.1} ms in the queue, before execution",
+                queued_for.as_secs_f64() * 1e3
+            ),
+            PipelineError::ServiceStopped => {
+                write!(f, "service is draining or stopped; request was not executed")
+            }
         }
     }
 }
@@ -61,7 +100,11 @@ impl Error for PipelineError {
             PipelineError::Invalid(err) => Some(err),
             PipelineError::Chip(err) => Some(err),
             PipelineError::Runtime(err) => Some(err),
-            PipelineError::Panicked { .. } | PipelineError::CircuitOpen { .. } => None,
+            PipelineError::Panicked { .. }
+            | PipelineError::CircuitOpen { .. }
+            | PipelineError::Overloaded { .. }
+            | PipelineError::DeadlineShed { .. }
+            | PipelineError::ServiceStopped => None,
         }
     }
 }
@@ -83,9 +126,15 @@ impl PipelineError {
                 err.is_transient() || matches!(err, ascend_sim::SimError::Deadlock(_))
             }
             PipelineError::Panicked { .. } => true,
+            // Service-side rejections are retryable from the *client's*
+            // point of view (the condition is load, not the operator),
+            // but they never flow through the supervisor's retry loop —
+            // they are raised before execution starts.
+            PipelineError::Overloaded { .. } | PipelineError::DeadlineShed { .. } => true,
             PipelineError::Invalid(_)
             | PipelineError::Chip(_)
-            | PipelineError::CircuitOpen { .. } => false,
+            | PipelineError::CircuitOpen { .. }
+            | PipelineError::ServiceStopped => false,
         }
     }
 }
@@ -154,5 +203,25 @@ mod tests {
         let err = PipelineError::Panicked { message: "boom".to_string() };
         assert!(err.source().is_none());
         assert_eq!(err.to_string(), "pipeline stage panicked: boom");
+    }
+
+    #[test]
+    fn service_rejections_classify_as_client_retryable() {
+        let overloaded = PipelineError::Overloaded {
+            queue_depth: 8,
+            retry_after_hint: Duration::from_millis(25),
+        };
+        assert!(overloaded.is_transient(), "the client may retry after the hint");
+        assert!(overloaded.source().is_none());
+        assert!(overloaded.to_string().contains("8 deep"));
+        assert!(overloaded.to_string().contains("25 ms"));
+
+        let shed = PipelineError::DeadlineShed { queued_for: Duration::from_millis(3) };
+        assert!(shed.is_transient());
+        assert!(shed.to_string().contains("before execution"));
+
+        let stopped = PipelineError::ServiceStopped;
+        assert!(!stopped.is_transient(), "a stopped service will not recover by retrying");
+        assert!(stopped.to_string().contains("draining or stopped"));
     }
 }

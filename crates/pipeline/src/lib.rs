@@ -47,10 +47,17 @@
 mod analytic;
 mod error;
 mod journal;
+mod service;
+mod stats;
 mod supervisor;
 
 pub use error::PipelineError;
 pub use journal::{result_digest, BatchJournal, JournalRecord, JournalRecovery};
+pub use service::{
+    AnalysisService, DrainReport, HealthSnapshot, Priority, Request, ServiceConfig,
+    ServiceCounters, Ticket,
+};
+pub use stats::{LatencyReservoir, LatencySummary, DEFAULT_RESERVOIR_CAPACITY};
 pub use supervisor::{Fidelity, RunPolicy, SupervisorStats};
 
 use ascend_arch::{ArchError, ChipSpec};
@@ -71,7 +78,7 @@ use std::time::Instant;
 /// wedge the shared cache for every later item. The guarded structures
 /// (cache map, counters) are valid at every await-free point, so the
 /// poisoned payload is safe to adopt.
-fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -155,6 +162,47 @@ impl StageTimings {
     }
 }
 
+/// Per-stage percentile summaries (seconds), from fixed-size reservoirs
+/// fed by every uncached stage-sequence execution. Unlike
+/// [`StageTimings`], which accumulates wall time, these expose the
+/// *distribution* — tail inflation under load is invisible in sums.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StagePercentiles {
+    /// Kernel-generation latency (`Operator::build`).
+    pub build: LatencySummary,
+    /// Event-driven simulation latency.
+    pub simulate: LatencySummary,
+    /// Trace-profiling latency.
+    pub profile: LatencySummary,
+    /// Roofline-analysis latency.
+    pub analyze: LatencySummary,
+    /// End-to-end latency of the whole uncached stage sequence.
+    pub total: LatencySummary,
+}
+
+/// One latency reservoir per stage, all seeded distinctly so replacement
+/// streams do not correlate.
+#[derive(Debug)]
+struct StageReservoirs {
+    build: LatencyReservoir,
+    simulate: LatencyReservoir,
+    profile: LatencyReservoir,
+    analyze: LatencyReservoir,
+    total: LatencyReservoir,
+}
+
+impl Default for StageReservoirs {
+    fn default() -> Self {
+        StageReservoirs {
+            build: LatencyReservoir::new(DEFAULT_RESERVOIR_CAPACITY, 0xB01),
+            simulate: LatencyReservoir::new(DEFAULT_RESERVOIR_CAPACITY, 0x51E),
+            profile: LatencyReservoir::new(DEFAULT_RESERVOIR_CAPACITY, 0xF0F),
+            analyze: LatencyReservoir::new(DEFAULT_RESERVOIR_CAPACITY, 0xA11),
+            total: LatencyReservoir::new(DEFAULT_RESERVOIR_CAPACITY, 0x707),
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct ResultCache {
     map: HashMap<u64, Arc<PipelineResult>>,
@@ -176,6 +224,7 @@ struct SharedState {
     cache: Mutex<ResultCache>,
     stats: Mutex<CacheStats>,
     timings: Mutex<StageTimings>,
+    latency: Mutex<StageReservoirs>,
     supervisor: Mutex<SupervisorStats>,
     breaker: Mutex<BreakerState>,
 }
@@ -326,7 +375,40 @@ impl AnalysisPipeline {
         op: &dyn Operator,
         policy: &RunPolicy,
     ) -> Result<Arc<PipelineResult>, PipelineError> {
-        if policy.is_passthrough() {
+        self.run_supervised_inner(op, policy, None)
+    }
+
+    /// [`run_supervised`](AnalysisPipeline::run_supervised) with an
+    /// external cancellation token threaded into every attempt.
+    ///
+    /// This is the service's preemption hook: each attempt runs under a
+    /// [child](CancelToken::child_with_timeout) of `cancel` (so the
+    /// policy's per-attempt deadline still applies), and a signalled
+    /// token also stops the retry loop — no backoff sleep, no further
+    /// attempts, no analytical fallback masking the preemption. The
+    /// caller sees the cancelled attempt's error
+    /// ([`PipelineError::Runtime`] wrapping `SimError::Cancelled`).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`run_supervised`](AnalysisPipeline::run_supervised)
+    /// reports, plus the cancellation case above.
+    pub fn run_supervised_with_cancel(
+        &self,
+        op: &dyn Operator,
+        policy: &RunPolicy,
+        cancel: &CancelToken,
+    ) -> Result<Arc<PipelineResult>, PipelineError> {
+        self.run_supervised_inner(op, policy, Some(cancel))
+    }
+
+    fn run_supervised_inner(
+        &self,
+        op: &dyn Operator,
+        policy: &RunPolicy,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Arc<PipelineResult>, PipelineError> {
+        if policy.is_passthrough() && cancel.is_none() {
             return self.run_isolated(op);
         }
         let key = self.cache_key(op);
@@ -356,13 +438,19 @@ impl AnalysisPipeline {
         let mut last_err: Option<PipelineError> = None;
         for attempt in 0..=policy.max_retries {
             if attempt > 0 {
+                // A signalled external token ends supervision now:
+                // retrying (or even sleeping out the backoff) after the
+                // service asked for preemption would stall drain.
+                if cancel.is_some_and(CancelToken::is_signalled) {
+                    break;
+                }
                 lock(&self.shared.supervisor).retries += 1;
                 let delay = policy.backoff_delay(key, attempt);
                 if !delay.is_zero() {
                     std::thread::sleep(delay);
                 }
             }
-            match self.attempt_supervised(op, key, policy) {
+            match self.attempt_supervised(op, key, policy, cancel) {
                 Ok(result) => {
                     if policy.breaker_threshold > 0 {
                         let mut breaker = lock(&self.shared.breaker);
@@ -403,7 +491,10 @@ impl AnalysisPipeline {
         let err = last_err.unwrap_or(PipelineError::Panicked {
             message: "supervised run produced neither result nor error".to_string(),
         });
-        let transient = err.is_transient();
+        // An externally preempted item is not a backend-health signal:
+        // it must neither feed the breaker nor degrade to the analytical
+        // estimate — the caller asked it to stop, so report that.
+        let transient = err.is_transient() && !cancel.is_some_and(CancelToken::is_signalled);
         if transient {
             // Only backend-health failures feed the breaker: a batch of
             // invalid operators must not lock healthy items out of the
@@ -436,14 +527,24 @@ impl AnalysisPipeline {
         op: &dyn Operator,
         key: u64,
         policy: &RunPolicy,
+        cancel: Option<&CancelToken>,
     ) -> Result<PipelineResult, PipelineError> {
-        let simulator = if policy.deadline.is_some() || policy.budget.is_some() {
+        // The attempt's token composes the external cancellation flag
+        // (shared with the service's drain token) with the policy's
+        // per-attempt deadline, whichever applies.
+        let token = match (cancel, policy.deadline) {
+            (Some(parent), Some(deadline)) => Some(parent.child_with_timeout(deadline)),
+            (Some(parent), None) => Some(parent.clone()),
+            (None, Some(deadline)) => Some(CancelToken::with_timeout(deadline)),
+            (None, None) => None,
+        };
+        let simulator = if token.is_some() || policy.budget.is_some() {
             let mut simulator = self.simulator.clone();
             if let Some(budget) = policy.budget {
                 simulator = simulator.with_budget(budget);
             }
-            if let Some(deadline) = policy.deadline {
-                simulator = simulator.with_cancel(CancelToken::with_timeout(deadline));
+            if let Some(token) = token {
+                simulator = simulator.with_cancel(token);
             }
             Some(simulator)
         } else {
@@ -699,6 +800,20 @@ impl AnalysisPipeline {
         *lock(&self.shared.timings)
     }
 
+    /// Per-stage latency percentiles from the shared reservoirs (cache
+    /// misses only — hits skip every stage).
+    #[must_use]
+    pub fn stage_percentiles(&self) -> StagePercentiles {
+        let latency = lock(&self.shared.latency);
+        StagePercentiles {
+            build: latency.build.summary(),
+            simulate: latency.simulate.summary(),
+            profile: latency.profile.summary(),
+            analyze: latency.analyze.summary(),
+            total: latency.total.summary(),
+        }
+    }
+
     /// Number of results currently cached.
     #[must_use]
     pub fn cache_len(&self) -> usize {
@@ -713,6 +828,7 @@ impl AnalysisPipeline {
         drop(cache);
         *lock(&self.shared.stats) = CacheStats::default();
         *lock(&self.shared.timings) = StageTimings::default();
+        *lock(&self.shared.latency) = StageReservoirs::default();
         *lock(&self.shared.supervisor) = SupervisorStats::default();
         *lock(&self.shared.breaker) = BreakerState::default();
     }
@@ -733,6 +849,14 @@ impl AnalysisPipeline {
             timings.profile_secs,
             timings.analyze_secs,
         );
+        if timings.runs > 0 {
+            let pct = self.stage_percentiles();
+            let _ = writeln!(
+                out,
+                "[pipeline] stage latency ms p50/p95/p99: build {} | simulate {} | profile {} | analyze {} | total {}",
+                pct.build, pct.simulate, pct.profile, pct.analyze, pct.total,
+            );
+        }
         let _ = write!(
             out,
             "[pipeline] cache: {} hits / {} misses ({:.1}% hit rate), {} evictions, {} entries live",
@@ -783,6 +907,13 @@ impl AnalysisPipeline {
         timings.analyze_secs += (analyzed - profiled).as_secs_f64();
         timings.runs += 1;
         drop(timings);
+        let mut latency = lock(&self.shared.latency);
+        latency.build.record((built - start).as_secs_f64());
+        latency.simulate.record((simulated - built).as_secs_f64());
+        latency.profile.record((profiled - simulated).as_secs_f64());
+        latency.analyze.record((analyzed - profiled).as_secs_f64());
+        latency.total.record((analyzed - start).as_secs_f64());
+        drop(latency);
 
         Ok(PipelineResult {
             kernel_name: kernel.name().to_owned(),
@@ -956,6 +1087,47 @@ mod tests {
             Err(PipelineError::Invalid(_)) => {}
             other => panic!("expected Invalid, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn external_cancel_preempts_without_fallback_or_retries() {
+        let pipeline = AnalysisPipeline::new(ChipSpec::training());
+        // Retries and fallback are both enabled, but a signalled token
+        // must override them: the caller asked the item to stop.
+        let policy = RunPolicy::default().with_retries(3).with_fallback(true);
+        let token = CancelToken::new();
+        token.cancel();
+        match pipeline.run_supervised_with_cancel(&AddRelu::new(1 << 12), &policy, &token) {
+            Err(PipelineError::Runtime(SimError::Cancelled { .. })) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        let sup = pipeline.supervisor_stats();
+        assert_eq!(sup.retries, 0, "a signalled token must stop the retry loop");
+        assert_eq!(sup.fallbacks, 0, "preemption must not degrade to the analytical estimate");
+        assert!(!pipeline.breaker_is_open(), "preemption is not a backend-health signal");
+        // An untriggered token leaves the supervised path fully intact.
+        let ok = pipeline
+            .run_supervised_with_cancel(&AddRelu::new(1 << 12), &policy, &CancelToken::new())
+            .unwrap();
+        assert_eq!(ok.fidelity, Fidelity::Simulated);
+    }
+
+    #[test]
+    fn stage_percentiles_track_uncached_runs() {
+        let pipeline = AnalysisPipeline::new(ChipSpec::training());
+        for shift in 10..14u64 {
+            pipeline.run(&AddRelu::new(1 << shift)).unwrap();
+        }
+        pipeline.run(&AddRelu::new(1 << 10)).unwrap(); // hit: no sample
+        let pct = pipeline.stage_percentiles();
+        assert_eq!(pct.total.count, 4, "cache hits must not record latency");
+        assert!(pct.total.p50 > 0.0);
+        assert!(pct.total.p99 >= pct.total.p50);
+        assert!(pct.simulate.p50 > 0.0);
+        let footer = pipeline.instrumentation_footer();
+        assert!(footer.contains("stage latency ms p50/p95/p99"), "{footer}");
+        pipeline.reset();
+        assert_eq!(pipeline.stage_percentiles().total.count, 0);
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Fixed-size latency reservoirs and percentile summaries.
+//!
+//! Overload behaviour is invisible in means: a service melting down can
+//! still report a healthy *average* latency while its tail explodes. The
+//! pipeline therefore keeps a bounded [`LatencyReservoir`] per stage (and
+//! the service one per priority class) and reports nearest-rank
+//! p50/p95/p99 via [`LatencySummary`]. The reservoir uses Algorithm R
+//! with a seeded [`SplitMix64`], so memory stays fixed no matter how long
+//! the process lives and every sample seen has equal probability of being
+//! represented.
+
+use ascend_faults::SplitMix64;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Default number of samples a reservoir retains.
+pub const DEFAULT_RESERVOIR_CAPACITY: usize = 512;
+
+/// A fixed-size uniform sample of a latency stream (Algorithm R).
+///
+/// `record` is O(1); `summary` sorts the retained samples (bounded by the
+/// capacity, not the stream length). Deterministic for a given seed and
+/// sample sequence.
+#[derive(Debug, Clone)]
+pub struct LatencyReservoir {
+    samples: Vec<f64>,
+    seen: u64,
+    capacity: usize,
+    rng: SplitMix64,
+}
+
+impl Default for LatencyReservoir {
+    fn default() -> Self {
+        LatencyReservoir::new(DEFAULT_RESERVOIR_CAPACITY, 0x5EED_1A7E)
+    }
+}
+
+impl LatencyReservoir {
+    /// A reservoir retaining at most `capacity` samples (minimum 1),
+    /// with replacement decisions drawn from `seed`.
+    #[must_use]
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        let capacity = capacity.max(1);
+        LatencyReservoir {
+            samples: Vec::with_capacity(capacity),
+            seen: 0,
+            capacity,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Records one latency observation (seconds).
+    pub fn record(&mut self, secs: f64) {
+        self.seen += 1;
+        if self.samples.len() < self.capacity {
+            self.samples.push(secs);
+        } else {
+            // Algorithm R: replace a random slot with probability
+            // capacity/seen, keeping the retained set uniform over the
+            // whole stream.
+            let index = self.rng.below(self.seen);
+            if (index as usize) < self.capacity {
+                self.samples[index as usize] = secs;
+            }
+        }
+    }
+
+    /// Total observations recorded (not just those retained).
+    #[must_use]
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The percentile summary of the retained sample.
+    #[must_use]
+    pub fn summary(&self) -> LatencySummary {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        LatencySummary {
+            count: self.seen,
+            p50: nearest_rank(&sorted, 0.50),
+            p95: nearest_rank(&sorted, 0.95),
+            p99: nearest_rank(&sorted, 0.99),
+            max: sorted.last().copied().unwrap_or(0.0),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (0 when empty).
+fn nearest_rank(sorted: &[f64], quantile: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (quantile * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Percentiles (seconds) of one latency stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Observations recorded into the reservoir over its lifetime.
+    pub count: u64,
+    /// Median latency in seconds.
+    pub p50: f64,
+    /// 95th-percentile latency in seconds.
+    pub p95: f64,
+    /// 99th-percentile latency in seconds.
+    pub p99: f64,
+    /// Largest retained sample in seconds.
+    pub max: f64,
+}
+
+impl fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}/{:.2}/{:.2}", self.p50 * 1e3, self.p95 * 1e3, self.p99 * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_reservoir_summarizes_to_zero() {
+        let summary = LatencyReservoir::default().summary();
+        assert_eq!(summary.count, 0);
+        assert_eq!(summary.p50, 0.0);
+        assert_eq!(summary.p99, 0.0);
+        assert_eq!(summary.max, 0.0);
+    }
+
+    #[test]
+    fn under_capacity_percentiles_are_exact() {
+        let mut r = LatencyReservoir::new(100, 1);
+        for i in 1..=100u64 {
+            r.record(i as f64);
+        }
+        let s = r.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.p99, 99.0);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn over_capacity_memory_stays_bounded_and_sample_is_plausible() {
+        let mut r = LatencyReservoir::new(64, 42);
+        for i in 0..100_000u64 {
+            r.record(i as f64 / 100_000.0);
+        }
+        let s = r.summary();
+        assert_eq!(s.count, 100_000);
+        // The retained set is a uniform sample of [0, 1): the median of
+        // 64 uniform draws concentrates tightly around 0.5.
+        assert!((0.25..0.75).contains(&s.p50), "p50 = {}", s.p50);
+        assert!(s.p95 >= s.p50 && s.p99 >= s.p95 && s.max >= s.p99);
+    }
+
+    #[test]
+    fn same_seed_same_summary() {
+        let mut a = LatencyReservoir::new(32, 7);
+        let mut b = LatencyReservoir::new(32, 7);
+        for i in 0..10_000u64 {
+            a.record((i % 997) as f64);
+            b.record((i % 997) as f64);
+        }
+        assert_eq!(a.summary(), b.summary());
+    }
+
+    #[test]
+    fn display_is_milliseconds() {
+        let mut r = LatencyReservoir::new(8, 3);
+        r.record(0.001);
+        r.record(0.002);
+        assert_eq!(r.summary().to_string(), "1.00/2.00/2.00");
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut r = LatencyReservoir::new(8, 3);
+        r.record(0.25);
+        let s = r.summary();
+        assert_eq!(s.p50, 0.25);
+        assert_eq!(s.p95, 0.25);
+        assert_eq!(s.p99, 0.25);
+        assert_eq!(s.max, 0.25);
+    }
+}

@@ -90,6 +90,26 @@ impl CancelToken {
     pub fn deadline(&self) -> Option<Instant> {
         self.deadline
     }
+
+    /// A child token sharing this token's cancellation flag but carrying
+    /// its own deadline, `timeout` from now (tightened to the parent's
+    /// deadline when the parent's is earlier).
+    ///
+    /// This is the supervision composition primitive: a service holds one
+    /// parent token per lifetime (cancelled at drain) and derives a child
+    /// per attempt, so a single [`cancel`](CancelToken::cancel) on the
+    /// parent preempts every in-flight attempt while each attempt still
+    /// enforces its own per-attempt deadline. Because the flag is shared,
+    /// cancelling a child also cancels the parent — treat children as
+    /// scoped views, not independent tokens.
+    #[must_use]
+    pub fn child_with_timeout(&self, timeout: Duration) -> CancelToken {
+        let child_deadline = Instant::now() + timeout;
+        CancelToken {
+            flag: Arc::clone(&self.flag),
+            deadline: Some(self.deadline.map_or(child_deadline, |d| d.min(child_deadline))),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -119,5 +139,35 @@ mod tests {
         let token = CancelToken::with_timeout(Duration::from_secs(3600));
         assert!(!token.is_cancelled());
         assert!(token.deadline().is_some());
+    }
+
+    #[test]
+    fn child_shares_the_parent_flag_both_ways() {
+        let parent = CancelToken::new();
+        let child = parent.child_with_timeout(Duration::from_secs(3600));
+        assert!(!child.is_cancelled());
+        parent.cancel();
+        assert!(child.is_signalled(), "parent cancellation must reach the child");
+        // The flag is shared, so a child cancel is visible on the parent
+        // too — documented as scoped-view semantics.
+        let parent = CancelToken::new();
+        let child = parent.child_with_timeout(Duration::from_secs(3600));
+        child.cancel();
+        assert!(parent.is_signalled());
+    }
+
+    #[test]
+    fn child_deadline_is_independent_of_the_parent_flag() {
+        let parent = CancelToken::new();
+        let child = parent.child_with_timeout(Duration::ZERO);
+        assert!(child.is_expired(), "zero timeout expires immediately");
+        assert!(!parent.is_cancelled(), "a lapsed child deadline must not cancel the parent");
+    }
+
+    #[test]
+    fn child_inherits_an_earlier_parent_deadline() {
+        let parent = CancelToken::with_timeout(Duration::ZERO);
+        let child = parent.child_with_timeout(Duration::from_secs(3600));
+        assert!(child.is_expired(), "the parent's earlier deadline must win");
     }
 }

@@ -12,6 +12,15 @@ use ascend_isa::{validate, Instruction, Kernel};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
+/// How often (in processed events) the engine polls a cancellation
+/// token's wall-clock deadline. The explicit cancellation *flag* is one
+/// atomic load and is checked every event; the deadline reads the wall
+/// clock, so it is only polled on the first event and every
+/// `DEADLINE_POLL_EVENTS` thereafter. A lapsed deadline is therefore
+/// observed within at most `DEADLINE_POLL_EVENTS` events — the bound the
+/// service drain protocol's termination guarantee rests on.
+pub const DEADLINE_POLL_EVENTS: u64 = 64;
+
 /// Watchdog budgets bounding one simulation run.
 ///
 /// The defaults are far beyond any legitimate kernel in this repository
@@ -298,8 +307,11 @@ impl<'a> Run<'a> {
             if let Some(token) = self.cancel {
                 // The explicit flag is one atomic load — check it every
                 // event. The deadline reads the wall clock, so poll it
-                // only every 64 events (and on the first).
-                if token.is_signalled() || (processed & 0x3F == 1 && token.is_expired()) {
+                // only every DEADLINE_POLL_EVENTS events (and on the
+                // first).
+                if token.is_signalled()
+                    || (processed % DEADLINE_POLL_EVENTS == 1 && token.is_expired())
+                {
                     return Err(SimError::Cancelled {
                         events: processed,
                         cycles: now,
@@ -546,6 +558,7 @@ mod tests {
     use super::*;
     use ascend_arch::{Buffer, ComputeUnit, MteEngine, Precision, TransferPath};
     use ascend_isa::{KernelBuilder, Region};
+    use std::time::Duration;
 
     fn sim() -> Simulator {
         Simulator::new(ChipSpec::training())
@@ -862,6 +875,59 @@ mod tests {
         }
         match sim.simulate(&b.build()) {
             Err(SimError::Cancelled { .. }) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    /// A compute-only kernel of `n` instructions: no operands, so no
+    /// buffer-capacity limit — an arbitrarily long event stream for
+    /// cancellation-latency tests.
+    fn long_kernel(n: usize) -> ascend_isa::Kernel {
+        let mut b = KernelBuilder::new("long");
+        for _ in 0..n {
+            b.compute(ComputeUnit::Vector, Precision::Fp16, 64, vec![], vec![]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn deadline_expiry_is_observed_within_the_poll_interval() {
+        // A deadline far shorter than the kernel's wall-clock simulation
+        // time must preempt the run mid-loop, and because the wall clock
+        // is only polled every DEADLINE_POLL_EVENTS events, the preemption
+        // event index always lands on a poll boundary — the documented
+        // propagation-latency bound.
+        let sim = sim().with_cancel(CancelToken::with_timeout(Duration::from_micros(200)));
+        match sim.simulate(&long_kernel(1 << 16)) {
+            Err(SimError::Cancelled { events, .. }) => {
+                assert_eq!(
+                    events % DEADLINE_POLL_EVENTS,
+                    1,
+                    "deadline expiry must be observed at a poll boundary, got event {events}"
+                );
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mid_run_cancel_is_observed_before_completion() {
+        // The explicit flag is checked on *every* event, so a cancel
+        // issued from another thread mid-loop preempts the run at the
+        // next event boundary instead of letting it drain the heap.
+        let token = CancelToken::new();
+        let sim = sim().with_cancel(token.clone());
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_micros(500));
+            token.cancel();
+        });
+        let result = sim.simulate(&long_kernel(1 << 16));
+        canceller.join().unwrap();
+        match result {
+            Err(SimError::Cancelled { events, forensics, .. }) => {
+                assert!(forensics.remaining > 0, "preemption leaves work incomplete");
+                assert!(events >= 1);
+            }
             other => panic!("expected Cancelled, got {other:?}"),
         }
     }

@@ -52,7 +52,7 @@ mod forensics;
 mod trace;
 
 pub use cancel::CancelToken;
-pub use engine::{SimBudget, Simulator};
+pub use engine::{SimBudget, Simulator, DEADLINE_POLL_EVENTS};
 pub use error::SimError;
 pub use forensics::{
     BlockCause, DeadlockReport, PendingSetter, QueueState, SetterLocation, WaitEdge,

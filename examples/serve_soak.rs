@@ -1,0 +1,145 @@
+//! Soak the resident `AnalysisService`: replay a seeded 2x-overload
+//! arrival schedule — with a burst, fault-mutated kernels, and periodic
+//! panicking poison items — then drain and assert the service's health
+//! invariants held end to end:
+//!
+//! * the admission queue never exceeds its configured bound;
+//! * every arrival is either admitted or told `Overloaded` — no silence;
+//! * every accepted ticket reaches exactly one terminal state;
+//! * `drain()` quiesces within its deadline.
+//!
+//! Run with `cargo run --example serve_soak`. The default run is a few
+//! hundred milliseconds so the example suite stays fast; CI's dedicated
+//! soak job sets `ASCEND_SOAK_MS` to stretch the same invariants over a
+//! longer window.
+
+use ascend::arch::ChipSpec;
+use ascend::faults::{FaultPlan, FaultedOperator, LoadProfile, PanicOperator, PanicSwitch};
+use ascend::ops::{AddRelu, Operator};
+use ascend::pipeline::{
+    AnalysisPipeline, AnalysisService, PipelineError, Request, ServiceConfig, Ticket,
+};
+use std::time::{Duration, Instant};
+
+const WORKERS: usize = 2;
+const QUEUE: usize = 8;
+
+/// A unique (never cache-hitting) operator with ~1 ms of work.
+fn unique_op(index: u64) -> Box<dyn Operator> {
+    Box::new(AddRelu::new((1 << 22) + index * 257))
+}
+
+fn main() {
+    let soak = Duration::from_millis(
+        std::env::var("ASCEND_SOAK_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(300),
+    );
+    let service = AnalysisService::start(
+        AnalysisPipeline::new(ChipSpec::training()),
+        ServiceConfig { workers: WORKERS, queue_capacity: QUEUE, ..ServiceConfig::default() },
+    );
+
+    // Calibrate: a short closed-loop phase measures the unloaded service
+    // time, from which the 2x-overload arrival rate is derived.
+    let calibration = Instant::now();
+    const BASELINE: u64 = 8;
+    for i in 0..BASELINE {
+        let ticket = service.submit(Request::interactive(unique_op(i))).unwrap();
+        ticket.wait().expect("calibration item completes");
+    }
+    let mean_service = calibration.elapsed() / u32::try_from(BASELINE).unwrap();
+    let unloaded_p50 = service.health().interactive.p50;
+    let rate_hz = 2.0 * WORKERS as f64 / mean_service.as_secs_f64();
+    println!(
+        "calibration: {:.2} ms per item unloaded -> soaking at {:.0} req/s for {:?}",
+        mean_service.as_secs_f64() * 1e3,
+        rate_hz,
+        soak
+    );
+
+    // The overload schedule: Poisson arrivals at 2x capacity, a 3x burst
+    // every quarter of the window, ~12% fault-mutated kernels, and a
+    // panicking poison item roughly every 64 arrivals.
+    let profile = LoadProfile::new(0xC4A0_5000, rate_hz, soak)
+        .with_burst(soak / 4, soak / 16, 3.0)
+        .with_interactive_fraction(0.5);
+    let schedule = profile.schedule();
+    let start = Instant::now();
+    let mut tickets: Vec<Ticket> = Vec::new();
+    let mut rejected = 0u64;
+    let mut max_depth = 0usize;
+    for (i, arrival) in schedule.iter().enumerate() {
+        if let Some(wait) = arrival.at.checked_sub(start.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        let inner = unique_op(BASELINE + i as u64);
+        let op: Box<dyn Operator> = match arrival.draw % 64 {
+            0 => Box::new(PanicOperator::new(inner, PanicSwitch::after(0))),
+            d if d < 8 => {
+                Box::new(FaultedOperator::new(inner, FaultPlan::new(arrival.draw).truncate_to(5)))
+            }
+            _ => inner,
+        };
+        let request =
+            if arrival.interactive { Request::interactive(op) } else { Request::sweep(op) };
+        match service.submit(request) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(PipelineError::Overloaded { queue_depth, retry_after_hint }) => {
+                assert_eq!(queue_depth, QUEUE, "rejections report the configured bound");
+                assert!(retry_after_hint > Duration::ZERO);
+                rejected += 1;
+            }
+            Err(other) => panic!("unexpected admission error: {other}"),
+        }
+        let depth = service.health().queue_depth;
+        assert!(depth <= QUEUE, "queue depth {depth} exceeded its bound {QUEUE}");
+        max_depth = max_depth.max(depth);
+    }
+
+    let report = service.drain(Duration::from_secs(30));
+    let health = service.health();
+    println!(
+        "soak: {} arrivals = {} accepted + {} shed at admission (max depth {max_depth}/{QUEUE})",
+        schedule.len(),
+        health.counters.accepted,
+        rejected
+    );
+    println!(
+        "outcomes: {} ok, {} failed, {} shed in queue, {} flushed at drain",
+        health.counters.completed_ok,
+        health.counters.failed,
+        health.counters.shed_deadline,
+        health.counters.drain_flushed
+    );
+    println!(
+        "latency ms p50/p95/p99: interactive {} | sweep {} (unloaded p50 {:.2} ms)",
+        health.interactive,
+        health.sweep,
+        unloaded_p50 * 1e3
+    );
+    println!(
+        "drain: flushed {} queued, quiesced in {:.1} ms",
+        report.flushed_queued,
+        report.elapsed.as_secs_f64() * 1e3
+    );
+    println!("\n{}", service.pipeline().instrumentation_footer());
+
+    // The invariants the service guarantees, checked at exit.
+    assert!(report.quiesced, "drain must quiesce: {report:?}");
+    assert_eq!(
+        tickets.len() as u64 + rejected,
+        schedule.len() as u64,
+        "every arrival was either admitted or told it was shed"
+    );
+    assert_eq!(
+        health.counters.terminal_states(),
+        health.counters.accepted,
+        "every accepted ticket reaches exactly one terminal state: {:?}",
+        health.counters
+    );
+    assert!(
+        tickets.iter().all(|t| t.try_result().is_some()),
+        "every admitted ticket is settled after drain"
+    );
+    assert!(!health.is_ready(), "a drained service reports not-ready");
+    println!("\nall soak invariants held");
+}

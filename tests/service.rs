@@ -1,0 +1,208 @@
+//! Acceptance suite for the resident [`AnalysisService`]: admission
+//! control under seeded overload, loss-free shedding, bounded queueing
+//! delay, priority scheduling, hedged stragglers, and graceful drain
+//! with workers mid-flight and an injected worker panic.
+//!
+//! The soak test self-calibrates: it measures the service's unloaded
+//! latency first and derives the 2x-overload arrival rate from that
+//! measurement, so the same invariants hold in debug and release
+//! builds.
+
+use ascend::arch::ChipSpec;
+use ascend::faults::{FaultPlan, FaultedOperator, LoadProfile, PanicOperator, PanicSwitch};
+use ascend::ops::{AddRelu, Operator};
+use ascend::pipeline::{AnalysisPipeline, AnalysisService, PipelineError, Request, ServiceConfig};
+use std::time::{Duration, Instant};
+
+fn service(config: ServiceConfig) -> AnalysisService {
+    AnalysisService::start(AnalysisPipeline::new(ChipSpec::training()), config)
+}
+
+/// A unique (never cache-hitting) operator; ~1 ms of work even in
+/// release builds, so queueing effects dominate scheduler noise.
+fn unique_op(index: u64) -> Box<dyn Operator> {
+    Box::new(AddRelu::new((1 << 22) + index * 257))
+}
+
+#[test]
+fn soak_at_2x_overload_bounds_the_queue_and_loses_nothing() {
+    // The queue bound is the knob that caps sojourn time: an admitted
+    // item waits at most ~(queue/workers + 1) service times, which must
+    // land well inside the 10x-unloaded-p50 envelope even with worker
+    // contention inflating per-item service under load.
+    const WORKERS: usize = 2;
+    const QUEUE: usize = 4;
+    let svc = service(ServiceConfig {
+        workers: WORKERS,
+        queue_capacity: QUEUE,
+        ..ServiceConfig::default()
+    });
+
+    // Phase 1 — unloaded baseline: closed loop, one request at a time.
+    let baseline_start = Instant::now();
+    const BASELINE: u64 = 12;
+    for i in 0..BASELINE {
+        let ticket = svc.submit(Request::interactive(unique_op(i))).unwrap();
+        ticket.wait().unwrap();
+    }
+    let mean_service = baseline_start.elapsed() / u32::try_from(BASELINE).unwrap();
+    let unloaded_p50 = svc.health().interactive.p50;
+    assert!(unloaded_p50 > 0.0, "baseline must record latency samples");
+
+    // Phase 2 — open-loop replay at 2x the measured service capacity,
+    // with a burst riding on top and a seeded fraction of fault-mutated
+    // kernels in the mix.
+    let capacity_hz = WORKERS as f64 / mean_service.as_secs_f64();
+    let profile = LoadProfile::new(0x50A4, 2.0 * capacity_hz, 40 * mean_service)
+        .with_burst(10 * mean_service, 3 * mean_service, 3.0)
+        .with_interactive_fraction(1.0);
+    let schedule = profile.schedule();
+    assert!(schedule.len() > 50, "the overload phase needs real traffic");
+
+    let start = Instant::now();
+    let mut tickets = Vec::new();
+    let mut rejected = 0u64;
+    for (i, arrival) in schedule.iter().enumerate() {
+        if let Some(wait) = arrival.at.checked_sub(start.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        let inner = unique_op(BASELINE + i as u64);
+        let op: Box<dyn Operator> = if arrival.draw % 8 == 0 {
+            Box::new(FaultedOperator::new(inner, FaultPlan::new(arrival.draw).truncate_to(5)))
+        } else {
+            inner
+        };
+        match svc.submit(Request::interactive(op)) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(PipelineError::Overloaded { queue_depth, .. }) => {
+                // Shed requests are told, with the depth that shed them —
+                // never silently dropped.
+                assert_eq!(queue_depth, QUEUE);
+                rejected += 1;
+            }
+            Err(other) => panic!("unexpected admission error: {other}"),
+        }
+        let depth = svc.health().queue_depth;
+        assert!(depth <= QUEUE, "queue depth {depth} exceeded its bound {QUEUE}");
+    }
+    assert_eq!(
+        tickets.len() as u64 + rejected,
+        schedule.len() as u64,
+        "every arrival was either admitted or told it was shed"
+    );
+    assert!(rejected > 0, "a sustained 2x overload must shed at admission");
+
+    // Phase 3 — drain and audit the ledger.
+    let report = svc.drain(Duration::from_secs(30));
+    assert!(report.quiesced, "drain must quiesce: {report:?}");
+    let health = svc.health();
+    assert_eq!(
+        health.counters.terminal_states(),
+        health.counters.accepted,
+        "every accepted ticket reaches exactly one terminal state: {:?}",
+        health.counters
+    );
+    assert_eq!(health.counters.accepted, BASELINE + tickets.len() as u64);
+    assert_eq!(health.counters.rejected_overload, rejected);
+    assert!(
+        tickets.iter().all(|t| t.try_result().is_some()),
+        "an admitted ticket must be settled after drain"
+    );
+
+    // Bounded delay: the admission queue caps sojourn at roughly
+    // (queue/workers + 1) service times, inside the 10x envelope.
+    let loaded_p99 = health.interactive.p99;
+    assert!(
+        loaded_p99 < 10.0 * unloaded_p50,
+        "p99 under load ({:.2} ms) must stay under 10x unloaded p50 ({:.2} ms)",
+        loaded_p99 * 1e3,
+        unloaded_p50 * 1e3
+    );
+}
+
+#[test]
+fn drain_returns_on_time_with_workers_midflight_and_a_panic() {
+    let svc = service(ServiceConfig { workers: 2, queue_capacity: 32, ..ServiceConfig::default() });
+    let mut tickets = Vec::new();
+    // A poison item first: wait for its panic so the pool has provably
+    // survived one — the regression this test pins is that a panicking
+    // item neither wedges drain nor leaks its in-flight slot.
+    let poison = PanicOperator::new(Box::new(AddRelu::new(1 << 10)), PanicSwitch::after(0));
+    let poison_ticket = svc.submit(Request::sweep(Box::new(poison))).unwrap();
+    assert!(
+        matches!(poison_ticket.wait(), Err(PipelineError::Panicked { .. })),
+        "the poison ticket fails with the panic, not a hang"
+    );
+    tickets.push(poison_ticket);
+    // Then long items: two go mid-flight, the rest stay queued when the
+    // drain lands.
+    for i in 0..6u64 {
+        tickets.push(svc.submit(Request::sweep(Box::new(AddRelu::new((1 << 23) + i)))).unwrap());
+    }
+    std::thread::sleep(Duration::from_millis(1));
+
+    let deadline = Duration::from_secs(10);
+    let report = svc.drain(deadline);
+    assert!(report.quiesced, "a panicking item must not wedge drain: {report:?}");
+    assert!(report.elapsed < deadline, "drain must beat its deadline: {report:?}");
+    assert!(report.flushed_queued > 0, "some items were still queued at drain: {report:?}");
+
+    let health = svc.health();
+    // The pipeline's per-item isolation absorbs the operator panic and
+    // fails the ticket; `worker_panics` counts only panics escaping
+    // that isolation, for which the in-flight guard is the backstop.
+    assert!(health.counters.failed >= 1, "{:?}", health.counters);
+    assert_eq!(health.counters.worker_panics, 0, "{:?}", health.counters);
+    assert_eq!(
+        health.counters.terminal_states(),
+        health.counters.accepted,
+        "panic and cancellation still produce exactly one terminal state each: {:?}",
+        health.counters
+    );
+    let outcomes: Vec<_> = tickets.iter().map(|t| t.try_result()).collect();
+    assert!(outcomes.iter().all(Option::is_some), "every ticket is settled after drain");
+    assert!(
+        outcomes.iter().flatten().any(
+            |outcome| matches!(outcome, Err(PipelineError::Panicked { message }) if !message.is_empty())
+        ),
+        "the poison ticket reports the panic"
+    );
+}
+
+#[test]
+fn hedging_rescues_a_straggler_and_counts_the_win() {
+    // hedge_after = 0 makes the probe attempt expire on its first
+    // deadline poll, deterministically: every uncached item "straggles",
+    // is hedged, and the full-policy second attempt wins.
+    let svc = service(ServiceConfig {
+        workers: 1,
+        hedge_after: Some(Duration::ZERO),
+        ..ServiceConfig::default()
+    });
+    let ticket = svc.submit(Request::interactive(Box::new(AddRelu::new(1 << 14)))).unwrap();
+    let result = ticket.wait().expect("the hedged attempt succeeds");
+    assert!(result.cycles() > 0.0);
+    let counters = svc.health().counters;
+    assert_eq!(counters.hedges, 1, "{counters:?}");
+    assert_eq!(counters.hedge_wins, 1, "{counters:?}");
+    svc.drain(Duration::from_secs(5));
+}
+
+#[test]
+fn interactive_requests_overtake_queued_sweeps() {
+    let svc = service(ServiceConfig { workers: 1, queue_capacity: 8, ..ServiceConfig::default() });
+    // Occupy the only worker, then queue a sweep before an interactive
+    // request: the interactive one must be dequeued first.
+    let head = svc.submit(Request::sweep(Box::new(AddRelu::new(1 << 22)))).unwrap();
+    let sweep = svc.submit(Request::sweep(Box::new(AddRelu::new((1 << 22) + 1)))).unwrap();
+    let interactive = svc.submit(Request::interactive(Box::new(AddRelu::new(1 << 12)))).unwrap();
+    interactive.wait().expect("interactive completes");
+    assert!(
+        sweep.try_result().is_none(),
+        "the earlier-queued sweep is still waiting when the interactive answer lands"
+    );
+    head.wait().expect("head of line completes");
+    sweep.wait().expect("sweep completes eventually");
+    let report = svc.drain(Duration::from_secs(5));
+    assert!(report.quiesced);
+}
