@@ -5,6 +5,7 @@
 //! cargo run -p ascend-bench --bin serve
 //! cargo run -p ascend-bench --bin serve -- --rate 400 --duration-ms 500
 //! cargo run -p ascend-bench --bin serve -- --workers 1 --queue 4 --chaos 0.2
+//! cargo run -p ascend-bench --bin serve -- --sandboxed --chaos 0.1
 //! ```
 //!
 //! Arrivals come from a deterministic [`LoadProfile`] (Poisson with a
@@ -14,12 +15,21 @@
 //! without ever poisoning the clean cache entries. The binary prints the
 //! final [`HealthSnapshot`], the pipeline instrumentation footer, and
 //! writes `serve_health.json` under the experiments directory.
+//!
+//! With `--sandboxed`, every class runs [`Isolation::Sandboxed`]: the
+//! traffic becomes operator *specs* served by supervised child
+//! processes (this binary re-exec'd as a worker), and the chaos
+//! fraction becomes the fault library's hostile modes — worker kills
+//! instead of kernel corruption.
 
 use ascend_arch::ChipSpec;
 use ascend_bench::{header, pipeline_for, run_policy, write_json};
-use ascend_faults::{FaultPlan, FaultedOperator, LoadProfile};
-use ascend_ops::{AddRelu, Elementwise, EltwiseKind, LayerNorm, Operator, Softmax};
-use ascend_pipeline::{AnalysisService, PipelineError, Request, ServiceConfig, Ticket};
+use ascend_faults::{FaultPlan, FaultedOperator, HostileMode, LoadProfile};
+use ascend_ops::{AddRelu, Elementwise, EltwiseKind, LayerNorm, OpSpec, Operator, Softmax};
+use ascend_pipeline::{
+    AnalysisService, Isolation, PipelineError, Priority, Request, SandboxConfig, ServiceConfig,
+    Ticket, WorkSpec,
+};
 use std::time::{Duration, Instant};
 
 struct Args {
@@ -29,6 +39,7 @@ struct Args {
     workers: usize,
     queue: usize,
     chaos: f64,
+    sandboxed: bool,
 }
 
 impl Args {
@@ -40,10 +51,16 @@ impl Args {
             workers: 2,
             queue: 16,
             chaos: 0.1,
+            sandboxed: false,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < argv.len() {
+            if argv[i] == "--sandboxed" {
+                args.sandboxed = true;
+                i += 1;
+                continue;
+            }
             let value = argv.get(i + 1).map(String::as_str);
             let parsed = value.and_then(|v| v.parse::<f64>().ok());
             match (argv[i].as_str(), parsed) {
@@ -56,6 +73,7 @@ impl Args {
                 (flag, _) => {
                     eprintln!("usage: serve [--seed N] [--rate HZ] [--duration-ms MS]");
                     eprintln!("             [--workers N] [--queue N] [--chaos FRACTION]");
+                    eprintln!("             [--sandboxed]");
                     eprintln!("unrecognized or malformed: {flag}");
                     std::process::exit(2);
                 }
@@ -84,7 +102,33 @@ fn operator_for(draw: u64, chaos: f64) -> Box<dyn Operator> {
     }
 }
 
+/// The sandboxed tier's counterpart of [`operator_for`]: the same draw
+/// becomes a serializable spec, and chaos membership becomes a hostile
+/// mode drawn from the fast-failing ones (the spin would otherwise
+/// serialize the run behind its wall clock).
+fn spec_for(draw: u64, chaos: f64) -> WorkSpec {
+    if chaos > 0.0 && ((draw & 0xFF) as f64) < chaos * 256.0 {
+        let mode = match (draw >> 8) % 4 {
+            0 => HostileMode::Abort,
+            1 => HostileMode::Mute,
+            2 => HostileMode::GarbageStdout,
+            _ => HostileMode::TruncateFrame,
+        };
+        return WorkSpec::hostile(mode);
+    }
+    let elements = 1 << (10 + draw % 5);
+    WorkSpec::from(match (draw >> 8) % 4 {
+        0 => OpSpec::add_relu(elements),
+        1 => OpSpec::softmax(elements),
+        2 => OpSpec::layer_norm(elements),
+        _ => OpSpec::gelu(elements),
+    })
+}
+
 fn main() {
+    // When re-executed as a sandbox worker this serves jobs and never
+    // returns; in the ordinary invocation it is a no-op.
+    ascend_pipeline::run_worker_if_requested();
     let args = Args::parse();
     header("serve", "resident analysis service under seeded open-loop load");
     let chip = ChipSpec::training();
@@ -94,6 +138,16 @@ fn main() {
         policy: run_policy(),
         default_deadline: Some(Duration::from_secs(2)),
         seed: args.seed,
+        isolation: if args.sandboxed {
+            [Isolation::Sandboxed; 2]
+        } else {
+            [Isolation::InProcess; 2]
+        },
+        sandbox: SandboxConfig {
+            heartbeat_timeout: Duration::from_millis(300),
+            wall_clock_limit: Duration::from_secs(2),
+            ..SandboxConfig::default()
+        },
         ..ServiceConfig::default()
     };
     let service = AnalysisService::start(pipeline_for(&chip), config);
@@ -120,9 +174,18 @@ fn main() {
         if let Some(wait) = arrival.at.checked_sub(start.elapsed()) {
             std::thread::sleep(wait);
         }
-        let op = operator_for(arrival.draw, args.chaos);
-        let request =
-            if arrival.interactive { Request::interactive(op) } else { Request::sweep(op) };
+        let request = if args.sandboxed {
+            let priority =
+                if arrival.interactive { Priority::Interactive } else { Priority::Sweep };
+            Request::from_spec(spec_for(arrival.draw, args.chaos), priority)
+        } else {
+            let op = operator_for(arrival.draw, args.chaos);
+            if arrival.interactive {
+                Request::interactive(op)
+            } else {
+                Request::sweep(op)
+            }
+        };
         match service.submit(request) {
             Ok(ticket) => tickets.push(ticket),
             Err(PipelineError::Overloaded { .. }) => rejected += 1,
@@ -147,6 +210,21 @@ fn main() {
         health.counters.drain_flushed
     );
     println!("latency ms p50/p95/p99: interactive {} | sweep {}", health.interactive, health.sweep);
+    if args.sandboxed {
+        let s = &health.sandbox;
+        println!(
+            "sandbox: {} jobs ok on {} spawned ({} recycled); kills: {} hung, {} crashed, \
+             {} over-memory, {} protocol, {} preempted",
+            s.jobs_ok,
+            s.spawned,
+            s.recycled,
+            s.hung,
+            s.crashed,
+            s.over_memory,
+            s.protocol,
+            s.preempted
+        );
+    }
     println!(
         "drain: flushed {} queued, quiesced: {}, elapsed {:.1} ms",
         drain.flushed_queued,

@@ -1,7 +1,7 @@
 //! Bottleneck classification (paper, Sections 4.1–4.2).
 
 use crate::ComponentMetrics;
-use ascend_arch::{ChipSpec, Component, ComponentKind, ComputeUnit};
+use ascend_arch::{ChipSpec, Component, ComputeUnit};
 use ascend_profile::Profile;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -235,25 +235,25 @@ fn classify(metrics: &[ComponentMetrics], thresholds: &Thresholds) -> Bottleneck
             ma.total_cmp(&mb)
         });
     if let Some(m) = bound {
-        return match m.component.kind() {
-            ComponentKind::Compute => {
-                Bottleneck::ComputeBound(m.component.as_unit().expect("compute"))
-            }
-            ComponentKind::Memory => Bottleneck::MteBound(m.component),
+        // A component is a compute unit exactly when `as_unit` answers;
+        // anything else is a memory engine.
+        return match m.component.as_unit() {
+            Some(unit) => Bottleneck::ComputeBound(unit),
+            None => Bottleneck::MteBound(m.component),
         };
     }
-    // 2. Insufficient parallelism.
-    let busiest =
-        metrics.iter().max_by(|a, b| a.time_ratio.total_cmp(&b.time_ratio)).expect("non-empty");
+    // 2. Insufficient parallelism. (The emptiness check above makes the
+    // max exist; an empty slice would simply classify as idle.)
+    let Some(busiest) = metrics.iter().max_by(|a, b| a.time_ratio.total_cmp(&b.time_ratio)) else {
+        return Bottleneck::Idle;
+    };
     if busiest.time_ratio < thresholds.parallelism_ratio {
         return Bottleneck::InsufficientParallelism;
     }
     // 3. Inefficient component.
-    match busiest.component.kind() {
-        ComponentKind::Memory => Bottleneck::InefficientMte(busiest.component),
-        ComponentKind::Compute => {
-            Bottleneck::InefficientCompute(busiest.component.as_unit().expect("compute"))
-        }
+    match busiest.component.as_unit() {
+        Some(unit) => Bottleneck::InefficientCompute(unit),
+        None => Bottleneck::InefficientMte(busiest.component),
     }
 }
 

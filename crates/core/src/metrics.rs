@@ -1,7 +1,7 @@
 //! Per-component utilization metrics and the E × R decomposition.
 
 use crate::{ideal_compute_rate, ideal_mte_rate};
-use ascend_arch::{ChipSpec, Component, ComponentKind};
+use ascend_arch::{ChipSpec, Component};
 use ascend_profile::Profile;
 use serde::{Deserialize, Serialize};
 
@@ -43,17 +43,16 @@ impl ComponentMetrics {
         if total <= 0.0 {
             return None;
         }
-        let (work, ideal_rate) = match component.kind() {
-            ComponentKind::Compute => {
-                let unit = component.as_unit().expect("compute component");
-                let work = profile.total_ops(unit) as f64;
-                (work, ideal_compute_rate(chip, profile, unit)?)
-            }
-            ComponentKind::Memory => {
-                let engine = component.as_mte().expect("memory component");
-                let work = profile.bytes_of_component(component) as f64;
-                (work, ideal_mte_rate(chip, profile, engine)?)
-            }
+        // Dispatch on the accessors directly: a component is a compute
+        // unit or a memory engine, and nothing else.
+        let (work, ideal_rate) = if let Some(unit) = component.as_unit() {
+            let work = profile.total_ops(unit) as f64;
+            (work, ideal_compute_rate(chip, profile, unit)?)
+        } else if let Some(engine) = component.as_mte() {
+            let work = profile.bytes_of_component(component) as f64;
+            (work, ideal_mte_rate(chip, profile, engine)?)
+        } else {
+            return None;
         };
         if work <= 0.0 {
             return None;

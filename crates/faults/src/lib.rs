@@ -33,6 +33,7 @@
 //! so any fuzzer failure reproduces from its printed seed.
 
 mod harness;
+mod hostile;
 mod loadgen;
 mod plan;
 mod rng;
@@ -40,6 +41,10 @@ mod rng;
 pub mod generator;
 
 pub use harness::{corrupt_journal, JournalFault, PanicSwitch};
+pub use hostile::{
+    grow_resident, heartbeats_muted, set_heartbeats_muted, sleep_forever, spin_forever,
+    HostileMode, HostileOp,
+};
 pub use loadgen::{Arrival, Burst, FaultedOperator, LoadProfile, PanicOperator};
 pub use plan::{BandwidthFault, FaultPlan};
 pub use rng::SplitMix64;

@@ -143,19 +143,30 @@ impl BufferAllocator {
     }
 
     fn cursor_mut(&mut self, buffer: Buffer) -> &mut u64 {
-        &mut self.cursors.iter_mut().find(|(b, _)| *b == buffer).expect("all buffers present").1
+        // Construction seeds a cursor for every `Buffer::ALL` entry; a
+        // miss can only mean a Buffer variant newer than this allocator,
+        // which starts empty instead of panicking.
+        let index = match self.cursors.iter().position(|(b, _)| *b == buffer) {
+            Some(index) => index,
+            None => {
+                self.cursors.push((buffer, 0));
+                self.cursors.len() - 1
+            }
+        };
+        &mut self.cursors[index].1
     }
 
-    /// Capacity of `buffer` in bytes.
+    /// Capacity of `buffer` in bytes (zero for a buffer the chip does
+    /// not describe).
     #[must_use]
     pub fn capacity(&self, buffer: Buffer) -> u64 {
-        self.capacities.iter().find(|(b, _)| *b == buffer).expect("all buffers present").1
+        self.capacities.iter().find(|(b, _)| *b == buffer).map_or(0, |(_, capacity)| *capacity)
     }
 
     /// Bytes already allocated in `buffer`.
     #[must_use]
     pub fn used(&self, buffer: Buffer) -> u64 {
-        self.cursors.iter().find(|(b, _)| *b == buffer).expect("all buffers present").1
+        self.cursors.iter().find(|(b, _)| *b == buffer).map_or(0, |(_, used)| *used)
     }
 
     /// Bytes still available in `buffer`.

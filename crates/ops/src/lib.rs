@@ -55,6 +55,7 @@ mod format;
 mod gelu;
 mod matmul;
 mod normalization;
+mod spec;
 mod tiling;
 
 pub use add_relu::AddRelu;
@@ -70,6 +71,7 @@ pub use format::{Cast, TransData};
 pub use gelu::Gelu;
 pub use matmul::{BatchMatMul, FullyConnection, MatMul, MatMulAdd};
 pub use normalization::{LayerNorm, Softmax};
+pub use spec::OpSpec;
 pub use tiling::{ceil_div, tiles, Tile};
 
 use ascend_arch::ChipSpec;

@@ -1,0 +1,246 @@
+//! Serializable operator descriptions for cross-process work shipping.
+//!
+//! [`Operator`] is an open trait of kernel generators; a sandboxed
+//! executor cannot ship a `Box<dyn Operator>` to a worker process. An
+//! [`OpSpec`] is the closed, serde-serializable subset: a value that
+//! names one concrete operator of this crate plus everything its
+//! constructor consumes (shape, tile overrides, [`OptFlags`]).
+//! [`OpSpec::instantiate`] rebuilds the operator on the far side, and
+//! because the concrete types are deterministic shape+flags values, the
+//! instantiated operator is **semantically identical** to one built
+//! locally from the same spec — same descriptor, same fingerprint, same
+//! generated kernel.
+//!
+//! # Examples
+//!
+//! ```
+//! use ascend_ops::{AddRelu, OpSpec, Operator};
+//!
+//! let spec = OpSpec::add_relu(1 << 14);
+//! let remote = spec.instantiate();
+//! let local = AddRelu::new(1 << 14);
+//! assert_eq!(remote.fingerprint(), local.fingerprint());
+//! ```
+
+use crate::{
+    AddRelu, AvgPool, Elementwise, EltwiseKind, Gelu, LayerNorm, MatMul, Operator, OptFlags,
+    Softmax,
+};
+use serde::{Deserialize, Serialize};
+
+/// A closed, serializable description of one operator instance —
+/// everything a worker process needs to rebuild it with
+/// [`instantiate`](OpSpec::instantiate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpSpec {
+    /// [`AddRelu`] over `elements` FP16 values.
+    AddRelu {
+        /// Total element count.
+        elements: u64,
+        /// Tile-size override (`None` keeps the constructor default).
+        tile: Option<u64>,
+        /// Optimization flags.
+        flags: OptFlags,
+    },
+    /// [`Gelu`] over `elements` values.
+    Gelu {
+        /// Total element count.
+        elements: u64,
+        /// Optimization flags.
+        flags: OptFlags,
+    },
+    /// [`Softmax`] over `elements` values.
+    Softmax {
+        /// Total element count.
+        elements: u64,
+        /// Optimization flags.
+        flags: OptFlags,
+    },
+    /// [`LayerNorm`] over `elements` values.
+    LayerNorm {
+        /// Total element count.
+        elements: u64,
+        /// Optimization flags.
+        flags: OptFlags,
+    },
+    /// [`Elementwise`] of `kind` over `elements` values.
+    Elementwise {
+        /// The pointwise operation.
+        kind: EltwiseKind,
+        /// Total element count.
+        elements: u64,
+        /// Tile-size override (`None` keeps the constructor default).
+        tile: Option<u64>,
+        /// Optimization flags.
+        flags: OptFlags,
+    },
+    /// [`MatMul`] of an `m × k` by `k × n` product.
+    MatMul {
+        /// Rows of the left operand.
+        m: u64,
+        /// Shared dimension.
+        k: u64,
+        /// Columns of the right operand.
+        n: u64,
+        /// Optimization flags.
+        flags: OptFlags,
+    },
+    /// [`AvgPool`] producing `output_elements` values.
+    AvgPool {
+        /// Number of pooled output elements.
+        output_elements: u64,
+        /// Window-size override (`None` keeps the constructor default).
+        window: Option<u64>,
+        /// Tile-size override (`None` keeps the constructor default).
+        tile: Option<u64>,
+        /// Optimization flags.
+        flags: OptFlags,
+    },
+}
+
+impl OpSpec {
+    /// An [`AddRelu`] spec with default tile and no flags.
+    #[must_use]
+    pub fn add_relu(elements: u64) -> Self {
+        OpSpec::AddRelu { elements, tile: None, flags: OptFlags::new() }
+    }
+
+    /// A [`Gelu`] spec with no flags.
+    #[must_use]
+    pub fn gelu(elements: u64) -> Self {
+        OpSpec::Gelu { elements, flags: OptFlags::new() }
+    }
+
+    /// A [`Softmax`] spec with no flags.
+    #[must_use]
+    pub fn softmax(elements: u64) -> Self {
+        OpSpec::Softmax { elements, flags: OptFlags::new() }
+    }
+
+    /// A [`LayerNorm`] spec with no flags.
+    #[must_use]
+    pub fn layer_norm(elements: u64) -> Self {
+        OpSpec::LayerNorm { elements, flags: OptFlags::new() }
+    }
+
+    /// An [`Elementwise`] spec with default tile and no flags.
+    #[must_use]
+    pub fn elementwise(kind: EltwiseKind, elements: u64) -> Self {
+        OpSpec::Elementwise { kind, elements, tile: None, flags: OptFlags::new() }
+    }
+
+    /// A [`MatMul`] spec with no flags.
+    #[must_use]
+    pub fn matmul(m: u64, k: u64, n: u64) -> Self {
+        OpSpec::MatMul { m, k, n, flags: OptFlags::new() }
+    }
+
+    /// An [`AvgPool`] spec with default window/tile and no flags.
+    #[must_use]
+    pub fn avg_pool(output_elements: u64) -> Self {
+        OpSpec::AvgPool { output_elements, window: None, tile: None, flags: OptFlags::new() }
+    }
+
+    /// Replaces the optimization flags, whichever variant this is.
+    #[must_use]
+    pub fn with_flags(mut self, new: OptFlags) -> Self {
+        match &mut self {
+            OpSpec::AddRelu { flags, .. }
+            | OpSpec::Gelu { flags, .. }
+            | OpSpec::Softmax { flags, .. }
+            | OpSpec::LayerNorm { flags, .. }
+            | OpSpec::Elementwise { flags, .. }
+            | OpSpec::MatMul { flags, .. }
+            | OpSpec::AvgPool { flags, .. } => *flags = new,
+        }
+        self
+    }
+
+    /// Rebuilds the described operator instance.
+    #[must_use]
+    pub fn instantiate(&self) -> Box<dyn Operator> {
+        match *self {
+            OpSpec::AddRelu { elements, tile, flags } => {
+                let mut op = AddRelu::new(elements).with_flags(flags);
+                if let Some(tile) = tile {
+                    op = op.with_tile(tile);
+                }
+                Box::new(op)
+            }
+            OpSpec::Gelu { elements, flags } => Box::new(Gelu::new(elements).with_flags(flags)),
+            OpSpec::Softmax { elements, flags } => {
+                Box::new(Softmax::new(elements).with_flags(flags))
+            }
+            OpSpec::LayerNorm { elements, flags } => {
+                Box::new(LayerNorm::new(elements).with_flags(flags))
+            }
+            OpSpec::Elementwise { kind, elements, tile, flags } => {
+                let mut op = Elementwise::new(kind, elements).with_flags(flags);
+                if let Some(tile) = tile {
+                    op = op.with_tile(tile);
+                }
+                Box::new(op)
+            }
+            OpSpec::MatMul { m, k, n, flags } => Box::new(MatMul::new(m, k, n).with_flags(flags)),
+            OpSpec::AvgPool { output_elements, window, tile, flags } => {
+                let mut op = AvgPool::new(output_elements).with_flags(flags);
+                if let Some(window) = window {
+                    op = op.with_window(window);
+                }
+                if let Some(tile) = tile {
+                    op = op.with_tile(tile);
+                }
+                Box::new(op)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instantiation_matches_direct_construction() {
+        let cases: Vec<(OpSpec, Box<dyn Operator>)> = vec![
+            (OpSpec::add_relu(1 << 14), Box::new(AddRelu::new(1 << 14))),
+            (OpSpec::gelu(1 << 12), Box::new(Gelu::new(1 << 12))),
+            (OpSpec::softmax(1 << 10), Box::new(Softmax::new(1 << 10))),
+            (OpSpec::layer_norm(1 << 11), Box::new(LayerNorm::new(1 << 11))),
+            (
+                OpSpec::elementwise(EltwiseKind::Mul, 1 << 13),
+                Box::new(Elementwise::new(EltwiseKind::Mul, 1 << 13)),
+            ),
+            (OpSpec::matmul(64, 64, 64), Box::new(MatMul::new(64, 64, 64))),
+            (OpSpec::avg_pool(1 << 10), Box::new(AvgPool::new(1 << 10))),
+        ];
+        for (spec, direct) in cases {
+            let rebuilt = spec.instantiate();
+            assert_eq!(rebuilt.descriptor(), direct.descriptor(), "{spec:?}");
+            assert_eq!(rebuilt.fingerprint(), direct.fingerprint(), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn flags_and_overrides_survive_the_round_trip() {
+        let flags = OptFlags::new().rsd(true).mrt(true);
+        let spec = OpSpec::AddRelu { elements: 1 << 16, tile: Some(4096), flags };
+        let direct = AddRelu::new(1 << 16).with_tile(4096).with_flags(flags);
+        assert_eq!(spec.instantiate().fingerprint(), direct.fingerprint());
+        assert_eq!(spec.with_flags(OptFlags::new()).instantiate().flags(), OptFlags::new());
+    }
+
+    #[test]
+    fn specs_serialize_round_trip() {
+        let specs = [
+            OpSpec::add_relu(1 << 14),
+            OpSpec::matmul(32, 64, 128).with_flags(OptFlags::new().pp(true)),
+            OpSpec::elementwise(EltwiseKind::Add, 100),
+        ];
+        for spec in specs {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: OpSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(spec, back, "{json}");
+        }
+    }
+}

@@ -62,6 +62,51 @@ pub enum PipelineError {
     /// queued requests that could not be started are flushed with this
     /// terminal state.
     ServiceStopped,
+    /// A sandboxed worker stopped making observable progress — its
+    /// heartbeats went silent, or its wall-clock limit lapsed while it
+    /// hot-looped — and the supervising parent killed it.
+    WorkerHung {
+        /// Wall-clock time the item ran before the kill.
+        waited: Duration,
+        /// Heartbeat frames received before the kill (0 distinguishes a
+        /// silent worker from a live-but-stuck one).
+        heartbeats: u64,
+    },
+    /// A sandboxed worker exceeded its resident-set budget (sampled from
+    /// `/proc/<pid>/status`) and was killed before it could take the
+    /// host down with it.
+    WorkerOverMemory {
+        /// Resident set observed at the kill.
+        rss_bytes: u64,
+        /// The budget that was in force.
+        budget_bytes: u64,
+    },
+    /// A sandboxed worker died without delivering a result frame: killed
+    /// by a signal (abort, segfault, the kernel OOM-killer) or exited
+    /// nonzero.
+    WorkerCrashed {
+        /// Exit code, when the worker exited on its own.
+        code: Option<i32>,
+        /// Terminating signal, when it was killed.
+        signal: Option<i32>,
+    },
+    /// A sandboxed worker violated the frame protocol: garbage where a
+    /// frame should be, a truncated frame, a digest or version mismatch,
+    /// or a clean exit with no result.
+    WorkerProtocol {
+        /// What exactly was malformed.
+        detail: String,
+    },
+    /// The sandboxed worker ran the item to completion and reported this
+    /// failure of its own in-child pipeline run (the child-side error
+    /// crosses the process boundary as a rendered message plus its
+    /// transience class).
+    WorkerReported {
+        /// The child-side error, rendered.
+        message: String,
+        /// The child-side transience classification.
+        transient: bool,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -90,6 +135,32 @@ impl fmt::Display for PipelineError {
             PipelineError::ServiceStopped => {
                 write!(f, "service is draining or stopped; request was not executed")
             }
+            PipelineError::WorkerHung { waited, heartbeats } => write!(
+                f,
+                "sandboxed worker hung: killed after {:.0} ms ({heartbeats} heartbeats seen)",
+                waited.as_secs_f64() * 1e3
+            ),
+            PipelineError::WorkerOverMemory { rss_bytes, budget_bytes } => write!(
+                f,
+                "sandboxed worker over memory: killed at {:.1} MiB resident (budget {:.1} MiB)",
+                *rss_bytes as f64 / (1024.0 * 1024.0),
+                *budget_bytes as f64 / (1024.0 * 1024.0)
+            ),
+            PipelineError::WorkerCrashed { code, signal } => match (code, signal) {
+                (_, Some(signal)) => {
+                    write!(f, "sandboxed worker crashed: killed by signal {signal}")
+                }
+                (Some(code), None) => {
+                    write!(f, "sandboxed worker crashed: exited with status {code}")
+                }
+                (None, None) => write!(f, "sandboxed worker crashed: no exit status"),
+            },
+            PipelineError::WorkerProtocol { detail } => {
+                write!(f, "sandboxed worker protocol violation: {detail}")
+            }
+            PipelineError::WorkerReported { message, .. } => {
+                write!(f, "sandboxed worker reported: {message}")
+            }
         }
     }
 }
@@ -104,7 +175,12 @@ impl Error for PipelineError {
             | PipelineError::CircuitOpen { .. }
             | PipelineError::Overloaded { .. }
             | PipelineError::DeadlineShed { .. }
-            | PipelineError::ServiceStopped => None,
+            | PipelineError::ServiceStopped
+            | PipelineError::WorkerHung { .. }
+            | PipelineError::WorkerOverMemory { .. }
+            | PipelineError::WorkerCrashed { .. }
+            | PipelineError::WorkerProtocol { .. }
+            | PipelineError::WorkerReported { .. } => None,
         }
     }
 }
@@ -131,6 +207,16 @@ impl PipelineError {
             // but they never flow through the supervisor's retry loop —
             // they are raised before execution starts.
             PipelineError::Overloaded { .. } | PipelineError::DeadlineShed { .. } => true,
+            // Worker kills describe how *this run* in *this child* died,
+            // not a property of the operator: a fresh worker (or the
+            // analytical fallback) gets its chance.
+            PipelineError::WorkerHung { .. }
+            | PipelineError::WorkerOverMemory { .. }
+            | PipelineError::WorkerCrashed { .. }
+            | PipelineError::WorkerProtocol { .. } => true,
+            // The child ran the pipeline and classified its own failure;
+            // honor that classification across the process boundary.
+            PipelineError::WorkerReported { transient, .. } => *transient,
             PipelineError::Invalid(_)
             | PipelineError::Chip(_)
             | PipelineError::CircuitOpen { .. }
@@ -203,6 +289,38 @@ mod tests {
         let err = PipelineError::Panicked { message: "boom".to_string() };
         assert!(err.source().is_none());
         assert_eq!(err.to_string(), "pipeline stage panicked: boom");
+    }
+
+    #[test]
+    fn worker_kills_are_transient_and_render_their_cause() {
+        let hung = PipelineError::WorkerHung { waited: Duration::from_millis(120), heartbeats: 4 };
+        assert!(hung.is_transient());
+        assert!(hung.to_string().contains("120 ms"), "{hung}");
+        assert!(hung.to_string().contains("4 heartbeats"), "{hung}");
+
+        let oom = PipelineError::WorkerOverMemory {
+            rss_bytes: 64 * 1024 * 1024,
+            budget_bytes: 32 * 1024 * 1024,
+        };
+        assert!(oom.is_transient());
+        assert!(oom.to_string().contains("64.0 MiB"), "{oom}");
+
+        let sig = PipelineError::WorkerCrashed { code: None, signal: Some(6) };
+        assert!(sig.is_transient());
+        assert!(sig.to_string().contains("signal 6"), "{sig}");
+        let exit = PipelineError::WorkerCrashed { code: Some(3), signal: None };
+        assert!(exit.to_string().contains("status 3"), "{exit}");
+
+        let protocol = PipelineError::WorkerProtocol { detail: "bad magic".to_string() };
+        assert!(protocol.is_transient());
+        assert!(protocol.to_string().contains("bad magic"), "{protocol}");
+
+        let reported = PipelineError::WorkerReported {
+            message: "kernel validation failed".to_string(),
+            transient: false,
+        };
+        assert!(!reported.is_transient(), "the child's classification must be honored");
+        assert!(reported.to_string().contains("kernel validation failed"), "{reported}");
     }
 
     #[test]

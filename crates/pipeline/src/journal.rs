@@ -7,18 +7,38 @@
 //! torn tail a mid-write kill leaves behind (truncating it away so the
 //! next append starts on a record boundary), and drops records whose
 //! digest no longer matches their payload.
+//!
+//! Records carry a format version ([`JOURNAL_VERSION`]) with the same
+//! forward-compatibility convention as the sandbox wire protocol: older
+//! versions (including the unversioned v0 format) read fine, newer ones
+//! fail the open with [`JournalError::UnsupportedVersion`].
 
 use crate::{Fidelity, PipelineResult};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
+/// The record format this build writes, following the same convention as
+/// the sandbox frame protocol's [`crate::WIRE_VERSION`]: readers accept
+/// any version up to their own and refuse newer ones outright, so a
+/// journal written by a future build is never silently re-run (which
+/// would interleave old-format records into a newer-format file).
+///
+/// Version 0 is the pre-versioning format — records without a `version`
+/// field — and remains readable forever.
+pub const JOURNAL_VERSION: u16 = 1;
+
 /// One journaled batch item.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JournalRecord {
+    /// Record format version (see [`JOURNAL_VERSION`]). Absent in
+    /// pre-versioning journals, which deserialize as version 0.
+    #[serde(default)]
+    pub version: u16,
     /// The pipeline cache key of the item (operator + chip + thresholds).
     pub fingerprint: u64,
     /// FNV-1a digest of the serialized `result`, verified on recovery.
@@ -27,6 +47,50 @@ pub struct JournalRecord {
     pub fidelity: Fidelity,
     /// The full result, replayed on resume instead of re-running.
     pub result: PipelineResult,
+}
+
+/// Why a journal could not be opened or appended to.
+#[derive(Debug)]
+pub enum JournalError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The journal holds a record written by a newer build. Refusing is
+    /// deliberate: dropping the record would re-run its item and append
+    /// an older-format record into a newer-format journal.
+    UnsupportedVersion {
+        /// The version found on disk.
+        found: u16,
+        /// The newest version this build reads ([`JOURNAL_VERSION`]).
+        supported: u16,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(err) => write!(f, "journal I/O failure: {err}"),
+            JournalError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "journal record version {found} is newer than this build supports \
+                 (≤ {supported}); upgrade before resuming this batch"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(err) => Some(err),
+            JournalError::UnsupportedVersion { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for JournalError {
+    fn from(err: std::io::Error) -> Self {
+        JournalError::Io(err)
+    }
 }
 
 /// What [`BatchJournal::open`] found on disk.
@@ -67,8 +131,10 @@ impl BatchJournal {
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures opening, reading, or truncating `path`.
-    pub fn open(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+    /// Propagates I/O failures opening, reading, or truncating `path`,
+    /// and returns [`JournalError::UnsupportedVersion`] when any record
+    /// was written by a newer build (see [`JOURNAL_VERSION`]).
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, JournalError> {
         let path = path.into();
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
@@ -99,6 +165,12 @@ impl BatchJournal {
                 continue;
             }
             match serde_json::from_str::<JournalRecord>(line) {
+                Ok(record) if record.version > JOURNAL_VERSION => {
+                    return Err(JournalError::UnsupportedVersion {
+                        found: record.version,
+                        supported: JOURNAL_VERSION,
+                    });
+                }
                 Ok(record) if record.digest == result_digest(&record.result) => {
                     recovered.insert(record.fingerprint, record);
                 }
@@ -156,8 +228,9 @@ impl BatchJournal {
     ///
     /// Propagates serialization and I/O failures; on failure nothing is
     /// recorded in memory either, so a later retry re-appends cleanly.
-    pub fn append(&self, fingerprint: u64, result: &PipelineResult) -> std::io::Result<()> {
+    pub fn append(&self, fingerprint: u64, result: &PipelineResult) -> Result<(), JournalError> {
         let record = JournalRecord {
+            version: JOURNAL_VERSION,
             fingerprint,
             digest: result_digest(result),
             fidelity: result.fidelity,

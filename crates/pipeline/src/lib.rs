@@ -47,14 +47,21 @@
 mod analytic;
 mod error;
 mod journal;
+mod sandbox;
 mod service;
 mod stats;
 mod supervisor;
 
 pub use error::PipelineError;
-pub use journal::{result_digest, BatchJournal, JournalRecord, JournalRecovery};
+pub use journal::{
+    result_digest, BatchJournal, JournalError, JournalRecord, JournalRecovery, JOURNAL_VERSION,
+};
+pub use sandbox::{
+    run_worker_if_requested, worker_main, SandboxConfig, SandboxCounters, SandboxedExecutor,
+    WorkSpec, WIRE_VERSION, WORKER_ENV,
+};
 pub use service::{
-    AnalysisService, DrainReport, HealthSnapshot, Priority, Request, ServiceConfig,
+    AnalysisService, DrainReport, HealthSnapshot, Isolation, Priority, Request, ServiceConfig,
     ServiceCounters, Ticket,
 };
 pub use stats::{LatencyReservoir, LatencySummary, DEFAULT_RESERVOIR_CAPACITY};
@@ -417,6 +424,28 @@ impl AnalysisPipeline {
             lock(&self.shared.stats).hits += 1;
             return Ok(result);
         }
+        self.supervise_loop(key, policy, cancel, Some(op), &mut || {
+            self.attempt_supervised(op, key, policy, cancel)
+        })
+    }
+
+    /// The retry/breaker/fallback core shared by the in-process and
+    /// sandboxed supervised paths: runs `attempt` under `policy`, feeding
+    /// the shared circuit breaker and supervision counters, degrading to
+    /// the analytical estimate of `fallback_op` (when the policy allows
+    /// and one is provided — the sandboxed path withholds it for hostile
+    /// work whose `build` must never run in this process).
+    ///
+    /// The caller has already checked the cache for `key`; a success is
+    /// inserted under it.
+    pub(crate) fn supervise_loop(
+        &self,
+        key: u64,
+        policy: &RunPolicy,
+        cancel: Option<&CancelToken>,
+        fallback_op: Option<&dyn Operator>,
+        attempt: &mut dyn FnMut() -> Result<PipelineResult, PipelineError>,
+    ) -> Result<Arc<PipelineResult>, PipelineError> {
         lock(&self.shared.supervisor).supervised_runs += 1;
 
         if policy.breaker_threshold > 0 {
@@ -426,9 +455,11 @@ impl AnalysisPipeline {
                 drop(breaker);
                 lock(&self.shared.supervisor).breaker_short_circuits += 1;
                 if policy.fallback {
-                    if let Ok(result) = self.analytic_fallback(op, key) {
-                        lock(&self.shared.supervisor).fallbacks += 1;
-                        return Ok(result);
+                    if let Some(op) = fallback_op {
+                        if let Ok(result) = self.analytic_fallback(op, key) {
+                            lock(&self.shared.supervisor).fallbacks += 1;
+                            return Ok(result);
+                        }
                     }
                 }
                 return Err(PipelineError::CircuitOpen { consecutive_failures: consecutive });
@@ -436,8 +467,8 @@ impl AnalysisPipeline {
         }
 
         let mut last_err: Option<PipelineError> = None;
-        for attempt in 0..=policy.max_retries {
-            if attempt > 0 {
+        for round in 0..=policy.max_retries {
+            if round > 0 {
                 // A signalled external token ends supervision now:
                 // retrying (or even sleeping out the backoff) after the
                 // service asked for preemption would stall drain.
@@ -445,12 +476,12 @@ impl AnalysisPipeline {
                     break;
                 }
                 lock(&self.shared.supervisor).retries += 1;
-                let delay = policy.backoff_delay(key, attempt);
+                let delay = policy.backoff_delay(key, round);
                 if !delay.is_zero() {
                     std::thread::sleep(delay);
                 }
             }
-            match self.attempt_supervised(op, key, policy, cancel) {
+            match attempt() {
                 Ok(result) => {
                     if policy.breaker_threshold > 0 {
                         let mut breaker = lock(&self.shared.breaker);
@@ -510,9 +541,11 @@ impl AnalysisPipeline {
                 }
             }
             if policy.fallback {
-                if let Ok(result) = self.analytic_fallback(op, key) {
-                    lock(&self.shared.supervisor).fallbacks += 1;
-                    return Ok(result);
+                if let Some(op) = fallback_op {
+                    if let Ok(result) = self.analytic_fallback(op, key) {
+                        lock(&self.shared.supervisor).fallbacks += 1;
+                        return Ok(result);
+                    }
                 }
             }
         }
@@ -890,13 +923,22 @@ impl AnalysisPipeline {
         key: u64,
         simulator: &Simulator,
     ) -> Result<PipelineResult, SimError> {
+        // The engine polls its token every event, but the other stages
+        // would otherwise run to completion after a cancellation: poll at
+        // every stage boundary so a deadline lapsing during a long build
+        // preempts before the next stage starts, not after.
+        let cancel = simulator.cancel_token();
+        poll_stage(cancel, "build")?;
         let start = Instant::now();
         let kernel = op.build(&self.chip)?;
         let built = Instant::now();
+        poll_stage(cancel, "simulate")?;
         let trace = simulator.simulate(&kernel)?;
         let simulated = Instant::now();
+        poll_stage(cancel, "profile")?;
         let profile = Profile::collect(&kernel, &trace);
         let profiled = Instant::now();
+        poll_stage(cancel, "analyze")?;
         let analysis = analyze(&profile, &self.chip, &self.thresholds);
         let analyzed = Instant::now();
 
@@ -939,6 +981,16 @@ impl AnalysisPipeline {
                 }
             }
         }
+    }
+}
+
+/// Returns [`SimError::Cancelled`] (with a synthetic forensics snapshot
+/// naming `stage`) when `cancel` is signalled or expired — the
+/// stage-boundary counterpart of the engine's in-loop poll.
+fn poll_stage(cancel: Option<&CancelToken>, stage: &str) -> Result<(), SimError> {
+    match cancel {
+        Some(token) if token.is_cancelled() => Err(SimError::preempted_at(stage)),
+        _ => Ok(()),
     }
 }
 

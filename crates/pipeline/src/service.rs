@@ -34,6 +34,13 @@
 //! * **Observability.** [`health`](AnalysisService::health) returns a
 //!   [`HealthSnapshot`] (depth, in-flight, shed/hedge/panic counters,
 //!   per-class p50/p95/p99) cheap enough for a readiness probe.
+//! * **Isolation tiers.** Each priority class executes
+//!   [`Isolation::InProcess`] (the default) or
+//!   [`Isolation::Sandboxed`] — spec-based requests of a sandboxed
+//!   class run in supervised worker processes with heartbeats, a
+//!   wall-clock kill, and an RSS budget, so a hostile item costs one
+//!   child process instead of the service. Sandbox kill counters ride
+//!   along in the health snapshot.
 //!
 //! # Examples
 //!
@@ -55,6 +62,7 @@
 //! ```
 
 use crate::error::panic_message;
+use crate::sandbox::{SandboxConfig, SandboxCounters, SandboxedExecutor, WorkSpec};
 use crate::stats::{LatencyReservoir, LatencySummary};
 use crate::{lock, AnalysisPipeline, PipelineError, PipelineResult, RunPolicy};
 use ascend_ops::Operator;
@@ -88,21 +96,49 @@ impl Priority {
     }
 }
 
-/// One unit of work submitted to the service: an owned operator plus
-/// scheduling metadata.
+/// Where a priority class executes its work.
+///
+/// Only spec-based requests ([`Request::from_spec`] and friends) can
+/// actually cross a process boundary; a `Box<dyn Operator>` request runs
+/// in-process regardless of its class's tier, because a trait object
+/// cannot be serialized into a job frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Isolation {
+    /// The thread-pool path: cooperative deadlines, `catch_unwind`, the
+    /// watchdog budget. Fast, but defenseless against non-cooperative
+    /// work.
+    #[default]
+    InProcess,
+    /// The hard-isolation path: work runs in a supervised child process
+    /// with heartbeats, a wall-clock kill, and an RSS budget (see
+    /// [`SandboxedExecutor`]).
+    Sandboxed,
+}
+
+/// The payload of a request: either an owned trait object (in-process
+/// only) or a serializable [`WorkSpec`] (eligible for sandboxing).
+#[derive(Debug)]
+enum Work {
+    Dyn(Box<dyn Operator>),
+    Spec(WorkSpec),
+}
+
+/// One unit of work submitted to the service: an operator (owned or
+/// described) plus scheduling metadata.
 #[derive(Debug)]
 pub struct Request {
-    op: Box<dyn Operator>,
+    work: Work,
     priority: Priority,
     deadline: Option<Duration>,
 }
 
 impl Request {
     /// A request in `priority` class with no per-item deadline beyond
-    /// the service default.
+    /// the service default. Trait-object requests always execute
+    /// in-process (see [`Isolation`]).
     #[must_use]
     pub fn new(op: Box<dyn Operator>, priority: Priority) -> Self {
-        Request { op, priority, deadline: None }
+        Request { work: Work::Dyn(op), priority, deadline: None }
     }
 
     /// An interactive-class request.
@@ -115,6 +151,26 @@ impl Request {
     #[must_use]
     pub fn sweep(op: Box<dyn Operator>) -> Self {
         Request::new(op, Priority::Sweep)
+    }
+
+    /// A request described by a serializable [`WorkSpec`] — the form
+    /// that can execute in a sandboxed worker process when its class's
+    /// [`Isolation`] tier says so.
+    #[must_use]
+    pub fn from_spec(spec: impl Into<WorkSpec>, priority: Priority) -> Self {
+        Request { work: Work::Spec(spec.into()), priority, deadline: None }
+    }
+
+    /// An interactive-class spec request.
+    #[must_use]
+    pub fn interactive_spec(spec: impl Into<WorkSpec>) -> Self {
+        Request::from_spec(spec, Priority::Interactive)
+    }
+
+    /// A sweep-class spec request.
+    #[must_use]
+    pub fn sweep_spec(spec: impl Into<WorkSpec>) -> Self {
+        Request::from_spec(spec, Priority::Sweep)
     }
 
     /// Sets the per-item deadline, measured from admission. A request
@@ -149,6 +205,14 @@ pub struct ServiceConfig {
     pub reservoir_capacity: usize,
     /// Seed of the reservoirs' replacement streams.
     pub seed: u64,
+    /// Execution tier per priority class, indexed like the queues
+    /// (`[interactive, sweep]`). Only spec-based requests honor a
+    /// [`Isolation::Sandboxed`] tier; trait-object requests stay
+    /// in-process.
+    pub isolation: [Isolation; Priority::COUNT],
+    /// Tuning of the sandboxed tier (ignored while both classes are
+    /// [`Isolation::InProcess`]; workers spawn lazily on first use).
+    pub sandbox: SandboxConfig,
 }
 
 impl Default for ServiceConfig {
@@ -161,6 +225,8 @@ impl Default for ServiceConfig {
             default_deadline: None,
             reservoir_capacity: crate::stats::DEFAULT_RESERVOIR_CAPACITY,
             seed: 0x5EED_CAFE,
+            isolation: [Isolation::InProcess; Priority::COUNT],
+            sandbox: SandboxConfig::default(),
         }
     }
 }
@@ -265,7 +331,7 @@ impl Ticket {
 /// A request sitting in the admission queue.
 #[derive(Debug)]
 struct QueuedRequest {
-    op: Box<dyn Operator>,
+    work: Work,
     ticket: Arc<TicketShared>,
     deadline: Option<Duration>,
     enqueued_at: Instant,
@@ -345,6 +411,9 @@ pub struct HealthSnapshot {
     pub breaker_open: bool,
     /// The monotonic event counters.
     pub counters: ServiceCounters,
+    /// Counters of the sandboxed tier (all zero while every class runs
+    /// in-process): spawns, recycles, and the kill taxonomy.
+    pub sandbox: SandboxCounters,
     /// Sojourn-latency percentiles (admission → terminal state, seconds)
     /// of executed interactive requests.
     pub interactive: LatencySummary,
@@ -376,6 +445,11 @@ pub struct DrainReport {
 #[derive(Debug)]
 struct ServiceShared {
     pipeline: AnalysisPipeline,
+    /// The sandboxed tier. Shares the pipeline's cache and breaker, so
+    /// the two tiers answer each other's cache hits and a sick backend
+    /// trips one breaker regardless of where attempts run. Child
+    /// processes spawn lazily on the first sandboxed job.
+    executor: SandboxedExecutor,
     config: ServiceConfig,
     queue: Mutex<QueueState>,
     /// Signalled on admission and at drain: workers wait here for work.
@@ -412,6 +486,7 @@ impl AnalysisService {
             ))
         };
         let shared = Arc::new(ServiceShared {
+            executor: SandboxedExecutor::new(pipeline.clone(), config.sandbox.clone()),
             pipeline,
             queue: Mutex::new(QueueState::default()),
             work_cv: Condvar::new(),
@@ -461,7 +536,7 @@ impl AnalysisService {
             ready: Condvar::new(),
         });
         queue.classes[request.priority.index()].push_back(QueuedRequest {
-            op: request.op,
+            work: request.work,
             ticket: Arc::clone(&ticket),
             deadline,
             enqueued_at: Instant::now(),
@@ -503,6 +578,7 @@ impl AnalysisService {
             draining,
             breaker_open: self.shared.pipeline.breaker_is_open(),
             counters: *lock(&self.shared.counters),
+            sandbox: self.shared.executor.counters(),
             interactive: lock(&self.shared.latency[Priority::Interactive.index()]).summary(),
             sweep: lock(&self.shared.latency[Priority::Sweep.index()]).summary(),
         }
@@ -564,6 +640,9 @@ impl AnalysisService {
                 let _ = handle.join();
             }
         }
+        // In-flight sandboxed children were killed through the drain
+        // token by their monitor loops; what's left is the warm pool.
+        self.shared.executor.shutdown();
         DrainReport { flushed_queued: flushed_count, quiesced, elapsed: start.elapsed() }
     }
 }
@@ -670,8 +749,9 @@ fn worker_loop(shared: &ServiceShared) {
 }
 
 /// One item's execution: the per-item deadline is narrowed to the time
-/// it has left, and the optional hedge runs a tightened first attempt
-/// before committing to the full policy.
+/// it has left, the class's [`Isolation`] tier picks the execution path,
+/// and the optional hedge runs a tightened first attempt before
+/// committing to the full policy.
 fn execute_job(
     shared: &ServiceShared,
     job: &QueuedRequest,
@@ -681,7 +761,23 @@ fn execute_job(
         let remaining = deadline.saturating_sub(job.enqueued_at.elapsed());
         policy.deadline = Some(policy.deadline.map_or(remaining, |p| p.min(remaining)));
     }
-    let op = job.op.as_ref();
+    let isolation = shared.config.isolation[job.ticket.priority.index()];
+    let run = |policy: &RunPolicy| -> Result<Arc<PipelineResult>, PipelineError> {
+        match (&job.work, isolation) {
+            (Work::Spec(spec), Isolation::Sandboxed) => {
+                shared.executor.run_supervised(spec, policy, Some(&shared.drain_token))
+            }
+            (Work::Spec(spec), Isolation::InProcess) => {
+                let op = spec.instantiate();
+                shared.pipeline.run_supervised_with_cancel(op.as_ref(), policy, &shared.drain_token)
+            }
+            // A trait object cannot cross the process boundary: it runs
+            // in-process regardless of the class's tier.
+            (Work::Dyn(op), _) => {
+                shared.pipeline.run_supervised_with_cancel(op.as_ref(), policy, &shared.drain_token)
+            }
+        }
+    };
 
     if let Some(hedge_after) = shared.config.hedge_after {
         // Probe attempt: same policy, but bounded at the hedge horizon
@@ -692,12 +788,11 @@ fn execute_job(
         probe.max_retries = 0;
         probe.breaker_threshold = 0;
         probe.fallback = false;
-        match shared.pipeline.run_supervised_with_cancel(op, &probe, &shared.drain_token) {
+        match run(&probe) {
             Ok(result) => return Ok(result),
             Err(err) if err.is_transient() && !shared.drain_token.is_signalled() => {
                 lock(&shared.counters).hedges += 1;
-                let hedged =
-                    shared.pipeline.run_supervised_with_cancel(op, &policy, &shared.drain_token);
+                let hedged = run(&policy);
                 if hedged.is_ok() {
                     lock(&shared.counters).hedge_wins += 1;
                 }
@@ -709,7 +804,7 @@ fn execute_job(
         }
     }
 
-    shared.pipeline.run_supervised_with_cancel(op, &policy, &shared.drain_token)
+    run(&policy)
 }
 
 #[cfg(test)]
@@ -796,6 +891,28 @@ mod tests {
         assert_eq!(misses, 1, "the shed item must never reach the pipeline");
         svc.drain(Duration::from_secs(5));
         assert_eq!(svc.health().counters.shed_deadline, 1);
+    }
+
+    #[test]
+    fn spec_requests_match_trait_object_requests_in_process() {
+        use ascend_ops::OpSpec;
+        let svc = service(ServiceConfig::default());
+        let by_spec = svc
+            .submit(Request::interactive_spec(OpSpec::add_relu(1 << 12)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let by_object = svc
+            .submit(Request::interactive(Box::new(AddRelu::new(1 << 12))))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(by_spec, by_object, "same work, same result, same cache entry");
+        assert_eq!(svc.pipeline().cache_stats().hits, 1, "the second submission is a cache hit");
+        svc.drain(Duration::from_secs(5));
+        let health = svc.health();
+        assert_eq!(health.counters.completed_ok, 2);
+        assert_eq!(health.sandbox, SandboxCounters::default(), "no sandbox activity in-process");
     }
 
     #[test]

@@ -49,6 +49,29 @@ pub enum SimError {
 }
 
 impl SimError {
+    /// A cancellation noticed *outside* the engine's event loop — at a
+    /// pipeline stage boundary, or by a sandbox monitor forcefully
+    /// preempting a worker process. No events ran under this error, so
+    /// the forensics snapshot is synthetic: it names the preempted stage
+    /// where a kernel name would normally go and carries no queue state.
+    #[must_use]
+    pub fn preempted_at(stage: &str) -> SimError {
+        SimError::Cancelled {
+            events: 0,
+            cycles: 0.0,
+            forensics: Box::new(DeadlockReport {
+                kernel: format!("<preempted at {stage}>"),
+                at_cycle: 0.0,
+                total: 0,
+                remaining: 0,
+                undispatched: 0,
+                barrier_pending: false,
+                queues: Vec::new(),
+                wait_edges: Vec::new(),
+            }),
+        }
+    }
+
     /// The deadlock forensics, when this error is a deadlock.
     #[must_use]
     pub fn deadlock_report(&self) -> Option<&DeadlockReport> {
@@ -134,6 +157,16 @@ mod tests {
         let err =
             SimError::BudgetExceeded { events: 11, cycles: 1e4, max_events: 10, max_cycles: 1e6 };
         assert!(err.source().is_none());
+    }
+
+    #[test]
+    fn preempted_at_is_transient_and_names_the_stage() {
+        let err = SimError::preempted_at("build");
+        assert!(err.is_transient());
+        let forensics = err.forensics().expect("cancellations carry forensics");
+        assert_eq!(forensics.kernel, "<preempted at build>");
+        assert_eq!(forensics.remaining, 0);
+        assert!(err.to_string().contains("cancelled"));
     }
 
     #[test]

@@ -1,0 +1,17 @@
+//! Dedicated sandbox-worker host: a binary whose only job is to serve
+//! sandboxed pipeline work (see `ascend_pipeline::SandboxedExecutor`).
+//!
+//! The production binaries self-host workers by re-executing themselves
+//! (their `main` calls `run_worker_if_requested` first thing). Test
+//! harnesses cannot — the test binary Cargo runs does not own its
+//! `main` — so they point `SandboxConfig::worker_cmd` at this binary via
+//! `env!("CARGO_BIN_EXE_sandbox_worker")`.
+
+fn main() {
+    ascend_pipeline::run_worker_if_requested();
+    eprintln!(
+        "sandbox_worker only serves sandbox jobs; run it with {}=1 and a parent supervisor",
+        ascend_pipeline::WORKER_ENV
+    );
+    std::process::exit(2);
+}

@@ -7,8 +7,11 @@ use ascend::arch::{ChipSpec, Component};
 use ascend::faults::{corrupt_journal, JournalFault, PanicSwitch};
 use ascend::isa::{IsaError, Kernel, KernelBuilder};
 use ascend::ops::{AddRelu, Operator, OptFlags};
-use ascend::pipeline::{AnalysisPipeline, BatchJournal, Fidelity, PipelineError, RunPolicy};
-use ascend::sim::{SimBudget, SimError, Simulator};
+use ascend::pipeline::{
+    AnalysisPipeline, BatchJournal, Fidelity, JournalError, PipelineError, RunPolicy,
+    JOURNAL_VERSION,
+};
+use ascend::sim::{CancelToken, SimBudget, SimError, Simulator};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -401,4 +404,130 @@ fn backoff_schedule_is_reproducible_across_policy_instances() {
     for attempt in 1..=4 {
         assert_eq!(a.backoff_delay(0x00A5_CE4D, attempt), b.backoff_delay(0x00A5_CE4D, attempt));
     }
+}
+
+#[test]
+fn unversioned_v0_journals_still_read_and_replay() {
+    let dir = tempdir("v0-journal");
+    let journal_path = dir.join("batch.journal.jsonl");
+    let ops: Vec<Box<dyn Operator>> =
+        vec![Box::new(AddRelu::new(1 << 10)), Box::new(AddRelu::new(1 << 11))];
+    let refs: Vec<&dyn Operator> = ops.iter().map(AsRef::as_ref).collect();
+    let journal = BatchJournal::open(&journal_path).unwrap();
+    let pipeline = AnalysisPipeline::new(ChipSpec::training());
+    pipeline.run_batch_resumable_with_workers(&refs, 1, &RunPolicy::default(), &journal);
+    drop((journal, pipeline));
+
+    // Rewrite the file as the pre-versioning format: no `version` field.
+    let contents = std::fs::read_to_string(&journal_path).unwrap();
+    assert!(contents.contains("\"version\":1"), "current builds stamp their version");
+    std::fs::write(&journal_path, contents.replace("\"version\":1,", "")).unwrap();
+
+    let journal = BatchJournal::open(&journal_path).unwrap();
+    assert_eq!(journal.recovery().recovered, 2, "v0 records read fine");
+    assert_eq!(journal.recovery().dropped, 0);
+    let resumed = AnalysisPipeline::new(ChipSpec::training());
+    let results =
+        resumed.run_batch_resumable_with_workers(&refs, 1, &RunPolicy::default(), &journal);
+    assert!(results.iter().all(Result::is_ok));
+    assert_eq!(resumed.supervisor_stats().journal_skips, 2, "v0 records replay");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn journals_from_a_newer_build_are_refused_not_rerun() {
+    let dir = tempdir("future-journal");
+    let journal_path = dir.join("batch.journal.jsonl");
+    let ops: Vec<Box<dyn Operator>> = vec![Box::new(AddRelu::new(1 << 10))];
+    let refs: Vec<&dyn Operator> = ops.iter().map(AsRef::as_ref).collect();
+    let journal = BatchJournal::open(&journal_path).unwrap();
+    let pipeline = AnalysisPipeline::new(ChipSpec::training());
+    pipeline.run_batch_resumable_with_workers(&refs, 1, &RunPolicy::default(), &journal);
+    drop((journal, pipeline));
+
+    // Stamp the record as if a future build wrote it. Silently dropping
+    // it would re-run the item and append an old-format record into a
+    // newer-format journal — the open must refuse instead.
+    let contents = std::fs::read_to_string(&journal_path).unwrap();
+    std::fs::write(&journal_path, contents.replace("\"version\":1", "\"version\":9")).unwrap();
+
+    match BatchJournal::open(&journal_path) {
+        Err(JournalError::UnsupportedVersion { found: 9, supported }) => {
+            assert_eq!(supported, JOURNAL_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// An operator whose `build` takes a while — long enough that an
+/// unbounded cancellation (one that waited out retries, fallback, or
+/// the full batch) is clearly distinguishable from a stage-bounded one.
+#[derive(Debug)]
+struct SlowBuildOp {
+    inner: AddRelu,
+    delay: Duration,
+}
+
+impl Operator for SlowBuildOp {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn flags(&self) -> OptFlags {
+        self.inner.flags()
+    }
+
+    fn with_flags_dyn(&self, flags: OptFlags) -> Box<dyn Operator> {
+        self.inner.with_flags_dyn(flags)
+    }
+
+    fn build(&self, chip: &ChipSpec) -> Result<Kernel, IsaError> {
+        std::thread::sleep(self.delay);
+        self.inner.build(chip)
+    }
+
+    fn descriptor(&self) -> String {
+        self.inner.descriptor()
+    }
+}
+
+/// Preemption latency is bounded by one pipeline stage: a token
+/// signalled while `build` is in flight preempts at the next stage
+/// boundary — it does not wait out retries or produce a fallback, even
+/// under a policy that allows five retries of a slow operator.
+#[test]
+fn cancellation_latency_is_bounded_by_one_stage() {
+    let pipeline = AnalysisPipeline::new(ChipSpec::training());
+    let stage = Duration::from_millis(150);
+    let op = SlowBuildOp { inner: AddRelu::new(1 << 12), delay: stage };
+    let policy = RunPolicy::default().with_retries(5).with_fallback(true);
+    let token = CancelToken::new();
+
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            token.cancel();
+        })
+    };
+    let started = std::time::Instant::now();
+    let result = pipeline.run_supervised_with_cancel(&op, &policy, &token);
+    let latency = started.elapsed();
+    canceller.join().unwrap();
+
+    match result {
+        Err(PipelineError::Runtime(SimError::Cancelled { .. })) => {}
+        other => panic!("expected prompt cancellation, got {other:?}"),
+    }
+    // One in-flight build (150ms) may finish before the boundary poll
+    // notices; six retried builds (900ms+) must not happen. The bound
+    // leaves generous slack for CI scheduling noise.
+    assert!(
+        latency < stage * 4,
+        "cancellation took {latency:?}; preemption must not wait out retries"
+    );
+    let stats = pipeline.supervisor_stats();
+    assert_eq!(stats.retries, 0, "a cancelled attempt is not retried");
+    assert_eq!(stats.fallbacks, 0, "preemption does not degrade to a fallback");
 }

@@ -215,6 +215,12 @@ impl<T: Serialize> Serialize for Option<T> {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
@@ -437,6 +443,12 @@ pub mod de {
                 Value::Null => Ok(None),
                 v => T::deserialize(ValueDeserializer::new(v)).map(Some).map_err(D::Error::custom),
             }
+        }
+    }
+
+    impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            T::deserialize(d).map(Box::new)
         }
     }
 
