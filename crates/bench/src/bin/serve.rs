@@ -210,6 +210,21 @@ fn main() {
         health.counters.drain_flushed
     );
     println!("latency ms p50/p95/p99: interactive {} | sweep {}", health.interactive, health.sweep);
+    println!(
+        "cache: {:.1}% hit rate ({} hits / {} misses); fidelity: {} simulated, {} analytical",
+        health.cache.hit_rate() * 100.0,
+        health.cache.hits,
+        health.cache.misses,
+        health.fidelity.simulated,
+        health.fidelity.analytical
+    );
+    println!(
+        "engine: {} events in {:.3}s ({:.0} events/s, {:.0} ns/event)",
+        health.engine.events,
+        health.engine.sim_secs,
+        health.engine.events_per_sec(),
+        health.engine.ns_per_event()
+    );
     if args.sandboxed {
         let s = &health.sandbox;
         println!(

@@ -72,7 +72,7 @@ use ascend_isa::KernelStats;
 use ascend_ops::Operator;
 use ascend_profile::Profile;
 use ascend_roofline::{analyze, RooflineAnalysis, Thresholds};
-use ascend_sim::{CancelToken, SimError, Simulator, Trace};
+use ascend_sim::{CancelToken, MetricsSink, SimError, Simulator, Trace, TraceCollector};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
@@ -169,6 +169,57 @@ impl StageTimings {
     }
 }
 
+/// Cumulative engine-loop throughput across all uncached runs on this
+/// pipeline (shared across clones): how many events the simulator's
+/// event loop processed and how long the loop itself ran — excluding
+/// kernel build, trace finalization, profiling, and analysis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EngineThroughput {
+    /// Events processed by the simulator's event loop.
+    pub events: u64,
+    /// Wall seconds spent inside the event loop.
+    pub sim_secs: f64,
+}
+
+impl EngineThroughput {
+    /// Events per wall second (0 before anything ran).
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        if self.sim_secs > 0.0 {
+            self.events as f64 / self.sim_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean wall nanoseconds per event (0 before anything ran).
+    #[must_use]
+    pub fn ns_per_event(&self) -> f64 {
+        if self.events > 0 {
+            self.sim_secs * 1e9 / self.events as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Folds another throughput record into this one.
+    pub fn absorb(&mut self, other: EngineThroughput) {
+        self.events += other.events;
+        self.sim_secs += other.sim_secs;
+    }
+}
+
+/// How many results each [`Fidelity`] produced (shared across clones).
+/// Cache hits are not double-counted: every result is counted once, at
+/// production time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FidelityMix {
+    /// Results produced by full simulation.
+    pub simulated: u64,
+    /// Results degraded to the closed-form analytical estimate.
+    pub analytical: u64,
+}
+
 /// Per-stage percentile summaries (seconds), from fixed-size reservoirs
 /// fed by every uncached stage-sequence execution. Unlike
 /// [`StageTimings`], which accumulates wall time, these expose the
@@ -234,6 +285,8 @@ struct SharedState {
     latency: Mutex<StageReservoirs>,
     supervisor: Mutex<SupervisorStats>,
     breaker: Mutex<BreakerState>,
+    engine: Mutex<EngineThroughput>,
+    fidelity: Mutex<FidelityMix>,
 }
 
 /// The build → simulate → profile → analyze stage sequence with a
@@ -611,6 +664,7 @@ impl AnalysisPipeline {
             instruction_count: kernel.len() as u64,
         };
         let analysis = analyze(&profile, &self.chip, &self.thresholds);
+        lock(&self.shared.fidelity).analytical += 1;
         Ok(Arc::new(PipelineResult {
             kernel_name: kernel.name().to_owned(),
             kernel_len: kernel.len(),
@@ -853,6 +907,20 @@ impl AnalysisPipeline {
         lock(&self.shared.cache).map.len()
     }
 
+    /// Cumulative engine event-loop throughput (shared across clones):
+    /// events processed and wall seconds spent inside the event loop,
+    /// with derived events/sec and ns/event.
+    #[must_use]
+    pub fn engine_throughput(&self) -> EngineThroughput {
+        *lock(&self.shared.engine)
+    }
+
+    /// How many results each fidelity produced (shared across clones).
+    #[must_use]
+    pub fn fidelity_mix(&self) -> FidelityMix {
+        *lock(&self.shared.fidelity)
+    }
+
     /// Clears the cache and zeroes all counters (shared across clones).
     pub fn reset(&self) {
         let mut cache = lock(&self.shared.cache);
@@ -864,6 +932,8 @@ impl AnalysisPipeline {
         *lock(&self.shared.latency) = StageReservoirs::default();
         *lock(&self.shared.supervisor) = SupervisorStats::default();
         *lock(&self.shared.breaker) = BreakerState::default();
+        *lock(&self.shared.engine) = EngineThroughput::default();
+        *lock(&self.shared.fidelity) = FidelityMix::default();
     }
 
     /// The two-line instrumentation footer the figure binaries print:
@@ -888,6 +958,17 @@ impl AnalysisPipeline {
                 out,
                 "[pipeline] stage latency ms p50/p95/p99: build {} | simulate {} | profile {} | analyze {} | total {}",
                 pct.build, pct.simulate, pct.profile, pct.analyze, pct.total,
+            );
+        }
+        let engine = self.engine_throughput();
+        if engine.events > 0 {
+            let _ = writeln!(
+                out,
+                "[pipeline] engine: {} events in {:.3}s ({:.0} events/s, {:.0} ns/event)",
+                engine.events,
+                engine.sim_secs,
+                engine.events_per_sec(),
+                engine.ns_per_event(),
             );
         }
         let _ = write!(
@@ -933,15 +1014,27 @@ impl AnalysisPipeline {
         let kernel = op.build(&self.chip)?;
         let built = Instant::now();
         poll_stage(cancel, "simulate")?;
-        let trace = simulator.simulate(&kernel)?;
+        // One engine pass feeds both sinks: the full-record collector
+        // (results keep their trace) and the streaming metrics the
+        // profile stage consumes without re-walking kernel + trace.
+        let mut sinks = (TraceCollector::new(), MetricsSink::new());
+        let summary = simulator.simulate_into(&kernel, &mut sinks)?;
+        let engine_done = Instant::now();
+        let (collector, metrics) = sinks;
+        let trace = collector.into_trace(kernel.name(), summary.total_cycles);
         let simulated = Instant::now();
         poll_stage(cancel, "profile")?;
-        let profile = Profile::collect(&kernel, &trace);
+        let profile = Profile::from_metrics(&metrics, summary.total_cycles);
         let profiled = Instant::now();
         poll_stage(cancel, "analyze")?;
         let analysis = analyze(&profile, &self.chip, &self.thresholds);
         let analyzed = Instant::now();
 
+        lock(&self.shared.engine).absorb(EngineThroughput {
+            events: summary.events,
+            sim_secs: (engine_done - built).as_secs_f64(),
+        });
+        lock(&self.shared.fidelity).simulated += 1;
         let mut timings = lock(&self.shared.timings);
         timings.build_secs += (built - start).as_secs_f64();
         timings.simulate_secs += (simulated - built).as_secs_f64();
@@ -1190,5 +1283,23 @@ mod tests {
         let footer = pipeline.instrumentation_footer();
         assert!(footer.contains("1 hits / 1 misses"), "{footer}");
         assert!(footer.contains("1 uncached runs"), "{footer}");
+        assert!(footer.contains("[pipeline] engine:"), "{footer}");
+    }
+
+    #[test]
+    fn engine_throughput_and_fidelity_mix_track_runs() {
+        let pipeline = AnalysisPipeline::new(ChipSpec::training());
+        assert_eq!(pipeline.engine_throughput(), EngineThroughput::default());
+        pipeline.run(&AddRelu::new(1 << 12)).unwrap();
+        pipeline.run(&AddRelu::new(1 << 12)).unwrap(); // cache hit: no new events
+        let engine = pipeline.engine_throughput();
+        assert!(engine.events > 0, "uncached runs must count engine events");
+        assert!(engine.sim_secs > 0.0);
+        assert!(engine.events_per_sec() > 0.0);
+        assert!(engine.ns_per_event() > 0.0);
+        assert_eq!(pipeline.fidelity_mix(), FidelityMix { simulated: 1, analytical: 0 });
+        pipeline.reset();
+        assert_eq!(pipeline.engine_throughput(), EngineThroughput::default());
+        assert_eq!(pipeline.fidelity_mix(), FidelityMix::default());
     }
 }

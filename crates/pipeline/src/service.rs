@@ -64,7 +64,10 @@
 use crate::error::panic_message;
 use crate::sandbox::{SandboxConfig, SandboxCounters, SandboxedExecutor, WorkSpec};
 use crate::stats::{LatencyReservoir, LatencySummary};
-use crate::{lock, AnalysisPipeline, PipelineError, PipelineResult, RunPolicy};
+use crate::{
+    lock, AnalysisPipeline, CacheStats, EngineThroughput, FidelityMix, PipelineError,
+    PipelineResult, RunPolicy,
+};
 use ascend_ops::Operator;
 use ascend_sim::CancelToken;
 use serde::{Deserialize, Serialize};
@@ -419,6 +422,17 @@ pub struct HealthSnapshot {
     pub interactive: LatencySummary,
     /// Sojourn-latency percentiles of executed sweep requests.
     pub sweep: LatencySummary,
+    /// The underlying pipeline's result-cache counters (hit rate).
+    #[serde(default)]
+    pub cache: CacheStats,
+    /// The underlying pipeline's engine event-loop throughput
+    /// (events/sec, ns/event).
+    #[serde(default)]
+    pub engine: EngineThroughput,
+    /// How many results each fidelity produced on the underlying
+    /// pipeline (simulated vs analytical fallback).
+    #[serde(default)]
+    pub fidelity: FidelityMix,
 }
 
 impl HealthSnapshot {
@@ -581,6 +595,9 @@ impl AnalysisService {
             sandbox: self.shared.executor.counters(),
             interactive: lock(&self.shared.latency[Priority::Interactive.index()]).summary(),
             sweep: lock(&self.shared.latency[Priority::Sweep.index()]).summary(),
+            cache: self.shared.pipeline.cache_stats(),
+            engine: self.shared.pipeline.engine_throughput(),
+            fidelity: self.shared.pipeline.fidelity_mix(),
         }
     }
 

@@ -42,7 +42,7 @@ pub mod calibration;
 
 use ascend_arch::{ChipSpec, Component, ComputeUnit, Precision, TransferPath};
 use ascend_isa::{Kernel, KernelStats};
-use ascend_sim::{SimError, Simulator, Trace};
+use ascend_sim::{MetricsSink, SimError, Simulator, Trace};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -83,6 +83,24 @@ impl Profile {
             active_cycles,
             total_cycles: trace.total_cycles(),
             instruction_count: kernel.len() as u64,
+        }
+    }
+
+    /// Builds a profile from a streaming [`MetricsSink`] after a
+    /// successful run — no trace required. For a completed kernel this
+    /// equals [`Profile::collect`] on the same run bit-for-bit: the sink
+    /// counts ops/bytes over the executed instructions (all of them, on
+    /// success) and accumulates active cycles in per-queue start order,
+    /// which is the order `Trace::busy_cycles` sums in.
+    #[must_use]
+    pub fn from_metrics(metrics: &MetricsSink, total_cycles: f64) -> Self {
+        Profile {
+            name: metrics.kernel_name().to_owned(),
+            ops: metrics.ops(),
+            bytes: metrics.bytes(),
+            active_cycles: metrics.active_map(),
+            total_cycles,
+            instruction_count: metrics.instruction_count(),
         }
     }
 
@@ -227,6 +245,18 @@ impl Profiler {
         let trace = self.simulator.simulate(kernel)?;
         Ok((Profile::collect(kernel, &trace), trace))
     }
+
+    /// Simulates `kernel` and returns only its profile, streaming the
+    /// §3.1 metrics out of the engine without materializing a trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from the simulator.
+    pub fn profile_only(&self, kernel: &Kernel) -> Result<Profile, SimError> {
+        let mut metrics = MetricsSink::new();
+        let summary = self.simulator.simulate_into(kernel, &mut metrics)?;
+        Ok(Profile::from_metrics(&metrics, summary.total_cycles))
+    }
 }
 
 #[cfg(test)]
@@ -315,6 +345,17 @@ mod tests {
         assert!(active.contains(&Component::Vector));
         assert!(!active.contains(&Component::Cube));
         assert!(!active.contains(&Component::MteL1));
+    }
+
+    #[test]
+    fn profile_only_equals_trace_derived_profile() {
+        let profiler = Profiler::new(ChipSpec::training());
+        for tag in 0..4 {
+            let kernel = sample_kernel(tag);
+            let (from_trace, _) = profiler.run(&kernel).unwrap();
+            let streamed = profiler.profile_only(&kernel).unwrap();
+            assert_eq!(streamed, from_trace, "streamed metrics must be bit-identical");
+        }
     }
 
     #[test]

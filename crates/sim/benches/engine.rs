@@ -1,0 +1,74 @@
+//! Criterion microbenches of the event loop's primitive costs, one
+//! instruction pattern per group: pure dispatch/start/retire on a single
+//! queue, flag set/wait handshakes between queues, and transfer-op cost
+//! (descriptor-table duration math plus queue traffic). Each bench reuses
+//! one [`Simulator`] across iterations, so the numbers reflect the pooled
+//! warm-scratch path that batch and sweep callers hit — per-event cost,
+//! not per-run setup.
+
+use ascend_arch::{Buffer, ChipSpec, Component, ComputeUnit, Precision, TransferPath};
+use ascend_isa::{Kernel, KernelBuilder, Region};
+use ascend_sim::{NullSink, Simulator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// A straight-line compute chain on one queue: no flags, no regions, no
+/// barriers — every event is dispatch, start, retire. The floor cost of
+/// one event.
+fn dispatch_chain(n: usize) -> Kernel {
+    let mut b = KernelBuilder::new("dispatch_chain");
+    for _ in 0..n {
+        b.compute(ComputeUnit::Vector, Precision::Fp16, 256, vec![], vec![]);
+    }
+    b.build()
+}
+
+/// Producer/consumer handshake: each iteration is a transfer, a
+/// `set_flag`/`wait_flag` pair, a compute, and the reverse pair — the
+/// flag-table hot path (increment, try-consume, blocked-queue retry).
+fn flag_handshake(n: usize) -> Kernel {
+    let mut b = KernelBuilder::new("flag_handshake");
+    for i in 0..n {
+        let ub = Region::new(Buffer::Ub, (i as u64 % 32) * 1024, 1024);
+        let gm = Region::new(Buffer::Gm, (i as u64 % 64) * 4096, 1024);
+        b.transfer(TransferPath::GmToUb, gm, ub).unwrap();
+        b.sync(Component::MteGm, Component::Vector);
+        b.compute(ComputeUnit::Vector, Precision::Fp16, 256, vec![ub], vec![ub]);
+        b.sync(Component::Vector, Component::MteGm);
+    }
+    b.build()
+}
+
+/// A chain of GM→UB transfers: exercises the transfer arm of the
+/// descriptor build (bytes, latency, overhead) and the MTE queue.
+fn transfer_chain(n: usize) -> Kernel {
+    let mut b = KernelBuilder::new("transfer_chain");
+    for i in 0..n {
+        let gm = Region::new(Buffer::Gm, (i as u64 % 64) * 4096, 4096);
+        let ub = Region::new(Buffer::Ub, (i as u64 % 32) * 4096, 4096);
+        b.transfer(TransferPath::GmToUb, gm, ub).unwrap();
+    }
+    b.build()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let sim = Simulator::new(ChipSpec::training());
+    let cases = [
+        ("event_dispatch_1k", dispatch_chain(1000)),
+        ("flag_set_wait_250x4", flag_handshake(250)),
+        ("transfer_op_1k", transfer_chain(1000)),
+    ];
+    let mut group = c.benchmark_group("engine");
+    for (name, kernel) in &cases {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut sink = NullSink;
+                sim.simulate_unchecked_into(black_box(kernel), &mut sink).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

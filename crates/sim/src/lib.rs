@@ -49,12 +49,16 @@ mod cancel;
 mod engine;
 mod error;
 mod forensics;
+#[doc(hidden)]
+pub mod reference;
+mod sink;
 mod trace;
 
 pub use cancel::CancelToken;
-pub use engine::{SimBudget, Simulator, DEADLINE_POLL_EVENTS};
+pub use engine::{RunSummary, SimBudget, Simulator, DEADLINE_POLL_EVENTS};
 pub use error::SimError;
 pub use forensics::{
     BlockCause, DeadlockReport, PendingSetter, QueueState, SetterLocation, WaitEdge,
 };
+pub use sink::{MetricsSink, NullSink, TraceCollector, TraceSink};
 pub use trace::{InstrRecord, StallCause, Trace};

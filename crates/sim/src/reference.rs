@@ -1,0 +1,352 @@
+//! The seed (pre-arena) engine, kept verbatim as a differential oracle.
+//!
+//! This module is a faithful copy of the event loop as it existed before
+//! the hot-path rewrite: a `HashMap` flag table, six freshly allocated
+//! `VecDeque` component queues, a freshly allocated `BinaryHeap` event
+//! queue, and a fully materialized record arena — all constructed per
+//! simulate call. It exists for two reasons:
+//!
+//! 1. **Bit-identity.** The golden differential suite executes every
+//!    workload on both engines and requires identical cycle counts,
+//!    identical traces, and identical error verdicts. Any divergence in
+//!    the rewritten engine is a bug, caught by tests rather than by
+//!    inspection.
+//! 2. **A perf trajectory.** The bench harness times both engines with
+//!    the same harness on the same kernels, so `BENCH_*.json` reports the
+//!    rewrite's speedup against the seed engine measured honestly, not
+//!    against a remembered number.
+//!
+//! It is `#[doc(hidden)]`: not part of the supported API, never used on a
+//! production path, and free to disappear once the trajectory has enough
+//! history.
+
+use crate::trace::StallCause;
+use crate::{InstrRecord, SimError, Trace};
+use ascend_arch::ChipSpec;
+use ascend_faults::FaultPlan;
+use ascend_isa::{validate, Instruction, Kernel};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// The seed engine behind a minimal simulator surface.
+///
+/// Only the entry points the differential suite and the bench harness
+/// need: validated, unchecked, and faulted simulation. No budget, no
+/// cancellation — the oracle runs to completion or quiescence.
+#[derive(Debug, Clone)]
+pub struct ReferenceSimulator {
+    chip: ChipSpec,
+}
+
+impl ReferenceSimulator {
+    /// Creates a reference simulator for `chip`.
+    #[must_use]
+    pub fn new(chip: ChipSpec) -> Self {
+        ReferenceSimulator { chip }
+    }
+
+    /// The chip this simulator models.
+    #[must_use]
+    pub fn chip(&self) -> &ChipSpec {
+        &self.chip
+    }
+
+    /// Executes `kernel` with static validation (the seed code path).
+    ///
+    /// # Errors
+    ///
+    /// As the production engine: validation, arch-lookup, and deadlock
+    /// errors.
+    pub fn simulate(&self, kernel: &Kernel) -> Result<Trace, SimError> {
+        validate(kernel, &self.chip)?;
+        Run::new(kernel, &self.chip, None).execute()
+    }
+
+    /// Executes `kernel` without static validation.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReferenceSimulator::simulate`], minus validation.
+    pub fn simulate_unchecked(&self, kernel: &Kernel) -> Result<Trace, SimError> {
+        Run::new(kernel, &self.chip, None).execute()
+    }
+
+    /// Executes `kernel` under `plan`, mirroring the production
+    /// fault-injection semantics (derived chip must validate, derived
+    /// kernel is not re-validated).
+    ///
+    /// # Errors
+    ///
+    /// As the production engine's fault path.
+    pub fn simulate_with_faults(
+        &self,
+        kernel: &Kernel,
+        plan: &FaultPlan,
+    ) -> Result<Trace, SimError> {
+        let chip = plan.apply_to_chip(&self.chip);
+        chip.validate()?;
+        let kernel = plan.apply_to_kernel(kernel);
+        Run::new(&kernel, &chip, Some(plan)).execute()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    Complete(usize),
+    Wake,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time: f64,
+    kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.total_cmp(&other.time).then_with(|| match (self.kind, other.kind) {
+            (EventKind::Complete(a), EventKind::Complete(b)) => a.cmp(&b),
+            (EventKind::Complete(_), EventKind::Wake) => std::cmp::Ordering::Less,
+            (EventKind::Wake, EventKind::Complete(_)) => std::cmp::Ordering::Greater,
+            (EventKind::Wake, EventKind::Wake) => std::cmp::Ordering::Equal,
+        })
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The seed `Run`: every structure below is allocated per simulate call.
+struct Run<'a> {
+    kernel: &'a Kernel,
+    chip: &'a ChipSpec,
+    faults: Option<&'a FaultPlan>,
+    dispatch_free: f64,
+    next_dispatch: usize,
+    barrier_pending: bool,
+    last_completion: f64,
+    pending: [VecDeque<(usize, f64)>; 6],
+    busy_until: [f64; 6],
+    wake_scheduled: [f64; 6],
+    executing: Vec<usize>,
+    block_reason: [Option<StallCause>; 6],
+    flags: HashMap<u32, u64>,
+    records: Vec<Option<InstrRecord>>,
+    outstanding: usize,
+    completed: usize,
+    events: BinaryHeap<Reverse<Event>>,
+}
+
+impl<'a> Run<'a> {
+    fn new(kernel: &'a Kernel, chip: &'a ChipSpec, faults: Option<&'a FaultPlan>) -> Self {
+        Run {
+            kernel,
+            chip,
+            faults,
+            dispatch_free: 0.0,
+            next_dispatch: 0,
+            barrier_pending: false,
+            last_completion: 0.0,
+            pending: Default::default(),
+            busy_until: [0.0; 6],
+            wake_scheduled: [-1.0; 6],
+            executing: Vec::new(),
+            block_reason: [None; 6],
+            flags: HashMap::new(),
+            records: vec![None; kernel.len()],
+            outstanding: 0,
+            completed: 0,
+            events: BinaryHeap::new(),
+        }
+    }
+
+    fn execute(mut self) -> Result<Trace, SimError> {
+        self.dispatch();
+        self.try_start_all(0.0)?;
+        while let Some(Reverse(event)) = self.events.pop() {
+            let now = event.time;
+            if let EventKind::Complete(index) = event.kind {
+                self.finish(index, now);
+            }
+            self.try_start_all(now)?;
+        }
+        if self.completed != self.kernel.len() || self.records.iter().any(Option::is_none) {
+            return Err(SimError::Deadlock(Box::new(crate::DeadlockReport {
+                kernel: self.kernel.name().to_string(),
+                at_cycle: self.last_completion,
+                total: self.kernel.len(),
+                remaining: self.kernel.len() - self.completed,
+                undispatched: self.kernel.len() - self.next_dispatch,
+                barrier_pending: self.barrier_pending,
+                queues: Vec::new(),
+                wait_edges: Vec::new(),
+            })));
+        }
+        let records: Vec<InstrRecord> = self.records.into_iter().flatten().collect();
+        let total = records.iter().map(|r| r.end).fold(0.0, f64::max);
+        Ok(Trace::from_parts(self.kernel.name(), records, total))
+    }
+
+    fn dispatch(&mut self) {
+        while !self.barrier_pending && self.next_dispatch < self.kernel.len() {
+            let index = self.next_dispatch;
+            let instr = &self.kernel.instructions()[index];
+            match instr.queue() {
+                None => {
+                    if self.outstanding == 0 {
+                        let start = self.dispatch_free.max(self.last_completion);
+                        let end = start + self.chip.barrier_cycles;
+                        self.records[index] = Some(InstrRecord {
+                            index,
+                            queue: None,
+                            available_at: self.dispatch_free,
+                            start,
+                            end,
+                            stall: StallCause::None,
+                        });
+                        self.dispatch_free = end;
+                        self.completed += 1;
+                        self.next_dispatch += 1;
+                    } else {
+                        self.barrier_pending = true;
+                    }
+                }
+                Some(queue) => {
+                    self.dispatch_free += self.chip.dispatch_cycles;
+                    self.pending[queue.index()].push_back((index, self.dispatch_free));
+                    self.outstanding += 1;
+                    self.next_dispatch += 1;
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, index: usize, now: f64) {
+        self.executing.retain(|&i| i != index);
+        self.outstanding -= 1;
+        self.completed += 1;
+        self.last_completion = self.last_completion.max(now);
+        if let Instruction::SetFlag { flag, .. } = &self.kernel.instructions()[index] {
+            *self.flags.entry(flag.raw()).or_default() += 1;
+        }
+        if self.barrier_pending && self.outstanding == 0 {
+            self.barrier_pending = false;
+            self.dispatch();
+        }
+    }
+
+    fn try_start_all(&mut self, now: f64) -> Result<(), SimError> {
+        for component in ascend_arch::Component::ALL {
+            self.try_start(component, now)?;
+        }
+        Ok(())
+    }
+
+    fn try_start(&mut self, component: ascend_arch::Component, now: f64) -> Result<(), SimError> {
+        let q = component.index();
+        if self.busy_until[q] > now {
+            return Ok(());
+        }
+        let Some(&(index, available)) = self.pending[q].front() else {
+            return Ok(());
+        };
+        if available > now {
+            self.schedule_wake(q, available);
+            return Ok(());
+        }
+        let instr = &self.kernel.instructions()[index];
+        match instr {
+            Instruction::WaitFlag { flag, .. } => {
+                let count = self.flags.entry(flag.raw()).or_default();
+                if *count == 0 {
+                    self.block_reason[q] = Some(StallCause::Flag);
+                    return Ok(());
+                }
+                *count -= 1;
+            }
+            Instruction::Compute(_) | Instruction::Transfer(_) => {
+                if self.has_region_conflict(index) {
+                    self.block_reason[q] = Some(StallCause::Region);
+                    return Ok(());
+                }
+            }
+            Instruction::SetFlag { .. } => {}
+            Instruction::Barrier => unreachable!("barriers are dispatcher-level"),
+        }
+        let stall = match self.block_reason[q].take() {
+            Some(cause) => cause,
+            None if now > available + 1e-9 => StallCause::QueueBusy,
+            None => StallCause::None,
+        };
+        let mut duration = self.duration(instr)?;
+        if let Some(plan) = self.faults {
+            duration *= plan.latency_factor(index);
+        }
+        let end = now + duration;
+        self.records[index] = Some(InstrRecord {
+            index,
+            queue: Some(component),
+            available_at: available,
+            start: now,
+            end,
+            stall,
+        });
+        self.busy_until[q] = end;
+        self.pending[q].pop_front();
+        self.executing.push(index);
+        self.events.push(Reverse(Event { time: end, kind: EventKind::Complete(index) }));
+        Ok(())
+    }
+
+    fn has_region_conflict(&self, index: usize) -> bool {
+        let instr = &self.kernel.instructions()[index];
+        self.executing.iter().any(|&other| instr.conflicts_with(&self.kernel.instructions()[other]))
+    }
+
+    fn schedule_wake(&mut self, q: usize, at: f64) {
+        if self.wake_scheduled[q] == at {
+            return;
+        }
+        self.wake_scheduled[q] = at;
+        self.events.push(Reverse(Event { time: at, kind: EventKind::Wake }));
+    }
+
+    fn duration(&self, instr: &Instruction) -> Result<f64, SimError> {
+        Ok(match instr {
+            Instruction::Compute(c) => {
+                let peak = self.chip.peak_ops_per_cycle(c.unit, c.precision)?;
+                self.chip.compute_issue_cycles + c.ops as f64 / peak
+            }
+            Instruction::Transfer(t) => self.chip.transfer(t.path)?.cycles(t.bytes()),
+            Instruction::SetFlag { .. } | Instruction::WaitFlag { .. } => self.chip.flag_cycles,
+            Instruction::Barrier => unreachable!("barriers are dispatcher-level"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascend_arch::{Buffer, Component, ComputeUnit, Precision, TransferPath};
+    use ascend_isa::{KernelBuilder, Region};
+
+    #[test]
+    fn reference_matches_itself_deterministically() {
+        let sim = ReferenceSimulator::new(ChipSpec::training());
+        let mut b = KernelBuilder::new("det");
+        let gm = Region::new(Buffer::Gm, 0, 4096);
+        let ub = Region::new(Buffer::Ub, 0, 4096);
+        b.transfer(TransferPath::GmToUb, gm, ub).unwrap();
+        b.sync(Component::MteGm, Component::Vector);
+        b.compute(ComputeUnit::Vector, Precision::Fp16, 1024, vec![ub], vec![ub]);
+        let kernel = b.build();
+        let a = sim.simulate(&kernel).unwrap();
+        let b = sim.simulate(&kernel).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,327 @@
+//! Golden-fingerprint differential suite: the arena engine vs the seed
+//! engine, bit for bit.
+//!
+//! The hot-path rewrite (flat arenas, heap-free event frontier,
+//! selective retry, streaming sinks) is only legitimate if it is
+//! *observationally identical* to the engine it replaced. This suite
+//! enforces that three ways:
+//!
+//! 1. **Differential**: every kernel of every model-zoo workload (plus
+//!    the Section 5 case-study operators on both chips) is simulated by
+//!    both engines and the traces are compared record by record —
+//!    `f64`-exact starts, ends, stall causes, and total cycles.
+//! 2. **Golden**: each trace is folded into a 64-bit fingerprint and
+//!    checked against `tests/golden/engine_fingerprints.txt`, which is
+//!    committed. This pins today's behavior against *future* drift even
+//!    if both engines are changed in lock-step. After an intentional
+//!    timing-model change, regenerate with
+//!    `ASCEND_UPDATE_GOLDEN=1 cargo test --test engine_golden`.
+//! 3. **Fault/adversarial**: seeded adversarial kernels and fault plans
+//!    (dropped/duplicated `set_flag`s, truncation, degraded bandwidth,
+//!    latency jitter) must produce the same outcome on both engines —
+//!    identical traces on success, the same error class on failure.
+//!
+//! A seeded property test additionally proves simulator *reuse* is
+//! invisible: a pooled-scratch simulator that has executed arbitrary
+//! prior work (including deadlocked runs, which leave scratch dirty)
+//! must reproduce a fresh simulator's output exactly. The vendored
+//! proptest honors `PROPTEST_CASES`; CI's fuzz job runs this file at
+//! 1024+ cases.
+
+use ascend::arch::{ChipSpec, MteEngine};
+use ascend::faults::{generator, FaultPlan};
+use ascend::isa::Kernel;
+use ascend::models::zoo;
+use ascend::ops::{AddRelu, AvgPool, Depthwise, Operator, OptFlags};
+use ascend::sim::reference::ReferenceSimulator;
+use ascend::sim::{SimBudget, SimError, Simulator, Trace};
+use proptest::prelude::*;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// FNV-1a over one little-endian `u64`.
+fn fnv(mut h: u64, v: u64) -> u64 {
+    for byte in v.to_le_bytes() {
+        h = (h ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Folds every observable field of a trace — record order, queues,
+/// `f64` bit patterns of all three timestamps, stall attribution, and
+/// the total — into one stable fingerprint.
+fn trace_fingerprint(trace: &Trace) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325;
+    h = fnv(h, trace.records().len() as u64);
+    h = fnv(h, trace.total_cycles().to_bits());
+    for r in trace.records() {
+        h = fnv(h, r.index as u64);
+        h = fnv(h, r.queue.map_or(u64::MAX, |q| q.index() as u64));
+        h = fnv(h, r.available_at.to_bits());
+        h = fnv(h, r.start.to_bits());
+        h = fnv(h, r.end.to_bits());
+        h = fnv(h, r.stall as u64);
+    }
+    h
+}
+
+/// Every golden workload: each kernel of each training-zoo model on the
+/// training chip, plus the case-study operators (baseline and fully
+/// optimized) on both chips.
+fn golden_cases() -> Vec<(String, ChipSpec, Kernel)> {
+    let mut cases = Vec::new();
+    let training = ChipSpec::training();
+    for model in zoo::all_training() {
+        for (i, invocation) in model.ops().iter().enumerate() {
+            let kernel = invocation
+                .operator()
+                .build(&training)
+                .unwrap_or_else(|e| panic!("{} op {i} must build: {e}", model.name()));
+            cases.push((format!("training/{}/{i}", model.name()), training.clone(), kernel));
+        }
+    }
+    for (chip_name, chip) in
+        [("training", ChipSpec::training()), ("inference", ChipSpec::inference())]
+    {
+        let ops: Vec<Box<dyn Operator>> = vec![
+            Box::new(AddRelu::new(1 << 16)),
+            Box::new(AddRelu::new(1 << 16).with_flags(OptFlags::new().rsd(true).mrt(true))),
+            Box::new(Depthwise::new(1 << 16)),
+            Box::new(Depthwise::new(1 << 16).with_flags(OptFlags::new().itg(true).ais(true))),
+            Box::new(AvgPool::new(1 << 16)),
+            Box::new(AvgPool::new(1 << 16).with_flags(OptFlags::new().aip(true).rus(true))),
+        ];
+        for (i, op) in ops.iter().enumerate() {
+            let kernel = op
+                .build(&chip)
+                .unwrap_or_else(|e| panic!("case-study op {i} must build on {chip_name}: {e}"));
+            cases.push((format!("{chip_name}/case_study/{i}"), chip.clone(), kernel));
+        }
+    }
+    cases
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/engine_fingerprints.txt")
+}
+
+/// The committed fingerprints, the record-by-record differential, and
+/// the regeneration path, in one test so the golden file is always
+/// produced from engine-agreeing traces.
+#[test]
+fn engines_agree_and_match_committed_fingerprints() {
+    let mut lines = String::new();
+    for (name, chip, kernel) in golden_cases() {
+        let arena = Simulator::new(chip.clone())
+            .simulate(&kernel)
+            .unwrap_or_else(|e| panic!("arena engine failed on {name}: {e}"));
+        let seed = ReferenceSimulator::new(chip)
+            .simulate(&kernel)
+            .unwrap_or_else(|e| panic!("seed engine failed on {name}: {e}"));
+        assert_eq!(
+            arena.total_cycles().to_bits(),
+            seed.total_cycles().to_bits(),
+            "total cycles diverge on {name}: arena {} vs seed {}",
+            arena.total_cycles(),
+            seed.total_cycles()
+        );
+        assert_eq!(arena.records().len(), seed.records().len(), "record count on {name}");
+        for (a, s) in arena.records().iter().zip(seed.records()) {
+            assert_eq!(a, s, "record diverges on {name}");
+        }
+        writeln!(lines, "{name}\t{:016x}", trace_fingerprint(&arena)).unwrap();
+    }
+
+    let path = golden_path();
+    if std::env::var_os("ASCEND_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &lines).unwrap();
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with \
+             ASCEND_UPDATE_GOLDEN=1 cargo test --test engine_golden",
+            path.display()
+        )
+    });
+    for (current, golden) in lines.lines().zip(committed.lines()) {
+        assert_eq!(
+            current, golden,
+            "engine output drifted from the committed golden fingerprint; if the \
+             timing model changed intentionally, regenerate with \
+             ASCEND_UPDATE_GOLDEN=1 cargo test --test engine_golden"
+        );
+    }
+    assert_eq!(
+        lines.lines().count(),
+        committed.lines().count(),
+        "golden case list changed; regenerate with ASCEND_UPDATE_GOLDEN=1"
+    );
+}
+
+/// Outcome of a run, comparable across engines: a full trace on
+/// success, the error *class* on failure (the engines format reports
+/// from identical state, so classes — not message strings — are the
+/// contract).
+fn outcome(result: Result<Trace, SimError>) -> Result<Trace, &'static str> {
+    result.map_err(|e| match e {
+        SimError::Validation(_) => "validation",
+        SimError::Arch(_) => "arch",
+        SimError::Deadlock(_) => "deadlock",
+        SimError::BudgetExceeded { .. } => "budget",
+        SimError::Cancelled { .. } => "cancelled",
+    })
+}
+
+fn assert_same_outcome(name: &str, arena: Result<Trace, SimError>, seed: Result<Trace, SimError>) {
+    match (outcome(arena), outcome(seed)) {
+        (Ok(a), Ok(s)) => {
+            assert_eq!(a.total_cycles().to_bits(), s.total_cycles().to_bits(), "{name}");
+            assert_eq!(a.records(), s.records(), "{name}");
+        }
+        (a, s) => assert_eq!(
+            a.as_ref().err(),
+            s.as_ref().err(),
+            "outcome class diverges on {name}: arena {a:?} vs seed {s:?}"
+        ),
+    }
+}
+
+/// Adversarial kernels under fault plans: both engines walk the same
+/// line between completion, deadlock, and watchdog trip.
+#[test]
+fn fault_injection_outcomes_are_identical() {
+    let budget = SimBudget { max_events: 1 << 20, max_cycles: 1e12 };
+    let chip = ChipSpec::training();
+    for seed in 0u64..48 {
+        let kernel = generator::generate(seed.wrapping_mul(0x9E37_79B9), 24);
+        let arena = Simulator::new(chip.clone()).with_budget(budget);
+        let reference = ReferenceSimulator::new(chip.clone());
+        assert_same_outcome(
+            &format!("unchecked seed {seed}"),
+            arena.simulate_unchecked(&kernel),
+            reference.simulate_unchecked(&kernel),
+        );
+        let plans = [
+            FaultPlan::new(seed).with_latency_jitter(0.4).degrade_bandwidth(MteEngine::Gm, 0.5),
+            FaultPlan::new(seed).drop_set_flags(1 + seed as usize % 3),
+            FaultPlan::new(seed).duplicate_set_flags(1 + seed as usize % 2),
+            FaultPlan::new(seed).truncate_to(kernel.len().saturating_sub(seed as usize % 5)),
+        ];
+        for (p, plan) in plans.into_iter().enumerate() {
+            assert_same_outcome(
+                &format!("fault plan {p} seed {seed}"),
+                arena.simulate_with_faults(&kernel, &plan),
+                reference.simulate_with_faults(&kernel, &plan),
+            );
+        }
+    }
+}
+
+/// Forensic pending-setter reporting stays a deadlock-only artifact:
+/// the report for a stuck kernel names the never-started `set_flag`s
+/// (that `Vec` is allocated on the deadlock path only — the audit of
+/// the dispatch loop keeps it off the per-event path), and both engines
+/// report the same setter indices from the same stuck state.
+#[test]
+fn pending_setter_forensics_match_and_are_deadlock_only() {
+    let chip = ChipSpec::training();
+    // A kernel whose only set_flag is dropped by the fault plan: the
+    // waiter stalls forever with one pending setter upstream.
+    let mut b = ascend::isa::KernelBuilder::new("dropped");
+    let f = b.new_flag();
+    b.transfer(
+        ascend::arch::TransferPath::GmToUb,
+        ascend::isa::Region::new(ascend::arch::Buffer::Gm, 0, 2048),
+        ascend::isa::Region::new(ascend::arch::Buffer::Ub, 0, 2048),
+    )
+    .unwrap();
+    b.set_flag(ascend::arch::Component::MteGm, f);
+    b.wait_flag(ascend::arch::Component::Vector, f);
+    b.compute(
+        ascend::arch::ComputeUnit::Vector,
+        ascend::arch::Precision::Fp16,
+        512,
+        vec![ascend::isa::Region::new(ascend::arch::Buffer::Ub, 0, 2048)],
+        vec![ascend::isa::Region::new(ascend::arch::Buffer::Ub, 0, 2048)],
+    );
+    let kernel = b.build();
+    let plan = FaultPlan::new(11).drop_set_flags(1);
+
+    let Err(SimError::Deadlock(arena)) =
+        Simulator::new(chip.clone()).simulate_with_faults(&kernel, &plan)
+    else {
+        panic!("dropping the only set_flag must deadlock the arena engine");
+    };
+    let Err(SimError::Deadlock(seed)) =
+        ReferenceSimulator::new(chip.clone()).simulate_with_faults(&kernel, &plan)
+    else {
+        panic!("dropping the only set_flag must deadlock the seed engine");
+    };
+    // The seed predates rich forensics: its report carries the scalar
+    // facts but empty `queues`/`wait_edges`. Hold the arena to scalar
+    // parity with the seed, and check its wait-edge forensics against
+    // the faulted kernel directly.
+    assert_eq!(arena.at_cycle, seed.at_cycle);
+    assert_eq!(arena.total, seed.total);
+    assert_eq!(arena.remaining, seed.remaining);
+    assert_eq!(arena.undispatched, seed.undispatched);
+    assert_eq!(arena.barrier_pending, seed.barrier_pending);
+    assert_eq!(arena.wait_edges.len(), 1, "one stuck waiter expected");
+    let edge = &arena.wait_edges[0];
+    assert_eq!(edge.flag, f.raw());
+    // Pending setters must be exactly the never-started set_flags of
+    // that flag in the *faulted* kernel (here: none — it was dropped).
+    let faulted = plan.apply_to_kernel(&kernel);
+    let expected: Vec<usize> = faulted
+        .instructions()
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| {
+            matches!(i, ascend::isa::Instruction::SetFlag { flag, .. } if flag.raw() == f.raw())
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let setters: Vec<usize> = edge.pending_setters.iter().map(|p| p.index).collect();
+    assert_eq!(setters, expected, "pending setters must mirror the faulted kernel");
+    // And the successful (unfaulted) run never surfaces a report at all.
+    assert!(Simulator::new(chip).simulate(&kernel).is_ok());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Reuse is invisible: a simulator that has executed arbitrary prior
+    // work — including a deadlocked run that returned its scratch dirty —
+    // reproduces a fresh simulator (and the seed engine) bit for bit.
+    #[test]
+    fn reused_simulator_matches_fresh_and_seed(seed in 0u64..u64::MAX) {
+        let budget = SimBudget { max_events: 1 << 20, max_cycles: 1e12 };
+        let chip = ChipSpec::training();
+        let kernel = generator::generate(seed, 24);
+        let other = generator::generate(seed ^ 0xABCD_EF01, 24);
+
+        let reused = Simulator::new(chip.clone()).with_budget(budget);
+        // Arbitrary prior work, outcomes irrelevant — only the absence
+        // of state leakage matters.
+        let _ = reused.simulate_unchecked(&other);
+        let first = outcome(reused.simulate_unchecked(&kernel));
+        let _ = reused.simulate_unchecked(&other);
+        let again = outcome(reused.simulate_unchecked(&kernel));
+        let fresh = outcome(
+            Simulator::new(chip.clone()).with_budget(budget).simulate_unchecked(&kernel),
+        );
+        let reference = outcome(ReferenceSimulator::new(chip).simulate_unchecked(&kernel));
+
+        prop_assert_eq!(&first, &again, "rerun on a warmed simulator diverged (seed {})", seed);
+        prop_assert_eq!(&first, &fresh, "warmed vs fresh simulator diverged (seed {})", seed);
+        match (&first, &reference) {
+            (Ok(a), Ok(s)) => {
+                prop_assert_eq!(a.total_cycles().to_bits(), s.total_cycles().to_bits());
+                prop_assert_eq!(a.records(), s.records());
+            }
+            (a, s) => prop_assert_eq!(a.as_ref().err(), s.as_ref().err()),
+        }
+    }
+}
