@@ -21,6 +21,11 @@
 //! processes (this binary re-exec'd as a worker), and the chaos
 //! fraction becomes the fault library's hostile modes — worker kills
 //! instead of kernel corruption.
+//!
+//! Set `ASCEND_CACHE_DIR` to attach a durable result store (see
+//! `ascend_bench::pipeline_for`): a restarted serve answers repeat
+//! traffic from disk, and the `store` block of `serve_health.json`
+//! reports recovered/hit/corrupt-dropped counters.
 
 use ascend_arch::ChipSpec;
 use ascend_bench::{header, pipeline_for, run_policy, write_json};

@@ -39,6 +39,14 @@ static PIPELINES: OnceLock<Mutex<Vec<AnalysisPipeline>>> = OnceLock::new();
 /// `ASCEND_CACHE_CAPACITY` environment variable (entries, minimum 1;
 /// unset: the pipeline default). Evictions under sustained traffic are
 /// visible in the instrumentation footer's `evictions` counter.
+///
+/// Setting `ASCEND_CACHE_DIR` additionally attaches a durable
+/// [`ResultStore`](ascend_pipeline::ResultStore) at
+/// `<dir>/store-<context>.astr` (one file per pipeline context, so
+/// different chips in one directory never collide): repeat runs of the
+/// same binary answer from disk instead of re-simulating, and the
+/// footer grows a `store:` line with hit/recovered/corrupt counters. An
+/// unopenable store warns and runs memory-only.
 #[must_use]
 pub fn pipeline_for(chip: &ChipSpec) -> AnalysisPipeline {
     let registry = PIPELINES.get_or_init(|| Mutex::new(Vec::new()));
@@ -49,6 +57,21 @@ pub fn pipeline_for(chip: &ChipSpec) -> AnalysisPipeline {
     let mut pipeline = AnalysisPipeline::new(chip.clone());
     if let Some(capacity) = env_u64("ASCEND_CACHE_CAPACITY") {
         pipeline = pipeline.with_cache_capacity(usize::try_from(capacity).unwrap_or(usize::MAX));
+    }
+    if let Some(dir) = std::env::var_os("ASCEND_CACHE_DIR") {
+        let path = PathBuf::from(dir).join(format!("store-{:016x}.astr", pipeline.context()));
+        match pipeline.clone().with_store(&path) {
+            Ok(with_store) => {
+                pipeline = with_store;
+                let recovered = pipeline.store_stats().map_or(0, |s| s.recovered);
+                if recovered > 0 {
+                    println!("[store] {}: recovered {recovered} entr(ies)", path.display());
+                }
+            }
+            Err(err) => {
+                eprintln!("warning: cannot open result store {}: {err}", path.display());
+            }
+        }
     }
     pipelines.push(pipeline.clone());
     pipeline

@@ -8,8 +8,7 @@
 //! behind — torn tails, lost records, duplicated records — so journal
 //! recovery is tested against the failures it claims to survive.
 
-use std::fs::OpenOptions;
-use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use crate::disk::{corrupt_file, DiskFault};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -117,43 +116,22 @@ pub enum JournalFault {
 
 /// Applies `fault` to the journal file at `path`.
 ///
+/// A thin journal-flavoured facade over the shared [`corrupt_file`]
+/// injector: every `JournalFault` maps onto the [`DiskFault`] with the
+/// same byte-level effect, so the journal's recovery tests and the
+/// result store's exercise one implementation of "what crashes do".
+///
 /// # Errors
 ///
 /// Propagates I/O failures; faulting an empty or missing journal is an
 /// error for the truncate/duplicate faults (there is nothing to corrupt).
 pub fn corrupt_journal(path: &Path, fault: JournalFault) -> std::io::Result<()> {
-    let mut file = OpenOptions::new().read(true).write(true).open(path)?;
-    let mut contents = String::new();
-    file.read_to_string(&mut contents)?;
-    match fault {
-        JournalFault::TruncateTailBytes(n) => {
-            let keep = (contents.len() as u64).saturating_sub(n);
-            file.set_len(keep)?;
-        }
-        JournalFault::DropLastRecords(n) => {
-            // A "record" is a newline-terminated line; keep the first
-            // `complete - n` of them so the file stays record-aligned.
-            let boundaries: Vec<usize> = contents.match_indices('\n').map(|(i, _)| i + 1).collect();
-            let keep_records = boundaries.len().saturating_sub(n);
-            let keep_bytes = if keep_records == 0 { 0 } else { boundaries[keep_records - 1] };
-            file.set_len(keep_bytes as u64)?;
-        }
-        JournalFault::DuplicateLastRecord => {
-            let trimmed = contents.trim_end_matches('\n');
-            let last = trimmed.rfind('\n').map_or(trimmed, |i| &trimmed[i + 1..]);
-            if last.is_empty() {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidInput,
-                    "journal has no complete record to duplicate",
-                ));
-            }
-            let mut line = last.to_owned();
-            line.push('\n');
-            file.seek(SeekFrom::End(0))?;
-            file.write_all(line.as_bytes())?;
-        }
-    }
-    file.sync_data()
+    let disk_fault = match fault {
+        JournalFault::TruncateTailBytes(n) => DiskFault::TruncateTailBytes(n),
+        JournalFault::DropLastRecords(n) => DiskFault::DropTailLines(n),
+        JournalFault::DuplicateLastRecord => DiskFault::DuplicateTailLine,
+    };
+    corrupt_file(path, disk_fault)
 }
 
 #[cfg(test)]

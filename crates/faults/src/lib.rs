@@ -32,6 +32,7 @@
 //! mutated kernel, the same degraded chip, and the same latency factors,
 //! so any fuzzer failure reproduces from its printed seed.
 
+mod disk;
 mod harness;
 mod hostile;
 mod loadgen;
@@ -40,6 +41,7 @@ mod rng;
 
 pub mod generator;
 
+pub use disk::{corrupt_file, DiskFault, DiskFile, FaultyFile};
 pub use harness::{corrupt_journal, JournalFault, PanicSwitch};
 pub use hostile::{
     grow_resident, heartbeats_muted, set_heartbeats_muted, sleep_forever, spin_forever,

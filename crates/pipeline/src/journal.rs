@@ -254,12 +254,7 @@ impl BatchJournal {
 #[must_use]
 pub fn result_digest(result: &PipelineResult) -> u64 {
     let json = serde_json::to_string(result).unwrap_or_default();
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for byte in json.bytes() {
-        hash ^= u64::from(byte);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    hash
+    crate::digest::fnv1a(json.as_bytes())
 }
 
 fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {

@@ -45,11 +45,13 @@
 //! ```
 
 mod analytic;
+pub mod digest;
 mod error;
 mod journal;
 mod sandbox;
 mod service;
 mod stats;
+mod store;
 mod supervisor;
 
 pub use error::PipelineError;
@@ -65,6 +67,10 @@ pub use service::{
     ServiceCounters, Ticket,
 };
 pub use stats::{LatencyReservoir, LatencySummary, DEFAULT_RESERVOIR_CAPACITY};
+pub use store::{
+    FsyncPolicy, ResultStore, StoreConfig, StoreError, StoreStats, MAX_RECORD_BYTES, STORE_MAGIC,
+    STORE_VERSION,
+};
 pub use supervisor::{Fidelity, RunPolicy, SupervisorStats};
 
 use ascend_arch::{ArchError, ChipSpec};
@@ -305,6 +311,10 @@ pub struct AnalysisPipeline {
     context: u64,
     capacity: usize,
     shared: Arc<SharedState>,
+    /// Optional durable second cache tier (memory → disk → compute).
+    /// Shared across clones of *this* configured pipeline; never
+    /// consulted for a different context (the store header pins it).
+    store: Option<Arc<ResultStore>>,
 }
 
 impl AnalysisPipeline {
@@ -320,6 +330,7 @@ impl AnalysisPipeline {
             context,
             capacity: DEFAULT_CACHE_CAPACITY,
             shared: Arc::new(SharedState::default()),
+            store: None,
         }
     }
 
@@ -342,6 +353,18 @@ impl AnalysisPipeline {
     pub fn with_thresholds(mut self, thresholds: Thresholds) -> Self {
         self.thresholds = thresholds;
         self.context = context_fingerprint(&self.chip, &self.thresholds);
+        // An attached store is pinned to the old context; consulting it
+        // under the new one would be refused by its header anyway, so
+        // drop it loudly. Attach the store *after* configuration.
+        if let Some(store) = &self.store {
+            if store.context() != self.context {
+                eprintln!(
+                    "[pipeline] warning: thresholds changed after a result store was \
+                     attached; detaching the store (attach it last)"
+                );
+                self.store = None;
+            }
+        }
         self
     }
 
@@ -350,6 +373,118 @@ impl AnalysisPipeline {
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
         self.capacity = capacity.max(1);
         self
+    }
+
+    /// Attaches a durable on-disk cache tier at `path` (created if
+    /// missing, recovered if present): lookups go memory → disk →
+    /// compute, and computed results are written back through. Attach
+    /// the store **after** `with_thresholds` — the store is pinned to
+    /// the pipeline's context fingerprint.
+    ///
+    /// Run-time store failures never fail requests (see
+    /// [`ResultStore`]); only *opening* a wrong or unreadable store is
+    /// an error, because silently analyzing without the cache the caller
+    /// asked for would hide a misconfiguration.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ResultStore::open`] reports.
+    pub fn with_store(self, path: impl AsRef<std::path::Path>) -> Result<Self, StoreError> {
+        let store = ResultStore::open(path, self.context)?;
+        Ok(self.with_result_store(Arc::new(store)).expect("context was taken from self"))
+    }
+
+    /// [`with_store`](AnalysisPipeline::with_store) with an explicit
+    /// [`StoreConfig`] (fsync policy, compaction thresholds).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ResultStore::open_with_config`] reports.
+    pub fn with_store_config(
+        self,
+        path: impl AsRef<std::path::Path>,
+        config: StoreConfig,
+    ) -> Result<Self, StoreError> {
+        let store = ResultStore::open_with_config(path, self.context, config)?;
+        Ok(self.with_result_store(Arc::new(store)).expect("context was taken from self"))
+    }
+
+    /// Attaches an already-open [`ResultStore`] — the seam for sharing
+    /// one store across pipelines and for fault-injected test stores.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::ContextMismatch`] when the store was opened for a
+    /// different (chip, thresholds) context.
+    pub fn with_result_store(mut self, store: Arc<ResultStore>) -> Result<Self, StoreError> {
+        if store.context() != self.context {
+            return Err(StoreError::ContextMismatch {
+                found: store.context(),
+                expected: self.context,
+            });
+        }
+        self.store = Some(store);
+        Ok(self)
+    }
+
+    /// The context fingerprint mixed into every cache key — what a
+    /// [`ResultStore`] must be opened with to be attachable.
+    #[must_use]
+    pub fn context(&self) -> u64 {
+        self.context
+    }
+
+    /// Counters of the attached disk tier (`None` without one).
+    #[must_use]
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.store.as_ref().map(|store| store.stats())
+    }
+
+    /// Syncs the attached store's unsynced appends to the device (the
+    /// drain hook). A no-op without a store.
+    pub fn flush_store(&self) {
+        if let Some(store) = &self.store {
+            store.flush();
+        }
+    }
+
+    /// Disk-tier lookup for `key`: a digest-valid record that also
+    /// deserializes is promoted into the memory cache and returned.
+    /// Undecodable payloads (format drift behind a valid digest) are
+    /// discarded from the store and recomputed.
+    fn store_lookup(&self, key: u64) -> Option<Arc<PipelineResult>> {
+        let store = self.store.as_ref()?;
+        let payload = store.get(key)?;
+        let parsed = std::str::from_utf8(&payload)
+            .ok()
+            .and_then(|text| serde_json::from_str::<PipelineResult>(text).ok());
+        match parsed {
+            Some(result) if result.fingerprint == key => {
+                let result = Arc::new(result);
+                self.insert(key, Arc::clone(&result));
+                Some(result)
+            }
+            _ => {
+                store.discard(key);
+                None
+            }
+        }
+    }
+
+    /// Write-through for a freshly computed result. Fallback results are
+    /// never persisted — a durable degraded estimate would outlive the
+    /// condition that forced it.
+    fn store_put(&self, key: u64, result: &PipelineResult) {
+        let Some(store) = &self.store else { return };
+        if result.fidelity != Fidelity::Simulated {
+            return;
+        }
+        match serde_json::to_string(result) {
+            Ok(json) => store.put(key, json.as_bytes()),
+            Err(err) => {
+                eprintln!("[pipeline] warning: result {key:#018x} not persisted: {err}");
+            }
+        }
     }
 
     /// The chip this pipeline simulates.
@@ -383,12 +518,19 @@ impl AnalysisPipeline {
             lock(&self.shared.stats).hits += 1;
             return Ok(result);
         }
+        // Second tier: the durable store. A disk hit is a cache hit to
+        // the caller (and is promoted into memory by the lookup).
+        if let Some(found) = self.store_lookup(key) {
+            lock(&self.shared.stats).hits += 1;
+            return Ok(found);
+        }
         // Compute outside the cache lock so batch workers make progress
         // concurrently. Two workers racing on the same key both miss; the
         // later insert is a no-op.
         let result = Arc::new(self.execute(op, key)?);
         lock(&self.shared.stats).misses += 1;
         self.insert(key, Arc::clone(&result));
+        self.store_put(key, &result);
         Ok(result)
     }
 
@@ -477,6 +619,10 @@ impl AnalysisPipeline {
             lock(&self.shared.stats).hits += 1;
             return Ok(result);
         }
+        if let Some(found) = self.store_lookup(key) {
+            lock(&self.shared.stats).hits += 1;
+            return Ok(found);
+        }
         self.supervise_loop(key, policy, cancel, Some(op), &mut || {
             self.attempt_supervised(op, key, policy, cancel)
         })
@@ -545,6 +691,7 @@ impl AnalysisPipeline {
                     lock(&self.shared.stats).misses += 1;
                     let result = Arc::new(result);
                     self.insert(key, Arc::clone(&result));
+                    self.store_put(key, &result);
                     return Ok(result);
                 }
                 Err(err) => {
@@ -980,6 +1127,23 @@ impl AnalysisPipeline {
             stats.evictions,
             self.cache_len(),
         );
+        // The store line only appears when a disk tier is attached,
+        // keeping store-less binaries' output byte-identical.
+        if let Some(store) = self.store_stats() {
+            let _ = write!(
+                out,
+                "\n[pipeline] store: {} hits / {} misses, {} recovered, {} corrupt dropped, \
+                 {} appends, {} compactions, {} io errors{}",
+                store.hits,
+                store.misses,
+                store.recovered,
+                store.corrupt_dropped,
+                store.appends,
+                store.compactions,
+                store.io_errors,
+                if store.disabled { " [DISABLED]" } else { "" },
+            );
+        }
         // The supervision line only appears when something supervised
         // actually happened, keeping unsupervised binaries' output
         // byte-identical to before the supervisor existed.
@@ -1089,12 +1253,7 @@ fn poll_stage(cancel: Option<&CancelToken>, stage: &str) -> Result<(), SimError>
 
 /// FNV-1a over the chip and threshold configuration.
 fn context_fingerprint(chip: &ChipSpec, thresholds: &Thresholds) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for byte in format!("{chip:?}|{thresholds:?}").bytes() {
-        hash ^= u64::from(byte);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    hash
+    digest::fnv1a(format!("{chip:?}|{thresholds:?}").as_bytes())
 }
 
 /// SplitMix64-style combiner for (context, operator) fingerprints.

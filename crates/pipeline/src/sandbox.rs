@@ -40,6 +40,7 @@
 //! the frame loop, and [`run_worker_if_requested`] turns any `main` into
 //! a worker when the [`WORKER_ENV`] marker is set.
 
+use crate::digest::fnv1a;
 use crate::supervisor::RunPolicy;
 use crate::{lock, AnalysisPipeline, PipelineError, PipelineResult};
 use ascend_faults::{HostileMode, HostileOp};
@@ -106,17 +107,6 @@ impl FrameKind {
 struct Frame {
     kind: FrameKind,
     payload: Vec<u8>,
-}
-
-/// FNV-1a over a payload — the frame digest (and the same function the
-/// journal uses for record digests).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for byte in bytes {
-        hash ^= u64::from(*byte);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    hash
 }
 
 /// Serializes one frame: magic, version, kind, payload length, payload,

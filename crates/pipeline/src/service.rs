@@ -66,7 +66,7 @@ use crate::sandbox::{SandboxConfig, SandboxCounters, SandboxedExecutor, WorkSpec
 use crate::stats::{LatencyReservoir, LatencySummary};
 use crate::{
     lock, AnalysisPipeline, CacheStats, EngineThroughput, FidelityMix, PipelineError,
-    PipelineResult, RunPolicy,
+    PipelineResult, RunPolicy, StoreStats,
 };
 use ascend_ops::Operator;
 use ascend_sim::CancelToken;
@@ -216,6 +216,12 @@ pub struct ServiceConfig {
     /// Tuning of the sandboxed tier (ignored while both classes are
     /// [`Isolation::InProcess`]; workers spawn lazily on first use).
     pub sandbox: SandboxConfig,
+    /// When set, the service opens (or recovers) a durable
+    /// [`ResultStore`](crate::ResultStore) here at startup and attaches
+    /// it to its pipeline: restarts answer repeat requests from disk
+    /// instead of recomputing. An unopenable store is a warning, not a
+    /// startup failure — the service runs memory-only.
+    pub store_path: Option<std::path::PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -230,6 +236,7 @@ impl Default for ServiceConfig {
             seed: 0x5EED_CAFE,
             isolation: [Isolation::InProcess; Priority::COUNT],
             sandbox: SandboxConfig::default(),
+            store_path: None,
         }
     }
 }
@@ -433,6 +440,11 @@ pub struct HealthSnapshot {
     /// pipeline (simulated vs analytical fallback).
     #[serde(default)]
     pub fidelity: FidelityMix,
+    /// Counters of the durable disk tier (all zero without a
+    /// [`ServiceConfig::store_path`]): entries recovered at startup,
+    /// disk hits/misses, corrupt records dropped, degradation state.
+    #[serde(default)]
+    pub store: StoreStats,
 }
 
 impl HealthSnapshot {
@@ -491,7 +503,20 @@ impl AnalysisService {
     /// pipeline's cache and counters stay shared with any other clone
     /// the caller holds.
     #[must_use]
-    pub fn start(pipeline: AnalysisPipeline, config: ServiceConfig) -> Self {
+    pub fn start(mut pipeline: AnalysisPipeline, config: ServiceConfig) -> Self {
+        if let Some(path) = &config.store_path {
+            // A store the service cannot open degrades to memory-only
+            // operation: a resident service that refuses to start over a
+            // cache file would turn a perf feature into an outage.
+            match pipeline.clone().with_store(path) {
+                Ok(with_store) => pipeline = with_store,
+                Err(err) => eprintln!(
+                    "[service] warning: result store at {} not attached ({err}); \
+                     running memory-only",
+                    path.display()
+                ),
+            }
+        }
         let workers = config.workers.max(1);
         let reservoir = |salt: u64| {
             Mutex::new(LatencyReservoir::new(
@@ -598,6 +623,7 @@ impl AnalysisService {
             cache: self.shared.pipeline.cache_stats(),
             engine: self.shared.pipeline.engine_throughput(),
             fidelity: self.shared.pipeline.fidelity_mix(),
+            store: self.shared.pipeline.store_stats().unwrap_or_default(),
         }
     }
 
@@ -660,6 +686,9 @@ impl AnalysisService {
         // In-flight sandboxed children were killed through the drain
         // token by their monitor loops; what's left is the warm pool.
         self.shared.executor.shutdown();
+        // Make everything the run computed durable before the process
+        // (typically) exits — the whole point of attaching a store.
+        self.shared.pipeline.flush_store();
         DrainReport { flushed_queued: flushed_count, quiesced, elapsed: start.elapsed() }
     }
 }

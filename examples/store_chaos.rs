@@ -1,0 +1,158 @@
+//! Kill -9 chaos loop for the durable result store: a child process
+//! streams analysis results into an on-disk store and the parent
+//! SIGKILLs it at staggered points, then proves the recovery contract
+//! after every crash — every fully-written record comes back
+//! bit-identical to recomputation, every torn tail is dropped and
+//! recomputed, and nothing corrupt is ever served.
+//!
+//! Run with `cargo run --release --example store_chaos`; CI runs it in
+//! the `chaos-store` job. The final round restarts warm with no kill
+//! and asserts a 100% disk hit rate over everything the crashes left
+//! durable.
+//!
+//! Verification always happens on a *copy* of the store file, so the
+//! parent's own recovery (tail truncation) and write-back never repair
+//! the evidence between rounds — each kill is judged on exactly the
+//! bytes it left behind.
+
+use ascend::arch::ChipSpec;
+use ascend::ops::AddRelu;
+use ascend::pipeline::{AnalysisPipeline, ResultStore};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::Duration;
+
+const CHILD_ENV: &str = "ASCEND_STORE_CHAOS_CHILD";
+const PATH_ENV: &str = "ASCEND_STORE_CHAOS_PATH";
+const KILL_ROUNDS: u32 = 6;
+
+/// The deterministic op stream both parent and child derive: the i-th
+/// record in the store is always the result of `op_for(i)`.
+fn op_for(i: u64) -> AddRelu {
+    AddRelu::new(1_000 + i * 97)
+}
+
+/// The child: attach the store and stream results into it until the
+/// parent kills us. Re-running ops from index 0 on each restart also
+/// exercises the warm path — already-durable records arrive as disk
+/// hits and only fresh indices append.
+fn run_child(path: &Path) -> ! {
+    let pipeline = AnalysisPipeline::new(ChipSpec::training())
+        .with_store(path)
+        .expect("child must attach the store");
+    for i in 0.. {
+        let op = op_for(i);
+        pipeline.run(&op).expect("simulation itself never fails here");
+    }
+    unreachable!("the loop above only ends by SIGKILL");
+}
+
+/// Copies the store and verifies the recovery contract on the copy.
+/// Returns how many records were durable at this crash point.
+fn verify_crash_point(store_path: &Path, scratch: &Path, round: u32) -> u64 {
+    let verify_path = scratch.join(format!("verify-{round}.astr"));
+    std::fs::copy(store_path, &verify_path).expect("store file must exist after a kill");
+
+    let probe = AnalysisPipeline::new(ChipSpec::training());
+    let store = ResultStore::open(&verify_path, probe.context())
+        .expect("a SIGKILL'd store must always reopen");
+    let stats = store.stats();
+    assert_eq!(stats.recovered, store.len() as u64);
+    assert_eq!(stats.io_errors, 0, "round {round}: recovery is not an I/O error");
+
+    // The durable set must be a gap-free prefix of the op stream: the
+    // child appends in order and a kill only tears the tail.
+    let durable = store.len() as u64;
+    for i in 0..durable {
+        let key = probe.cache_key(&op_for(i));
+        assert!(
+            store.get(key).is_some(),
+            "round {round}: record {i} of {durable} is missing — the durable set has a hole"
+        );
+    }
+    drop(store);
+
+    // Bit-identical acceptance: a pipeline over the crashed bytes must
+    // agree with pure recomputation on every op, durable or torn.
+    let checked = durable + 2; // reach past the tear into recompute territory
+    let truth = AnalysisPipeline::new(ChipSpec::training());
+    let resumed = AnalysisPipeline::new(ChipSpec::training())
+        .with_store(&verify_path)
+        .expect("verification copy must attach");
+    for i in 0..checked {
+        let op = op_for(i);
+        let expected = truth.run(&op).unwrap();
+        let got = resumed.run(&op).unwrap();
+        assert_eq!(
+            *got, *expected,
+            "round {round}: op {i} differs from recomputation after the crash"
+        );
+    }
+    let resumed_stats = resumed.store_stats().unwrap();
+    assert_eq!(resumed_stats.hits, durable, "round {round}: every durable record serves");
+    assert_eq!(
+        resumed.timings().runs,
+        checked - durable,
+        "round {round}: exactly the non-durable ops re-simulate"
+    );
+    durable
+}
+
+fn main() {
+    if std::env::var_os(CHILD_ENV).is_some() {
+        let path = PathBuf::from(std::env::var_os(PATH_ENV).expect("child needs the store path"));
+        run_child(&path);
+    }
+
+    let scratch = std::env::temp_dir().join(format!("ascend-store-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).unwrap();
+    let store_path = scratch.join("store.astr");
+    let exe = std::env::current_exe().expect("re-exec needs our own path");
+
+    println!("store chaos: {KILL_ROUNDS} kill -9 rounds against {}", store_path.display());
+    let mut durable_high_water = 0u64;
+    for round in 0..KILL_ROUNDS {
+        let mut child = Command::new(&exe)
+            .env(CHILD_ENV, "1")
+            .env(PATH_ENV, &store_path)
+            .spawn()
+            .expect("spawn chaos child");
+        // Staggered kill points: early kills land in open/recovery,
+        // later ones mid-append stream.
+        std::thread::sleep(Duration::from_millis(5 + u64::from(round) * 23));
+        child.kill().expect("SIGKILL the child");
+        child.wait().expect("reap the child");
+
+        let durable = verify_crash_point(&store_path, &scratch, round);
+        assert!(
+            durable >= durable_high_water,
+            "round {round}: durable set shrank from {durable_high_water} to {durable}"
+        );
+        durable_high_water = durable;
+        println!("  round {round}: killed, {durable} durable record(s), all bit-identical");
+    }
+
+    // Warm-restart acceptance on the real file: everything the crashes
+    // left durable serves from disk, with zero corrupt entries served
+    // and zero re-simulation.
+    let warm = AnalysisPipeline::new(ChipSpec::training())
+        .with_store(&store_path)
+        .expect("final warm restart must attach");
+    let stats = warm.store_stats().unwrap();
+    assert_eq!(stats.recovered, durable_high_water, "final open recovers the high-water set");
+    for i in 0..durable_high_water {
+        let op = op_for(i);
+        warm.run(&op).unwrap();
+    }
+    let stats = warm.store_stats().unwrap();
+    assert_eq!(stats.hits, durable_high_water, "warm restart must hit on every durable record");
+    assert_eq!(warm.timings().runs, 0, "warm restart must not re-simulate anything");
+    assert!(!stats.disabled, "the tier survived every crash");
+    println!(
+        "warm restart: {}/{} disk hits, {} corrupt record(s) dropped across all rounds, 0 served",
+        stats.hits, durable_high_water, stats.corrupt_dropped
+    );
+    println!("store chaos: every fsync'd record bit-identical, every torn tail recomputed");
+
+    std::fs::remove_dir_all(&scratch).ok();
+}

@@ -33,36 +33,31 @@ use ascend::faults::{generator, FaultPlan};
 use ascend::isa::Kernel;
 use ascend::models::zoo;
 use ascend::ops::{AddRelu, AvgPool, Depthwise, Operator, OptFlags};
+use ascend::pipeline::digest::Fnv64;
 use ascend::sim::reference::ReferenceSimulator;
 use ascend::sim::{SimBudget, SimError, Simulator, Trace};
 use proptest::prelude::*;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-/// FNV-1a over one little-endian `u64`.
-fn fnv(mut h: u64, v: u64) -> u64 {
-    for byte in v.to_le_bytes() {
-        h = (h ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
 /// Folds every observable field of a trace — record order, queues,
 /// `f64` bit patterns of all three timestamps, stall attribution, and
-/// the total — into one stable fingerprint.
+/// the total — into one stable fingerprint, via the workspace's shared
+/// FNV-1a (`Fnv64::write_u64` is the little-endian fold the committed
+/// golden file was generated under).
 fn trace_fingerprint(trace: &Trace) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325;
-    h = fnv(h, trace.records().len() as u64);
-    h = fnv(h, trace.total_cycles().to_bits());
+    let mut h = Fnv64::new();
+    h.write_u64(trace.records().len() as u64);
+    h.write_u64(trace.total_cycles().to_bits());
     for r in trace.records() {
-        h = fnv(h, r.index as u64);
-        h = fnv(h, r.queue.map_or(u64::MAX, |q| q.index() as u64));
-        h = fnv(h, r.available_at.to_bits());
-        h = fnv(h, r.start.to_bits());
-        h = fnv(h, r.end.to_bits());
-        h = fnv(h, r.stall as u64);
+        h.write_u64(r.index as u64);
+        h.write_u64(r.queue.map_or(u64::MAX, |q| q.index() as u64));
+        h.write_u64(r.available_at.to_bits());
+        h.write_u64(r.start.to_bits());
+        h.write_u64(r.end.to_bits());
+        h.write_u64(r.stall as u64);
     }
-    h
+    h.finish()
 }
 
 /// Every golden workload: each kernel of each training-zoo model on the

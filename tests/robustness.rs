@@ -531,3 +531,72 @@ fn cancellation_latency_is_bounded_by_one_stage() {
     assert_eq!(stats.retries, 0, "a cancelled attempt is not retried");
     assert_eq!(stats.fallbacks, 0, "preemption does not degrade to a fallback");
 }
+
+/// Regression for the fault-helper retarget: `corrupt_journal` is now a
+/// facade over the shared `corrupt_file` disk injector, and journal
+/// recovery must behave identically whether a crash is simulated
+/// at-rest (truncating a closed file) or live (an append torn mid-write
+/// by a `FaultyFile` running out of "disk"). Three framings of the same
+/// torn-tail crash, one recovery outcome.
+#[test]
+fn journal_recovery_is_identical_under_the_shared_disk_injector() {
+    use ascend::faults::{corrupt_file, DiskFault, FaultyFile};
+    use std::io::Write as _;
+
+    let dir = tempdir("shared-injector");
+    let pristine = dir.join("pristine.journal.jsonl");
+    let ops: Vec<Box<dyn Operator>> =
+        vec![Box::new(AddRelu::new(1 << 10)), Box::new(AddRelu::new(1 << 11))];
+    let refs: Vec<&dyn Operator> = ops.iter().map(AsRef::as_ref).collect();
+    let journal = BatchJournal::open(&pristine).unwrap();
+    let pipeline = AnalysisPipeline::new(ChipSpec::training());
+    let results =
+        pipeline.run_batch_resumable_with_workers(&refs, 1, &RunPolicy::default(), &journal);
+    assert!(results.iter().all(Result::is_ok));
+    drop(journal);
+    let bytes = std::fs::read(&pristine).unwrap();
+
+    // Framing 1: the journal-flavoured facade.
+    let via_facade = dir.join("facade.journal.jsonl");
+    std::fs::write(&via_facade, &bytes).unwrap();
+    corrupt_journal(&via_facade, JournalFault::TruncateTailBytes(7)).unwrap();
+
+    // Framing 2: the shared at-rest injector, called directly.
+    let via_disk = dir.join("disk.journal.jsonl");
+    std::fs::write(&via_disk, &bytes).unwrap();
+    corrupt_file(&via_disk, DiskFault::TruncateTailBytes(7)).unwrap();
+
+    // Framing 3: a live torn write — the journal replayed through a
+    // FaultyFile whose "disk" fills 7 bytes short of the full contents.
+    let via_live = dir.join("live.journal.jsonl");
+    let mut faulty =
+        FaultyFile::create(&via_live).unwrap().fail_writes_after(bytes.len() as u64 - 7);
+    assert!(faulty.write_all(&bytes).is_err(), "the last record must tear");
+    drop(faulty);
+
+    assert_eq!(
+        std::fs::read(&via_facade).unwrap(),
+        std::fs::read(&via_disk).unwrap(),
+        "facade and shared injector must corrupt byte-identically"
+    );
+    assert_eq!(
+        std::fs::read(&via_disk).unwrap(),
+        std::fs::read(&via_live).unwrap(),
+        "an at-rest truncation and a live torn write must leave the same file"
+    );
+
+    for path in [&via_facade, &via_disk, &via_live] {
+        let recovered = BatchJournal::open(path).unwrap();
+        assert_eq!(recovered.recovery().recovered, 1, "{}", path.display());
+        assert_eq!(recovered.recovery().dropped, 1, "{}", path.display());
+        // The surviving record replays; the torn one re-runs and is
+        // re-journaled — recovery semantics unchanged by the retarget.
+        let resumed = AnalysisPipeline::new(ChipSpec::training());
+        let results =
+            resumed.run_batch_resumable_with_workers(&refs, 1, &RunPolicy::default(), &recovered);
+        assert!(results.iter().all(Result::is_ok));
+        assert_eq!(resumed.supervisor_stats().journal_skips, 1);
+        assert_eq!(recovered.len(), 2);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
