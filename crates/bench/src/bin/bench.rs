@@ -18,13 +18,20 @@
 //! budget for CI smoke runs; `--baseline <path>` validates a committed
 //! baseline's schema and warns (non-blocking) when the current run's
 //! engine events/sec regresses by more than 20% on any shared workload.
+//!
+//! `bench store verify [--context HEX] PATH...` is the offline ops
+//! subcommand: a read-only scan of one or more
+//! [`ResultStore`](ascend_pipeline::ResultStore) segments reporting
+//! torn bytes, digest-invalid records, quarantine tombstones, and
+//! quarantine violations — exiting non-zero on any corruption (or, with
+//! `--context`, on a foreign segment).
 
 use ascend_arch::ChipSpec;
 use ascend_bench::{error_chain, header, write_json};
 use ascend_isa::Kernel;
 use ascend_models::zoo;
 use ascend_ops::{AddRelu, AvgPool, Depthwise, Operator, OptFlags};
-use ascend_pipeline::AnalysisPipeline;
+use ascend_pipeline::{AnalysisPipeline, ResultStore};
 use ascend_sim::reference::ReferenceSimulator;
 use ascend_sim::{NullSink, Simulator};
 use serde_json::{json, Value};
@@ -72,8 +79,69 @@ impl Args {
 
 fn usage_exit(flag: &str) -> ! {
     eprintln!("usage: bench [--reduced] [--baseline PATH] [--budget-ms MS]");
+    eprintln!("       bench store verify [--context HEX] PATH...");
     eprintln!("unrecognized or malformed: {flag}");
     std::process::exit(2);
+}
+
+/// `bench store verify`: read-only integrity scan of store segments.
+/// Never opens the store for writing — safe on a live segment — and
+/// reports what recovery *would* find, plus quarantine violations no
+/// compliant writer produces.
+fn store_verify(argv: &[String]) -> Result<(), Box<dyn Error>> {
+    let mut expected_context: Option<u64> = None;
+    let mut paths: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--context" if i + 1 < argv.len() => {
+                let raw = argv[i + 1].trim_start_matches("0x");
+                expected_context = Some(u64::from_str_radix(raw, 16).map_err(|_| {
+                    format!("malformed --context {:?} (expected hex)", argv[i + 1])
+                })?);
+                i += 2;
+            }
+            flag if flag.starts_with('-') => usage_exit(flag),
+            path => {
+                paths.push(path);
+                i += 1;
+            }
+        }
+    }
+    if paths.is_empty() {
+        usage_exit("store verify needs at least one PATH");
+    }
+    header("store verify", "offline read-only result-store integrity scan");
+    let mut failed = false;
+    for path in paths {
+        match ResultStore::verify(path) {
+            Ok(report) => {
+                println!("  {path}: {report}");
+                if !report.is_clean() {
+                    failed = true;
+                }
+                if let Some(expected) = expected_context {
+                    if report.context != expected {
+                        failed = true;
+                        println!(
+                            "  {path}: FOREIGN — segment context {:#018x} does not match \
+                             expected {expected:#018x}",
+                            report.context,
+                        );
+                    }
+                }
+            }
+            Err(err) => {
+                failed = true;
+                println!("  {path}: REFUSED — {err}");
+            }
+        }
+    }
+    if failed {
+        return Err("store verify found corruption or a foreign segment (see above)".into());
+    }
+    println!("  all segments clean");
+    Ok(())
 }
 
 /// A named set of kernels the harness loops over as one unit.
@@ -363,6 +431,13 @@ fn check_baseline(path: &str, current: &Value) -> Result<(), Box<dyn Error>> {
 }
 
 fn run() -> Result<(), Box<dyn Error>> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("store") {
+        match argv.get(1).map(String::as_str) {
+            Some("verify") => return store_verify(&argv[2..]),
+            other => usage_exit(other.unwrap_or("store needs a subcommand (verify)")),
+        }
+    }
     let args = Args::parse();
     header("BENCH_1", "hot-path engine throughput: arena engine vs seed engine");
 

@@ -26,9 +26,16 @@
 //! `ascend_bench::pipeline_for`): a restarted serve answers repeat
 //! traffic from disk, and the `store` block of `serve_health.json`
 //! reports recovered/hit/corrupt-dropped counters.
+//!
+//! Set `ASCEND_AUDIT_RATE` to enable the online divergence-audit tier
+//! in deferred mode: that fraction of simulated results is shadow
+//! re-executed on the reference oracle whenever a worker finds the
+//! queue empty, divergent fingerprints are quarantined, and the `audit`
+//! block of `serve_health.json` (plus an `audit:` footer line) reports
+//! audits/divergences/quarantined/demotion.
 
 use ascend_arch::ChipSpec;
-use ascend_bench::{header, pipeline_for, run_policy, write_json};
+use ascend_bench::{audit_policy_from_env, header, pipeline_for, run_policy, write_json};
 use ascend_faults::{FaultPlan, FaultedOperator, HostileMode, LoadProfile};
 use ascend_ops::{AddRelu, Elementwise, EltwiseKind, LayerNorm, OpSpec, Operator, Softmax};
 use ascend_pipeline::{
@@ -153,6 +160,7 @@ fn main() {
             wall_clock_limit: Duration::from_secs(2),
             ..SandboxConfig::default()
         },
+        audit: audit_policy_from_env(),
         ..ServiceConfig::default()
     };
     let service = AnalysisService::start(pipeline_for(&chip), config);
@@ -216,13 +224,18 @@ fn main() {
     );
     println!("latency ms p50/p95/p99: interactive {} | sweep {}", health.interactive, health.sweep);
     println!(
-        "cache: {:.1}% hit rate ({} hits / {} misses); fidelity: {} simulated, {} analytical",
+        "cache: {:.1}% hit rate ({} hits / {} misses); fidelity: {} simulated, {} analytical, \
+         {} audited",
         health.cache.hit_rate() * 100.0,
         health.cache.hits,
         health.cache.misses,
         health.fidelity.simulated,
-        health.fidelity.analytical
+        health.fidelity.analytical,
+        health.fidelity.audited
     );
+    if health.audit.any_activity() {
+        println!("audit: {}", health.audit);
+    }
     println!(
         "engine: {} events in {:.3}s ({:.0} events/s, {:.0} ns/event)",
         health.engine.events,

@@ -17,7 +17,7 @@
 
 use ascend_arch::ChipSpec;
 use ascend_ops::Operator;
-use ascend_pipeline::{AnalysisPipeline, BatchJournal, RunPolicy};
+use ascend_pipeline::{AnalysisPipeline, AuditPolicy, BatchJournal, RunPolicy};
 use ascend_profile::Profile;
 use ascend_roofline::RooflineAnalysis;
 use ascend_sim::{SimBudget, Trace};
@@ -47,6 +47,13 @@ static PIPELINES: OnceLock<Mutex<Vec<AnalysisPipeline>>> = OnceLock::new();
 /// same binary answer from disk instead of re-simulating, and the
 /// footer grows a `store:` line with hit/recovered/corrupt counters. An
 /// unopenable store warns and runs memory-only.
+///
+/// Setting `ASCEND_AUDIT_RATE` (a fraction in 0..=1) enables the online
+/// divergence-audit tier in inline mode at that sampling rate: sampled
+/// results are shadow re-executed on the reference oracle before they
+/// are served, a divergent result is quarantined and re-answered by the
+/// oracle, and the footer grows an `audit:` line. `0` disables auditing
+/// explicitly; an unparsable value warns and is ignored.
 #[must_use]
 pub fn pipeline_for(chip: &ChipSpec) -> AnalysisPipeline {
     let registry = PIPELINES.get_or_init(|| Mutex::new(Vec::new()));
@@ -73,8 +80,24 @@ pub fn pipeline_for(chip: &ChipSpec) -> AnalysisPipeline {
             }
         }
     }
+    if let Some(policy) = audit_policy_from_env() {
+        pipeline = pipeline.with_audit(policy);
+    }
     pipelines.push(pipeline.clone());
     pipeline
+}
+
+/// The audit policy selected by `ASCEND_AUDIT_RATE` (a sampling
+/// fraction in 0..=1): `None` when the variable is unset, unparsable
+/// (warns), or zero. [`pipeline_for`] attaches it inline; the serve
+/// binary passes it to [`ServiceConfig::audit`] for deferred slack-time
+/// auditing instead.
+///
+/// [`ServiceConfig::audit`]: ascend_pipeline::ServiceConfig
+#[must_use]
+pub fn audit_policy_from_env() -> Option<AuditPolicy> {
+    let rate = env_f64("ASCEND_AUDIT_RATE")?;
+    (rate > 0.0).then(|| AuditPolicy::default().with_rate(rate))
 }
 
 /// The supervision policy the experiment binaries run under:
@@ -107,6 +130,17 @@ pub fn run_policy() -> RunPolicy {
 }
 
 fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    match raw.trim().parse() {
+        Ok(value) => Some(value),
+        Err(_) => {
+            eprintln!("warning: ignoring unparsable {name}={raw:?}");
+            None
+        }
+    }
+}
+
+fn env_f64(name: &str) -> Option<f64> {
     let raw = std::env::var(name).ok()?;
     match raw.trim().parse() {
         Ok(value) => Some(value),

@@ -1,0 +1,129 @@
+//! A deterministic "silently wrong engine" fault mode for the audit tier.
+//!
+//! Every other fault in this crate perturbs the *modelled hardware* (the
+//! chip, the kernel, the disk); `BuggyEngine` perturbs the *simulator's
+//! answers*. It models the failure class the online divergence auditor
+//! exists to catch: an engine that completes normally and returns a
+//! plausible, self-consistent, but wrong trace — a miscompiled build, a
+//! scratch-reuse bug, a drifted surrogate. The pipeline applies it as a
+//! chaos-only seam (`AnalysisPipeline::with_buggy_engine`) *after* the
+//! real simulation, so validation, deadlock detection, and supervision
+//! all behave normally; only the served timings lie.
+//!
+//! Determinism is the whole point: whether a result is afflicted is a
+//! seeded draw on its cache key, and each afflicted record's duration
+//! skew is a seeded draw on `(key, instruction index)` — so a chaos test
+//! at a known seed can predict exactly which results diverge and assert
+//! the auditor catches them.
+
+use crate::rng::SplitMix64;
+
+/// Deterministic duration-perturbation model for served traces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BuggyEngine {
+    /// Seed of every draw.
+    pub seed: u64,
+    /// Fraction of results (by cache key) that are perturbed at all.
+    pub rate: f64,
+    /// Maximum relative duration skew of a perturbed record: factors are
+    /// drawn from `[1.0, 1.0 + magnitude]` (and at least one ULP away
+    /// from 1.0). Small magnitudes model exactly the silent drift that
+    /// is invisible without a bit-exact audit.
+    pub magnitude: f64,
+}
+
+impl BuggyEngine {
+    /// A buggy engine that perturbs *every* result's durations by up to
+    /// 0.1%.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        BuggyEngine { seed, rate: 1.0, magnitude: 1e-3 }
+    }
+
+    /// Sets the fraction of results afflicted.
+    #[must_use]
+    pub fn with_rate(mut self, rate: f64) -> Self {
+        self.rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the maximum relative duration skew.
+    #[must_use]
+    pub fn with_magnitude(mut self, magnitude: f64) -> Self {
+        self.magnitude = magnitude.max(0.0);
+        self
+    }
+
+    /// Whether the result cached under `key` is perturbed at all.
+    /// Deterministic in `(seed, key)`.
+    #[must_use]
+    pub fn afflicts(&self, key: u64) -> bool {
+        if self.rate >= 1.0 {
+            return true;
+        }
+        SplitMix64::new(self.seed ^ key).chance(self.rate)
+    }
+
+    /// Multiplicative duration factor for instruction `index` of an
+    /// afflicted result. About a quarter of an afflicted result's
+    /// records are skewed — always at least the record drawn first, so
+    /// an afflicted result is never accidentally clean. Returns exactly
+    /// `1.0` for untouched records.
+    #[must_use]
+    pub fn duration_factor(&self, key: u64, index: usize) -> f64 {
+        let mut rng = SplitMix64::new(self.seed ^ key.rotate_left(17) ^ (index as u64) << 1);
+        if index > 0 && !rng.chance(0.25) {
+            return 1.0;
+        }
+        let skew = rng.unit_f64() * self.magnitude;
+        // A zero draw would make the perturbation a no-op; nudge by one
+        // ULP so "afflicted" always means "observably wrong".
+        (1.0 + skew).max(f64::from_bits(1.0f64.to_bits() + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affliction_and_factors_are_deterministic() {
+        let bug = BuggyEngine::new(77).with_rate(0.5);
+        for key in 0..64 {
+            assert_eq!(bug.afflicts(key), bug.afflicts(key));
+            for index in 0..16 {
+                assert_eq!(
+                    bug.duration_factor(key, index).to_bits(),
+                    bug.duration_factor(key, index).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rate_bounds_are_respected() {
+        let all = BuggyEngine::new(1);
+        let none = BuggyEngine::new(1).with_rate(0.0);
+        for key in 0..128 {
+            assert!(all.afflicts(key));
+            assert!(!none.afflicts(key));
+        }
+    }
+
+    #[test]
+    fn afflicted_results_always_skew_the_first_record() {
+        let bug = BuggyEngine::new(3);
+        for key in 0..128 {
+            let factor = bug.duration_factor(key, 0);
+            assert!(factor > 1.0, "record 0 of key {key} must be skewed, got {factor}");
+            assert!(factor <= 1.0 + bug.magnitude + 1e-12);
+        }
+    }
+
+    #[test]
+    fn most_records_are_untouched() {
+        let bug = BuggyEngine::new(9);
+        let skewed = (1..1000).filter(|&i| bug.duration_factor(42, i) != 1.0).count();
+        assert!((150..350).contains(&skewed), "{skewed} of 999 skewed");
+    }
+}

@@ -32,6 +32,7 @@
 //! mutated kernel, the same degraded chip, and the same latency factors,
 //! so any fuzzer failure reproduces from its printed seed.
 
+mod buggy;
 mod disk;
 mod harness;
 mod hostile;
@@ -41,6 +42,7 @@ mod rng;
 
 pub mod generator;
 
+pub use buggy::BuggyEngine;
 pub use disk::{corrupt_file, DiskFault, DiskFile, FaultyFile};
 pub use harness::{corrupt_journal, JournalFault, PanicSwitch};
 pub use hostile::{

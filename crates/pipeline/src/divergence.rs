@@ -1,0 +1,318 @@
+//! Record-for-record trace comparison, promoted from the golden suite.
+//!
+//! The golden differential suite proved the arena engine bit-identical
+//! to the seed engine *offline*. The online audit tier re-runs the same
+//! comparison at serve time: a sampled result's trace against a fresh
+//! shadow execution on [`ReferenceSimulator`]. This module holds the
+//! comparison itself — the fingerprint fold the committed golden file
+//! was generated under (byte-for-byte the same fold; changing it
+//! invalidates `tests/golden/engine_fingerprints.txt`) and a forensic
+//! [`DivergenceReport`] identifying *where* two traces part ways: the
+//! first divergent record, which field of it, and the per-queue busy
+//! timeline deltas.
+//!
+//! Divergence here is `f64`-bit-exact, not tolerance-based: the two
+//! engines are specified to be identical, so any difference — a single
+//! ULP on one record's end time — is a defect, never noise.
+//!
+//! [`ReferenceSimulator`]: ascend_sim::reference::ReferenceSimulator
+
+use crate::digest::Fnv64;
+use ascend_arch::Component;
+use ascend_sim::{InstrRecord, Trace};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Folds every observable field of a trace — record order, queues,
+/// `f64` bit patterns of all three timestamps, stall attribution, and
+/// the total — into one stable fingerprint.
+///
+/// This is the exact fold of the golden suite: `Fnv64::write_u64` over
+/// record count, total-cycle bits, then per record index, queue (or
+/// `u64::MAX` for the dispatcher), `available_at`/`start`/`end` bits,
+/// and the stall cause. Two traces fingerprint equal iff they are
+/// observationally identical.
+#[must_use]
+pub fn trace_fingerprint(trace: &Trace) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(trace.records().len() as u64);
+    h.write_u64(trace.total_cycles().to_bits());
+    for r in trace.records() {
+        h.write_u64(r.index as u64);
+        h.write_u64(r.queue.map_or(u64::MAX, |q| q.index() as u64));
+        h.write_u64(r.available_at.to_bits());
+        h.write_u64(r.start.to_bits());
+        h.write_u64(r.end.to_bits());
+        h.write_u64(r.stall as u64);
+    }
+    h.finish()
+}
+
+/// The first record at which two traces disagree, and how.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordDivergence {
+    /// Position in the trace's record vector — the event index at
+    /// which the timelines part ways.
+    pub event_index: usize,
+    /// Which field of the record differs (`index`, `queue`,
+    /// `available_at`, `start`, `end`, `stall`), or `record count` /
+    /// `total_cycles` when the records themselves all match.
+    pub field: String,
+    /// The served value, rendered.
+    pub served: String,
+    /// The oracle value, rendered.
+    pub oracle: String,
+}
+
+/// Busy-cycle totals for one component queue on both timelines.
+///
+/// Only queues whose totals differ appear in a report; the delta
+/// localizes a divergence to the component whose timing model (or
+/// scheduling) drifted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueueDelta {
+    /// The component queue (its `Debug` rendering, e.g. `Vector`).
+    pub queue: String,
+    /// Busy cycles on the served trace.
+    pub served_busy: f64,
+    /// Busy cycles on the oracle trace.
+    pub oracle_busy: f64,
+}
+
+impl QueueDelta {
+    /// Served minus oracle busy cycles.
+    #[must_use]
+    pub fn delta(&self) -> f64 {
+        self.served_busy - self.oracle_busy
+    }
+}
+
+/// Forensic description of a served trace diverging from its oracle
+/// shadow run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DivergenceReport {
+    /// Kernel the traces belong to.
+    pub kernel: String,
+    /// Golden fingerprint of the served trace.
+    pub served_fingerprint: u64,
+    /// Golden fingerprint of the oracle trace.
+    pub oracle_fingerprint: u64,
+    /// Record counts on both sides.
+    pub served_records: usize,
+    /// Oracle record count.
+    pub oracle_records: usize,
+    /// Total cycles on the served trace.
+    pub served_total_cycles: f64,
+    /// Total cycles on the oracle trace.
+    pub oracle_total_cycles: f64,
+    /// The first record-level disagreement.
+    pub first_divergence: RecordDivergence,
+    /// Per-queue busy-cycle deltas, only for queues that differ.
+    pub queue_deltas: Vec<QueueDelta>,
+}
+
+/// Compares a served trace against its oracle shadow run,
+/// record-for-record and `f64`-bit-exact.
+///
+/// Returns `None` when the traces are observationally identical
+/// (equal golden fingerprints), otherwise a [`DivergenceReport`]
+/// pinpointing the first divergent record.
+#[must_use]
+pub fn compare(served: &Trace, oracle: &Trace) -> Option<DivergenceReport> {
+    let served_fingerprint = trace_fingerprint(served);
+    let oracle_fingerprint = trace_fingerprint(oracle);
+    if served_fingerprint == oracle_fingerprint {
+        return None;
+    }
+    let first_divergence = served
+        .records()
+        .iter()
+        .zip(oracle.records())
+        .enumerate()
+        .find_map(|(i, (s, o))| record_divergence(i, s, o))
+        .unwrap_or_else(|| structural_divergence(served, oracle));
+    let queue_deltas = Component::ALL
+        .into_iter()
+        .filter_map(|component| {
+            let served_busy = served.busy_cycles(component);
+            let oracle_busy = oracle.busy_cycles(component);
+            (served_busy.to_bits() != oracle_busy.to_bits()).then(|| QueueDelta {
+                queue: format!("{component:?}"),
+                served_busy,
+                oracle_busy,
+            })
+        })
+        .collect();
+    Some(DivergenceReport {
+        kernel: served.kernel_name().to_string(),
+        served_fingerprint,
+        oracle_fingerprint,
+        served_records: served.records().len(),
+        oracle_records: oracle.records().len(),
+        served_total_cycles: served.total_cycles(),
+        oracle_total_cycles: oracle.total_cycles(),
+        first_divergence,
+        queue_deltas,
+    })
+}
+
+/// First differing field of one record pair, if any.
+fn record_divergence(i: usize, s: &InstrRecord, o: &InstrRecord) -> Option<RecordDivergence> {
+    let diverge = |field: &str, served: String, oracle: String| {
+        Some(RecordDivergence { event_index: i, field: field.to_string(), served, oracle })
+    };
+    if s.index != o.index {
+        return diverge("index", s.index.to_string(), o.index.to_string());
+    }
+    if s.queue != o.queue {
+        return diverge("queue", format!("{:?}", s.queue), format!("{:?}", o.queue));
+    }
+    if s.available_at.to_bits() != o.available_at.to_bits() {
+        return diverge("available_at", render_f64(s.available_at), render_f64(o.available_at));
+    }
+    if s.start.to_bits() != o.start.to_bits() {
+        return diverge("start", render_f64(s.start), render_f64(o.start));
+    }
+    if s.end.to_bits() != o.end.to_bits() {
+        return diverge("end", render_f64(s.end), render_f64(o.end));
+    }
+    if s.stall != o.stall {
+        return diverge("stall", format!("{:?}", s.stall), format!("{:?}", o.stall));
+    }
+    None
+}
+
+/// Divergence when every paired record matches: the traces differ in
+/// length or only in their total.
+fn structural_divergence(served: &Trace, oracle: &Trace) -> RecordDivergence {
+    if served.records().len() != oracle.records().len() {
+        RecordDivergence {
+            event_index: served.records().len().min(oracle.records().len()),
+            field: "record count".to_string(),
+            served: served.records().len().to_string(),
+            oracle: oracle.records().len().to_string(),
+        }
+    } else {
+        RecordDivergence {
+            event_index: served.records().len(),
+            field: "total_cycles".to_string(),
+            served: render_f64(served.total_cycles()),
+            oracle: render_f64(oracle.total_cycles()),
+        }
+    }
+}
+
+/// Renders an `f64` with its bit pattern, so two values that print the
+/// same decimal still show their one-ULP difference.
+fn render_f64(v: f64) -> String {
+    format!("{v} (bits {:#018x})", v.to_bits())
+}
+
+impl fmt::Display for DivergenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "divergence on kernel '{}': served {:#018x} vs oracle {:#018x}",
+            self.kernel, self.served_fingerprint, self.oracle_fingerprint
+        )?;
+        writeln!(
+            f,
+            "  first divergent record: event {} field {} — served {} vs oracle {}",
+            self.first_divergence.event_index,
+            self.first_divergence.field,
+            self.first_divergence.served,
+            self.first_divergence.oracle
+        )?;
+        writeln!(
+            f,
+            "  records {} vs {}, total cycles {} vs {}",
+            self.served_records,
+            self.oracle_records,
+            self.served_total_cycles,
+            self.oracle_total_cycles
+        )?;
+        for delta in &self.queue_deltas {
+            writeln!(
+                f,
+                "  queue {}: busy {} vs {} (delta {:+})",
+                delta.queue,
+                delta.served_busy,
+                delta.oracle_busy,
+                delta.delta()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascend_sim::StallCause;
+
+    fn record(index: usize, start: f64, end: f64) -> InstrRecord {
+        InstrRecord {
+            index,
+            queue: Some(Component::Vector),
+            available_at: start,
+            start,
+            end,
+            stall: StallCause::None,
+        }
+    }
+
+    fn trace(records: Vec<InstrRecord>) -> Trace {
+        let total = records.iter().map(|r| r.end).fold(0.0, f64::max);
+        Trace::from_parts("t", records, total)
+    }
+
+    #[test]
+    fn identical_traces_do_not_diverge() {
+        let a = trace(vec![record(0, 0.0, 4.0), record(1, 4.0, 9.0)]);
+        let b = trace(vec![record(0, 0.0, 4.0), record(1, 4.0, 9.0)]);
+        assert_eq!(trace_fingerprint(&a), trace_fingerprint(&b));
+        assert!(compare(&a, &b).is_none());
+    }
+
+    #[test]
+    fn one_ulp_on_one_end_is_a_divergence() {
+        let a = trace(vec![record(0, 0.0, 4.0), record(1, 4.0, 9.0)]);
+        let mut records = vec![record(0, 0.0, 4.0), record(1, 4.0, 9.0)];
+        records[1].end = f64::from_bits(records[1].end.to_bits() + 1);
+        let b = trace(records);
+        let report = compare(&b, &a).expect("must diverge");
+        assert_eq!(report.first_divergence.event_index, 1);
+        assert_eq!(report.first_divergence.field, "end");
+        assert_eq!(report.queue_deltas.len(), 1);
+        assert_eq!(report.queue_deltas[0].queue, "Vector");
+    }
+
+    #[test]
+    fn truncated_trace_reports_record_count() {
+        let a = trace(vec![record(0, 0.0, 4.0), record(1, 4.0, 9.0)]);
+        let b = trace(vec![record(0, 0.0, 4.0)]);
+        let report = compare(&b, &a).expect("must diverge");
+        assert_eq!(report.first_divergence.field, "record count");
+        assert_eq!(report.first_divergence.event_index, 1);
+    }
+
+    #[test]
+    fn total_only_divergence_is_reported() {
+        let records = vec![record(0, 0.0, 4.0)];
+        let a = Trace::from_parts("t", records.clone(), 4.0);
+        let b = Trace::from_parts("t", records, 5.0);
+        let report = compare(&b, &a).expect("must diverge");
+        assert_eq!(report.first_divergence.field, "total_cycles");
+        assert!(report.queue_deltas.is_empty());
+    }
+
+    #[test]
+    fn report_renders_forensics() {
+        let a = trace(vec![record(0, 0.0, 4.0)]);
+        let b = trace(vec![record(0, 0.0, 5.0)]);
+        let report = compare(&b, &a).unwrap();
+        let text = report.to_string();
+        assert!(text.contains("first divergent record"), "{text}");
+        assert!(text.contains("queue Vector"), "{text}");
+    }
+}

@@ -45,7 +45,9 @@
 //! ```
 
 mod analytic;
+mod audit;
 pub mod digest;
+pub mod divergence;
 mod error;
 mod journal;
 mod sandbox;
@@ -54,6 +56,8 @@ mod stats;
 mod store;
 mod supervisor;
 
+pub use audit::{AuditPolicy, AuditStats};
+pub use divergence::DivergenceReport;
 pub use error::PipelineError;
 pub use journal::{
     result_digest, BatchJournal, JournalError, JournalRecord, JournalRecovery, JOURNAL_VERSION,
@@ -68,17 +72,20 @@ pub use service::{
 };
 pub use stats::{LatencyReservoir, LatencySummary, DEFAULT_RESERVOIR_CAPACITY};
 pub use store::{
-    FsyncPolicy, ResultStore, StoreConfig, StoreError, StoreStats, MAX_RECORD_BYTES, STORE_MAGIC,
-    STORE_VERSION,
+    FsyncPolicy, ResultStore, StoreConfig, StoreError, StoreStats, StoreVerifyReport,
+    MAX_RECORD_BYTES, STORE_MAGIC, STORE_VERSION,
 };
 pub use supervisor::{Fidelity, RunPolicy, SupervisorStats};
 
 use ascend_arch::{ArchError, ChipSpec};
-use ascend_isa::KernelStats;
+use ascend_faults::BuggyEngine;
+use ascend_isa::{Kernel, KernelStats};
 use ascend_ops::Operator;
 use ascend_profile::Profile;
 use ascend_roofline::{analyze, RooflineAnalysis, Thresholds};
+use ascend_sim::reference::ReferenceSimulator;
 use ascend_sim::{CancelToken, MetricsSink, SimError, Simulator, Trace, TraceCollector};
+use audit::{AuditJob, Auditor};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
@@ -224,6 +231,10 @@ pub struct FidelityMix {
     pub simulated: u64,
     /// Results degraded to the closed-form analytical estimate.
     pub analytical: u64,
+    /// Results re-answered by the reference oracle after an online audit
+    /// caught the fast engine diverging ([`Fidelity::Audited`]).
+    #[serde(default)]
+    pub audited: u64,
 }
 
 /// Per-stage percentile summaries (seconds), from fixed-size reservoirs
@@ -315,6 +326,14 @@ pub struct AnalysisPipeline {
     /// Shared across clones of *this* configured pipeline; never
     /// consulted for a different context (the store header pins it).
     store: Option<Arc<ResultStore>>,
+    /// Optional online audit tier: sampled shadow re-execution on the
+    /// reference oracle, quarantine, and the demotion breaker. Shared
+    /// across clones (one ledger, one demotion latch).
+    auditor: Option<Arc<Auditor>>,
+    /// Chaos-only seam: deterministically perturbs served durations
+    /// *after* simulation, modelling a silently wrong engine for the
+    /// audit tier's end-to-end tests. Never enabled in production paths.
+    buggy: Option<BuggyEngine>,
 }
 
 impl AnalysisPipeline {
@@ -331,6 +350,8 @@ impl AnalysisPipeline {
             capacity: DEFAULT_CACHE_CAPACITY,
             shared: Arc::new(SharedState::default()),
             store: None,
+            auditor: None,
+            buggy: None,
         }
     }
 
@@ -425,6 +446,41 @@ impl AnalysisPipeline {
         }
         self.store = Some(store);
         Ok(self)
+    }
+
+    /// Enables the online audit tier under `policy`, in **inline** mode:
+    /// a sampled result is shadow re-executed on the reference oracle
+    /// *before* it is returned, and a divergent result is replaced by
+    /// the oracle's answer ([`Fidelity::Audited`]) with its fingerprint
+    /// quarantined. The service attaches the **deferred** variant
+    /// instead (audits run on scheduling slack, off the request path).
+    #[must_use]
+    pub fn with_audit(mut self, policy: AuditPolicy) -> Self {
+        self.auditor = Some(Arc::new(Auditor::new(policy, false)));
+        self
+    }
+
+    /// [`with_audit`](AnalysisPipeline::with_audit) in **deferred**
+    /// mode: sampled results are queued and shadow re-executed only when
+    /// [`run_pending_audit`](AnalysisPipeline::run_pending_audit) is
+    /// called — the service drains the queue on scheduling slack, so
+    /// audits never add latency to the request path.
+    #[must_use]
+    pub fn with_audit_deferred(mut self, policy: AuditPolicy) -> Self {
+        self.auditor = Some(Arc::new(Auditor::new(policy, true)));
+        self
+    }
+
+    /// Chaos seam: makes the *served* results deterministically wrong.
+    /// An afflicted result's trace durations are perturbed after
+    /// simulation (see [`BuggyEngine`]), modelling a silently
+    /// miscompiled or drifted fast engine. Only the audit tier can tell;
+    /// this is how the chaos suite proves it does. Never combine with
+    /// production use.
+    #[must_use]
+    pub fn with_buggy_engine(mut self, bug: BuggyEngine) -> Self {
+        self.buggy = Some(bug);
+        self
     }
 
     /// The context fingerprint mixed into every cache key — what a
@@ -1068,6 +1124,48 @@ impl AnalysisPipeline {
         *lock(&self.shared.fidelity)
     }
 
+    /// Audit-tier counters (all zero without an attached audit policy).
+    #[must_use]
+    pub fn audit_stats(&self) -> AuditStats {
+        self.auditor.as_deref().map(Auditor::stats).unwrap_or_default()
+    }
+
+    /// Whether the divergence breaker has demoted this pipeline to the
+    /// reference engine for the rest of the run.
+    #[must_use]
+    pub fn is_demoted(&self) -> bool {
+        self.auditor.as_deref().is_some_and(Auditor::is_demoted)
+    }
+
+    /// Deferred audits waiting for scheduling slack.
+    #[must_use]
+    pub fn pending_audits(&self) -> usize {
+        self.auditor.as_deref().map_or(0, Auditor::pending)
+    }
+
+    /// Runs one deferred audit, if any are queued: shadow re-execution,
+    /// comparison, and — on divergence — quarantine plus replacement of
+    /// the cached result by the oracle's answer. Returns whether a job
+    /// was processed (the service calls this on worker slack until it
+    /// reports `false`).
+    pub fn run_pending_audit(&self) -> bool {
+        let Some(auditor) = &self.auditor else { return false };
+        let Some(job) = auditor.take_job() else { return false };
+        if let Some(oracle) = self.perform_audit(job.key, &job.kernel, &job.result) {
+            // The divergent entry was purged by the quarantine; the
+            // oracle's answer takes its place so later hits on this key
+            // serve the truth.
+            self.insert(job.key, Arc::new(oracle));
+        }
+        true
+    }
+
+    /// Discards the deferred audit backlog (counted as dropped) — the
+    /// drain hook: a stopping service must not owe shadow work.
+    pub fn drop_pending_audits(&self) -> usize {
+        self.auditor.as_deref().map_or(0, Auditor::drop_pending)
+    }
+
     /// Clears the cache and zeroes all counters (shared across clones).
     pub fn reset(&self) {
         let mut cache = lock(&self.shared.cache);
@@ -1081,6 +1179,9 @@ impl AnalysisPipeline {
         *lock(&self.shared.breaker) = BreakerState::default();
         *lock(&self.shared.engine) = EngineThroughput::default();
         *lock(&self.shared.fidelity) = FidelityMix::default();
+        if let Some(auditor) = &self.auditor {
+            auditor.reset();
+        }
     }
 
     /// The two-line instrumentation footer the figure binaries print:
@@ -1151,6 +1252,12 @@ impl AnalysisPipeline {
         if sup.any_activity() {
             let _ = write!(out, "\n[pipeline] supervision: {sup}");
         }
+        // Same rule for the audit line: silent until the tier does
+        // something, so audit-less binaries' output never changes.
+        let audit = self.audit_stats();
+        if audit.any_activity() {
+            let _ = write!(out, "\n[pipeline] audit: {audit}");
+        }
         out
     }
 
@@ -1168,6 +1275,11 @@ impl AnalysisPipeline {
         key: u64,
         simulator: &Simulator,
     ) -> Result<PipelineResult, SimError> {
+        // A demoted pipeline no longer trusts the fast engine at all:
+        // every uncached request runs on the reference oracle.
+        if self.auditor.as_deref().is_some_and(Auditor::is_demoted) {
+            return self.execute_demoted(op, key, simulator);
+        }
         // The engine polls its token every event, but the other stages
         // would otherwise run to completion after a cancellation: poll at
         // every stage boundary so a deadline lapsing during a long build
@@ -1185,10 +1297,24 @@ impl AnalysisPipeline {
         let summary = simulator.simulate_into(&kernel, &mut sinks)?;
         let engine_done = Instant::now();
         let (collector, metrics) = sinks;
-        let trace = collector.into_trace(kernel.name(), summary.total_cycles);
+        let mut trace = collector.into_trace(kernel.name(), summary.total_cycles);
+        let mut perturbed = false;
+        if let Some(bug) = &self.buggy {
+            if bug.afflicts(key) {
+                trace = perturb_trace(bug, key, &trace);
+                perturbed = true;
+            }
+        }
         let simulated = Instant::now();
         poll_stage(cancel, "profile")?;
-        let profile = Profile::from_metrics(&metrics, summary.total_cycles);
+        // A perturbed trace must stay *self-consistent* — profile
+        // re-derived from it, not from the untouched metrics stream —
+        // or the lie would be visible without an audit.
+        let profile = if perturbed {
+            Profile::collect(&kernel, &trace)
+        } else {
+            Profile::from_metrics(&metrics, summary.total_cycles)
+        };
         let profiled = Instant::now();
         poll_stage(cancel, "analyze")?;
         let analysis = analyze(&profile, &self.chip, &self.thresholds);
@@ -1199,6 +1325,88 @@ impl AnalysisPipeline {
             sim_secs: (engine_done - built).as_secs_f64(),
         });
         lock(&self.shared.fidelity).simulated += 1;
+        self.record_stage_timings(start, built, simulated, profiled, analyzed);
+
+        let result = PipelineResult {
+            kernel_name: kernel.name().to_owned(),
+            kernel_len: kernel.len(),
+            fingerprint: key,
+            profile,
+            trace,
+            analysis,
+            fidelity: Fidelity::Simulated,
+        };
+        if let Some(auditor) = &self.auditor {
+            if auditor.should_audit(key) {
+                if auditor.deferred() {
+                    auditor.enqueue(AuditJob { key, kernel, result: Arc::new(result.clone()) });
+                } else if let Some(oracle) = self.perform_audit(key, &kernel, &result) {
+                    // Inline mode: the divergent result is never
+                    // returned, cached, or persisted — the caller gets
+                    // the oracle's answer in its place.
+                    return Ok(oracle);
+                }
+            }
+        }
+        Ok(result)
+    }
+
+    /// The demoted stage sequence: identical shape to the fast path, but
+    /// simulation runs on the [`ReferenceSimulator`] under the same
+    /// budget and cancellation as the supervised attempt would have
+    /// used. Oracle results are trustworthy simulations — they keep
+    /// [`Fidelity::Simulated`] and may be cached and persisted — but
+    /// they never feed the fast engine's throughput counters, and the
+    /// chaos perturbation is *not* applied (the modelled bug lives in
+    /// the fast engine).
+    fn execute_demoted(
+        &self,
+        op: &dyn Operator,
+        key: u64,
+        simulator: &Simulator,
+    ) -> Result<PipelineResult, SimError> {
+        let cancel = simulator.cancel_token();
+        poll_stage(cancel, "build")?;
+        let start = Instant::now();
+        let kernel = op.build(&self.chip)?;
+        let built = Instant::now();
+        poll_stage(cancel, "simulate")?;
+        let mut reference =
+            ReferenceSimulator::new(self.chip.clone()).with_budget(simulator.budget());
+        if let Some(token) = cancel {
+            reference = reference.with_cancel(token.clone());
+        }
+        let trace = reference.simulate(&kernel)?;
+        let simulated = Instant::now();
+        poll_stage(cancel, "profile")?;
+        let profile = Profile::collect(&kernel, &trace);
+        let profiled = Instant::now();
+        poll_stage(cancel, "analyze")?;
+        let analysis = analyze(&profile, &self.chip, &self.thresholds);
+        let analyzed = Instant::now();
+
+        lock(&self.shared.fidelity).simulated += 1;
+        self.record_stage_timings(start, built, simulated, profiled, analyzed);
+
+        Ok(PipelineResult {
+            kernel_name: kernel.name().to_owned(),
+            kernel_len: kernel.len(),
+            fingerprint: key,
+            profile,
+            trace,
+            analysis,
+            fidelity: Fidelity::Simulated,
+        })
+    }
+
+    fn record_stage_timings(
+        &self,
+        start: Instant,
+        built: Instant,
+        simulated: Instant,
+        profiled: Instant,
+        analyzed: Instant,
+    ) {
         let mut timings = lock(&self.shared.timings);
         timings.build_secs += (built - start).as_secs_f64();
         timings.simulate_secs += (simulated - built).as_secs_f64();
@@ -1212,17 +1420,74 @@ impl AnalysisPipeline {
         latency.profile.record((profiled - simulated).as_secs_f64());
         latency.analyze.record((analyzed - profiled).as_secs_f64());
         latency.total.record((analyzed - start).as_secs_f64());
-        drop(latency);
+    }
 
-        Ok(PipelineResult {
+    /// Shadow re-executes `served` on the reference oracle and compares
+    /// the traces. Returns the oracle's replacement result when they
+    /// diverge (`served`'s fingerprint is quarantined from memory and
+    /// disk first), `None` when they match or the shadow was preempted.
+    fn perform_audit(
+        &self,
+        key: u64,
+        kernel: &Kernel,
+        served: &PipelineResult,
+    ) -> Option<PipelineResult> {
+        let Some(auditor) = &self.auditor else { return None };
+        let policy = auditor.policy();
+        // The shadow is supervised like any other work: the oracle
+        // inherits the fast engine's event/cycle budget and runs under
+        // its own wall-clock deadline, so an audit can never wedge the
+        // worker that volunteered the slack.
+        let token = CancelToken::with_timeout(policy.shadow_deadline);
+        let reference = ReferenceSimulator::new(self.chip.clone())
+            .with_budget(self.simulator.budget())
+            .with_cancel(token);
+        // The kernel already passed validation when the fast engine ran.
+        let oracle_trace = match reference.simulate_unchecked(kernel) {
+            Ok(trace) => trace,
+            Err(_) => {
+                auditor.record_aborted();
+                return None;
+            }
+        };
+        let Some(report) = divergence::compare(&served.trace, &oracle_trace) else {
+            auditor.record_outcome(false);
+            return None;
+        };
+        eprintln!("[pipeline] audit: {report}");
+        self.quarantine(key);
+        let profile = Profile::collect(kernel, &oracle_trace);
+        let analysis = analyze(&profile, &self.chip, &self.thresholds);
+        lock(&self.shared.fidelity).audited += 1;
+        if auditor.record_outcome(true) {
+            eprintln!(
+                "[pipeline] audit: divergence breaker tripped ({} in window of {}); \
+                 demoting to the reference engine for the rest of the run",
+                policy.demote_after, policy.window,
+            );
+        }
+        Some(PipelineResult {
             kernel_name: kernel.name().to_owned(),
             kernel_len: kernel.len(),
             fingerprint: key,
             profile,
-            trace,
+            trace: oracle_trace,
             analysis,
-            fidelity: Fidelity::Simulated,
+            fidelity: Fidelity::Audited,
         })
+    }
+
+    /// Purges `key` everywhere a divergent result could be served from:
+    /// the memory cache now, and the durable store forever (tombstone).
+    fn quarantine(&self, key: u64) {
+        let mut cache = lock(&self.shared.cache);
+        if cache.map.remove(&key).is_some() {
+            cache.order.retain(|&k| k != key);
+        }
+        drop(cache);
+        if let Some(store) = &self.store {
+            store.quarantine(key);
+        }
     }
 
     fn insert(&self, key: u64, result: Arc<PipelineResult>) {
@@ -1239,6 +1504,27 @@ impl AnalysisPipeline {
             }
         }
     }
+}
+
+/// Applies a [`BuggyEngine`]'s deterministic duration skew to a served
+/// trace: each positive-duration queue record is stretched by the
+/// engine's seeded factor for its position, and the total is re-derived,
+/// so the perturbed trace is internally consistent — wrong in exactly
+/// the way only a bit-exact oracle comparison can see.
+fn perturb_trace(bug: &BuggyEngine, key: u64, trace: &Trace) -> Trace {
+    let mut records = trace.records().to_vec();
+    let mut position = 0usize;
+    for record in &mut records {
+        if record.queue.is_some() && record.end > record.start {
+            let factor = bug.duration_factor(key, position);
+            position += 1;
+            if factor != 1.0 {
+                record.end = record.start + (record.end - record.start) * factor;
+            }
+        }
+    }
+    let total = records.iter().map(|r| r.end).fold(trace.total_cycles(), f64::max);
+    Trace::from_parts(trace.kernel_name(), records, total)
 }
 
 /// Returns [`SimError::Cancelled`] (with a synthetic forensics snapshot
@@ -1456,7 +1742,10 @@ mod tests {
         assert!(engine.sim_secs > 0.0);
         assert!(engine.events_per_sec() > 0.0);
         assert!(engine.ns_per_event() > 0.0);
-        assert_eq!(pipeline.fidelity_mix(), FidelityMix { simulated: 1, analytical: 0 });
+        assert_eq!(
+            pipeline.fidelity_mix(),
+            FidelityMix { simulated: 1, analytical: 0, audited: 0 }
+        );
         pipeline.reset();
         assert_eq!(pipeline.engine_throughput(), EngineThroughput::default());
         assert_eq!(pipeline.fidelity_mix(), FidelityMix::default());

@@ -89,9 +89,14 @@ pub enum Priority {
 }
 
 impl Priority {
-    const COUNT: usize = 2;
+    /// Number of scheduling classes (sizes per-class tables such as
+    /// [`AuditPolicy::class_rates`](crate::AuditPolicy::class_rates)).
+    pub const COUNT: usize = 2;
 
-    fn index(self) -> usize {
+    /// Dense index of this class (`Interactive` = 0, `Sweep` = 1) into
+    /// per-class tables.
+    #[must_use]
+    pub fn index(self) -> usize {
         match self {
             Priority::Interactive => 0,
             Priority::Sweep => 1,
@@ -222,6 +227,12 @@ pub struct ServiceConfig {
     /// instead of recomputing. An unopenable store is a warning, not a
     /// startup failure — the service runs memory-only.
     pub store_path: Option<std::path::PathBuf>,
+    /// When set, the service attaches the online audit tier in
+    /// **deferred** mode: sampled results are queued and shadow
+    /// re-executed on the reference oracle only when a worker finds the
+    /// request queue empty — audits ride scheduling slack below every
+    /// priority class and never add latency to the request path.
+    pub audit: Option<crate::AuditPolicy>,
 }
 
 impl Default for ServiceConfig {
@@ -237,6 +248,7 @@ impl Default for ServiceConfig {
             isolation: [Isolation::InProcess; Priority::COUNT],
             sandbox: SandboxConfig::default(),
             store_path: None,
+            audit: None,
         }
     }
 }
@@ -445,6 +457,11 @@ pub struct HealthSnapshot {
     /// disk hits/misses, corrupt records dropped, degradation state.
     #[serde(default)]
     pub store: StoreStats,
+    /// Counters of the online audit tier (all zero without a
+    /// [`ServiceConfig::audit`] policy): shadow audits run, divergences
+    /// caught, fingerprints quarantined, and the demotion latch.
+    #[serde(default)]
+    pub audit: crate::AuditStats,
 }
 
 impl HealthSnapshot {
@@ -516,6 +533,9 @@ impl AnalysisService {
                     path.display()
                 ),
             }
+        }
+        if let Some(policy) = config.audit.clone() {
+            pipeline = pipeline.with_audit_deferred(policy);
         }
         let workers = config.workers.max(1);
         let reservoir = |salt: u64| {
@@ -624,6 +644,7 @@ impl AnalysisService {
             engine: self.shared.pipeline.engine_throughput(),
             fidelity: self.shared.pipeline.fidelity_mix(),
             store: self.shared.pipeline.store_stats().unwrap_or_default(),
+            audit: self.shared.pipeline.audit_stats(),
         }
     }
 
@@ -664,6 +685,11 @@ impl AnalysisService {
             lock(&self.shared.counters).drain_flushed += flushed_count;
         }
         self.shared.drain_token.cancel();
+        // A stopping service owes nobody shadow work: the deferred audit
+        // backlog is discarded (counted as dropped), so workers head
+        // straight for the drain exit instead of burning the timeout on
+        // oracle re-simulations.
+        self.shared.pipeline.drop_pending_audits();
 
         let mut queue = lock(&self.shared.queue);
         while queue.in_flight > 0 {
@@ -741,6 +767,15 @@ fn worker_loop(shared: &ServiceShared) {
                 if queue.draining {
                     break None;
                 }
+                // Scheduling slack: no request queued in any class. Spend
+                // it on one deferred shadow audit — strictly below every
+                // priority — then re-check the queue before blocking.
+                if shared.pipeline.pending_audits() > 0 {
+                    drop(queue);
+                    shared.pipeline.run_pending_audit();
+                    queue = lock(&shared.queue);
+                    continue;
+                }
                 queue = shared.work_cv.wait(queue).unwrap_or_else(PoisonError::into_inner);
             }
         };
@@ -802,6 +837,10 @@ fn execute_job(
     shared: &ServiceShared,
     job: &QueuedRequest,
 ) -> Result<Arc<PipelineResult>, PipelineError> {
+    // Scope the request's priority class to this thread so the audit
+    // sampler can resolve per-class rates without a parameter threaded
+    // through the supervised call chain.
+    let _class = crate::audit::RequestClassGuard::set(job.ticket.priority.index());
     let mut policy = shared.config.policy.clone();
     if let Some(deadline) = job.deadline {
         let remaining = deadline.saturating_sub(job.enqueued_at.elapsed());

@@ -60,7 +60,7 @@ use crate::digest::Fnv64;
 use crate::lock;
 use ascend_faults::DiskFile;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::fs::OpenOptions;
 use std::io::{self, Read, Seek, SeekFrom, Write};
@@ -85,6 +85,13 @@ const RECORD_HEADER_LEN: usize = 20;
 /// Upper bound on a record payload — mirrors the sandbox's frame cap. A
 /// length field above this is corruption, not a record.
 pub const MAX_RECORD_BYTES: u64 = 64 * 1024 * 1024;
+
+/// Payload of a quarantine tombstone. A normal payload is a JSON object
+/// (first byte `{`), so this marker can never collide with real data; it
+/// rides the ordinary record framing (digest-checked, last-wins
+/// position) without a format-version bump, so older readers skip it as
+/// an undecodable-but-valid record instead of misparsing the segment.
+const TOMBSTONE_PAYLOAD: &[u8] = b"\x00ASTR-TOMBSTONE\x00";
 
 /// When the store fsyncs appended records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,6 +156,11 @@ pub struct StoreStats {
     pub io_errors: u64,
     /// Whether the tier is currently disabled (degraded to recomputation).
     pub disabled: bool,
+    /// Fingerprints barred by a quarantine tombstone: never indexed,
+    /// never served, never re-persisted (see
+    /// [`quarantine`](ResultStore::quarantine)).
+    #[serde(default)]
+    pub quarantined: u64,
 }
 
 /// Why a store could not be opened. Unlike run-time I/O (which degrades
@@ -227,8 +239,8 @@ impl IndexEntry {
 }
 
 /// The mutable file-side state, guarded by one mutex. Lock order across
-/// the store is **file → index → stats**; never acquire them in another
-/// order.
+/// the store is **file → index → quarantined → stats**; never acquire
+/// them in another order (skipping intermediates is fine).
 struct StoreFileState {
     file: Box<dyn DiskFile>,
     /// Current logical end of the segment (next append offset).
@@ -261,6 +273,10 @@ pub struct ResultStore {
     config: StoreConfig,
     file: Mutex<StoreFileState>,
     index: Mutex<HashMap<u64, IndexEntry>>,
+    /// Fingerprints barred by a quarantine tombstone. Populated by the
+    /// open-time scan and by [`quarantine`](ResultStore::quarantine);
+    /// [`put`](ResultStore::put) refuses these forever.
+    quarantined: Mutex<HashSet<u64>>,
     stats: Mutex<StoreStats>,
     /// Once true, every operation is a no-op: the tier has degraded to
     /// pure recomputation for the rest of the run.
@@ -275,6 +291,17 @@ fn record_digest(fingerprint: u64, payload: &[u8]) -> u64 {
     hasher.write_u64(fingerprint);
     hasher.write(payload);
     hasher.finish()
+}
+
+/// A fully framed quarantine tombstone record for `fingerprint`.
+fn tombstone_record(fingerprint: u64) -> Vec<u8> {
+    let digest = record_digest(fingerprint, TOMBSTONE_PAYLOAD);
+    let mut record = Vec::with_capacity(RECORD_HEADER_LEN + TOMBSTONE_PAYLOAD.len());
+    record.extend_from_slice(&(TOMBSTONE_PAYLOAD.len() as u32).to_le_bytes());
+    record.extend_from_slice(&fingerprint.to_le_bytes());
+    record.extend_from_slice(&digest.to_le_bytes());
+    record.extend_from_slice(TOMBSTONE_PAYLOAD);
+    record
 }
 
 fn header_bytes(context: u64) -> [u8; HEADER_LEN] {
@@ -372,6 +399,7 @@ impl ResultStore {
                 config,
                 file: Mutex::new(state),
                 index: Mutex::new(HashMap::new()),
+                quarantined: Mutex::new(HashSet::new()),
                 stats: Mutex::new(stats),
                 disabled: AtomicBool::new(false),
             });
@@ -403,6 +431,7 @@ impl ResultStore {
         file.read_exact(&mut body)?;
 
         let mut index: HashMap<u64, IndexEntry> = HashMap::new();
+        let mut quarantined: HashSet<u64> = HashSet::new();
         let mut dead_bytes: u64 = 0;
         let mut pos: usize = 0;
         let scan_end = loop {
@@ -430,11 +459,33 @@ impl ResultStore {
             let payload = &body[pos + RECORD_HEADER_LEN..pos + RECORD_HEADER_LEN + len];
             let record_len = (RECORD_HEADER_LEN + len) as u64;
             if record_digest(fingerprint, payload) == digest {
-                let entry =
-                    IndexEntry { offset: HEADER_LEN as u64 + pos as u64, len: len as u32, digest };
-                if let Some(old) = index.insert(fingerprint, entry) {
-                    // Last-wins: the superseded record is dead weight.
-                    dead_bytes += old.total_len();
+                if payload == TOMBSTONE_PAYLOAD {
+                    // Quarantine tombstone: whatever was recovered for
+                    // this fingerprint is dead, and nothing later may
+                    // resurrect it. The tombstone itself stays live
+                    // metadata (compaction rewrites it).
+                    if let Some(old) = index.remove(&fingerprint) {
+                        dead_bytes += old.total_len();
+                    }
+                    if !quarantined.insert(fingerprint) {
+                        // A duplicate tombstone is dead weight.
+                        dead_bytes += record_len;
+                    }
+                } else if quarantined.contains(&fingerprint) {
+                    // A record appended after its quarantine tombstone
+                    // (a hostile or pre-quarantine writer): never
+                    // indexed, never served.
+                    dead_bytes += record_len;
+                } else {
+                    let entry = IndexEntry {
+                        offset: HEADER_LEN as u64 + pos as u64,
+                        len: len as u32,
+                        digest,
+                    };
+                    if let Some(old) = index.insert(fingerprint, entry) {
+                        // Last-wins: the superseded record is dead weight.
+                        dead_bytes += old.total_len();
+                    }
                 }
             } else {
                 // Digest-invalid: counted, skipped via the (trusted)
@@ -451,6 +502,7 @@ impl ResultStore {
             file.sync_data()?;
         }
         stats.recovered = index.len() as u64;
+        stats.quarantined = quarantined.len() as u64;
 
         let state = StoreFileState { file, end, unsynced: 0, dead_bytes };
         Ok(ResultStore {
@@ -459,14 +511,16 @@ impl ResultStore {
             config,
             file: Mutex::new(state),
             index: Mutex::new(HashMap::new()),
+            quarantined: Mutex::new(HashSet::new()),
             stats: Mutex::new(stats),
             disabled: AtomicBool::new(false),
         }
-        .with_index(index))
+        .with_index(index, quarantined))
     }
 
-    fn with_index(self, index: HashMap<u64, IndexEntry>) -> ResultStore {
+    fn with_index(self, index: HashMap<u64, IndexEntry>, quarantined: HashSet<u64>) -> ResultStore {
         *lock(&self.index) = index;
+        *lock(&self.quarantined) = quarantined;
         self
     }
 
@@ -568,7 +622,8 @@ impl ResultStore {
     /// compacting when the thresholds say so. Infallible by design:
     /// errors degrade the tier (a torn partial append is rolled back
     /// best-effort; recovery truncates it otherwise), oversized payloads
-    /// are skipped.
+    /// are skipped, and [quarantined](ResultStore::quarantine)
+    /// fingerprints are refused forever.
     pub fn put(&self, fingerprint: u64, payload: &[u8]) {
         if self.is_disabled() || payload.len() as u64 > MAX_RECORD_BYTES {
             return;
@@ -581,6 +636,11 @@ impl ResultStore {
         record.extend_from_slice(payload);
 
         let mut state = lock(&self.file);
+        // Checked under the file lock so a concurrent quarantine cannot
+        // interleave between the check and the append.
+        if lock(&self.quarantined).contains(&fingerprint) {
+            return;
+        }
         let offset = state.end;
         let wrote =
             state.file.seek(SeekFrom::Start(offset)).and_then(|_| state.file.write_all(&record));
@@ -653,6 +713,60 @@ impl ResultStore {
         }
     }
 
+    /// Whether `fingerprint` is barred by a quarantine tombstone.
+    #[must_use]
+    pub fn is_quarantined(&self, fingerprint: u64) -> bool {
+        lock(&self.quarantined).contains(&fingerprint)
+    }
+
+    /// Quarantines `fingerprint`: the live record (if any) is dropped
+    /// from the index, a tombstone is appended and fsynced so recovery
+    /// never resurrects an earlier record, and every future
+    /// [`put`](ResultStore::put) of this fingerprint is refused.
+    ///
+    /// This is the audit tier's disk-side purge for a fingerprint whose
+    /// served result diverged from the oracle: the defective bytes must
+    /// not survive a restart. The in-memory bar takes effect even when
+    /// the tier is disabled (or the tombstone append fails and degrades
+    /// it) — durability of the bar is then best-effort, like every other
+    /// write on a failing device.
+    pub fn quarantine(&self, fingerprint: u64) {
+        let mut state = lock(&self.file);
+        {
+            let mut index = lock(&self.index);
+            let mut quarantined = lock(&self.quarantined);
+            if !quarantined.insert(fingerprint) {
+                return;
+            }
+            if let Some(old) = index.remove(&fingerprint) {
+                state.dead_bytes += old.total_len();
+            }
+        }
+        lock(&self.stats).quarantined += 1;
+        if self.is_disabled() {
+            return;
+        }
+        let record = tombstone_record(fingerprint);
+        let offset = state.end;
+        let wrote =
+            state.file.seek(SeekFrom::Start(offset)).and_then(|_| state.file.write_all(&record));
+        if let Err(err) = wrote {
+            let _ = state.file.set_len(offset);
+            drop(state);
+            self.degrade("tombstone append", &err);
+            return;
+        }
+        state.end = offset + record.len() as u64;
+        // A tombstone is a correctness marker, not a cache entry: it is
+        // always synced immediately, regardless of the fsync policy.
+        if let Err(err) = state.file.sync_data() {
+            drop(state);
+            self.degrade("tombstone fsync", &err);
+            return;
+        }
+        state.unsynced = 0;
+    }
+
     /// Compacts when the segment is both big and mostly dead. Takes the
     /// held file lock by value so callers cannot accidentally re-lock.
     fn maybe_compact(&self, mut state: std::sync::MutexGuard<'_, StoreFileState>) {
@@ -668,13 +782,16 @@ impl ResultStore {
             return;
         }
         let mut index = lock(&self.index);
-        match self.compact_locked(&mut state, &mut index) {
+        let quarantined = lock(&self.quarantined);
+        match self.compact_locked(&mut state, &mut index, &quarantined) {
             Ok(()) => {
+                drop(quarantined);
                 drop(index);
                 drop(state);
                 lock(&self.stats).compactions += 1;
             }
             Err(err) => {
+                drop(quarantined);
                 drop(index);
                 drop(state);
                 // The old segment is still intact and valid; disabling
@@ -686,11 +803,14 @@ impl ResultStore {
     }
 
     /// Rewrites the live records (in append order) to a fresh sibling
-    /// segment, fsyncs it, and atomically renames it over the old one.
+    /// segment — followed by one tombstone per quarantined fingerprint,
+    /// so the bar survives compaction — fsyncs it, and atomically
+    /// renames it over the old one.
     fn compact_locked(
         &self,
         state: &mut StoreFileState,
         index: &mut HashMap<u64, IndexEntry>,
+        quarantined: &HashSet<u64>,
     ) -> io::Result<()> {
         let path = self.path.as_ref().expect("compaction requires a backing path");
         let tmp_path = path.with_extension("compact-tmp");
@@ -725,6 +845,13 @@ impl ResultStore {
             );
             pos += entry.total_len();
         }
+        let mut barred: Vec<u64> = quarantined.iter().copied().collect();
+        barred.sort_unstable();
+        for fingerprint in barred {
+            let record = tombstone_record(fingerprint);
+            tmp.write_all(&record)?;
+            pos += record.len() as u64;
+        }
         tmp.sync_data()?;
         drop(tmp);
         std::fs::rename(&tmp_path, path)?;
@@ -736,6 +863,139 @@ impl ResultStore {
         state.dead_bytes = 0;
         *index = new_index;
         Ok(())
+    }
+}
+
+/// What an offline [`ResultStore::verify`] scan found in a segment.
+///
+/// The scan is read-only and never mutates the file — unlike opening,
+/// which truncates torn tails. It is the ops tool behind
+/// `bench store verify`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreVerifyReport {
+    /// Format version from the header.
+    pub version: u16,
+    /// Context fingerprint from the header. The scan cannot know which
+    /// pipeline *should* own the segment — compare against an expected
+    /// context to detect a foreign store.
+    pub context: u64,
+    /// Total file size in bytes.
+    pub file_bytes: u64,
+    /// Live (servable) records after last-wins and quarantine rules.
+    pub live: u64,
+    /// Valid records superseded by a later record or tombstone.
+    pub superseded: u64,
+    /// Records whose digest does not match their bytes.
+    pub digest_invalid: u64,
+    /// Unframeable tail bytes (torn final record or corrupt framing).
+    pub torn_bytes: u64,
+    /// Quarantine tombstones (distinct barred fingerprints).
+    pub tombstones: u64,
+    /// Valid records appended *after* their fingerprint's tombstone —
+    /// a quarantine violation no compliant writer produces.
+    pub resurrected: u64,
+}
+
+impl StoreVerifyReport {
+    /// Whether the segment is fully intact: no corruption, no torn
+    /// bytes, no quarantine violations. Superseded records and
+    /// tombstones are normal operation, not damage.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.digest_invalid == 0 && self.torn_bytes == 0 && self.resurrected == 0
+    }
+}
+
+impl fmt::Display for StoreVerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "version {} context {:#018x}: {} bytes, {} live, {} superseded, \
+             {} digest-invalid, {} torn bytes, {} tombstones, {} resurrected — {}",
+            self.version,
+            self.context,
+            self.file_bytes,
+            self.live,
+            self.superseded,
+            self.digest_invalid,
+            self.torn_bytes,
+            self.tombstones,
+            self.resurrected,
+            if self.is_clean() { "clean" } else { "CORRUPT" },
+        )
+    }
+}
+
+impl ResultStore {
+    /// Scans the segment at `path` **read-only** and reports what a
+    /// recovery would find: torn bytes, digest-invalid records,
+    /// superseded records, quarantine tombstones, and quarantine
+    /// violations. Nothing is truncated or repaired; run it on a live
+    /// segment, a backup, or a foreign file safely.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the file cannot be read,
+    /// [`StoreError::NotAStore`] when the magic is wrong, and
+    /// [`StoreError::UnsupportedVersion`] for a newer format. A torn
+    /// header (shorter than [`HEADER_LEN`] bytes but magic-prefixed) is
+    /// reported as torn bytes, not an error — recovery would
+    /// reinitialize it.
+    pub fn verify(path: impl AsRef<Path>) -> Result<StoreVerifyReport, StoreError> {
+        let bytes = std::fs::read(path.as_ref())?;
+        let magic_len = bytes.len().min(4);
+        if bytes[..magic_len] != STORE_MAGIC[..magic_len] {
+            return Err(StoreError::NotAStore);
+        }
+        let mut report = StoreVerifyReport { file_bytes: bytes.len() as u64, ..Default::default() };
+        if bytes.len() < HEADER_LEN {
+            report.torn_bytes = bytes.len() as u64;
+            return Ok(report);
+        }
+        report.version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if report.version > STORE_VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                found: report.version,
+                supported: STORE_VERSION,
+            });
+        }
+        report.context = u64::from_le_bytes(bytes[6..14].try_into().expect("8 bytes"));
+
+        let body = &bytes[HEADER_LEN..];
+        let mut live: HashSet<u64> = HashSet::new();
+        let mut quarantined: HashSet<u64> = HashSet::new();
+        let mut pos = 0usize;
+        while pos < body.len() {
+            if pos + RECORD_HEADER_LEN > body.len() {
+                report.torn_bytes += (body.len() - pos) as u64;
+                break;
+            }
+            let len = u32::from_le_bytes(body[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            if len as u64 > MAX_RECORD_BYTES || pos + RECORD_HEADER_LEN + len > body.len() {
+                report.torn_bytes += (body.len() - pos) as u64;
+                break;
+            }
+            let fingerprint =
+                u64::from_le_bytes(body[pos + 4..pos + 12].try_into().expect("8 bytes"));
+            let digest = u64::from_le_bytes(body[pos + 12..pos + 20].try_into().expect("8 bytes"));
+            let payload = &body[pos + RECORD_HEADER_LEN..pos + RECORD_HEADER_LEN + len];
+            if record_digest(fingerprint, payload) != digest {
+                report.digest_invalid += 1;
+            } else if payload == TOMBSTONE_PAYLOAD {
+                if live.remove(&fingerprint) {
+                    report.superseded += 1;
+                }
+                quarantined.insert(fingerprint);
+            } else if quarantined.contains(&fingerprint) {
+                report.resurrected += 1;
+            } else if !live.insert(fingerprint) {
+                report.superseded += 1;
+            }
+            pos += RECORD_HEADER_LEN + len;
+        }
+        report.live = live.len() as u64;
+        report.tombstones = quarantined.len() as u64;
+        Ok(report)
     }
 }
 
@@ -1042,6 +1302,164 @@ mod tests {
         assert!(MAX_RECORD_BYTES < u64::from(u32::MAX), "length field must hold the cap");
         store.put(1, b"normal");
         assert_eq!(store.stats().appends, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quarantine_bars_memory_disk_and_reopen() {
+        let dir = tempdir("quarantine");
+        let path = dir.join("store.astr");
+        {
+            let store = ResultStore::open(&path, CTX).unwrap();
+            store.put(1, b"poisoned");
+            store.put(2, b"fine");
+            store.quarantine(1);
+            assert!(store.is_quarantined(1));
+            assert!(!store.is_quarantined(2));
+            assert_eq!(store.get(1), None, "quarantined must not be served");
+            assert_eq!(store.get(2).as_deref(), Some(&b"fine"[..]));
+            // Re-persisting the barred fingerprint is silently refused.
+            store.put(1, b"resurrection attempt");
+            assert_eq!(store.get(1), None);
+            assert_eq!(store.stats().quarantined, 1);
+            assert_eq!(store.len(), 1);
+        }
+        // The tombstone is durable: recovery never resurrects the key,
+        // and the bar still refuses new writes after restart.
+        let store = ResultStore::open(&path, CTX).unwrap();
+        assert_eq!(store.stats().recovered, 1);
+        assert_eq!(store.stats().quarantined, 1);
+        assert!(store.is_quarantined(1));
+        assert_eq!(store.get(1), None);
+        store.put(1, b"still refused");
+        assert_eq!(store.get(1), None);
+        assert_eq!(store.get(2).as_deref(), Some(&b"fine"[..]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quarantine_survives_compaction() {
+        let dir = tempdir("quarcompact");
+        let path = dir.join("store.astr");
+        let config = StoreConfig {
+            fsync: FsyncPolicy::EveryN(1),
+            compact_at_bytes: 256,
+            compact_min_dead_fraction: 0.5,
+        };
+        {
+            let store = ResultStore::open_with_config(&path, CTX, config).unwrap();
+            store.put(1, b"to be barred");
+            store.quarantine(1);
+            // Churn another key until compaction rewrites the segment.
+            let payload = [0x5Au8; 64];
+            for _ in 0..16 {
+                store.put(42, &payload);
+            }
+            assert!(store.stats().compactions >= 1);
+            assert!(store.is_quarantined(1));
+        }
+        let reopened = ResultStore::open(&path, CTX).unwrap();
+        assert!(reopened.is_quarantined(1), "compaction must preserve the tombstone");
+        assert_eq!(reopened.get(1), None);
+        assert_eq!(reopened.stats().quarantined, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_reports_clean_segments() {
+        let dir = tempdir("verifyclean");
+        let path = dir.join("store.astr");
+        {
+            let store = ResultStore::open(&path, CTX).unwrap();
+            store.put(1, b"one");
+            store.put(2, b"two");
+            store.put(2, b"two again"); // supersedes
+            store.quarantine(1);
+        }
+        let report = ResultStore::verify(&path).unwrap();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.version, STORE_VERSION);
+        assert_eq!(report.context, CTX);
+        assert_eq!(report.live, 1, "key 2 only: key 1 is barred");
+        assert_eq!(report.superseded, 2, "old key-2 record and tombstoned key-1 record");
+        assert_eq!(report.tombstones, 1);
+        assert_eq!(report.resurrected, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_detects_rot_tears_and_resurrections() {
+        let dir = tempdir("verifydirty");
+        let path = dir.join("store.astr");
+        {
+            let store = ResultStore::open(&path, CTX).unwrap();
+            store.put(1, b"aaaa");
+            store.put(2, b"bbbb");
+            store.quarantine(3);
+        }
+        // A compliant writer never appends after a tombstone; forge one.
+        {
+            use std::io::Write as _;
+            let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+            let digest = record_digest(3, b"zombie");
+            file.write_all(&(b"zombie".len() as u32).to_le_bytes()).unwrap();
+            file.write_all(&3u64.to_le_bytes()).unwrap();
+            file.write_all(&digest.to_le_bytes()).unwrap();
+            file.write_all(b"zombie").unwrap();
+        }
+        corrupt_file(&path, DiskFault::FlipBits { offset: 34, mask: 0x40 }).unwrap();
+        corrupt_file(&path, DiskFault::TruncateTailBytes(2)).unwrap();
+        let report = ResultStore::verify(&path).unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.digest_invalid, 1, "{report}");
+        assert_eq!(report.resurrected, 0, "the truncated zombie is torn, not resurrected");
+        assert!(report.torn_bytes > 0);
+        assert_eq!(report.tombstones, 1);
+
+        // Verify never mutates: the torn tail is still there afterwards,
+        // so a full (untorn) zombie now counts as resurrected.
+        let before = std::fs::metadata(&path).unwrap().len();
+        ResultStore::verify(&path).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), before);
+        {
+            use std::io::Write as _;
+            let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+            file.write_all(&[0u8; 2]).unwrap(); // heal the torn zombie tail
+        }
+        let healed = ResultStore::verify(&path).unwrap();
+        assert_eq!(healed.digest_invalid, 2, "healed tail bytes were zeroed, digest now wrong");
+
+        // Errors mirror open(): bad magic and newer versions refuse.
+        let not_a_store = dir.join("not.astr");
+        std::fs::write(&not_a_store, b"nope").unwrap();
+        assert!(matches!(ResultStore::verify(&not_a_store), Err(StoreError::NotAStore)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_counts_a_true_resurrection() {
+        let dir = tempdir("verifyzombie");
+        let path = dir.join("store.astr");
+        {
+            let store = ResultStore::open(&path, CTX).unwrap();
+            store.quarantine(7);
+        }
+        {
+            use std::io::Write as _;
+            let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+            let digest = record_digest(7, b"zombie");
+            file.write_all(&(b"zombie".len() as u32).to_le_bytes()).unwrap();
+            file.write_all(&7u64.to_le_bytes()).unwrap();
+            file.write_all(&digest.to_le_bytes()).unwrap();
+            file.write_all(b"zombie").unwrap();
+        }
+        let report = ResultStore::verify(&path).unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.resurrected, 1, "{report}");
+        assert_eq!(report.live, 0);
+        // Recovery agrees with verify: the zombie is not served.
+        let store = ResultStore::open(&path, CTX).unwrap();
+        assert_eq!(store.get(7), None);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -30,10 +30,17 @@ pub enum Fidelity {
     /// The simulator was preempted or kept failing; the result is the
     /// closed-form analytical roofline estimate (empty trace).
     AnalyticalFallback,
+    /// An online audit caught the fast engine diverging on this
+    /// fingerprint; the result was re-answered by the reference oracle
+    /// (full trace, full fidelity — the *fast-engine* answer was the
+    /// defective one and has been quarantined).
+    Audited,
 }
 
 impl Fidelity {
-    /// Whether this is a degraded (non-simulated) result.
+    /// Whether this is a degraded (non-simulated) result. `Audited`
+    /// results are **not** degraded: they carry a complete trace from
+    /// the trusted oracle.
     #[must_use]
     pub fn is_degraded(self) -> bool {
         matches!(self, Fidelity::AnalyticalFallback)

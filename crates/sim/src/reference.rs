@@ -16,12 +16,16 @@
 //!    rewrite's speedup against the seed engine measured honestly, not
 //!    against a remembered number.
 //!
-//! It is `#[doc(hidden)]`: not part of the supported API, never used on a
-//! production path, and free to disappear once the trajectory has enough
-//! history.
+//! Since the online audit tier landed it also serves as the *trusted
+//! oracle at runtime*: sampled results are shadow re-executed here, and a
+//! demoted pipeline answers every request from this engine. For that role
+//! it carries the same supervision surface as the production engine
+//! (budget + cancellation), defaulting to the unsupervised seed behavior
+//! so the differential suite stays byte-identical.
 
+use crate::engine::DEADLINE_POLL_EVENTS;
 use crate::trace::StallCause;
-use crate::{InstrRecord, SimError, Trace};
+use crate::{CancelToken, InstrRecord, SimBudget, SimError, Trace};
 use ascend_arch::ChipSpec;
 use ascend_faults::FaultPlan;
 use ascend_isa::{validate, Instruction, Kernel};
@@ -30,19 +34,26 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// The seed engine behind a minimal simulator surface.
 ///
-/// Only the entry points the differential suite and the bench harness
-/// need: validated, unchecked, and faulted simulation. No budget, no
-/// cancellation — the oracle runs to completion or quiescence.
+/// Only the entry points the differential suite, the audit tier, and the
+/// bench harness need: validated, unchecked, and faulted simulation. It
+/// has the same supervision surface as the production engine — a
+/// [`SimBudget`] watchdog and an optional [`CancelToken`] — so a shadow
+/// audit re-executed on the oracle can be preempted exactly like any
+/// other attempt and can never hang its caller. Both default to the
+/// unsupervised seed behavior (unlimited budget, no token), which keeps
+/// the golden differential suite byte-identical.
 #[derive(Debug, Clone)]
 pub struct ReferenceSimulator {
     chip: ChipSpec,
+    budget: SimBudget,
+    cancel: Option<CancelToken>,
 }
 
 impl ReferenceSimulator {
     /// Creates a reference simulator for `chip`.
     #[must_use]
     pub fn new(chip: ChipSpec) -> Self {
-        ReferenceSimulator { chip }
+        ReferenceSimulator { chip, budget: SimBudget::unlimited(), cancel: None }
     }
 
     /// The chip this simulator models.
@@ -51,15 +62,37 @@ impl ReferenceSimulator {
         &self.chip
     }
 
+    /// Bounds every subsequent run by `budget` (mirrors
+    /// [`crate::Simulator::with_budget`]).
+    #[must_use]
+    pub fn with_budget(mut self, budget: SimBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attaches a cancellation token checked inside the event loop
+    /// (mirrors [`crate::Simulator::with_cancel`]).
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The watchdog budget bounding every run.
+    #[must_use]
+    pub fn budget(&self) -> SimBudget {
+        self.budget
+    }
+
     /// Executes `kernel` with static validation (the seed code path).
     ///
     /// # Errors
     ///
-    /// As the production engine: validation, arch-lookup, and deadlock
-    /// errors.
+    /// As the production engine: validation, arch-lookup, deadlock,
+    /// budget, and cancellation errors.
     pub fn simulate(&self, kernel: &Kernel) -> Result<Trace, SimError> {
         validate(kernel, &self.chip)?;
-        Run::new(kernel, &self.chip, None).execute()
+        Run::new(kernel, &self.chip, None, self.budget, self.cancel.as_ref()).execute()
     }
 
     /// Executes `kernel` without static validation.
@@ -68,7 +101,7 @@ impl ReferenceSimulator {
     ///
     /// As [`ReferenceSimulator::simulate`], minus validation.
     pub fn simulate_unchecked(&self, kernel: &Kernel) -> Result<Trace, SimError> {
-        Run::new(kernel, &self.chip, None).execute()
+        Run::new(kernel, &self.chip, None, self.budget, self.cancel.as_ref()).execute()
     }
 
     /// Executes `kernel` under `plan`, mirroring the production
@@ -86,7 +119,7 @@ impl ReferenceSimulator {
         let chip = plan.apply_to_chip(&self.chip);
         chip.validate()?;
         let kernel = plan.apply_to_kernel(kernel);
-        Run::new(&kernel, &chip, Some(plan)).execute()
+        Run::new(&kernel, &chip, Some(plan), self.budget, self.cancel.as_ref()).execute()
     }
 }
 
@@ -126,6 +159,8 @@ struct Run<'a> {
     kernel: &'a Kernel,
     chip: &'a ChipSpec,
     faults: Option<&'a FaultPlan>,
+    budget: SimBudget,
+    cancel: Option<&'a CancelToken>,
     dispatch_free: f64,
     next_dispatch: usize,
     barrier_pending: bool,
@@ -143,11 +178,19 @@ struct Run<'a> {
 }
 
 impl<'a> Run<'a> {
-    fn new(kernel: &'a Kernel, chip: &'a ChipSpec, faults: Option<&'a FaultPlan>) -> Self {
+    fn new(
+        kernel: &'a Kernel,
+        chip: &'a ChipSpec,
+        faults: Option<&'a FaultPlan>,
+        budget: SimBudget,
+        cancel: Option<&'a CancelToken>,
+    ) -> Self {
         Run {
             kernel,
             chip,
             faults,
+            budget,
+            cancel,
             dispatch_free: 0.0,
             next_dispatch: 0,
             barrier_pending: false,
@@ -166,30 +209,62 @@ impl<'a> Run<'a> {
     }
 
     fn execute(mut self) -> Result<Trace, SimError> {
+        let mut processed: u64 = 0;
         self.dispatch();
         self.try_start_all(0.0)?;
         while let Some(Reverse(event)) = self.events.pop() {
             let now = event.time;
+            // Same supervision idiom as the production engine: the
+            // budget every event, the cancel flag every event (one
+            // atomic load), the wall-clock deadline only every
+            // `DEADLINE_POLL_EVENTS` events.
+            processed += 1;
+            if processed > self.budget.max_events || now > self.budget.max_cycles {
+                return Err(SimError::BudgetExceeded {
+                    events: processed,
+                    cycles: now,
+                    max_events: self.budget.max_events,
+                    max_cycles: self.budget.max_cycles,
+                });
+            }
+            if let Some(token) = self.cancel {
+                if token.is_signalled()
+                    || (processed % DEADLINE_POLL_EVENTS == 1 && token.is_expired())
+                {
+                    return Err(SimError::Cancelled {
+                        events: processed,
+                        cycles: now,
+                        forensics: Box::new(self.snapshot()),
+                    });
+                }
+            }
             if let EventKind::Complete(index) = event.kind {
                 self.finish(index, now);
             }
             self.try_start_all(now)?;
         }
         if self.completed != self.kernel.len() || self.records.iter().any(Option::is_none) {
-            return Err(SimError::Deadlock(Box::new(crate::DeadlockReport {
-                kernel: self.kernel.name().to_string(),
-                at_cycle: self.last_completion,
-                total: self.kernel.len(),
-                remaining: self.kernel.len() - self.completed,
-                undispatched: self.kernel.len() - self.next_dispatch,
-                barrier_pending: self.barrier_pending,
-                queues: Vec::new(),
-                wait_edges: Vec::new(),
-            })));
+            return Err(SimError::Deadlock(Box::new(self.snapshot())));
         }
         let records: Vec<InstrRecord> = self.records.into_iter().flatten().collect();
         let total = records.iter().map(|r| r.end).fold(0.0, f64::max);
         Ok(Trace::from_parts(self.kernel.name(), records, total))
+    }
+
+    /// Progress snapshot attached to deadlock and cancellation errors.
+    /// The seed engine keeps it slim (no per-queue detail) — forensic
+    /// depth is the production engine's job.
+    fn snapshot(&self) -> crate::DeadlockReport {
+        crate::DeadlockReport {
+            kernel: self.kernel.name().to_string(),
+            at_cycle: self.last_completion,
+            total: self.kernel.len(),
+            remaining: self.kernel.len() - self.completed,
+            undispatched: self.kernel.len() - self.next_dispatch,
+            barrier_pending: self.barrier_pending,
+            queues: Vec::new(),
+            wait_edges: Vec::new(),
+        }
     }
 
     fn dispatch(&mut self) {
@@ -348,5 +423,72 @@ mod tests {
         let a = sim.simulate(&kernel).unwrap();
         let b = sim.simulate(&kernel).unwrap();
         assert_eq!(a, b);
+    }
+
+    fn busy_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("busy");
+        let gm = Region::new(Buffer::Gm, 0, 4096);
+        let ub = Region::new(Buffer::Ub, 0, 4096);
+        for _ in 0..32 {
+            b.transfer(TransferPath::GmToUb, gm, ub).unwrap();
+            b.sync(Component::MteGm, Component::Vector);
+            b.compute(ComputeUnit::Vector, Precision::Fp16, 1024, vec![ub], vec![ub]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn reference_event_budget_trips() {
+        let sim = ReferenceSimulator::new(ChipSpec::training())
+            .with_budget(SimBudget { max_events: 4, max_cycles: f64::INFINITY });
+        match sim.simulate(&busy_kernel()) {
+            Err(SimError::BudgetExceeded { events, max_events, .. }) => {
+                assert_eq!(events, 5);
+                assert_eq!(max_events, 4);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reference_cycle_budget_trips() {
+        let sim = ReferenceSimulator::new(ChipSpec::training())
+            .with_budget(SimBudget { max_events: u64::MAX, max_cycles: 1.0 });
+        match sim.simulate(&busy_kernel()) {
+            Err(SimError::BudgetExceeded { cycles, .. }) => assert!(cycles > 1.0),
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reference_pre_cancelled_token_preempts() {
+        let token = CancelToken::new();
+        token.cancel();
+        let sim = ReferenceSimulator::new(ChipSpec::training()).with_cancel(token);
+        match sim.simulate(&busy_kernel()) {
+            Err(SimError::Cancelled { events, forensics, .. }) => {
+                assert_eq!(events, 1);
+                assert_eq!(forensics.kernel, "busy");
+                assert!(forensics.remaining > 0);
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reference_expired_deadline_preempts() {
+        let token = CancelToken::with_deadline(std::time::Instant::now());
+        let sim = ReferenceSimulator::new(ChipSpec::training()).with_cancel(token);
+        match sim.simulate(&busy_kernel()) {
+            Err(SimError::Cancelled { .. }) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reference_defaults_stay_unsupervised() {
+        let sim = ReferenceSimulator::new(ChipSpec::training());
+        assert_eq!(sim.budget(), SimBudget::unlimited());
+        sim.simulate(&busy_kernel()).unwrap();
     }
 }

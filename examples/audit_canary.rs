@@ -1,0 +1,217 @@
+//! Chaos canary for the online divergence-audit tier: a deliberately
+//! buggy fast engine serves perturbed results, and the canary proves
+//! the audit tier catches it within its sampling budget, quarantines
+//! every caught fingerprint (memory *and* disk, surviving restart),
+//! demotes the pipeline to the reference engine, and never serves a
+//! caught-divergent result again.
+//!
+//! Run with `cargo run --release --example audit_canary`; CI runs it in
+//! the `chaos-audit` job. Everything is seeded: the buggy engine, the
+//! audit sampler, and the op stream replay identically, so the
+//! detection-latency assertions are exact, not statistical.
+//!
+//! Three phases:
+//! 1. **Inline detection** — a pipeline with `BuggyEngine` (every key
+//!    afflicted) and an inline audit at rate `r` must flag its first
+//!    divergence within `3/r` requests and demote after the configured
+//!    divergence count, with every flagged request re-answered from the
+//!    oracle as `Fidelity::Audited`.
+//! 2. **Restart** — a clean pipeline over the same store file must
+//!    recompute every quarantined key from scratch (tombstones bar the
+//!    poisoned records from recovery), and `bench store verify`
+//!    semantics (`ResultStore::verify`) must report the segment clean
+//!    with the expected tombstone count and zero resurrections.
+//! 3. **Service end-to-end** — an `AnalysisService` with the deferred
+//!    audit tier drains shadow audits on worker slack, trips the same
+//!    demotion breaker, and serves reference-fidelity results
+//!    afterwards.
+
+use ascend::arch::ChipSpec;
+use ascend::faults::BuggyEngine;
+use ascend::ops::AddRelu;
+use ascend::pipeline::divergence;
+use ascend::pipeline::{
+    AnalysisPipeline, AnalysisService, AuditPolicy, Fidelity, Request, ResultStore, ServiceConfig,
+};
+use std::time::{Duration, Instant};
+
+const AUDIT_RATE: f64 = 0.25;
+const DEMOTE_AFTER: u32 = 2;
+const BUG_SEED: u64 = 0x0B06_5EED;
+
+/// Detection budget from the acceptance contract: a divergence must be
+/// flagged within `3/r` requests of continuous buggy traffic.
+const DETECT_BUDGET: u64 = (3.0 / AUDIT_RATE) as u64;
+
+/// The deterministic op stream: distinct shapes so every request is a
+/// distinct fingerprint (no cache hits masking the engine).
+fn op_for(i: u64) -> AddRelu {
+    AddRelu::new(1_000 + i * 97)
+}
+
+fn main() {
+    let scratch = std::env::temp_dir().join(format!("ascend-audit-canary-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).unwrap();
+    let store_path = scratch.join("canary.astr");
+
+    let truth = AnalysisPipeline::new(ChipSpec::training());
+    let policy = AuditPolicy::default().with_rate(AUDIT_RATE).with_demotion(DEMOTE_AFTER, 64);
+    let bug = BuggyEngine::new(BUG_SEED);
+
+    // Phase 1: inline detection and demotion under continuous bad output.
+    let pipeline = AnalysisPipeline::new(ChipSpec::training())
+        .with_store(&store_path)
+        .expect("canary store must attach")
+        .with_buggy_engine(bug)
+        .with_audit(policy.clone());
+
+    let budget = DETECT_BUDGET * u64::from(DEMOTE_AFTER);
+    let mut first_detection = None;
+    let mut demoted_at = None;
+    let mut quarantined: Vec<u64> = Vec::new();
+    for i in 0..budget {
+        let op = op_for(i);
+        let result = pipeline.run(&op).expect("buggy engine still completes");
+        if result.fidelity == Fidelity::Audited {
+            first_detection.get_or_insert(i);
+            quarantined.push(i);
+            // The re-answered result must be oracle-exact, not the
+            // perturbed one the fast engine produced.
+            let expected = truth.run(&op).unwrap();
+            assert!(
+                divergence::compare(&result.trace, &expected.trace).is_none(),
+                "request {i}: audited result must match the oracle"
+            );
+        }
+        if pipeline.is_demoted() {
+            demoted_at = Some(i);
+            break;
+        }
+    }
+    let first = first_detection.expect("audit tier never flagged a divergence");
+    assert!(
+        first < DETECT_BUDGET,
+        "first detection took {} requests, budget is {DETECT_BUDGET}",
+        first + 1
+    );
+    let demoted_at = demoted_at.expect("divergence breaker never tripped");
+    let stats = pipeline.audit_stats();
+    assert!(stats.demoted, "stats must report demotion");
+    assert_eq!(stats.divergences, u64::from(DEMOTE_AFTER), "breaker trips exactly on threshold");
+    assert_eq!(
+        stats.quarantined,
+        quarantined.len() as u64,
+        "every divergence quarantines its fingerprint"
+    );
+    println!(
+        "phase 1: first divergence at request {} (budget {DETECT_BUDGET}), demoted at request {} \
+         after {} divergences",
+        first + 1,
+        demoted_at + 1,
+        stats.divergences
+    );
+
+    // Post-demotion the reference engine answers: the bug is out of the
+    // serving path, so fresh keys and re-asked quarantined keys are all
+    // oracle-exact.
+    for i in (demoted_at + 1)..(demoted_at + 4) {
+        let got = pipeline.run(&op_for(i)).unwrap();
+        let expected = truth.run(&op_for(i)).unwrap();
+        assert!(
+            divergence::compare(&got.trace, &expected.trace).is_none(),
+            "request {i}: demoted pipeline must serve reference-exact results"
+        );
+    }
+    for &i in &quarantined {
+        let got = pipeline.run(&op_for(i)).unwrap();
+        let expected = truth.run(&op_for(i)).unwrap();
+        assert!(
+            divergence::compare(&got.trace, &expected.trace).is_none(),
+            "request {i}: re-asked quarantined key must be oracle-exact"
+        );
+    }
+    pipeline.flush_store();
+    drop(pipeline);
+    println!("phase 1: post-demotion traffic and re-asked quarantined keys all oracle-exact");
+
+    // Phase 2: the quarantine must hold across restart. A clean pipeline
+    // over the same store recomputes every quarantined key (zero disk
+    // hits for them), and the segment verifies clean with tombstones.
+    let report = ResultStore::verify(&store_path).expect("canary store must verify");
+    assert!(report.is_clean(), "canary store must verify clean: {report}");
+    assert_eq!(report.resurrected, 0, "no record may outlive its tombstone");
+    assert_eq!(
+        report.tombstones,
+        quarantined.len() as u64,
+        "one tombstone per quarantined fingerprint"
+    );
+
+    let fresh = AnalysisPipeline::new(ChipSpec::training())
+        .with_store(&store_path)
+        .expect("restart must attach the store");
+    for &i in &quarantined {
+        let got = fresh.run(&op_for(i)).unwrap();
+        let expected = truth.run(&op_for(i)).unwrap();
+        assert!(
+            divergence::compare(&got.trace, &expected.trace).is_none(),
+            "request {i}: restarted pipeline must not resurrect a quarantined result"
+        );
+    }
+    let fresh_stats = fresh.store_stats().unwrap();
+    assert_eq!(fresh_stats.hits, 0, "quarantined fingerprints must never serve from disk");
+    assert_eq!(
+        fresh.timings().runs,
+        quarantined.len() as u64,
+        "every quarantined key re-simulates from scratch after restart"
+    );
+    println!(
+        "phase 2: {} tombstone(s) verified on disk, 0 resurrections, all keys recomputed clean",
+        report.tombstones
+    );
+
+    // Phase 3: the deferred tier inside a resident service. Audit rate
+    // 1.0 makes every completed request an audit candidate; the shadow
+    // runs drain on worker slack and the same breaker demotes.
+    let service = AnalysisService::start(
+        AnalysisPipeline::new(ChipSpec::training()).with_buggy_engine(BuggyEngine::new(BUG_SEED)),
+        ServiceConfig {
+            workers: 2,
+            audit: Some(AuditPolicy::default().with_rate(1.0).with_demotion(DEMOTE_AFTER, 64)),
+            ..ServiceConfig::default()
+        },
+    );
+    let tickets: Vec<_> = (0..8)
+        .map(|i| service.submit(Request::sweep(Box::new(op_for(i)))).expect("submit"))
+        .collect();
+    for ticket in &tickets {
+        ticket.wait().expect("buggy engine still completes");
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let health = loop {
+        let health = service.health();
+        if health.audit.demoted {
+            break health;
+        }
+        assert!(Instant::now() < deadline, "service never demoted; audit stats: {}", health.audit);
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert!(health.audit.divergences >= u64::from(DEMOTE_AFTER));
+    let ticket = service.submit(Request::interactive(Box::new(op_for(1_000)))).expect("submit");
+    let got = ticket.wait().expect("demoted service still serves");
+    let expected = truth.run(&op_for(1_000)).unwrap();
+    assert!(
+        divergence::compare(&got.trace, &expected.trace).is_none(),
+        "demoted service must serve reference-exact results"
+    );
+    let drain = service.drain(Duration::from_secs(10));
+    assert!(drain.quiesced, "drain must quiesce");
+    let health = service.health();
+    println!(
+        "phase 3: service demoted after {} divergence(s) on {} audit(s); post-demotion request \
+         oracle-exact",
+        health.audit.divergences, health.audit.audits
+    );
+
+    println!("audit canary: detection, quarantine, restart survival, and demotion all hold");
+    std::fs::remove_dir_all(&scratch).ok();
+}

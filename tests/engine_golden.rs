@@ -33,32 +33,12 @@ use ascend::faults::{generator, FaultPlan};
 use ascend::isa::Kernel;
 use ascend::models::zoo;
 use ascend::ops::{AddRelu, AvgPool, Depthwise, Operator, OptFlags};
-use ascend::pipeline::digest::Fnv64;
+use ascend::pipeline::divergence::trace_fingerprint;
 use ascend::sim::reference::ReferenceSimulator;
 use ascend::sim::{SimBudget, SimError, Simulator, Trace};
 use proptest::prelude::*;
 use std::fmt::Write as _;
 use std::path::PathBuf;
-
-/// Folds every observable field of a trace — record order, queues,
-/// `f64` bit patterns of all three timestamps, stall attribution, and
-/// the total — into one stable fingerprint, via the workspace's shared
-/// FNV-1a (`Fnv64::write_u64` is the little-endian fold the committed
-/// golden file was generated under).
-fn trace_fingerprint(trace: &Trace) -> u64 {
-    let mut h = Fnv64::new();
-    h.write_u64(trace.records().len() as u64);
-    h.write_u64(trace.total_cycles().to_bits());
-    for r in trace.records() {
-        h.write_u64(r.index as u64);
-        h.write_u64(r.queue.map_or(u64::MAX, |q| q.index() as u64));
-        h.write_u64(r.available_at.to_bits());
-        h.write_u64(r.start.to_bits());
-        h.write_u64(r.end.to_bits());
-        h.write_u64(r.stall as u64);
-    }
-    h.finish()
-}
 
 /// Every golden workload: each kernel of each training-zoo model on the
 /// training chip, plus the case-study operators (baseline and fully
