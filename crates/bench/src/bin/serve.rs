@@ -33,15 +33,25 @@
 //! queue empty, divergent fingerprints are quarantined, and the `audit`
 //! block of `serve_health.json` (plus an `audit:` footer line) reports
 //! audits/divergences/quarantined/demotion.
+//!
+//! With `--cluster N` (or `ASCEND_CLUSTER_SHARDS=N`), the traffic is
+//! served by a [`ClusterService`] of N shard processes behind the
+//! consistent-hash router instead of a single resident service. The
+//! chaos fraction becomes seeded `kill -9`s of shards mid-load (a
+//! [`KillPlan`]), `ASCEND_CACHE_DIR` gives every shard its own durable
+//! store segment, and `serve_health.json` (and the footer) carry a
+//! `cluster` block: per-shard counters, respawns, failovers, and the
+//! ring generation.
 
 use ascend_arch::ChipSpec;
 use ascend_bench::{audit_policy_from_env, header, pipeline_for, run_policy, write_json};
-use ascend_faults::{FaultPlan, FaultedOperator, HostileMode, LoadProfile};
+use ascend_faults::{FaultPlan, FaultedOperator, HostileMode, KillPlan, LoadProfile};
 use ascend_ops::{AddRelu, Elementwise, EltwiseKind, LayerNorm, OpSpec, Operator, Softmax};
 use ascend_pipeline::{
-    AnalysisService, Isolation, PipelineError, Priority, Request, SandboxConfig, ServiceConfig,
-    Ticket, WorkSpec,
+    AnalysisService, ClusterConfig, ClusterService, Isolation, PipelineError, Priority, Request,
+    SandboxConfig, ServiceConfig, Ticket, WorkSpec,
 };
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 struct Args {
@@ -52,6 +62,7 @@ struct Args {
     queue: usize,
     chaos: f64,
     sandboxed: bool,
+    cluster: Option<usize>,
 }
 
 impl Args {
@@ -64,6 +75,10 @@ impl Args {
             queue: 16,
             chaos: 0.1,
             sandboxed: false,
+            cluster: std::env::var("ASCEND_CLUSTER_SHARDS")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .filter(|&n| n >= 1),
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -82,10 +97,11 @@ impl Args {
                 ("--workers", Some(v)) if v >= 1.0 => args.workers = v as usize,
                 ("--queue", Some(v)) if v >= 1.0 => args.queue = v as usize,
                 ("--chaos", Some(v)) => args.chaos = v.clamp(0.0, 1.0),
+                ("--cluster", Some(v)) if v >= 1.0 => args.cluster = Some(v as usize),
                 (flag, _) => {
                     eprintln!("usage: serve [--seed N] [--rate HZ] [--duration-ms MS]");
                     eprintln!("             [--workers N] [--queue N] [--chaos FRACTION]");
-                    eprintln!("             [--sandboxed]");
+                    eprintln!("             [--sandboxed] [--cluster N]");
                     eprintln!("unrecognized or malformed: {flag}");
                     std::process::exit(2);
                 }
@@ -128,6 +144,12 @@ fn spec_for(draw: u64, chaos: f64) -> WorkSpec {
         };
         return WorkSpec::hostile(mode);
     }
+    clean_spec_for(draw)
+}
+
+/// The always-clean spec for one draw — cluster mode's traffic, where
+/// chaos arrives as shard SIGKILLs rather than hostile payloads.
+fn clean_spec_for(draw: u64) -> WorkSpec {
     let elements = 1 << (10 + draw % 5);
     WorkSpec::from(match (draw >> 8) % 4 {
         0 => OpSpec::add_relu(elements),
@@ -137,12 +159,170 @@ fn spec_for(draw: u64, chaos: f64) -> WorkSpec {
     })
 }
 
+/// `serve_health.json` in cluster mode: the satellite `cluster` block.
+#[derive(serde::Serialize)]
+struct ClusterServeReport {
+    cluster: ascend_pipeline::ClusterHealth,
+    rejected: u64,
+}
+
+/// The `--cluster N` path: the same seeded open-loop load served by a
+/// sharded [`ClusterService`] instead of one resident service. The
+/// chaos fraction sets the intensity of a seeded [`KillPlan`] whose
+/// `kill -9`s land between arrivals, so the run doubles as a failover
+/// demo: the printed cluster block reports kills, failovers, respawns,
+/// and the ring generation, and the same block lands in
+/// `serve_health.json`.
+fn run_cluster(args: &Args, shards: usize) {
+    let chip = ChipSpec::training();
+    let cluster = ClusterService::start(
+        chip,
+        ClusterConfig {
+            shards,
+            queue_capacity: args.queue,
+            default_deadline: Some(Duration::from_secs(2)),
+            max_failovers: 4,
+            respawn_backoff: Duration::from_millis(10),
+            respawn_backoff_max: Duration::from_millis(250),
+            seed: args.seed,
+            store_dir: std::env::var_os("ASCEND_CACHE_DIR").map(PathBuf::from),
+            sandbox: SandboxConfig {
+                heartbeat_timeout: Duration::from_millis(300),
+                wall_clock_limit: Duration::from_secs(2),
+                ..SandboxConfig::default()
+            },
+            ..ClusterConfig::default()
+        },
+    )
+    .unwrap_or_else(|err| {
+        eprintln!("cluster start failed: {err}");
+        std::process::exit(1);
+    });
+
+    let profile = LoadProfile::new(args.seed, args.rate_hz, args.duration).with_burst(
+        args.duration / 4,
+        args.duration / 8,
+        4.0,
+    );
+    let arrivals = profile.schedule();
+    // Chaos intensity becomes kill frequency: at the default 10% the
+    // window sees roughly one SIGKILL; at 100% roughly eight.
+    let kill_events = if args.chaos > 0.0 {
+        KillPlan::new(
+            args.seed ^ 0x4B49_4C4C,
+            shards,
+            args.duration.div_f64((args.chaos * 8.0).max(0.5)),
+            args.duration,
+        )
+        .schedule()
+    } else {
+        Vec::new()
+    };
+    println!(
+        "load: {} arrivals over {:?} (mean {} Hz, 4x burst every {:?}); cluster: {} shards, \
+         {} scheduled kills (chaos {:.0}%)",
+        arrivals.len(),
+        args.duration,
+        args.rate_hz,
+        args.duration / 4,
+        shards,
+        kill_events.len(),
+        args.chaos * 100.0
+    );
+
+    let start = Instant::now();
+    let mut tickets: Vec<Ticket> = Vec::new();
+    let mut rejected = 0u64;
+    let mut kills_landed = 0u64;
+    let mut next_kill = 0usize;
+    for arrival in &arrivals {
+        while next_kill < kill_events.len() && kill_events[next_kill].at <= arrival.at {
+            let target = kill_events[next_kill].shard;
+            if cluster.kill_shard(target) {
+                kills_landed += 1;
+                println!(
+                    "[{:6.1} ms] kill -9 shard {target}",
+                    kill_events[next_kill].at.as_secs_f64() * 1e3
+                );
+            }
+            next_kill += 1;
+        }
+        if let Some(wait) = arrival.at.checked_sub(start.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        let priority = if arrival.interactive { Priority::Interactive } else { Priority::Sweep };
+        match cluster.submit(clean_spec_for(arrival.draw), priority) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(PipelineError::Overloaded { .. }) => rejected += 1,
+            Err(err) => {
+                eprintln!("submit failed: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let drain = cluster.drain(Duration::from_secs(30));
+    let health = cluster.health();
+    println!(
+        "admission: {} accepted, {} rejected (open-loop, no client retry)",
+        health.counters.accepted, rejected
+    );
+    println!(
+        "outcomes: {} ok, {} failed, {} shed, {} flushed at drain",
+        health.counters.completed_ok,
+        health.counters.failed,
+        health.counters.shed_deadline,
+        health.counters.drain_flushed
+    );
+    println!(
+        "cluster: {} failovers, {} kills ({} landed live), {} respawns, {} cache hits, \
+         ring generation {}",
+        health.counters.failovers,
+        health.counters.kills,
+        kills_landed,
+        health.counters.respawns,
+        health.counters.cache_hits,
+        health.ring_generation
+    );
+    for shard in &health.shards {
+        println!(
+            "  shard {}: {} ok, {} failed, {} cache hits, {} kills, {} respawns, {} rewarmed",
+            shard.index,
+            shard.counters.completed_ok,
+            shard.counters.failed,
+            shard.counters.cache_hits,
+            shard.counters.kills,
+            shard.counters.respawns,
+            shard.counters.store_recovered
+        );
+    }
+    println!(
+        "drain: flushed {} queued, quiesced: {}, elapsed {:.1} ms",
+        drain.flushed_queued,
+        drain.quiesced,
+        drain.elapsed.as_secs_f64() * 1e3
+    );
+    assert!(drain.quiesced, "drain must quiesce within its deadline");
+    assert_eq!(
+        health.counters.terminal_states(),
+        health.counters.accepted,
+        "every accepted ticket must reach exactly one terminal state"
+    );
+    let settled = tickets.iter().filter(|t| t.try_result().is_some()).count();
+    assert_eq!(settled, tickets.len(), "every held ticket must be settled after drain");
+
+    write_json("serve_health", &ClusterServeReport { cluster: health, rejected });
+}
+
 fn main() {
     // When re-executed as a sandbox worker this serves jobs and never
     // returns; in the ordinary invocation it is a no-op.
     ascend_pipeline::run_worker_if_requested();
     let args = Args::parse();
     header("serve", "resident analysis service under seeded open-loop load");
+    if let Some(shards) = args.cluster {
+        return run_cluster(&args, shards);
+    }
     let chip = ChipSpec::training();
     let config = ServiceConfig {
         workers: args.workers,

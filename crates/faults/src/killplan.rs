@@ -1,0 +1,140 @@
+//! Seeded shard-kill scheduling for cluster chaos runs.
+//!
+//! A cluster's failure modes live in *when* members die relative to the
+//! load they carry: a kill during a burst exercises failover under
+//! pressure, a kill while idle exercises detection between jobs, and
+//! back-to-back kills of the same shard exercise the respawn backoff.
+//! [`KillPlan`] turns a seed into a deterministic Poisson-spaced
+//! schedule of `(time, target shard)` kills — the chaos twin of
+//! [`LoadProfile`](crate::LoadProfile) — so every chaos run replays
+//! exactly from its printed seed.
+
+use crate::SplitMix64;
+use std::time::Duration;
+
+/// One scheduled shard kill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillEvent {
+    /// Offset from the start of the run at which to deliver the kill.
+    pub at: Duration,
+    /// The shard index to `kill -9`.
+    pub shard: usize,
+}
+
+/// A seeded schedule of shard kills: exponential gaps at a mean
+/// interval, each kill targeting a uniformly drawn shard. The schedule
+/// is a pure function of the plan — same seed, same kills, byte for
+/// byte.
+///
+/// # Examples
+///
+/// ```
+/// use ascend_faults::KillPlan;
+/// use std::time::Duration;
+///
+/// let plan = KillPlan::new(42, 4, Duration::from_millis(400), Duration::from_secs(2));
+/// let a = plan.schedule();
+/// assert_eq!(a, plan.schedule(), "the schedule is deterministic");
+/// assert!(a.iter().all(|kill| kill.shard < 4 && kill.at < plan.duration));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KillPlan {
+    /// Seed of the gap and target draws.
+    pub seed: u64,
+    /// Number of shards kills are drawn over (targets are `0..shards`).
+    pub shards: usize,
+    /// Mean gap between kills.
+    pub mean_interval: Duration,
+    /// Length of the generated schedule.
+    pub duration: Duration,
+}
+
+impl KillPlan {
+    /// A plan killing one of `shards` every `mean_interval` on average
+    /// for `duration`.
+    #[must_use]
+    pub fn new(seed: u64, shards: usize, mean_interval: Duration, duration: Duration) -> Self {
+        assert!(shards >= 1, "a kill plan needs at least one shard to target");
+        assert!(!mean_interval.is_zero(), "the mean kill interval must be non-zero");
+        KillPlan { seed, shards, mean_interval, duration }
+    }
+
+    /// Generates the kill schedule: exponential inter-kill gaps at the
+    /// mean interval, uniformly drawn targets, in ascending order,
+    /// ending before [`duration`](KillPlan::duration). The first kill
+    /// also arrives after an exponential gap, so a short horizon can
+    /// legitimately schedule none.
+    #[must_use]
+    pub fn schedule(&self) -> Vec<KillEvent> {
+        let mut rng = SplitMix64::new(self.seed);
+        let mut kills = Vec::new();
+        let mut now = 0.0f64;
+        let horizon = self.duration.as_secs_f64();
+        let mean = self.mean_interval.as_secs_f64();
+        loop {
+            // Inverse-transform sample of Exp(1/mean); 1-u keeps ln away
+            // from zero.
+            let gap = -(1.0 - rng.unit_f64()).ln() * mean;
+            now += gap;
+            if now >= horizon {
+                return kills;
+            }
+            kills.push(KillEvent {
+                at: Duration::from_secs_f64(now),
+                shard: rng.below(self.shards as u64) as usize,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_ordered() {
+        let plan = KillPlan::new(7, 4, Duration::from_millis(50), Duration::from_secs(1));
+        let a = plan.schedule();
+        assert_eq!(a, plan.schedule());
+        assert!(!a.is_empty());
+        for pair in a.windows(2) {
+            assert!(pair[0].at <= pair[1].at, "kills must be ascending");
+        }
+        assert!(a.iter().all(|kill| kill.at < plan.duration));
+        assert!(a.iter().all(|kill| kill.shard < plan.shards));
+    }
+
+    #[test]
+    fn mean_interval_is_roughly_respected() {
+        let plan = KillPlan::new(11, 8, Duration::from_millis(10), Duration::from_secs(2));
+        let n = plan.schedule().len() as f64;
+        // 200 expected kills; Poisson sd is ~14, so ±30% is generous.
+        assert!((140.0..260.0).contains(&n), "expected ~200 kills, got {n}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = KillPlan::new(1, 4, Duration::from_millis(20), Duration::from_secs(1)).schedule();
+        let b = KillPlan::new(2, 4, Duration::from_millis(20), Duration::from_secs(1)).schedule();
+        assert_ne!(a, b, "distinct seeds must yield distinct schedules");
+    }
+
+    #[test]
+    fn all_shards_are_eventually_targeted() {
+        let plan = KillPlan::new(13, 3, Duration::from_millis(5), Duration::from_secs(2));
+        let kills = plan.schedule();
+        for shard in 0..plan.shards {
+            assert!(
+                kills.iter().any(|kill| kill.shard == shard),
+                "shard {shard} never targeted in {} kills",
+                kills.len()
+            );
+        }
+    }
+
+    #[test]
+    fn single_shard_plans_target_it() {
+        let plan = KillPlan::new(17, 1, Duration::from_millis(10), Duration::from_millis(500));
+        assert!(plan.schedule().iter().all(|kill| kill.shard == 0));
+    }
+}

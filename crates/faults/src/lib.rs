@@ -36,6 +36,7 @@ mod buggy;
 mod disk;
 mod harness;
 mod hostile;
+mod killplan;
 mod loadgen;
 mod plan;
 mod rng;
@@ -49,6 +50,7 @@ pub use hostile::{
     grow_resident, heartbeats_muted, set_heartbeats_muted, sleep_forever, spin_forever,
     HostileMode, HostileOp,
 };
+pub use killplan::{KillEvent, KillPlan};
 pub use loadgen::{Arrival, Burst, FaultedOperator, LoadProfile, PanicOperator};
 pub use plan::{BandwidthFault, FaultPlan};
 pub use rng::SplitMix64;

@@ -46,6 +46,7 @@
 
 mod analytic;
 mod audit;
+mod cluster;
 pub mod digest;
 pub mod divergence;
 mod error;
@@ -57,6 +58,10 @@ mod store;
 mod supervisor;
 
 pub use audit::{AuditPolicy, AuditStats};
+pub use cluster::{
+    shard_worker_main, ClusterConfig, ClusterCounters, ClusterDrainReport, ClusterHealth,
+    ClusterService, HashRing, ShardCounters, ShardHealth, CLUSTER_SHARD_ENV, DEFAULT_VIRTUAL_NODES,
+};
 pub use divergence::DivergenceReport;
 pub use error::PipelineError;
 pub use journal::{
@@ -1490,6 +1495,16 @@ impl AnalysisPipeline {
         }
     }
 
+    /// Quarantines cache key `key` by hand: the memory entry (if any) is
+    /// purged and, with a store attached, a durable tombstone bars the
+    /// fingerprint from ever being served or re-persisted. The same path
+    /// the audit tier takes for a divergent result — exposed so a
+    /// cluster peer's verdict can be applied here
+    /// ([`ClusterService::quarantine`] broadcasts through it). Idempotent.
+    pub fn quarantine_key(&self, key: u64) {
+        self.quarantine(key);
+    }
+
     fn insert(&self, key: u64, result: Arc<PipelineResult>) {
         let mut cache = lock(&self.shared.cache);
         if cache.map.insert(key, result).is_none() {
@@ -1538,12 +1553,12 @@ fn poll_stage(cancel: Option<&CancelToken>, stage: &str) -> Result<(), SimError>
 }
 
 /// FNV-1a over the chip and threshold configuration.
-fn context_fingerprint(chip: &ChipSpec, thresholds: &Thresholds) -> u64 {
+pub(crate) fn context_fingerprint(chip: &ChipSpec, thresholds: &Thresholds) -> u64 {
     digest::fnv1a(format!("{chip:?}|{thresholds:?}").as_bytes())
 }
 
 /// SplitMix64-style combiner for (context, operator) fingerprints.
-fn mix(context: u64, fingerprint: u64) -> u64 {
+pub(crate) fn mix(context: u64, fingerprint: u64) -> u64 {
     let mut z = context ^ fingerprint.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

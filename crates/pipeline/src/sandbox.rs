@@ -72,9 +72,11 @@ const MAGIC: [u8; 4] = *b"ASBX";
 /// as garbage rather than honored with an allocation.
 const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
 
-/// What a frame carries.
+/// What a frame carries. Shared with the cluster tier (`cluster.rs`),
+/// whose shard workers speak the same framed protocol with their own
+/// payload schema.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum FrameKind {
+pub(crate) enum FrameKind {
     /// Parent → child: one work item.
     Job,
     /// Child → parent: the outcome of the current job.
@@ -104,15 +106,19 @@ impl FrameKind {
 
 /// One parsed frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct Frame {
-    kind: FrameKind,
-    payload: Vec<u8>,
+pub(crate) struct Frame {
+    pub(crate) kind: FrameKind,
+    pub(crate) payload: Vec<u8>,
 }
 
 /// Serializes one frame: magic, version, kind, payload length, payload,
 /// payload digest. Flushes, so a frame is either fully visible to the
 /// peer or detectably torn.
-fn write_frame(writer: &mut dyn Write, kind: FrameKind, payload: &[u8]) -> std::io::Result<()> {
+pub(crate) fn write_frame(
+    writer: &mut dyn Write,
+    kind: FrameKind,
+    payload: &[u8],
+) -> std::io::Result<()> {
     let bytes = encode_frame(kind, payload);
     writer.write_all(&bytes)?;
     writer.flush()
@@ -120,7 +126,7 @@ fn write_frame(writer: &mut dyn Write, kind: FrameKind, payload: &[u8]) -> std::
 
 /// The full byte image of one frame (exposed separately so the
 /// truncation fault can ship a deliberate prefix of it).
-fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+pub(crate) fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
     let mut bytes = Vec::with_capacity(19 + payload.len());
     bytes.extend_from_slice(&MAGIC);
     bytes.extend_from_slice(&WIRE_VERSION.to_le_bytes());
@@ -135,7 +141,7 @@ fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
 /// a frame boundary); every malformation — wrong magic, unsupported
 /// version, unknown kind, oversized length, short read, digest mismatch
 /// — is an `Err` describing what was wrong.
-fn read_frame(reader: &mut dyn Read) -> Result<Option<Frame>, String> {
+pub(crate) fn read_frame(reader: &mut dyn Read) -> Result<Option<Frame>, String> {
     let mut header = [0u8; 11];
     let mut filled = 0usize;
     while filled < header.len() {
@@ -235,8 +241,8 @@ impl WorkSpec {
     }
 
     /// The protocol fault the worker harness must apply to the result
-    /// frame, if any.
-    fn protocol_fault(&self) -> Option<HostileMode> {
+    /// frame, if any (also honored by cluster shard workers).
+    pub(crate) fn protocol_fault(&self) -> Option<HostileMode> {
         match self {
             WorkSpec::Hostile {
                 mode: mode @ (HostileMode::GarbageStdout | HostileMode::TruncateFrame),
@@ -253,11 +259,12 @@ impl From<OpSpec> for WorkSpec {
 }
 
 /// Watchdog-budget image inside a job frame (`SimBudget` itself is not
-/// serialized to keep the sim crate serde-free).
+/// serialized to keep the sim crate serde-free). Shared with the
+/// cluster tier's shard-job frames.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-struct WireBudget {
-    max_events: u64,
-    max_cycles: f64,
+pub(crate) struct WireBudget {
+    pub(crate) max_events: u64,
+    pub(crate) max_cycles: f64,
 }
 
 /// Parent → child: everything one attempt needs.
@@ -276,9 +283,9 @@ struct JobFrame {
 /// transience class crosses the boundary (see
 /// [`PipelineError::WorkerReported`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct WireFailure {
-    message: String,
-    transient: bool,
+pub(crate) struct WireFailure {
+    pub(crate) message: String,
+    pub(crate) transient: bool,
 }
 
 /// Child → parent: the outcome of one job.
@@ -404,10 +411,54 @@ impl CounterCells {
 
 /// What the reader thread saw on the child's stdout.
 #[derive(Debug)]
-enum ReadEvent {
+pub(crate) enum ReadEvent {
     Frame(Frame),
     Malformed(String),
     Eof,
+}
+
+/// Spawns `program` as a framed worker child with `env_marker` set:
+/// stdin piped for job frames, stdout piped into a reader thread that
+/// forwards [`ReadEvent`]s, stderr inherited. The shared bring-up for
+/// both the sandbox pool and the cluster tier's shard processes.
+pub(crate) fn spawn_framed_child(
+    program: &std::path::Path,
+    env_marker: &str,
+) -> Result<(Child, ChildStdin, Receiver<ReadEvent>), PipelineError> {
+    let mut child = Command::new(program)
+        .env(env_marker, "1")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|err| PipelineError::WorkerProtocol {
+            detail: format!("failed to spawn worker {}: {err}", program.display()),
+        })?;
+    let stdin = child.stdin.take().ok_or_else(|| PipelineError::WorkerProtocol {
+        detail: "spawned worker has no stdin handle".to_string(),
+    })?;
+    let mut stdout = child.stdout.take().ok_or_else(|| PipelineError::WorkerProtocol {
+        detail: "spawned worker has no stdout handle".to_string(),
+    })?;
+    let (sender, events) = std::sync::mpsc::channel();
+    std::thread::spawn(move || loop {
+        match read_frame(&mut stdout) {
+            Ok(Some(frame)) => {
+                if sender.send(ReadEvent::Frame(frame)).is_err() {
+                    return; // monitor gone; worker is being dropped
+                }
+            }
+            Ok(None) => {
+                let _ = sender.send(ReadEvent::Eof);
+                return;
+            }
+            Err(detail) => {
+                let _ = sender.send(ReadEvent::Malformed(detail));
+                return;
+            }
+        }
+    });
+    Ok((child, stdin, events))
 }
 
 /// One live worker process plus its reader-thread channel.
@@ -457,7 +508,7 @@ impl Drop for Worker {
 }
 
 /// Resident set of `pid` in bytes, from `/proc/<pid>/status` (`VmRSS`).
-fn rss_bytes(pid: u32) -> Option<u64> {
+pub(crate) fn rss_bytes(pid: u32) -> Option<u64> {
     let status = std::fs::read_to_string(format!("/proc/{pid}/status")).ok()?;
     let line = status.lines().find(|line| line.starts_with("VmRSS:"))?;
     let kb: u64 =
@@ -469,7 +520,7 @@ fn rss_bytes(pid: u32) -> Option<u64> {
 /// nonzero exit is a crash; a clean exit without having delivered a
 /// result frame is a protocol violation (the child broke its promise,
 /// not its process).
-fn classify_exit(status: Option<ExitStatus>, detail: &str) -> PipelineError {
+pub(crate) fn classify_exit(status: Option<ExitStatus>, detail: &str) -> PipelineError {
     let Some(status) = status else {
         return PipelineError::WorkerProtocol {
             detail: format!("{detail}; exit status unavailable"),
@@ -748,39 +799,7 @@ impl SandboxedExecutor {
                 detail: format!("cannot locate the current executable: {err}"),
             })?,
         };
-        let mut child = Command::new(&program)
-            .env(WORKER_ENV, "1")
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::inherit())
-            .spawn()
-            .map_err(|err| PipelineError::WorkerProtocol {
-                detail: format!("failed to spawn worker {}: {err}", program.display()),
-            })?;
-        let stdin = child.stdin.take().ok_or_else(|| PipelineError::WorkerProtocol {
-            detail: "spawned worker has no stdin handle".to_string(),
-        })?;
-        let mut stdout = child.stdout.take().ok_or_else(|| PipelineError::WorkerProtocol {
-            detail: "spawned worker has no stdout handle".to_string(),
-        })?;
-        let (sender, events) = std::sync::mpsc::channel();
-        std::thread::spawn(move || loop {
-            match read_frame(&mut stdout) {
-                Ok(Some(frame)) => {
-                    if sender.send(ReadEvent::Frame(frame)).is_err() {
-                        return; // monitor gone; worker is being dropped
-                    }
-                }
-                Ok(None) => {
-                    let _ = sender.send(ReadEvent::Eof);
-                    return;
-                }
-                Err(detail) => {
-                    let _ = sender.send(ReadEvent::Malformed(detail));
-                    return;
-                }
-            }
-        });
+        let (child, stdin, events) = spawn_framed_child(&program, WORKER_ENV)?;
         self.counters.spawned.fetch_add(1, Ordering::Relaxed);
         Ok(Worker { child, stdin, events, jobs_done: 0 })
     }
@@ -796,12 +815,17 @@ impl SandboxedExecutor {
 // Child side
 // ---------------------------------------------------------------------
 
-/// If the [`WORKER_ENV`] marker is set, runs the sandbox worker loop and
+/// If the [`WORKER_ENV`] marker is set, runs the sandbox worker loop; if
+/// the cluster tier's [`CLUSTER_SHARD_ENV`](crate::CLUSTER_SHARD_ENV)
+/// marker is set, runs the shard worker loop instead. Either way it
 /// never returns. Call this at the top of `main` in any binary that
-/// should be usable as a re-exec sandbox host; it is a no-op otherwise.
+/// should be usable as a re-exec worker host; it is a no-op otherwise.
 pub fn run_worker_if_requested() {
     if std::env::var_os(WORKER_ENV).is_some_and(|value| value == "1") {
         worker_main();
+    }
+    if std::env::var_os(crate::cluster::CLUSTER_SHARD_ENV).is_some_and(|value| value == "1") {
+        crate::cluster::shard_worker_main();
     }
 }
 
@@ -906,8 +930,9 @@ fn run_job(job: JobFrame) -> WireOutcome {
 /// Spawns the heartbeat thread once per worker process: every `interval`
 /// it writes a heartbeat frame — unless the fault library's mute flag is
 /// set, which is exactly how [`HostileMode::Mute`] simulates a worker
-/// that is alive but looks dead.
-fn ensure_heartbeats(stdout: &Arc<Mutex<std::io::Stdout>>, interval: Duration) {
+/// that is alive but looks dead. (Shared with cluster shard workers —
+/// a process is one kind of worker or the other, never both.)
+pub(crate) fn ensure_heartbeats(stdout: &Arc<Mutex<std::io::Stdout>>, interval: Duration) {
     static STARTED: OnceLock<()> = OnceLock::new();
     let stdout = Arc::clone(stdout);
     STARTED.get_or_init(move || {

@@ -256,20 +256,21 @@ impl Default for ServiceConfig {
 /// Ticket state shared between the submitter and the worker pool. The
 /// slot is written exactly once (`complete` is idempotent, first write
 /// wins), which is what makes the exactly-one-terminal-state invariant
-/// local and checkable.
+/// local and checkable. The cluster tier (`cluster.rs`) issues the same
+/// tickets, so its cluster-wide accounting inherits the property.
 #[derive(Debug)]
-struct TicketShared {
-    id: u64,
-    priority: Priority,
-    state: Mutex<Option<Result<Arc<PipelineResult>, PipelineError>>>,
-    ready: Condvar,
+pub(crate) struct TicketShared {
+    pub(crate) id: u64,
+    pub(crate) priority: Priority,
+    pub(crate) state: Mutex<Option<Result<Arc<PipelineResult>, PipelineError>>>,
+    pub(crate) ready: Condvar,
 }
 
 impl TicketShared {
     /// Records the terminal state if none exists yet. Returns whether
     /// this call was the one that completed the ticket — counters must
     /// only advance on `true`, so no outcome is ever double-counted.
-    fn complete(&self, outcome: Result<Arc<PipelineResult>, PipelineError>) -> bool {
+    pub(crate) fn complete(&self, outcome: Result<Arc<PipelineResult>, PipelineError>) -> bool {
         let mut state = lock(&self.state);
         if state.is_some() {
             return false;
@@ -285,7 +286,7 @@ impl TicketShared {
 /// deadline shed, or a drain flush.
 #[derive(Debug, Clone)]
 pub struct Ticket {
-    shared: Arc<TicketShared>,
+    pub(crate) shared: Arc<TicketShared>,
 }
 
 impl Ticket {

@@ -1,0 +1,237 @@
+//! Chaos-prove the sharded cluster tier: serve a seeded mixed-priority
+//! load across 4 shard processes while a seeded [`KillPlan`] `kill -9`s
+//! shards mid-flight, then assert the cluster's robustness invariants
+//! held end to end:
+//!
+//! * **zero lost tickets** — every accepted request completes with a
+//!   result despite the kills (victims re-answered via ring-successor
+//!   failover), and `completed_ok + failed + shed + flushed == accepted`
+//!   balances exactly once;
+//! * **continuous availability** — a probe submitted right after each
+//!   kill is admitted and answered; the cluster never stops serving;
+//! * **recovery** — every killed shard respawns and rewarms from its
+//!   per-shard `ResultStore` segment, all four shards are live at exit,
+//!   and an offline `ResultStore::verify` scan finds zero corrupt
+//!   records in any segment;
+//! * **quarantine integrity** — a fingerprint tombstoned before the
+//!   chaos is never served from cached state by any shard, before or
+//!   after the kills.
+//!
+//! Run with `cargo run --example cluster_chaos`. The default window is a
+//! few hundred milliseconds so the example suite stays fast; CI's
+//! dedicated chaos job sets `ASCEND_CHAOS_MS` to stretch the same
+//! invariants over a longer window. Both the load and the kill schedule
+//! replay exactly from the printed seed (`ASCEND_CHAOS_SEED`).
+
+use ascend::arch::ChipSpec;
+use ascend::faults::{KillPlan, LoadProfile};
+use ascend::ops::OpSpec;
+use ascend::pipeline::{
+    ClusterConfig, ClusterService, Priority, ResultStore, SandboxConfig, Ticket,
+};
+use std::time::{Duration, Instant};
+
+const SHARDS: usize = 4;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// A unique (never cache-hitting) operator spec per arrival.
+fn unique_spec(index: u64) -> OpSpec {
+    OpSpec::add_relu((1 << 12) + index * 257)
+}
+
+fn main() {
+    // Shards are hosted by re-executing this very binary: dispatch to
+    // the worker loop before doing anything else.
+    ascend::pipeline::run_worker_if_requested();
+
+    let window = Duration::from_millis(env_u64("ASCEND_CHAOS_MS", 400));
+    let seed = env_u64("ASCEND_CHAOS_SEED", 0xC1A0_50F1);
+    let cache_dir =
+        std::env::temp_dir().join(format!("ascend-cluster-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&cache_dir).expect("cache dir");
+    println!("cluster chaos: {SHARDS} shards, {window:?} window, seed {seed:#x}");
+
+    let cluster = ClusterService::start(
+        ChipSpec::training(),
+        ClusterConfig {
+            shards: SHARDS,
+            queue_capacity: 1024,
+            // Generous failover budget: with staggered kills, a request
+            // may lose more than one host before it lands.
+            max_failovers: 4,
+            respawn_backoff: Duration::from_millis(10),
+            respawn_backoff_max: Duration::from_millis(250),
+            seed,
+            store_dir: Some(cache_dir.clone()),
+            sandbox: SandboxConfig {
+                heartbeat_interval: Duration::from_millis(15),
+                heartbeat_timeout: Duration::from_millis(500),
+                wall_clock_limit: Duration::from_secs(10),
+                ..SandboxConfig::default()
+            },
+            ..ClusterConfig::default()
+        },
+    )
+    .expect("cluster start");
+
+    // One merged timeline: Poisson arrivals (mixed priority) and
+    // Poisson-spaced staggered SIGKILLs, both derived from the seed.
+    let load = LoadProfile::new(seed, 400.0, window).with_interactive_fraction(0.5);
+    // "KILL" in ASCII decorrelates the kill stream from the load stream.
+    let kills = KillPlan::new(seed ^ 0x4B49_4C4C, SHARDS, window / 4, window);
+    let arrivals = load.schedule();
+    let kill_events = kills.schedule();
+    println!("schedule: {} arrivals, {} kills", arrivals.len(), kill_events.len());
+    // Index layout keeps every spec distinct: 0..arrivals for the load,
+    // then one per kill probe, then one for the quarantined fingerprint.
+    let probe_base = arrivals.len() as u64;
+    let poisoned_index = probe_base + kill_events.len() as u64;
+
+    // Quarantine setup: compute one fingerprint everywhere-visible, then
+    // tombstone it cluster-wide before any chaos. It is re-submitted
+    // exactly once at the end — any cache hit in the entire run would
+    // mean a shard served it (or anything else) from stale state.
+    let poisoned = unique_spec(poisoned_index);
+    let poisoned_key = cluster.cache_key(&poisoned.into());
+    let poisoned_owner = cluster.ring().owner(poisoned_key);
+    cluster
+        .submit(poisoned, Priority::Interactive)
+        .expect("admission")
+        .wait()
+        .expect("the poisoned fingerprint computes once, cold");
+    cluster.quarantine(poisoned_key);
+    println!(
+        "quarantined fingerprint {poisoned_key:#018x} (owner shard {poisoned_owner}) before the chaos"
+    );
+
+    let start = Instant::now();
+    let mut tickets: Vec<(u64, Ticket)> = Vec::new();
+    let mut kills_landed = 0u64;
+    let mut next_kill = 0usize;
+    for (i, arrival) in arrivals.iter().enumerate() {
+        // Deliver every kill due before this arrival.
+        while next_kill < kill_events.len() && kill_events[next_kill].at <= arrival.at {
+            let target = kill_events[next_kill].shard;
+            if cluster.kill_shard(target) {
+                kills_landed += 1;
+                println!(
+                    "[{:6.1} ms] kill -9 shard {target}",
+                    kill_events[next_kill].at.as_secs_f64() * 1e3
+                );
+                // Availability probe: the cluster keeps admitting and
+                // answering right through the kill.
+                let probe_index = probe_base + next_kill as u64;
+                let probe = cluster
+                    .submit(unique_spec(probe_index), Priority::Interactive)
+                    .expect("admissions stay open during a kill");
+                tickets.push((probe_index, probe));
+            }
+            next_kill += 1;
+        }
+        if let Some(wait) = arrival.at.checked_sub(start.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        let priority = if arrival.interactive { Priority::Interactive } else { Priority::Sweep };
+        let spec = unique_spec(i as u64);
+        let ticket = cluster.submit(spec, priority).expect("admission");
+        tickets.push((i as u64, ticket));
+    }
+
+    // Zero lost tickets: every accepted request completes with a result.
+    for (index, ticket) in &tickets {
+        let result = ticket
+            .wait()
+            .unwrap_or_else(|err| panic!("ticket for spec {index} lost to the chaos: {err}"));
+        assert!(result.cycles() > 0.0);
+    }
+
+    // Recovery: every shard is live again (respawned where killed).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while cluster.health().live_shards() < SHARDS {
+        assert!(Instant::now() < deadline, "shards never all came back: {:?}", cluster.health());
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Quarantine integrity: the tombstoned fingerprint, re-submitted
+    // once after all the chaos, is recomputed — never served cached.
+    cluster
+        .submit(poisoned, Priority::Interactive)
+        .expect("admission")
+        .wait()
+        .expect("the quarantined fingerprint recomputes");
+    assert!(cluster.is_quarantined(poisoned_key));
+
+    let report = cluster.drain(Duration::from_secs(30));
+    let health = cluster.health();
+    println!(
+        "outcomes: {} accepted = {} ok + {} failed + {} shed + {} flushed; \
+         {} failovers, {} kills, {} respawns, ring generation {}",
+        health.counters.accepted,
+        health.counters.completed_ok,
+        health.counters.failed,
+        health.counters.shed_deadline,
+        health.counters.drain_flushed,
+        health.counters.failovers,
+        health.counters.kills,
+        health.counters.respawns,
+        health.ring_generation,
+    );
+    for shard in &health.shards {
+        println!(
+            "  shard {}: {} ok, {} failed, {} kills, {} respawns, {} rewarmed",
+            shard.index,
+            shard.counters.completed_ok,
+            shard.counters.failed,
+            shard.counters.kills,
+            shard.counters.respawns,
+            shard.counters.store_recovered,
+        );
+    }
+    println!(
+        "drain: flushed {} queued, quiesced in {:.1} ms",
+        report.flushed_queued,
+        report.elapsed.as_secs_f64() * 1e3
+    );
+
+    // The chaos invariants, checked at exit.
+    assert!(report.quiesced, "drain must quiesce: {report:?}");
+    assert_eq!(
+        health.counters.terminal_states(),
+        health.counters.accepted,
+        "every accepted ticket ends exactly once: {:?}",
+        health.counters
+    );
+    assert_eq!(
+        health.counters.completed_ok, health.counters.accepted,
+        "zero lost tickets — every victim was re-answered: {:?}",
+        health.counters
+    );
+    assert_eq!(
+        health.counters.cache_hits, 0,
+        "nothing was served from stale state (the only repeated fingerprint is quarantined)"
+    );
+    assert_eq!(health.counters.kills, kills_landed, "every landed SIGKILL is booked");
+    assert!(
+        health.counters.respawns >= SHARDS as u64 + kills_landed,
+        "every kill was answered with a respawn: {:?}",
+        health.counters
+    );
+
+    // Offline damage scan: every shard's segment file is clean, and the
+    // quarantined fingerprint's tombstone is durable in its owner's.
+    for index in 0..SHARDS {
+        let path = cluster.shard_store_path(index).expect("store configured");
+        let scan = ResultStore::verify(&path).expect("segment scans");
+        assert!(scan.is_clean(), "shard {index} segment is damaged: {scan}");
+        assert_eq!(scan.context, cluster.context(), "segment belongs to this cluster");
+        if index == poisoned_owner {
+            assert!(scan.tombstones >= 1, "the quarantine tombstone is durable: {scan}");
+        }
+        println!("  shard {index} segment: {scan}");
+    }
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    println!("\nall chaos invariants held ({kills_landed} kills landed)");
+}

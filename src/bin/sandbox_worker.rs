@@ -1,5 +1,8 @@
-//! Dedicated sandbox-worker host: a binary whose only job is to serve
-//! sandboxed pipeline work (see `ascend_pipeline::SandboxedExecutor`).
+//! Dedicated worker host: a binary whose only job is to serve
+//! supervised child-process work — sandbox jobs (see
+//! `ascend_pipeline::SandboxedExecutor`) or a resident cluster shard
+//! (see `ascend_pipeline::ClusterService`), depending on which marker
+//! env var the parent set.
 //!
 //! The production binaries self-host workers by re-executing themselves
 //! (their `main` calls `run_worker_if_requested` first thing). Test
@@ -10,8 +13,10 @@
 fn main() {
     ascend_pipeline::run_worker_if_requested();
     eprintln!(
-        "sandbox_worker only serves sandbox jobs; run it with {}=1 and a parent supervisor",
-        ascend_pipeline::WORKER_ENV
+        "sandbox_worker only serves supervised jobs; run it under a parent supervisor with \
+         {}=1 (sandbox worker) or {}=1 (cluster shard)",
+        ascend_pipeline::WORKER_ENV,
+        ascend_pipeline::CLUSTER_SHARD_ENV
     );
     std::process::exit(2);
 }
