@@ -80,6 +80,10 @@ impl Args {
 fn usage_exit(flag: &str) -> ! {
     eprintln!("usage: bench [--reduced] [--baseline PATH] [--budget-ms MS]");
     eprintln!("       bench store verify [--context HEX] PATH...");
+    eprintln!(
+        "       bench chaos [--seeds N] [--seed HEX] [--duration-ms MS] [--shards N] \
+         [--gap-bound-ms MS] [--canary] [--keep i,j,...]"
+    );
     eprintln!("unrecognized or malformed: {flag}");
     std::process::exit(2);
 }
@@ -438,6 +442,9 @@ fn run() -> Result<(), Box<dyn Error>> {
             other => usage_exit(other.unwrap_or("store needs a subcommand (verify)")),
         }
     }
+    if argv.first().map(String::as_str) == Some("chaos") {
+        return ascend_bench::run_chaos(&argv[1..]);
+    }
     let args = Args::parse();
     header("BENCH_1", "hot-path engine throughput: arena engine vs seed engine");
 
@@ -527,6 +534,9 @@ fn run() -> Result<(), Box<dyn Error>> {
 }
 
 fn main() {
+    // `bench chaos` clusters re-exec this very binary as their shard
+    // workers; in the ordinary invocation this is a no-op.
+    ascend_pipeline::run_worker_if_requested();
     if let Err(err) = run() {
         eprintln!("bench failed: {}", error_chain(err.as_ref()));
         std::process::exit(1);

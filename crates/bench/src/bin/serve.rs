@@ -75,10 +75,11 @@ impl Args {
             queue: 16,
             chaos: 0.1,
             sandboxed: false,
-            cluster: std::env::var("ASCEND_CLUSTER_SHARDS")
-                .ok()
-                .and_then(|v| v.trim().parse().ok())
-                .filter(|&n| n >= 1),
+            cluster: ascend_bench::env_knob::<usize>(
+                "ASCEND_CLUSTER_SHARDS",
+                "a shard count (integer >= 1)",
+            )
+            .filter(|&n| n >= 1),
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;

@@ -1,0 +1,80 @@
+//! Centralized parsing of the `ASCEND_*` environment knobs.
+//!
+//! Every binary used to hand-roll its own `std::env::var(..).parse()`
+//! with its own (often silent) failure policy: a typo like
+//! `ASCEND_CLUSTER_SHARDS=abc` would quietly fall back to the default
+//! and the operator would never learn their knob was ignored. All knob
+//! reads now go through [`env_knob`], which makes malformed values loud
+//! and fatal, or [`parse_env`], the pure fallible core for callers that
+//! want to decide the failure policy themselves.
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// Reads and parses the environment variable `name`.
+///
+/// * unset (or not valid Unicode) → `Ok(None)`;
+/// * set and parsable as `T` (after trimming) → `Ok(Some(value))`;
+/// * set but malformed → `Err` with a message naming the variable, the
+///   offending value, and `expected` (e.g. `"a shard count (integer >= 1)"`).
+///
+/// # Errors
+///
+/// Returns a human-readable description when the variable is set but
+/// does not parse as `T`.
+pub fn parse_env<T: FromStr>(name: &str, expected: &str) -> Result<Option<T>, String>
+where
+    T::Err: Display,
+{
+    let Ok(raw) = std::env::var(name) else { return Ok(None) };
+    match raw.trim().parse::<T>() {
+        Ok(value) => Ok(Some(value)),
+        Err(err) => Err(format!("malformed {name}={raw:?}: {err}; expected {expected}")),
+    }
+}
+
+/// [`parse_env`] with the loud failure policy every binary shares: a
+/// malformed knob prints the error to stderr and exits with status 2
+/// (the same code the CLI parsers use for bad flags) instead of being
+/// silently ignored.
+#[must_use]
+pub fn env_knob<T: FromStr>(name: &str, expected: &str) -> Option<T>
+where
+    T::Err: Display,
+{
+    match parse_env(name, expected) {
+        Ok(value) => value,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_is_none() {
+        assert_eq!(parse_env::<u64>("ASCEND_TEST_UNSET_KNOB", "an integer"), Ok(None));
+    }
+
+    #[test]
+    fn set_values_parse_with_trimming() {
+        // Env mutation is process-global; this test owns its unique names.
+        std::env::set_var("ASCEND_TEST_U64_KNOB", " 42 ");
+        assert_eq!(parse_env::<u64>("ASCEND_TEST_U64_KNOB", "an integer"), Ok(Some(42)));
+        std::env::set_var("ASCEND_TEST_F64_KNOB", "0.25");
+        assert_eq!(parse_env::<f64>("ASCEND_TEST_F64_KNOB", "a fraction"), Ok(Some(0.25)));
+    }
+
+    #[test]
+    fn malformed_values_error_loudly() {
+        std::env::set_var("ASCEND_TEST_BAD_KNOB", "abc");
+        let err = parse_env::<u64>("ASCEND_TEST_BAD_KNOB", "a shard count").unwrap_err();
+        assert!(err.contains("ASCEND_TEST_BAD_KNOB"), "{err}");
+        assert!(err.contains("abc"), "{err}");
+        assert!(err.contains("a shard count"), "{err}");
+    }
+}

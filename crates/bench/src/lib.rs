@@ -15,6 +15,12 @@
 //! are cache hits and every binary can print the pipeline's
 //! instrumentation footer.
 
+pub mod chaos;
+pub mod env;
+
+pub use chaos::run_chaos;
+pub use env::{env_knob, parse_env};
+
 use ascend_arch::ChipSpec;
 use ascend_ops::Operator;
 use ascend_pipeline::{AnalysisPipeline, AuditPolicy, BatchJournal, RunPolicy};
@@ -53,7 +59,10 @@ static PIPELINES: OnceLock<Mutex<Vec<AnalysisPipeline>>> = OnceLock::new();
 /// results are shadow re-executed on the reference oracle before they
 /// are served, a divergent result is quarantined and re-answered by the
 /// oracle, and the footer grows an `audit:` line. `0` disables auditing
-/// explicitly; an unparsable value warns and is ignored.
+/// explicitly.
+///
+/// Malformed knob values are fatal (see [`env_knob`]): a typo exits
+/// with status 2 instead of silently running with the default.
 #[must_use]
 pub fn pipeline_for(chip: &ChipSpec) -> AnalysisPipeline {
     let registry = PIPELINES.get_or_init(|| Mutex::new(Vec::new()));
@@ -88,8 +97,8 @@ pub fn pipeline_for(chip: &ChipSpec) -> AnalysisPipeline {
 }
 
 /// The audit policy selected by `ASCEND_AUDIT_RATE` (a sampling
-/// fraction in 0..=1): `None` when the variable is unset, unparsable
-/// (warns), or zero. [`pipeline_for`] attaches it inline; the serve
+/// fraction in 0..=1): `None` when the variable is unset or zero; a
+/// malformed value is fatal. [`pipeline_for`] attaches it inline; the serve
 /// binary passes it to [`ServiceConfig::audit`] for deferred slack-time
 /// auditing instead.
 ///
@@ -130,25 +139,11 @@ pub fn run_policy() -> RunPolicy {
 }
 
 fn env_u64(name: &str) -> Option<u64> {
-    let raw = std::env::var(name).ok()?;
-    match raw.trim().parse() {
-        Ok(value) => Some(value),
-        Err(_) => {
-            eprintln!("warning: ignoring unparsable {name}={raw:?}");
-            None
-        }
-    }
+    env_knob(name, "an unsigned integer")
 }
 
 fn env_f64(name: &str) -> Option<f64> {
-    let raw = std::env::var(name).ok()?;
-    match raw.trim().parse() {
-        Ok(value) => Some(value),
-        Err(_) => {
-            eprintln!("warning: ignoring unparsable {name}={raw:?}");
-            None
-        }
-    }
+    env_knob(name, "a number")
 }
 
 /// Simulates `op` on `chip` and returns its profile, trace, and analysis.

@@ -19,7 +19,7 @@
 use crate::rng::SplitMix64;
 
 /// Deterministic duration-perturbation model for served traces.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct BuggyEngine {
     /// Seed of every draw.
     pub seed: u64,

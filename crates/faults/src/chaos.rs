@@ -1,0 +1,381 @@
+//! One-seed, cross-tier chaos scheduling with replay and minimization.
+//!
+//! Every fault injector in this crate is individually seeded — kills
+//! ([`KillPlan`]), at-rest disk corruption ([`DiskFault`]), wire faults
+//! ([`WireFaultPlan`](crate::WireFaultPlan)), load ([`LoadProfile`]) and
+//! silent result skew ([`BuggyEngine`]). [`ChaosSchedule`] composes them:
+//! **one** SplitMix64 seed expands deterministically into a coordinated
+//! timeline across every tier at once, so a chaos run is reproducible from
+//! a single printed number.
+//!
+//! When a run violates an invariant, [`ddmin`] delta-debugs the fault list
+//! down to a minimal reproducing subsequence; [`ChaosSchedule::subset`]
+//! replays exactly those events (load is never minimized away — it is the
+//! workload, not a fault).
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::killplan::KillEvent;
+use crate::rng::SplitMix64;
+use crate::wire::{WireFaultEvent, WireFaultPlan};
+use crate::{BuggyEngine, DiskFault, KillPlan, LoadProfile};
+
+/// Tunables for expanding a [`ChaosSchedule`] from one seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// Cluster width the schedule targets.
+    pub shards: usize,
+    /// Length of the chaos window (load, kills and disk faults all land
+    /// inside it).
+    pub duration: Duration,
+    /// Mean job arrival rate of the generated load.
+    pub mean_rate_hz: f64,
+    /// Approximate number of shard kills over the window.
+    pub kills: usize,
+    /// Number of wire-fault events drawn.
+    pub wire_events: usize,
+    /// Number of at-rest disk faults drawn (each lands on a shard's store
+    /// segment right after that shard is killed — a crash plus a sick
+    /// medium).
+    pub disk_events: usize,
+    /// Probability the schedule includes a [`BuggyEngine`] skew event.
+    /// Defaults to zero: the cluster tier has no online auditor, so a
+    /// buggy engine is a *guaranteed* bit-identity violation — it is the
+    /// canary, not background noise.
+    pub buggy_chance: f64,
+    /// Stall length drawn for [`WireFault::Stall`](crate::WireFault::Stall)
+    /// events; pick it above the supervisor's heartbeat timeout.
+    pub stall_ms: u64,
+}
+
+impl ChaosConfig {
+    /// Defaults sized for a short CI-friendly window.
+    #[must_use]
+    pub fn new(shards: usize, duration: Duration) -> Self {
+        ChaosConfig {
+            shards: shards.max(1),
+            duration,
+            mean_rate_hz: 250.0,
+            kills: 3,
+            wire_events: 4,
+            disk_events: 2,
+            buggy_chance: 0.0,
+            stall_ms: 600,
+        }
+    }
+}
+
+/// One event in a chaos schedule's fault timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChaosFault {
+    /// `kill -9` a shard's worker process at `at`.
+    Kill {
+        /// Offset from the start of the run.
+        at: Duration,
+        /// Target shard.
+        shard: usize,
+    },
+    /// Kill a shard at `at` and corrupt its store segment at rest before
+    /// it respawns — a crash landing on a sick medium.
+    Disk {
+        /// Offset from the start of the run.
+        at: Duration,
+        /// Target shard.
+        shard: usize,
+        /// At-rest corruption applied to the shard's segment file.
+        fault: DiskFault,
+    },
+    /// A byte-level wire fault (see [`WireFaultEvent`]).
+    Wire(WireFaultEvent),
+    /// Arm a silently-wrong engine on every shard for the whole run.
+    Buggy {
+        /// Seed of the skew draws.
+        seed: u64,
+        /// Maximum relative duration skew.
+        magnitude: f64,
+    },
+}
+
+impl fmt::Display for ChaosFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosFault::Kill { at, shard } => {
+                write!(f, "kill shard={shard} at={}ms", at.as_millis())
+            }
+            ChaosFault::Disk { at, shard, fault } => {
+                write!(f, "disk shard={shard} at={}ms {fault:?}", at.as_millis())
+            }
+            ChaosFault::Wire(event) => write!(f, "{event}"),
+            ChaosFault::Buggy { seed, magnitude } => {
+                write!(f, "buggy-engine seed={seed:#018x} magnitude={magnitude}")
+            }
+        }
+    }
+}
+
+/// A deterministic cross-tier chaos timeline expanded from one seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosSchedule {
+    /// The seed everything derives from.
+    pub seed: u64,
+    /// The workload driven alongside the faults (never minimized away).
+    pub load: LoadProfile,
+    /// The fault timeline; indices into this list are what replay's
+    /// `--keep` and [`ddmin`] operate on.
+    pub faults: Vec<ChaosFault>,
+}
+
+impl ChaosSchedule {
+    /// Expands `seed` into a full schedule under `config`. Same seed and
+    /// config, same schedule — byte for byte.
+    #[must_use]
+    pub fn expand(seed: u64, config: &ChaosConfig) -> Self {
+        let load = LoadProfile::new(
+            seed ^ 0x4C4F_4144_u64, // "LOAD"
+            config.mean_rate_hz,
+            config.duration,
+        )
+        .with_burst(config.duration / 4, config.duration / 8, 4.0);
+
+        let mut faults = Vec::new();
+        if config.kills > 0 {
+            let interval =
+                config.duration.div_f64(config.kills as f64).max(Duration::from_millis(1));
+            let plan = KillPlan::new(seed ^ 0x4B49_4C4C, config.shards, interval, config.duration);
+            for kill in plan.schedule() {
+                faults.push(ChaosFault::Kill { at: kill.at, shard: kill.shard });
+            }
+        }
+        let mut rng = SplitMix64::new(seed ^ 0x4449_534B); // "DISK"
+        for _ in 0..config.disk_events {
+            faults.push(ChaosFault::Disk {
+                at: config.duration.mul_f64(rng.unit_f64()),
+                shard: rng.below(config.shards as u64) as usize,
+                fault: random_disk_fault(&mut rng),
+            });
+        }
+        for event in
+            WireFaultPlan::expand(seed, config.shards, config.wire_events, config.stall_ms).events
+        {
+            faults.push(ChaosFault::Wire(event));
+        }
+        let mut rng = SplitMix64::new(seed ^ 0x4255_4747); // "BUGG"
+        if config.buggy_chance > 0.0 && rng.chance(config.buggy_chance) {
+            faults.push(ChaosFault::Buggy { seed: rng.next_u64(), magnitude: 1e-3 });
+        }
+        ChaosSchedule { seed, load, faults }
+    }
+
+    /// Appends a fault (used to arm the canary defect).
+    #[must_use]
+    pub fn with_fault(mut self, fault: ChaosFault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// The schedule restricted to the fault indices in `keep` (load is
+    /// retained in full). Out-of-range indices are ignored; order follows
+    /// the original timeline, not `keep`.
+    #[must_use]
+    pub fn subset(&self, keep: &[usize]) -> ChaosSchedule {
+        let faults = self
+            .faults
+            .iter()
+            .enumerate()
+            .filter(|(index, _)| keep.contains(index))
+            .map(|(_, fault)| *fault)
+            .collect();
+        ChaosSchedule { seed: self.seed, load: self.load.clone(), faults }
+    }
+
+    /// The kill events, in timeline order.
+    #[must_use]
+    pub fn kills(&self) -> Vec<KillEvent> {
+        self.faults
+            .iter()
+            .filter_map(|fault| match fault {
+                ChaosFault::Kill { at, shard } => Some(KillEvent { at: *at, shard: *shard }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The kill-then-corrupt disk events.
+    #[must_use]
+    pub fn disk_faults(&self) -> Vec<(Duration, usize, DiskFault)> {
+        self.faults
+            .iter()
+            .filter_map(|fault| match fault {
+                ChaosFault::Disk { at, shard, fault } => Some((*at, *shard, *fault)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The wire-fault plan covering the kept wire events, if any.
+    #[must_use]
+    pub fn wire_plan(&self) -> Option<WireFaultPlan> {
+        let events: Vec<WireFaultEvent> = self
+            .faults
+            .iter()
+            .filter_map(|fault| match fault {
+                ChaosFault::Wire(event) => Some(*event),
+                _ => None,
+            })
+            .collect();
+        if events.is_empty() {
+            None
+        } else {
+            Some(WireFaultPlan::from_events(self.seed, events))
+        }
+    }
+
+    /// The armed buggy engine, if the schedule carries one.
+    #[must_use]
+    pub fn buggy(&self) -> Option<BuggyEngine> {
+        self.faults.iter().find_map(|fault| match fault {
+            ChaosFault::Buggy { seed, magnitude } => {
+                Some(BuggyEngine::new(*seed).with_magnitude(*magnitude))
+            }
+            _ => None,
+        })
+    }
+}
+
+fn random_disk_fault(rng: &mut SplitMix64) -> DiskFault {
+    match rng.below(5) {
+        0 => DiskFault::TruncateTailBytes(1 + rng.below(200)),
+        1 => DiskFault::DropTailLines(1 + rng.below(2) as usize),
+        2 => DiskFault::DuplicateTailLine,
+        3 => DiskFault::FlipBits { offset: rng.below(2048), mask: 1u8 << rng.below(8) },
+        _ => DiskFault::AppendGarbage { len: 16 + rng.below(112) as usize, seed: rng.next_u64() },
+    }
+}
+
+/// Delta-debugs a failing index set `0..n` down to a minimal failing
+/// subset. `fails(keep)` must return true when replaying only the events
+/// at `keep` still reproduces the violation; the full set is assumed
+/// failing. The result is 1-minimal with respect to the probes performed
+/// (for flaky, timing-dependent failures it is a best effort: a probe that
+/// happens not to reproduce keeps its events).
+pub fn ddmin(n: usize, mut fails: impl FnMut(&[usize]) -> bool) -> Vec<usize> {
+    let mut current: Vec<usize> = (0..n).collect();
+    if current.len() < 2 {
+        return current;
+    }
+    let mut granularity = 2usize;
+    loop {
+        let chunk_len = current.len().div_ceil(granularity);
+        let chunks: Vec<Vec<usize>> = current.chunks(chunk_len).map(<[usize]>::to_vec).collect();
+        let mut reduced = false;
+        for chunk in &chunks {
+            if chunk.len() < current.len() && fails(chunk) {
+                current = chunk.clone();
+                granularity = 2;
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced && chunks.len() > 2 {
+            for skip in 0..chunks.len() {
+                let complement: Vec<usize> = chunks
+                    .iter()
+                    .enumerate()
+                    .filter(|(index, _)| *index != skip)
+                    .flat_map(|(_, chunk)| chunk.iter().copied())
+                    .collect();
+                if complement.len() < current.len() && fails(&complement) {
+                    current = complement;
+                    granularity = granularity.saturating_sub(1).max(2);
+                    reduced = true;
+                    break;
+                }
+            }
+        }
+        if reduced {
+            if current.len() < 2 {
+                return current;
+            }
+            continue;
+        }
+        if granularity >= current.len() {
+            return current;
+        }
+        granularity = (granularity * 2).min(current.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_is_deterministic_and_seed_sensitive() {
+        let config = ChaosConfig::new(2, Duration::from_millis(400));
+        let a = ChaosSchedule::expand(0xBEEF, &config);
+        let b = ChaosSchedule::expand(0xBEEF, &config);
+        assert_eq!(a, b);
+        let c = ChaosSchedule::expand(0xBEF0, &config);
+        assert_ne!(a, c);
+        assert_eq!(a.disk_faults().len(), config.disk_events);
+        assert_eq!(a.wire_plan().map_or(0, |plan| plan.events.len()), config.wire_events);
+        assert!(a.buggy().is_none(), "buggy_chance defaults to zero");
+    }
+
+    #[test]
+    fn subset_keeps_timeline_order_and_load() {
+        let config = ChaosConfig::new(2, Duration::from_millis(400));
+        let full = ChaosSchedule::expand(7, &config);
+        assert!(full.faults.len() >= 3, "need a few events to subset");
+        let keep = [2usize, 0];
+        let sub = full.subset(&keep);
+        assert_eq!(sub.faults.len(), 2);
+        assert_eq!(sub.faults[0], full.faults[0], "timeline order, not keep order");
+        assert_eq!(sub.faults[1], full.faults[2]);
+        assert_eq!(sub.load, full.load, "load is never minimized away");
+        assert_eq!(full.subset(&[]).faults.len(), 0);
+    }
+
+    #[test]
+    fn canary_fault_is_visible_through_accessors() {
+        let config = ChaosConfig::new(1, Duration::from_millis(100));
+        let schedule = ChaosSchedule::expand(1, &config)
+            .with_fault(ChaosFault::Buggy { seed: 99, magnitude: 1e-3 });
+        let bug = schedule.buggy().expect("canary armed");
+        assert_eq!(bug.seed, 99);
+        assert_eq!(bug.rate, 1.0);
+    }
+
+    #[test]
+    fn ddmin_finds_a_single_culprit() {
+        let mut probes = 0;
+        let minimal = ddmin(16, |keep| {
+            probes += 1;
+            keep.contains(&11)
+        });
+        assert_eq!(minimal, vec![11]);
+        assert!(probes < 64, "ddmin should converge quickly, used {probes}");
+    }
+
+    #[test]
+    fn ddmin_finds_an_interacting_pair() {
+        let minimal = ddmin(12, |keep| keep.contains(&3) && keep.contains(&9));
+        assert_eq!(minimal, vec![3, 9]);
+    }
+
+    #[test]
+    fn ddmin_handles_degenerate_sizes() {
+        assert_eq!(ddmin(0, |_| true), Vec::<usize>::new());
+        assert_eq!(ddmin(1, |_| true), vec![0]);
+    }
+
+    #[test]
+    fn fault_display_is_printable() {
+        let config = ChaosConfig::new(2, Duration::from_millis(300));
+        let schedule = ChaosSchedule::expand(5, &config);
+        for fault in &schedule.faults {
+            assert!(!fault.to_string().is_empty());
+        }
+    }
+}

@@ -33,6 +33,7 @@
 //! so any fuzzer failure reproduces from its printed seed.
 
 mod buggy;
+mod chaos;
 mod disk;
 mod harness;
 mod hostile;
@@ -40,10 +41,12 @@ mod killplan;
 mod loadgen;
 mod plan;
 mod rng;
+mod wire;
 
 pub mod generator;
 
 pub use buggy::BuggyEngine;
+pub use chaos::{ddmin, ChaosConfig, ChaosFault, ChaosSchedule};
 pub use disk::{corrupt_file, DiskFault, DiskFile, FaultyFile};
 pub use harness::{corrupt_journal, JournalFault, PanicSwitch};
 pub use hostile::{
@@ -54,3 +57,7 @@ pub use killplan::{KillEvent, KillPlan};
 pub use loadgen::{Arrival, Burst, FaultedOperator, LoadProfile, PanicOperator};
 pub use plan::{BandwidthFault, FaultPlan};
 pub use rng::SplitMix64;
+pub use wire::{
+    FaultyTransport, WireAction, WireDirection, WireFault, WireFaultEvent, WireFaultPlan,
+    WireShaper,
+};

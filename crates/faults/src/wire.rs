@@ -1,0 +1,459 @@
+//! Seeded byte-level fault injection for the framed worker wire protocol.
+//!
+//! The pipeline crate frames every parent↔worker exchange (jobs, outcomes,
+//! heartbeats) as self-delimiting byte images. This module supplies a
+//! transport-agnostic fault vocabulary that operates on **whole frame
+//! images** — it deliberately knows nothing about the frame layout beyond
+//! "the caller hands me one frame at a time". That keeps the dependency
+//! arrow pointing the right way: the pipeline depends on this crate, never
+//! the reverse.
+//!
+//! A [`WireFaultPlan`] expands one SplitMix64 seed into a deterministic set
+//! of [`WireFaultEvent`]s. A [`FaultyTransport`] turns the plan into a pair
+//! of shared [`WireShaper`]s (one per direction) for a single shard. The
+//! shapers are intended to be held by the *supervisor* and shared across
+//! worker respawns so each scheduled event fires at most once globally —
+//! a torn stream kills one connection, not every future respawn.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::rng::SplitMix64;
+
+/// Which side of the pipe a fault applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum WireDirection {
+    /// Parent → worker (job frames written to the child's stdin).
+    ToWorker,
+    /// Worker → parent (outcome/heartbeat frames read from the child's stdout).
+    FromWorker,
+}
+
+impl fmt::Display for WireDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireDirection::ToWorker => write!(f, "to-worker"),
+            WireDirection::FromWorker => write!(f, "from-worker"),
+        }
+    }
+}
+
+/// One byte-level fault applied to a single frame image in flight.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum WireFault {
+    /// Ship only the first `keep` bytes of the frame, then cut the stream
+    /// (the receiver observes a short write / EOF mid-frame).
+    Tear {
+        /// Number of leading bytes that still make it onto the wire.
+        keep: u32,
+    },
+    /// Flip a single bit somewhere in the frame image (header, payload, or
+    /// digest — the offset is reduced modulo the frame length).
+    BitFlip {
+        /// Absolute bit index; reduced modulo `len * 8` at apply time.
+        bit: u64,
+    },
+    /// Ship the frame twice back to back.
+    Duplicate,
+    /// Hold the frame and ship it after the next frame (a reorder); if no
+    /// later frame arrives the held frame is lost with the connection.
+    Reorder,
+    /// Sleep before shipping the frame — long stalls trip the receiver's
+    /// heartbeat/wall-clock supervision.
+    Stall {
+        /// Stall duration in milliseconds.
+        millis: u64,
+    },
+    /// Prepend `len` bytes of seeded garbage (never a valid frame magic)
+    /// ahead of the intact frame.
+    Garbage {
+        /// Number of garbage bytes interleaved ahead of the frame.
+        len: u32,
+    },
+}
+
+impl fmt::Display for WireFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireFault::Tear { keep } => write!(f, "tear(keep={keep})"),
+            WireFault::BitFlip { bit } => write!(f, "bit-flip(bit={bit})"),
+            WireFault::Duplicate => write!(f, "duplicate"),
+            WireFault::Reorder => write!(f, "reorder"),
+            WireFault::Stall { millis } => write!(f, "stall({millis}ms)"),
+            WireFault::Garbage { len } => write!(f, "garbage({len}B)"),
+        }
+    }
+}
+
+/// A fault scheduled against the `nth` countable frame crossing one shard's
+/// pipe in one direction.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WireFaultEvent {
+    /// Shard (or sandbox worker slot) the fault targets.
+    pub shard: usize,
+    /// Pipe direction the fault applies to.
+    pub direction: WireDirection,
+    /// Zero-based index of the countable frame the fault fires on.
+    /// Heartbeat frames never advance the count — their cadence is
+    /// timing-dependent and would break seed-replay determinism.
+    pub nth: u64,
+    /// The byte-level fault to apply.
+    pub fault: WireFault,
+}
+
+impl fmt::Display for WireFaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire shard={} {} frame#{} {}", self.shard, self.direction, self.nth, self.fault)
+    }
+}
+
+/// A deterministic, seed-derived collection of wire faults.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WireFaultPlan {
+    /// Seed the plan (and its shapers' garbage bytes) derive from.
+    pub seed: u64,
+    /// The scheduled fault events.
+    pub events: Vec<WireFaultEvent>,
+}
+
+impl WireFaultPlan {
+    /// Builds a plan from an explicit event list (used by replay and by
+    /// [`ChaosSchedule`](crate::ChaosSchedule) subsets).
+    pub fn from_events(seed: u64, events: Vec<WireFaultEvent>) -> Self {
+        WireFaultPlan { seed, events }
+    }
+
+    /// Expands `count` random fault events across `shards` shards and both
+    /// directions from one seed. Stalls draw up to `stall_ms` milliseconds;
+    /// pick that above the receiver's heartbeat timeout to guarantee the
+    /// stall is observable as `WorkerHung`.
+    pub fn expand(seed: u64, shards: usize, count: usize, stall_ms: u64) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0x5749_5245_5741_5645); // "WIREWAVE"
+        let events = (0..count).map(|_| random_event(&mut rng, shards, stall_ms)).collect();
+        WireFaultPlan { seed, events }
+    }
+
+    /// Returns the shaper for one shard/direction pair, seeded so its
+    /// garbage bytes are reproducible. Events targeting other shards or the
+    /// other direction are ignored by the shaper.
+    pub fn shaper(&self, shard: usize, direction: WireDirection) -> WireShaper {
+        let dir_salt = match direction {
+            WireDirection::ToWorker => 0x544F_u64,
+            WireDirection::FromWorker => 0x4652_u64,
+        };
+        let faults = self
+            .events
+            .iter()
+            .filter(|event| event.shard == shard && event.direction == direction)
+            .map(|event| (event.nth, event.fault))
+            .collect();
+        WireShaper {
+            faults,
+            sent: 0,
+            held: None,
+            rng: SplitMix64::new(self.seed ^ dir_salt ^ (shard as u64).wrapping_mul(0x9E37)),
+        }
+    }
+}
+
+/// Draws one random [`WireFaultEvent`] from the generator stream.
+fn random_event(rng: &mut SplitMix64, shards: usize, stall_ms: u64) -> WireFaultEvent {
+    let shard = rng.below(shards.max(1) as u64) as usize;
+    let direction =
+        if rng.chance(0.5) { WireDirection::ToWorker } else { WireDirection::FromWorker };
+    // Early frames so faults actually fire inside short chaos windows.
+    let nth = rng.below(4);
+    let fault = match rng.below(6) {
+        0 => WireFault::Tear { keep: rng.below(64) as u32 },
+        1 => WireFault::BitFlip { bit: rng.below(4096) },
+        2 => WireFault::Duplicate,
+        3 => WireFault::Reorder,
+        4 => WireFault::Stall { millis: stall_ms.max(1) },
+        _ => WireFault::Garbage { len: 8 + rng.below(56) as u32 },
+    };
+    WireFaultEvent { shard, direction, nth, fault }
+}
+
+/// What a transport must do with one shaped frame: optionally sleep, write
+/// the chunks in order, and optionally cut the connection afterwards.
+///
+/// `cut` applies to the **connection**, never to the shaper — a respawned
+/// worker gets a fresh, healthy stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireAction {
+    /// Sleep this long before writing anything (performed by the caller,
+    /// outside any lock).
+    pub stall: Option<Duration>,
+    /// Byte chunks to ship, in order.
+    pub chunks: Vec<Vec<u8>>,
+    /// Close the stream after shipping the chunks.
+    pub cut: bool,
+}
+
+impl WireAction {
+    fn pass(frame: Vec<u8>) -> Self {
+        WireAction { stall: None, chunks: vec![frame], cut: false }
+    }
+}
+
+/// Stateful per-direction frame shaper. Feed it whole frame images via
+/// [`shape`](WireShaper::shape); it applies any fault scheduled for that
+/// frame index and returns the bytes to put on the wire.
+#[derive(Debug)]
+pub struct WireShaper {
+    faults: Vec<(u64, WireFault)>,
+    sent: u64,
+    held: Option<Vec<u8>>,
+    rng: SplitMix64,
+}
+
+impl WireShaper {
+    /// A shaper with exactly one fault armed for the first countable frame.
+    /// Used by the hostile-mode facade and tests.
+    pub fn single(fault: WireFault) -> Self {
+        WireShaper {
+            faults: vec![(0, fault)],
+            sent: 0,
+            held: None,
+            rng: SplitMix64::new(0x0511_6C3F_AC3D_0001),
+        }
+    }
+
+    /// Shapes one frame image. `countable` must be false for heartbeat
+    /// frames: they pass through un-faulted and do not advance the frame
+    /// counter (their cadence is wall-clock dependent), but they still
+    /// release a frame held by a pending [`WireFault::Reorder`].
+    pub fn shape(&mut self, frame: Vec<u8>, countable: bool) -> WireAction {
+        let fault = if countable {
+            let nth = self.sent;
+            self.sent += 1;
+            self.faults.iter().find(|(at, _)| *at == nth).map(|(_, fault)| *fault)
+        } else {
+            None
+        };
+        let mut action = match fault {
+            None => WireAction::pass(frame),
+            Some(WireFault::Tear { keep }) => {
+                let keep = (keep as usize).min(frame.len());
+                WireAction { stall: None, chunks: vec![frame[..keep].to_vec()], cut: true }
+            }
+            Some(WireFault::BitFlip { bit }) => {
+                let mut frame = frame;
+                if !frame.is_empty() {
+                    let bit = (bit % (frame.len() as u64 * 8)) as usize;
+                    frame[bit / 8] ^= 1 << (bit % 8);
+                }
+                WireAction::pass(frame)
+            }
+            Some(WireFault::Duplicate) => {
+                WireAction { stall: None, chunks: vec![frame.clone(), frame], cut: false }
+            }
+            Some(WireFault::Reorder) => {
+                // Ship any previously held frame, hold this one for later.
+                let mut action = WireAction { stall: None, chunks: Vec::new(), cut: false };
+                if let Some(prior) = self.held.take() {
+                    action.chunks.push(prior);
+                }
+                self.held = Some(frame);
+                return action;
+            }
+            Some(WireFault::Stall { millis }) => WireAction {
+                stall: Some(Duration::from_millis(millis)),
+                chunks: vec![frame],
+                cut: false,
+            },
+            Some(WireFault::Garbage { len }) => WireAction {
+                stall: None,
+                chunks: vec![self.garbage(len as usize), frame],
+                cut: false,
+            },
+        };
+        // A held (reordered) frame ships *after* the current frame — unless
+        // the stream is being cut, in which case it dies with the pipe.
+        if let Some(prior) = self.held.take() {
+            if !action.cut {
+                action.chunks.push(prior);
+            }
+        }
+        action
+    }
+
+    /// Seeded garbage that can never be mistaken for a frame start: the
+    /// first four bytes are forced to `XXXX`, which is not the frame magic.
+    fn garbage(&mut self, len: usize) -> Vec<u8> {
+        let mut bytes = vec![0u8; len.max(4)];
+        bytes[..4].copy_from_slice(b"XXXX");
+        for byte in bytes.iter_mut().skip(4) {
+            *byte = self.rng.next_u64() as u8;
+        }
+        bytes
+    }
+}
+
+/// Both-direction shapers for one shard's pipe, cheap to clone and share.
+///
+/// The supervisor holds this across worker respawns: a scheduled event is
+/// consumed the first (and only) time its frame index comes up, no matter
+/// how many processes have occupied the slot since.
+#[derive(Debug, Clone)]
+pub struct FaultyTransport {
+    to_worker: Arc<Mutex<WireShaper>>,
+    from_worker: Arc<Mutex<WireShaper>>,
+}
+
+impl FaultyTransport {
+    /// Builds the shaper pair for `shard` from a plan.
+    pub fn new(plan: &WireFaultPlan, shard: usize) -> Self {
+        FaultyTransport {
+            to_worker: Arc::new(Mutex::new(plan.shaper(shard, WireDirection::ToWorker))),
+            from_worker: Arc::new(Mutex::new(plan.shaper(shard, WireDirection::FromWorker))),
+        }
+    }
+
+    /// Shared shaper for the parent → worker direction.
+    pub fn to_worker(&self) -> Arc<Mutex<WireShaper>> {
+        Arc::clone(&self.to_worker)
+    }
+
+    /// Shared shaper for the worker → parent direction.
+    pub fn from_worker(&self) -> Arc<Mutex<WireShaper>> {
+        Arc::clone(&self.from_worker)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(tag: u8, len: usize) -> Vec<u8> {
+        vec![tag; len]
+    }
+
+    #[test]
+    fn plan_expansion_is_deterministic() {
+        let a = WireFaultPlan::expand(42, 3, 8, 500);
+        let b = WireFaultPlan::expand(42, 3, 8, 500);
+        assert_eq!(a, b);
+        assert_eq!(a.events.len(), 8);
+        let c = WireFaultPlan::expand(43, 3, 8, 500);
+        assert_ne!(a, c, "different seeds must give different plans");
+    }
+
+    #[test]
+    fn clean_shaper_passes_frames_through() {
+        let plan = WireFaultPlan::from_events(1, Vec::new());
+        let mut shaper = plan.shaper(0, WireDirection::ToWorker);
+        let action = shaper.shape(frame(7, 32), true);
+        assert_eq!(action, WireAction::pass(frame(7, 32)));
+    }
+
+    #[test]
+    fn tear_ships_prefix_and_cuts() {
+        let mut shaper = WireShaper::single(WireFault::Tear { keep: 5 });
+        let action = shaper.shape(frame(9, 32), true);
+        assert_eq!(action.chunks, vec![frame(9, 5)]);
+        assert!(action.cut);
+        // The cut is per-connection: the shaper itself keeps passing frames
+        // so a respawned worker gets a healthy stream.
+        let next = shaper.shape(frame(9, 32), true);
+        assert!(!next.cut);
+        assert_eq!(next.chunks, vec![frame(9, 32)]);
+    }
+
+    #[test]
+    fn bit_flip_changes_exactly_one_bit() {
+        let mut shaper = WireShaper::single(WireFault::BitFlip { bit: 12345 });
+        let original = frame(0xAA, 64);
+        let action = shaper.shape(original.clone(), true);
+        let shaped = &action.chunks[0];
+        let differing: u32 =
+            original.iter().zip(shaped.iter()).map(|(a, b)| (a ^ b).count_ones()).sum();
+        assert_eq!(differing, 1);
+    }
+
+    #[test]
+    fn duplicate_ships_twice() {
+        let mut shaper = WireShaper::single(WireFault::Duplicate);
+        let action = shaper.shape(frame(3, 16), true);
+        assert_eq!(action.chunks, vec![frame(3, 16), frame(3, 16)]);
+    }
+
+    #[test]
+    fn reorder_holds_then_releases_after_next_frame() {
+        let mut shaper = WireShaper::single(WireFault::Reorder);
+        let first = shaper.shape(frame(1, 8), true);
+        assert!(first.chunks.is_empty(), "reordered frame must be held");
+        let second = shaper.shape(frame(2, 8), true);
+        assert_eq!(
+            second.chunks,
+            vec![frame(2, 8), frame(1, 8)],
+            "held frame ships after the successor"
+        );
+    }
+
+    #[test]
+    fn heartbeats_do_not_consume_scheduled_faults() {
+        let mut shaper = WireShaper::single(WireFault::Duplicate);
+        let hb = shaper.shape(frame(3, 11), false);
+        assert_eq!(hb.chunks.len(), 1, "heartbeats pass through unshaped");
+        let job = shaper.shape(frame(1, 8), true);
+        assert_eq!(job.chunks.len(), 2, "fault fires on first countable frame");
+    }
+
+    #[test]
+    fn garbage_is_prepended_and_never_magic() {
+        let mut shaper = WireShaper::single(WireFault::Garbage { len: 24 });
+        let action = shaper.shape(frame(5, 8), true);
+        assert_eq!(action.chunks.len(), 2);
+        assert_eq!(&action.chunks[0][..4], b"XXXX");
+        assert_eq!(action.chunks[0].len(), 24);
+        assert_eq!(action.chunks[1], frame(5, 8));
+    }
+
+    #[test]
+    fn stall_reports_duration() {
+        let mut shaper = WireShaper::single(WireFault::Stall { millis: 700 });
+        let action = shaper.shape(frame(5, 8), true);
+        assert_eq!(action.stall, Some(Duration::from_millis(700)));
+        assert_eq!(action.chunks, vec![frame(5, 8)]);
+    }
+
+    #[test]
+    fn shapers_only_see_their_own_shard_and_direction() {
+        let plan = WireFaultPlan::from_events(
+            9,
+            vec![WireFaultEvent {
+                shard: 1,
+                direction: WireDirection::FromWorker,
+                nth: 0,
+                fault: WireFault::Duplicate,
+            }],
+        );
+        let mut other_shard = plan.shaper(0, WireDirection::FromWorker);
+        assert_eq!(other_shard.shape(frame(1, 4), true).chunks.len(), 1);
+        let mut other_dir = plan.shaper(1, WireDirection::ToWorker);
+        assert_eq!(other_dir.shape(frame(1, 4), true).chunks.len(), 1);
+        let mut target = plan.shaper(1, WireDirection::FromWorker);
+        assert_eq!(target.shape(frame(1, 4), true).chunks.len(), 2);
+    }
+
+    #[test]
+    fn transport_pair_shares_state_across_clones() {
+        let plan = WireFaultPlan::from_events(
+            3,
+            vec![WireFaultEvent {
+                shard: 0,
+                direction: WireDirection::ToWorker,
+                nth: 1,
+                fault: WireFault::Tear { keep: 0 },
+            }],
+        );
+        let transport = FaultyTransport::new(&plan, 0);
+        let clone = transport.clone();
+        // First connection consumes frame #0 cleanly.
+        assert!(!transport.to_worker().lock().unwrap().shape(frame(1, 4), true).cut);
+        // The clone observes the shared counter: its next frame is #1 → torn.
+        assert!(clone.to_worker().lock().unwrap().shape(frame(1, 4), true).cut);
+    }
+}

@@ -73,14 +73,17 @@
 
 use crate::digest::Fnv64;
 use crate::sandbox::{
-    classify_exit, encode_frame, ensure_heartbeats, read_frame, rss_bytes, spawn_framed_child,
-    write_frame, FrameKind, ReadEvent, SandboxConfig, WireBudget, WireFailure, WorkSpec,
+    classify_exit, ensure_heartbeats, rss_bytes, spawn_framed_child, ReadEvent, SandboxConfig,
+    WireBudget, WireFailure, WorkSpec,
 };
 use crate::service::{Priority, Ticket, TicketShared};
 use crate::supervisor::RunPolicy;
+use crate::transport::{
+    protocol_fault_bytes, read_frame, write_frame, FrameKind, FrameTransport, PipeTransport,
+};
 use crate::{lock, AnalysisPipeline, PipelineError, PipelineResult};
 use ascend_arch::ChipSpec;
-use ascend_faults::{HostileMode, SplitMix64};
+use ascend_faults::{BuggyEngine, FaultyTransport, SplitMix64};
 use ascend_roofline::Thresholds;
 use ascend_sim::{CancelToken, SimBudget, SimError};
 use serde::{Deserialize, Serialize};
@@ -210,6 +213,11 @@ struct ShardJob {
     /// Tombstones to apply before serving: fingerprints this shard must
     /// never answer from cached state.
     quarantine: Vec<u64>,
+    /// Chaos-only: a silently-wrong engine the shard's resident pipeline
+    /// must arm ([`AnalysisPipeline::with_buggy_engine`]). Absent in
+    /// every production frame.
+    #[serde(default)]
+    buggy: Option<BuggyEngine>,
 }
 
 /// The typed outcome inside a [`ShardReply`].
@@ -288,6 +296,16 @@ pub struct ClusterConfig {
     /// `shard-<i>-<context>.astr` in this directory and rewarms from it
     /// on every respawn.
     pub store_dir: Option<PathBuf>,
+    /// Chaos-only: a wire-fault plan applied to every shard's pipe pair.
+    /// Each scheduled event fires at most once per shard per direction,
+    /// surviving respawns (a fresh process gets a healthy stream, but the
+    /// shared fault counter keeps advancing).
+    pub wire_faults: Option<ascend_faults::WireFaultPlan>,
+    /// Chaos-only: arm every shard's resident pipeline with a
+    /// silently-wrong engine. The cluster has no divergence auditor, so
+    /// this is the canary a chaos run's bit-identity invariant must
+    /// catch.
+    pub buggy: Option<BuggyEngine>,
 }
 
 impl Default for ClusterConfig {
@@ -306,6 +324,8 @@ impl Default for ClusterConfig {
             respawn_backoff_max: Duration::from_secs(1),
             seed: 0xC1A5_7E12_5EED_0001,
             store_dir: None,
+            wire_faults: None,
+            buggy: None,
         }
     }
 }
@@ -462,7 +482,7 @@ struct ClusterJob {
 #[derive(Debug)]
 struct ShardProcess {
     child: Child,
-    stdin: ChildStdin,
+    stdin: PipeTransport<ChildStdin>,
 }
 
 impl ShardProcess {
@@ -565,6 +585,10 @@ struct ClusterShared {
     /// write or a `kill_shard` never blocks routing. Lock ordering:
     /// never hold the state lock and a process slot lock together.
     workers: Vec<Mutex<Option<ShardProcess>>>,
+    /// One wire-fault harness per shard, shared across that shard's
+    /// respawns so each scheduled fault fires at most once for the whole
+    /// run. `None` everywhere outside chaos runs.
+    faulty: Vec<Option<FaultyTransport>>,
     /// Parent token of every in-flight attempt; cancelled at drain.
     drain_token: CancelToken,
 }
@@ -647,6 +671,11 @@ impl ClusterService {
             idle_cv: Condvar::new(),
             counters: Mutex::new(ClusterCounters::default()),
             workers: (0..shards).map(|_| Mutex::new(None)).collect(),
+            faulty: (0..shards)
+                .map(|index| {
+                    config.wire_faults.as_ref().map(|plan| FaultyTransport::new(plan, index))
+                })
+                .collect(),
             drain_token: CancelToken::new(),
             config,
         });
@@ -1095,7 +1124,8 @@ fn try_respawn(
     events: &mut Option<Receiver<ReadEvent>>,
     rng: &mut SplitMix64,
 ) {
-    let spawned = spawn_framed_child(&shared.program, CLUSTER_SHARD_ENV);
+    let spawned =
+        spawn_framed_child(&shared.program, CLUSTER_SHARD_ENV, shared.faulty[index].as_ref());
     let (child, stdin, receiver) = match spawned {
         Ok(parts) => parts,
         Err(err) => {
@@ -1174,11 +1204,12 @@ fn warm_up(
         heartbeat_ms: shared.config.sandbox.heartbeat_interval.as_millis().max(1) as u64,
         store_path: shared.shard_store_path(index).map(|p| p.display().to_string()),
         quarantine: tombstones.to_vec(),
+        buggy: shared.config.buggy,
     };
     let payload = serde_json::to_string(&job).map_err(|err| PipelineError::WorkerProtocol {
         detail: format!("warm-up frame serialization failed: {err}"),
     })?;
-    write_frame(&mut process.stdin, FrameKind::Job, payload.as_bytes()).map_err(|err| {
+    process.stdin.send(FrameKind::Job, payload.as_bytes()).map_err(|err| {
         PipelineError::WorkerProtocol { detail: format!("warm-up frame write failed: {err}") }
     })?;
     let started = Instant::now();
@@ -1304,6 +1335,7 @@ fn run_one(
         heartbeat_ms: shared.config.sandbox.heartbeat_interval.as_millis().max(1) as u64,
         store_path: shared.shard_store_path(index).map(|p| p.display().to_string()),
         quarantine: sent_tombstones.clone(),
+        buggy: shared.config.buggy,
     };
     let payload = match serde_json::to_string(&shard_job) {
         Ok(payload) => payload,
@@ -1327,7 +1359,9 @@ fn run_one(
     let sent = {
         let mut worker = lock(&shared.workers[index]);
         match worker.as_mut() {
-            Some(process) => write_frame(&mut process.stdin, FrameKind::Job, payload.as_bytes())
+            Some(process) => process
+                .stdin
+                .send(FrameKind::Job, payload.as_bytes())
                 .map_err(|err| format!("job frame write failed: {err}")),
             None => Err("no live shard process".to_string()),
         }
@@ -1699,6 +1733,7 @@ fn await_reply(
 struct ResidentPipeline {
     context: u64,
     store_path: Option<String>,
+    buggy: Option<BuggyEngine>,
     pipeline: AnalysisPipeline,
     recovered: u64,
 }
@@ -1750,19 +1785,23 @@ pub fn shard_worker_main() -> ! {
             }
         };
         let mut out = lock(&stdout);
-        match fault {
-            Some(HostileMode::GarbageStdout) => {
-                let _ = out.write_all(b"XXXXthis is definitely not a shard frame");
+        // Hostile protocol faults are expressed through the transport
+        // fault vocabulary (tear / garbage), byte-identical to the
+        // historical hand-rolled corruption.
+        match fault.and_then(|mode| {
+            protocol_fault_bytes(
+                mode,
+                FrameKind::Outcome,
+                payload.as_bytes(),
+                b"XXXXthis is definitely not a shard frame",
+            )
+        }) {
+            Some(bytes) => {
+                let _ = out.write_all(&bytes);
                 let _ = out.flush();
                 std::process::exit(0);
             }
-            Some(HostileMode::TruncateFrame) => {
-                let bytes = encode_frame(FrameKind::Outcome, payload.as_bytes());
-                let _ = out.write_all(&bytes[..bytes.len() / 2]);
-                let _ = out.flush();
-                std::process::exit(0);
-            }
-            _ => {
+            None => {
                 if write_frame(&mut *out, FrameKind::Outcome, payload.as_bytes()).is_err() {
                     // Parent is gone; nothing left to serve.
                     std::process::exit(0);
@@ -1776,8 +1815,9 @@ pub fn shard_worker_main() -> ! {
 /// when the context or store path changed.
 fn serve_shard_job(resident: &mut Option<ResidentPipeline>, job: ShardJob) -> ShardReply {
     let context = crate::context_fingerprint(&job.chip, &job.thresholds);
-    let stale =
-        resident.as_ref().is_none_or(|r| r.context != context || r.store_path != job.store_path);
+    let stale = resident.as_ref().is_none_or(|r| {
+        r.context != context || r.store_path != job.store_path || r.buggy != job.buggy
+    });
     if stale {
         let pipeline = match AnalysisPipeline::try_new(job.chip.clone()) {
             Ok(pipeline) => pipeline.with_thresholds(job.thresholds),
@@ -1809,10 +1849,15 @@ fn serve_shard_job(resident: &mut Option<ResidentPipeline>, job: ShardJob) -> Sh
             },
             None => pipeline,
         };
+        let pipeline = match job.buggy {
+            Some(bug) => pipeline.with_buggy_engine(bug),
+            None => pipeline,
+        };
         let recovered = pipeline.store_stats().map_or(0, |stats| stats.recovered);
         *resident = Some(ResidentPipeline {
             context,
             store_path: job.store_path.clone(),
+            buggy: job.buggy,
             pipeline,
             recovered,
         });
@@ -1922,6 +1967,7 @@ mod tests {
             heartbeat_ms: 20,
             store_path: Some("/tmp/shard-0.astr".to_string()),
             quarantine: vec![1, 2, 3],
+            buggy: Some(BuggyEngine::new(7)),
         };
         let json = serde_json::to_string(&job).unwrap();
         let back: ShardJob = serde_json::from_str(&json).unwrap();

@@ -50,12 +50,14 @@ mod cluster;
 pub mod digest;
 pub mod divergence;
 mod error;
+pub mod invariants;
 mod journal;
 mod sandbox;
 mod service;
 mod stats;
 mod store;
 mod supervisor;
+pub mod transport;
 
 pub use audit::{AuditPolicy, AuditStats};
 pub use cluster::{
@@ -64,12 +66,13 @@ pub use cluster::{
 };
 pub use divergence::DivergenceReport;
 pub use error::PipelineError;
+pub use invariants::{InvariantCheck, InvariantReport};
 pub use journal::{
     result_digest, BatchJournal, JournalError, JournalRecord, JournalRecovery, JOURNAL_VERSION,
 };
 pub use sandbox::{
     run_worker_if_requested, worker_main, SandboxConfig, SandboxCounters, SandboxedExecutor,
-    WorkSpec, WIRE_VERSION, WORKER_ENV,
+    WorkSpec, WORKER_ENV,
 };
 pub use service::{
     AnalysisService, DrainReport, HealthSnapshot, Isolation, Priority, Request, ServiceConfig,
@@ -81,6 +84,10 @@ pub use store::{
     MAX_RECORD_BYTES, STORE_MAGIC, STORE_VERSION,
 };
 pub use supervisor::{Fidelity, RunPolicy, SupervisorStats};
+pub use transport::{
+    encode_frame, read_frame, write_frame, Frame, FrameKind, FrameTransport, PipeTransport,
+    MAX_FRAME_LEN, WIRE_VERSION,
+};
 
 use ascend_arch::{ArchError, ChipSpec};
 use ascend_faults::BuggyEngine;

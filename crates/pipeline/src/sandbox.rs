@@ -40,10 +40,13 @@
 //! the frame loop, and [`run_worker_if_requested`] turns any `main` into
 //! a worker when the [`WORKER_ENV`] marker is set.
 
-use crate::digest::fnv1a;
 use crate::supervisor::RunPolicy;
+use crate::transport::{
+    protocol_fault_bytes, read_frame, FrameTransport, PipeTransport, ShapedReader,
+};
+pub(crate) use crate::transport::{write_frame, Frame, FrameKind};
 use crate::{lock, AnalysisPipeline, PipelineError, PipelineResult};
-use ascend_faults::{HostileMode, HostileOp};
+use ascend_faults::{FaultyTransport, HostileMode, HostileOp};
 use ascend_ops::{OpSpec, Operator};
 use ascend_roofline::Thresholds;
 use ascend_sim::{CancelToken, SimBudget, SimError};
@@ -60,137 +63,9 @@ use std::time::{Duration, Instant};
 /// sandbox worker (see [`run_worker_if_requested`]).
 pub const WORKER_ENV: &str = "ASCEND_SANDBOX_WORKER";
 
-/// Wire-format version stamped into every frame (and, by shared
-/// convention, into journal records). Readers reject frames from any
-/// other version instead of guessing.
-pub const WIRE_VERSION: u16 = 1;
-
-/// Frame preamble: identifies a byte stream as sandbox frames at all.
-const MAGIC: [u8; 4] = *b"ASBX";
-
-/// Upper bound on a frame payload; a length field beyond it is treated
-/// as garbage rather than honored with an allocation.
-const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
-
-/// What a frame carries. Shared with the cluster tier (`cluster.rs`),
-/// whose shard workers speak the same framed protocol with their own
-/// payload schema.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum FrameKind {
-    /// Parent → child: one work item.
-    Job,
-    /// Child → parent: the outcome of the current job.
-    Outcome,
-    /// Child → parent: liveness signal (empty payload).
-    Heartbeat,
-}
-
-impl FrameKind {
-    fn to_byte(self) -> u8 {
-        match self {
-            FrameKind::Job => 1,
-            FrameKind::Outcome => 2,
-            FrameKind::Heartbeat => 3,
-        }
-    }
-
-    fn from_byte(byte: u8) -> Option<FrameKind> {
-        match byte {
-            1 => Some(FrameKind::Job),
-            2 => Some(FrameKind::Outcome),
-            3 => Some(FrameKind::Heartbeat),
-            _ => None,
-        }
-    }
-}
-
-/// One parsed frame.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct Frame {
-    pub(crate) kind: FrameKind,
-    pub(crate) payload: Vec<u8>,
-}
-
-/// Serializes one frame: magic, version, kind, payload length, payload,
-/// payload digest. Flushes, so a frame is either fully visible to the
-/// peer or detectably torn.
-pub(crate) fn write_frame(
-    writer: &mut dyn Write,
-    kind: FrameKind,
-    payload: &[u8],
-) -> std::io::Result<()> {
-    let bytes = encode_frame(kind, payload);
-    writer.write_all(&bytes)?;
-    writer.flush()
-}
-
-/// The full byte image of one frame (exposed separately so the
-/// truncation fault can ship a deliberate prefix of it).
-pub(crate) fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
-    let mut bytes = Vec::with_capacity(19 + payload.len());
-    bytes.extend_from_slice(&MAGIC);
-    bytes.extend_from_slice(&WIRE_VERSION.to_le_bytes());
-    bytes.push(kind.to_byte());
-    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    bytes.extend_from_slice(payload);
-    bytes.extend_from_slice(&fnv1a(payload).to_le_bytes());
-    bytes
-}
-
-/// Reads one frame. `Ok(None)` is a clean end-of-stream (EOF exactly at
-/// a frame boundary); every malformation — wrong magic, unsupported
-/// version, unknown kind, oversized length, short read, digest mismatch
-/// — is an `Err` describing what was wrong.
-pub(crate) fn read_frame(reader: &mut dyn Read) -> Result<Option<Frame>, String> {
-    let mut header = [0u8; 11];
-    let mut filled = 0usize;
-    while filled < header.len() {
-        match reader.read(&mut header[filled..]) {
-            Ok(0) if filled == 0 => return Ok(None),
-            Ok(0) => return Err(format!("truncated frame header ({filled} of 11 bytes)")),
-            Ok(n) => filled += n,
-            Err(err) if err.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(err) => return Err(format!("frame header read failed: {err}")),
-        }
-    }
-    if header[0..4] != MAGIC {
-        return Err(format!("bad frame magic {:02x?} (expected {:02x?})", &header[0..4], MAGIC));
-    }
-    let version = u16::from_le_bytes([header[4], header[5]]);
-    if version != WIRE_VERSION {
-        return Err(format!("unsupported frame version {version} (supported: {WIRE_VERSION})"));
-    }
-    let Some(kind) = FrameKind::from_byte(header[6]) else {
-        return Err(format!("unknown frame kind {}", header[6]));
-    };
-    let len = u32::from_le_bytes([header[7], header[8], header[9], header[10]]);
-    if len > MAX_FRAME_BYTES {
-        return Err(format!("frame length {len} exceeds the {MAX_FRAME_BYTES}-byte bound"));
-    }
-    let mut payload = vec![0u8; len as usize];
-    let mut trailer = [0u8; 8];
-    for (what, buf) in [("payload", payload.as_mut_slice()), ("digest", trailer.as_mut_slice())] {
-        let mut filled = 0usize;
-        while filled < buf.len() {
-            match reader.read(&mut buf[filled..]) {
-                Ok(0) => {
-                    return Err(format!("truncated frame {what} ({filled} of {} bytes)", buf.len()))
-                }
-                Ok(n) => filled += n,
-                Err(err) if err.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(err) => return Err(format!("frame {what} read failed: {err}")),
-            }
-        }
-    }
-    let expected = u64::from_le_bytes(trailer);
-    let actual = fnv1a(&payload);
-    if expected != actual {
-        return Err(format!(
-            "frame digest mismatch: header {expected:#018x}, payload {actual:#018x}"
-        ));
-    }
-    Ok(Some(Frame { kind, payload }))
-}
+// The ASBX frame codec lives in `crate::transport` (shared verbatim with
+// the cluster tier); this module re-exports what its peers historically
+// imported from here.
 
 /// A serializable work item: what crosses the process boundary in place
 /// of a `Box<dyn Operator>`.
@@ -329,6 +204,10 @@ pub struct SandboxConfig {
     pub poll_interval: Duration,
     /// Jobs a warm worker may serve before it is retired and respawned.
     pub recycle_after: u64,
+    /// Seeded wire faults shaped into this executor's worker pipe (the
+    /// pool is treated as shard 0 of the plan). Shapers persist across
+    /// worker respawns so each scheduled event fires at most once.
+    pub wire_faults: Option<ascend_faults::WireFaultPlan>,
 }
 
 impl Default for SandboxConfig {
@@ -341,6 +220,7 @@ impl Default for SandboxConfig {
             rss_limit_bytes: None,
             poll_interval: Duration::from_millis(5),
             recycle_after: 32,
+            wire_faults: None,
         }
     }
 }
@@ -418,13 +298,16 @@ pub(crate) enum ReadEvent {
 }
 
 /// Spawns `program` as a framed worker child with `env_marker` set:
-/// stdin piped for job frames, stdout piped into a reader thread that
-/// forwards [`ReadEvent`]s, stderr inherited. The shared bring-up for
-/// both the sandbox pool and the cluster tier's shard processes.
+/// stdin piped for job frames (behind a [`PipeTransport`]), stdout piped
+/// into a reader thread that forwards [`ReadEvent`]s, stderr inherited.
+/// The shared bring-up for both the sandbox pool and the cluster tier's
+/// shard processes. When `faulty` is given, both directions of the pipe
+/// are shaped by its wire-fault shapers.
 pub(crate) fn spawn_framed_child(
     program: &std::path::Path,
     env_marker: &str,
-) -> Result<(Child, ChildStdin, Receiver<ReadEvent>), PipelineError> {
+    faulty: Option<&FaultyTransport>,
+) -> Result<(Child, PipeTransport<ChildStdin>, Receiver<ReadEvent>), PipelineError> {
     let mut child = Command::new(program)
         .env(env_marker, "1")
         .stdin(Stdio::piped())
@@ -434,12 +317,20 @@ pub(crate) fn spawn_framed_child(
         .map_err(|err| PipelineError::WorkerProtocol {
             detail: format!("failed to spawn worker {}: {err}", program.display()),
         })?;
-    let stdin = child.stdin.take().ok_or_else(|| PipelineError::WorkerProtocol {
+    let raw_stdin = child.stdin.take().ok_or_else(|| PipelineError::WorkerProtocol {
         detail: "spawned worker has no stdin handle".to_string(),
     })?;
-    let mut stdout = child.stdout.take().ok_or_else(|| PipelineError::WorkerProtocol {
+    let stdin = match faulty {
+        Some(faulty) => PipeTransport::shaped(raw_stdin, faulty.to_worker()),
+        None => PipeTransport::new(raw_stdin),
+    };
+    let stdout = child.stdout.take().ok_or_else(|| PipelineError::WorkerProtocol {
         detail: "spawned worker has no stdout handle".to_string(),
     })?;
+    let mut stdout: Box<dyn Read + Send> = match faulty {
+        Some(faulty) => Box::new(ShapedReader::new(stdout, faulty.from_worker())),
+        None => Box::new(stdout),
+    };
     let (sender, events) = std::sync::mpsc::channel();
     std::thread::spawn(move || loop {
         match read_frame(&mut stdout) {
@@ -465,7 +356,7 @@ pub(crate) fn spawn_framed_child(
 #[derive(Debug)]
 struct Worker {
     child: Child,
-    stdin: ChildStdin,
+    stdin: PipeTransport<ChildStdin>,
     events: Receiver<ReadEvent>,
     jobs_done: u64,
 }
@@ -551,6 +442,10 @@ pub struct SandboxedExecutor {
     config: Arc<SandboxConfig>,
     pool: Arc<Mutex<Vec<Worker>>>,
     counters: Arc<CounterCells>,
+    /// Built once from `config.wire_faults` and shared across every
+    /// worker this executor spawns, so each scheduled wire fault fires at
+    /// most once no matter how many workers the pool cycles through.
+    faulty: Option<FaultyTransport>,
 }
 
 impl SandboxedExecutor {
@@ -558,11 +453,13 @@ impl SandboxedExecutor {
     /// under `config`.
     #[must_use]
     pub fn new(pipeline: AnalysisPipeline, config: SandboxConfig) -> Self {
+        let faulty = config.wire_faults.as_ref().map(|plan| FaultyTransport::new(plan, 0));
         SandboxedExecutor {
             pipeline,
             config: Arc::new(config),
             pool: Arc::new(Mutex::new(Vec::new())),
             counters: Arc::new(CounterCells::default()),
+            faulty,
         }
     }
 
@@ -632,7 +529,7 @@ impl SandboxedExecutor {
         let payload = serde_json::to_string(&job).map_err(|err| PipelineError::WorkerProtocol {
             detail: format!("job frame serialization failed: {err}"),
         })?;
-        if let Err(err) = write_frame(&mut worker.stdin, FrameKind::Job, payload.as_bytes()) {
+        if let Err(err) = worker.stdin.send(FrameKind::Job, payload.as_bytes()) {
             // The warm worker died between jobs; its exit status says how.
             let status = worker.kill_and_reap();
             return Err(
@@ -799,7 +696,8 @@ impl SandboxedExecutor {
                 detail: format!("cannot locate the current executable: {err}"),
             })?,
         };
-        let (child, stdin, events) = spawn_framed_child(&program, WORKER_ENV)?;
+        let (child, stdin, events) =
+            spawn_framed_child(&program, WORKER_ENV, self.faulty.as_ref())?;
         self.counters.spawned.fetch_add(1, Ordering::Relaxed);
         Ok(Worker { child, stdin, events, jobs_done: 0 })
     }
@@ -870,22 +768,25 @@ pub fn worker_main() -> ! {
             }
         };
         let mut out = lock(&stdout);
-        match fault {
-            Some(HostileMode::GarbageStdout) => {
-                // Not a frame at all: wrong magic from the first byte.
-                let _ = out.write_all(b"XXXXthis is definitely not a sandbox frame");
+        match fault.and_then(|mode| {
+            // Protocol faults route through the transport-fault vocabulary
+            // (byte parity with the historical bytes is pinned in
+            // `transport::tests`): garbage is wrong magic from the first
+            // byte; truncation is a Tear shipping the frame's first half —
+            // the shape a crash between write and flush leaves.
+            protocol_fault_bytes(
+                mode,
+                FrameKind::Outcome,
+                payload.as_bytes(),
+                b"XXXXthis is definitely not a sandbox frame",
+            )
+        }) {
+            Some(bytes) => {
+                let _ = out.write_all(&bytes);
                 let _ = out.flush();
                 std::process::exit(0);
             }
-            Some(HostileMode::TruncateFrame) => {
-                // A real frame, cut mid-payload, followed by a clean exit
-                // — the shape a crash between write and flush leaves.
-                let bytes = encode_frame(FrameKind::Outcome, payload.as_bytes());
-                let _ = out.write_all(&bytes[..bytes.len() / 2]);
-                let _ = out.flush();
-                std::process::exit(0);
-            }
-            _ => {
+            None => {
                 if write_frame(&mut *out, FrameKind::Outcome, payload.as_bytes()).is_err() {
                     // Parent is gone; nothing left to serve.
                     std::process::exit(0);
@@ -952,6 +853,7 @@ pub(crate) fn ensure_heartbeats(stdout: &Arc<Mutex<std::io::Stdout>>, interval: 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::{encode_frame, WIRE_VERSION};
     use ascend_ops::OpSpec;
 
     #[test]

@@ -33,8 +33,10 @@ use std::time::{Duration, Instant};
 
 const SHARDS: usize = 4;
 
+/// Validated `ASCEND_*` knob: unset means the default, malformed is a
+/// loud exit(2) (never a silently ignored setting).
 fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    ascend_bench::env_knob(name, "an unsigned integer").unwrap_or(default)
 }
 
 /// A unique (never cache-hitting) operator spec per arrival.

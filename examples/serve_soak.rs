@@ -31,7 +31,9 @@ fn unique_op(index: u64) -> Box<dyn Operator> {
 
 fn main() {
     let soak = Duration::from_millis(
-        std::env::var("ASCEND_SOAK_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(300),
+        // Validated knob: malformed input exits loudly instead of
+        // silently soaking for the default.
+        ascend_bench::env_knob("ASCEND_SOAK_MS", "an unsigned integer").unwrap_or(300),
     );
     let service = AnalysisService::start(
         AnalysisPipeline::new(ChipSpec::training()),

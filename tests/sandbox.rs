@@ -46,6 +46,7 @@ fn sandbox_config() -> SandboxConfig {
         rss_limit_bytes: Some(64 * 1024 * 1024),
         poll_interval: Duration::from_millis(5),
         recycle_after: 4,
+        wire_faults: None,
     }
 }
 

@@ -1,0 +1,153 @@
+//! Property-based and adversarial tests of the ASBX frame codec
+//! (`ascend::pipeline::transport`) — the wire format every sandbox
+//! worker and cluster shard speaks.
+//!
+//! Two families:
+//!
+//! * **Round-trip**: arbitrary payloads and frame kinds encode and decode
+//!   losslessly, alone and in multi-frame streams.
+//! * **Adversarial input**: `read_frame` over arbitrary bytes never
+//!   panics and never allocates beyond [`MAX_FRAME_LEN`] no matter what
+//!   length prefix the (possibly corrupt) header claims — it returns
+//!   `Ok(None)` on clean EOF, `Ok(Some(..))` on a valid frame, and `Err`
+//!   otherwise.
+//!
+//! Case count honors `PROPTEST_CASES` (proptest's standard env knob).
+
+use ascend::pipeline::{encode_frame, read_frame, FrameKind, MAX_FRAME_LEN, WIRE_VERSION};
+use proptest::prelude::*;
+
+fn frame_kind() -> impl Strategy<Value = FrameKind> {
+    proptest::sample::select(vec![FrameKind::Job, FrameKind::Outcome, FrameKind::Heartbeat])
+}
+
+proptest! {
+    // Any (kind, payload) encodes to bytes that decode back to exactly
+    // the same frame, with the stream ending in a clean EOF.
+    #[test]
+    fn encode_then_read_round_trips(
+        kind in frame_kind(),
+        payload in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let bytes = encode_frame(kind, &payload);
+        let mut stream = bytes.as_slice();
+        let frame = read_frame(&mut stream)
+            .expect("a well-formed frame decodes")
+            .expect("a non-empty stream is not EOF");
+        prop_assert_eq!(frame.kind, kind);
+        prop_assert_eq!(frame.payload, payload);
+        prop_assert!(read_frame(&mut stream).expect("tail is clean").is_none());
+    }
+
+    // Concatenated frames decode in order: the stream framing carries
+    // its own boundaries, so no payload can desynchronize the reader.
+    #[test]
+    fn multi_frame_streams_decode_in_order(
+        frames in proptest::collection::vec(
+            (frame_kind(), proptest::collection::vec(any::<u8>(), 0..256)),
+            1..8,
+        ),
+    ) {
+        let mut bytes = Vec::new();
+        for (kind, payload) in &frames {
+            bytes.extend_from_slice(&encode_frame(*kind, payload));
+        }
+        let mut stream = bytes.as_slice();
+        for (kind, payload) in &frames {
+            let frame = read_frame(&mut stream).expect("frame decodes").expect("not EOF");
+            prop_assert_eq!(frame.kind, *kind);
+            prop_assert_eq!(&frame.payload, payload);
+        }
+        prop_assert!(read_frame(&mut stream).expect("tail is clean").is_none());
+    }
+
+    // Arbitrary bytes never panic the reader: every outcome is a clean
+    // EOF, a decoded frame, or a descriptive error.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut stream = bytes.as_slice();
+        // Drain the stream; each step must terminate without panicking.
+        for _ in 0..bytes.len() + 1 {
+            match read_frame(&mut stream) {
+                Ok(None) | Err(_) => break,
+                Ok(Some(_)) => {}
+            }
+        }
+    }
+
+    // Flipping one bit anywhere in an encoded frame either still decodes
+    // (the flip landed in the payload of a *different* valid encoding —
+    // impossible here, since the digest covers kind and payload) or
+    // errors; it never panics and never yields a frame with a different
+    // payload than the digest vouches for.
+    #[test]
+    fn single_bit_corruption_is_always_detected(
+        payload in proptest::collection::vec(any::<u8>(), 1..256),
+        bit in any::<u32>(),
+    ) {
+        let mut bytes = encode_frame(FrameKind::Outcome, &payload);
+        let bit = bit as usize % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        let mut stream = bytes.as_slice();
+        match read_frame(&mut stream) {
+            Err(_) => {}
+            Ok(decoded) => {
+                // The only survivable flips change the *declared length*
+                // into a shorter-but-digest-valid frame — which cannot
+                // happen, so a decoded frame must be byte-identical.
+                let frame = decoded.expect("non-empty stream");
+                prop_assert_eq!(frame.payload, payload);
+            }
+        }
+    }
+}
+
+/// A header whose length prefix exceeds the frame bound errors
+/// immediately instead of attempting the allocation.
+#[test]
+fn oversized_length_prefix_is_rejected() {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"ASBX");
+    bytes.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    bytes.push(1); // Job
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+    let err = read_frame(&mut bytes.as_slice()).expect_err("oversized prefix must be rejected");
+    assert!(err.contains("exceeds"), "{err}");
+    assert!(err.contains(&MAX_FRAME_LEN.to_string()), "{err}");
+}
+
+/// A corrupt-but-in-bounds length prefix over a short stream errors with
+/// the truncation diagnostics — and, because the payload is read
+/// incrementally, without ever allocating the full claimed length.
+#[test]
+fn lying_in_bounds_prefix_reports_truncation() {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"ASBX");
+    bytes.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    bytes.push(2); // Outcome
+    bytes.extend_from_slice(&MAX_FRAME_LEN.to_le_bytes()); // claims 64 MiB
+    bytes.extend_from_slice(b"only these bytes"); // ... delivers 16
+    let err = read_frame(&mut bytes.as_slice()).expect_err("truncated payload must error");
+    assert!(err.contains("truncated frame payload"), "{err}");
+    assert!(err.contains("16 of 67108864"), "{err}");
+}
+
+/// The historical garbage tag the hostile modes emit still reads as the
+/// canonical bad-magic error.
+#[test]
+fn garbage_prefix_reports_bad_magic() {
+    let bytes = b"XXXXthis is definitely not a sandbox frame";
+    let err = read_frame(&mut bytes.as_slice()).expect_err("garbage must error");
+    assert!(err.contains("bad frame magic"), "{err}");
+}
+
+/// A frame cut mid-payload (the torn-frame hostile mode) reports the
+/// exact fill level.
+#[test]
+fn torn_frame_reports_partial_payload() {
+    let payload = vec![7u8; 100];
+    let bytes = encode_frame(FrameKind::Outcome, &payload);
+    let torn = &bytes[..bytes.len() / 2];
+    let err = read_frame(&mut &torn[..]).expect_err("torn frame must error");
+    assert!(err.contains("truncated frame"), "{err}");
+}
